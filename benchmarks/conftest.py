@@ -1,0 +1,54 @@
+"""Shared infrastructure for the per-figure benchmark targets.
+
+Every benchmark runs its figure's experiment exactly once (rounds=1 — the
+experiments are deterministic and expensive), prints the paper-style table,
+and archives it under ``results/``.  Scale defaults keep the full suite at
+laptop-friendly runtimes; set ``REPRO_SAMPLES`` / ``REPRO_TASKS`` to push
+toward the paper's 5000-sample / 50-task protocol.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis import ExperimentScale, format_table
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def default_scale(**overrides) -> ExperimentScale:
+    """Benchmark scale: env-var driven with per-figure overrides."""
+    base = ExperimentScale.from_env()
+    merged = {
+        "samples": base.samples,
+        "tasks": base.tasks,
+        "obstacle_counts": base.obstacle_counts,
+        "robots": base.robots,
+        "seed": base.seed,
+    }
+    merged.update(overrides)
+    return ExperimentScale(**merged)
+
+
+@pytest.fixture(scope="session")
+def record_figure():
+    """Print a figure's table and archive it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(result):
+        table = format_table(result.headers, result.rows, title=result.title)
+        body = (
+            f"{table}\n\npaper claim: {result.paper_claim}\n"
+            + (f"notes: {result.notes}\n" if result.notes else "")
+        )
+        print("\n" + body)
+        (RESULTS_DIR / f"{result.figure}.txt").write_text(body)
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

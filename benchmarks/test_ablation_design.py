@@ -1,0 +1,190 @@
+"""Design-space ablations for the choices DESIGN.md calls out.
+
+Not paper figures — these probe the co-design's sensitivity to its sizing
+decisions:
+
+* the 168-MAC split across NS / CC / refine / tree-op units (the balance
+  that bounds the S&R overlap);
+* the Top NS Cache capacity (unit-level caching, Section IV-C);
+* the SI-MBR-Tree fanout (approximated-neighborhood size vs cost);
+* the SIAS scope (leaf = paper-literal vs parent = wider, quality-biased).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import default_scale, run_once
+
+from repro.analysis.tables import format_table
+from repro.core.config import moped_config
+from repro.core.robots import get_robot
+from repro.core.rrtstar import RRTStarPlanner
+from repro.hardware import MopedAccelerator, MopedHardwareParams
+from repro.hardware.pipeline import snr_latency_cycles
+from repro.workloads import random_task
+
+SAMPLES = 400
+
+
+@pytest.fixture(scope="module")
+def arm_plan():
+    """One MOPED planning run whose round log the timing ablations replay."""
+    task = random_task("viperx300", 16, seed=1)
+    robot = get_robot("viperx300")
+    config = moped_config("v4", max_samples=SAMPLES, seed=0, sampler="lfsr")
+    return RRTStarPlanner(robot, task, config).plan()
+
+
+def test_mac_allocation_sweep(benchmark, arm_plan):
+    """S&R speedup and latency across NS/CC datapath splits."""
+
+    def sweep():
+        rows = []
+        for ns, cc, refine, tree_op in [
+            (8, 136, 16, 8),
+            (16, 128, 16, 8),
+            (32, 112, 16, 8),
+            (64, 80, 16, 8),
+            (84, 60, 16, 8),
+        ]:
+            params = MopedHardwareParams(
+                ns_unit_macs=ns, cc_unit_macs=cc,
+                refine_unit_macs=refine, tree_op_macs=tree_op,
+            )
+            report = snr_latency_cycles(arm_plan.rounds, params)
+            rows.append([f"{ns}/{cc}", report.snr_cycles, report.speedup])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["ns/cc_macs", "snr_cycles", "snr_speedup_x"], rows,
+        title="Ablation: datapath MAC allocation (ViperX 300)",
+    ))
+    # The chosen default (16/128) must be at least near the sweep's best.
+    cycles = {row[0]: row[1] for row in rows}
+    assert cycles["16/128"] <= 1.25 * min(cycles.values())
+
+
+def test_top_cache_size_sweep(benchmark, record_figure):
+    """Unit-level cache capacity vs hit rate (Section IV-C)."""
+    task = random_task("mobile2d", 16, seed=1)
+    robot = get_robot("mobile2d")
+    config = moped_config("v4", max_samples=SAMPLES, seed=0, sampler="lfsr")
+
+    def sweep():
+        rows = []
+        for capacity in (4, 16, 64, 256):
+            hw = MopedAccelerator(top_cache_nodes=capacity).run(robot, task, config)
+            rows.append([capacity, hw.cache.top_cache_hit_rate, hw.perf.energy_j * 1e6])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["cache_nodes", "hit_rate", "energy_uJ"], rows,
+        title="Ablation: Top NS Cache capacity (2D Mobile)",
+    ))
+    hit = {row[0]: row[1] for row in rows}
+    assert hit[256] >= hit[4]  # bigger cache never hurts
+    assert hit[64] > 0.5       # modest capacity already captures the top
+
+
+def test_simbr_capacity_sweep(benchmark):
+    """SI-MBR fanout: neighborhood richness vs total cost."""
+    task = random_task("mobile2d", 16, seed=2)
+    robot = get_robot("mobile2d")
+
+    def sweep():
+        rows = []
+        for capacity in (4, 8, 16):
+            config = moped_config(
+                "v4", max_samples=SAMPLES, seed=0, goal_bias=0.1,
+                simbr_capacity=capacity,
+            )
+            result = RRTStarPlanner(robot, task, config).plan()
+            rows.append([
+                capacity,
+                result.total_macs,
+                result.path_cost if result.success else float("nan"),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["capacity", "total_macs", "path_cost"], rows,
+        title="Ablation: SI-MBR-Tree fanout (2D Mobile)",
+    ))
+    assert all(row[1] > 0 for row in rows)
+
+
+def test_sias_scope_ablation(benchmark):
+    """SIAS scope: leaf (paper-literal) vs parent (quality-biased)."""
+    task = random_task("mobile2d", 16, seed=3)
+    robot = get_robot("mobile2d")
+
+    def sweep():
+        rows = []
+        for scope in ("leaf", "parent"):
+            config = moped_config(
+                "v4", max_samples=SAMPLES, seed=0, goal_bias=0.1, approx_scope=scope,
+            )
+            result = RRTStarPlanner(robot, task, config).plan()
+            rows.append([
+                scope,
+                result.neighborhood_macs,
+                result.path_cost if result.success else float("nan"),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["scope", "neighborhood_macs", "path_cost"], rows,
+        title="Ablation: SIAS neighborhood scope (2D Mobile)",
+    ))
+    macs = {row[0]: row[1] for row in rows}
+    assert macs["leaf"] <= macs["parent"]  # leaf scope is the cheaper one
+
+
+def test_motion_resolution_sweep(benchmark):
+    """Movement-check discretisation: safety margin vs collision-check cost.
+
+    Finer resolutions multiply first-stage checks per movement; coarser
+    resolutions risk tunnelling through thin obstacles.  The sweep measures
+    both sides: CC MACs, and edges a fine-resolution oracle rejects.
+    """
+    from repro.core.collision import BruteOBBChecker
+
+    task = random_task("mobile2d", 32, seed=4)
+    robot = get_robot("mobile2d")
+    oracle = BruteOBBChecker(robot, task.environment, motion_resolution=0.5)
+
+    def sweep():
+        rows = []
+        for divisor in (2, 4, 8):
+            config = moped_config(
+                "v4", max_samples=SAMPLES, seed=0, goal_bias=0.1,
+                motion_resolution=robot.step_size / divisor,
+            )
+            result = RRTStarPlanner(robot, task, config).plan()
+            unsafe = 0
+            if result.success:
+                unsafe = sum(
+                    1
+                    for a, b in zip(result.path[:-1], result.path[1:])
+                    if oracle.motion_in_collision(a, b)
+                )
+            rows.append([
+                f"step/{divisor}",
+                result.counter.category_macs("collision_check"),
+                unsafe,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["resolution", "cc_macs", "unsafe_path_edges"], rows,
+        title="Ablation: motion-check resolution (2D Mobile, 32 obstacles)",
+    ))
+    macs = [row[1] for row in rows]
+    assert macs[0] < macs[-1]  # finer checking costs more
+    # The default (step/4) must produce a safe path at oracle resolution.
+    assert rows[1][2] == 0

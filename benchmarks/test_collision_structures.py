@@ -1,0 +1,74 @@
+"""Section VI extension: collision-structure memory/accuracy comparison.
+
+The Related Work weighs space-subdivision structures for collision
+checking: dense occupancy grids (CODAcc) need megabytes at useful
+resolutions, octrees trade memory against conservatism through depth, and
+MOPED's R-tree stores only the obstacle boxes plus a thin hierarchy while
+keeping *exact* OBB decisions via the second stage.  This bench puts all
+three (plus the exact checker's false-positive-free behaviour) on one
+table for the paper's 3D workspace.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.core.collision import BruteOBBChecker, OccupancyGridChecker, TwoStageChecker
+from repro.core.robots import get_robot
+from repro.spatial.octree import make_octree_checker
+from repro.workloads import random_environment
+
+
+def test_collision_structure_tradeoffs(benchmark, record_figure):
+    def experiment():
+        env = random_environment(3, 32, seed=5)
+        robot = get_robot("drone3d")
+        exact = BruteOBBChecker(robot, env, motion_resolution=5.0)
+        two_stage = TwoStageChecker(robot, env, motion_resolution=5.0)
+        grid = OccupancyGridChecker(robot, env, motion_resolution=5.0, resolution=1.0)
+        octree_shallow = make_octree_checker(robot, env, motion_resolution=5.0, max_depth=5)
+        octree_deep = make_octree_checker(robot, env, motion_resolution=5.0, max_depth=7)
+
+        # R-tree memory: obstacle AABBs (6 words) + OBBs (15 words) + node MBRs.
+        rtree_bytes = env.num_obstacles * (6 + 15) * 2 + env.rtree.height * 8 * 12
+
+        rng = np.random.default_rng(0)
+        configs = [rng.uniform(robot.config_lo, robot.config_hi) for _ in range(300)]
+        truth = [exact.config_in_collision(c) for c in configs]
+
+        def false_positive_rate(checker):
+            fp = sum(
+                1
+                for c, t in zip(configs, truth)
+                if not t and checker.config_in_collision(c)
+            )
+            free = sum(1 for t in truth if not t)
+            return 100.0 * fp / free if free else 0.0
+
+        rows = [
+            ["R-tree + OBB (MOPED)", rtree_bytes, false_positive_rate(two_stage)],
+            ["Octree depth 5", octree_shallow.octree.memory_bytes(),
+             false_positive_rate(octree_shallow)],
+            ["Octree depth 7", octree_deep.octree.memory_bytes(),
+             false_positive_rate(octree_deep)],
+            ["Occupancy grid 1u (CODAcc)", grid.grid_bytes, false_positive_rate(grid)],
+        ]
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print("\n" + format_table(
+        ["structure", "memory_bytes", "false_positive_%"], rows,
+        title="Section VI: collision-structure memory vs accuracy (3D, 32 obstacles)",
+    ))
+    memory = {row[0]: row[1] for row in rows}
+    fp = {row[0]: row[2] for row in rows}
+    # Shape checks from the paper's argument:
+    # MOPED's R-tree is tiny AND exact.
+    assert fp["R-tree + OBB (MOPED)"] == 0.0
+    assert memory["R-tree + OBB (MOPED)"] < memory["Octree depth 7"]
+    # The dense grid needs megabytes (paper footnote: > 3.2 MB).
+    assert memory["Occupancy grid 1u (CODAcc)"] > 3.2 * 1024 * 1024
+    # Deeper octrees cost more memory but fewer false positives.
+    assert memory["Octree depth 7"] > memory["Octree depth 5"]
+    assert fp["Octree depth 7"] <= fp["Octree depth 5"]

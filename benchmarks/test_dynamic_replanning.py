@@ -1,0 +1,54 @@
+"""Section VI extension: environment-update cost in dynamic scenes.
+
+Not a paper figure — it quantifies the Related Work argument: the MICRO'16
+precomputed-collision accelerator "needs hours of offline reset if
+obstacles change", CODAcc must re-rasterise its >3.2 MB occupancy grid, and
+MOPED only re-runs an STR bulk load.  The bench replans through a moving
+obstacle field and reports per-epoch preparation cost for each approach.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.core.config import moped_config
+from repro.core.replan import ReplanningSession, environment_prep_macs
+from repro.core.robots import get_robot
+from repro.workloads import random_dynamic_scenario
+
+
+def test_dynamic_replanning(benchmark, record_figure):
+    def experiment():
+        scenario = random_dynamic_scenario(2, num_obstacles=12, seed=3, max_speed=8.0)
+        robot = get_robot("mobile2d")
+        env0 = scenario.environment_at(0.0)
+        prep = {m: environment_prep_macs(env0, m) for m in ("rtree", "grid", "precomputed")}
+        session = ReplanningSession(
+            robot,
+            scenario,
+            config=moped_config("v4", max_samples=250, goal_bias=0.2, seed=0),
+            execute_distance=60.0,
+        )
+        outcome = session.run(
+            np.array([30.0, 30.0, 0.0]), np.array([270.0, 270.0, 0.0]), max_epochs=12
+        )
+        return prep, outcome
+
+    prep, outcome = run_once(benchmark, experiment)
+    rows = [
+        ["MOPED (STR R-tree)", prep["rtree"], prep["rtree"] / prep["rtree"]],
+        ["CODAcc (grid re-raster)", prep["grid"], prep["grid"] / prep["rtree"]],
+        ["MICRO'16 (precomputed)", prep["precomputed"], prep["precomputed"] / prep["rtree"]],
+    ]
+    print("\n" + format_table(
+        ["approach", "prep_macs_per_change", "vs_moped_x"], rows,
+        title="Section VI: environment-update cost when obstacles move",
+    ))
+    print(f"replanning outcome: reached={outcome.reached_goal} "
+          f"epochs={len(outcome.epochs)} "
+          f"prep_overhead={100 * outcome.total_prep_macs / outcome.total_plan_macs:.3f}%")
+    # Shape checks: the Section VI ordering and a negligible prep overhead.
+    assert prep["rtree"] < prep["grid"] < prep["precomputed"]
+    assert outcome.reached_goal
+    assert outcome.total_prep_macs < 0.01 * outcome.total_plan_macs

@@ -1,0 +1,30 @@
+"""Fig 3: computational cost breakdown of the original RRT\\*.
+
+Paper claim: collision check contributes the largest portion of RRT\\*'s
+computational cost in most scenarios, motivating the two-stage scheme.
+"""
+
+import pytest
+
+from conftest import default_scale, run_once
+
+from repro.analysis import run_fig03_breakdown, run_moped_breakdown
+
+
+def test_fig03_breakdown(benchmark, record_figure):
+    scale = default_scale(tasks=1)
+    result = run_once(benchmark, run_fig03_breakdown, scale)
+    record_figure(result)
+    # Shape check: collision check dominates for the majority of workloads.
+    dominated = sum(1 for row in result.rows if row[2] > row[3])
+    assert dominated >= len(result.rows) / 2
+
+
+def test_moped_residual_breakdown(benchmark, record_figure):
+    """Extension: the cost profile after all four optimisations."""
+    scale = default_scale(tasks=1)
+    result = run_once(benchmark, run_moped_breakdown, scale)
+    record_figure(result)
+    for row in result.rows:
+        assert sum(row[2:6]) == pytest.approx(100.0, rel=1e-6)
+

@@ -1,0 +1,23 @@
+"""Fig 6: collision-check cost reduction from two-stage processing.
+
+Paper claim: more than 20x saving in collision-check computation.  The
+saving grows with obstacle count and workspace dimension (3D SAT checks are
+the expensive ones the R-tree filter avoids).
+"""
+
+from conftest import default_scale, run_once
+
+from repro.analysis import run_fig06_two_stage
+
+
+def test_fig06_two_stage(benchmark, record_figure):
+    scale = default_scale(tasks=1, obstacle_counts=(8, 48))
+    result = run_once(benchmark, run_fig06_two_stage, scale)
+    record_figure(result)
+    savings = {(row[0], row[1]): row[4] for row in result.rows}
+    # Shape check 1: every workload saves collision-check work.
+    assert all(s > 1.5 for s in savings.values())
+    # Shape check 2: denser environments save more (per robot).
+    robots = {row[0] for row in result.rows}
+    for robot in robots:
+        assert savings[(robot, 48)] > savings[(robot, 8)] * 0.8

@@ -1,0 +1,25 @@
+"""Fig 8: steering-informed approximated neighbor search (SIAS).
+
+Paper claim: at least 4x reduction in neighbor-search cost without
+significant path-cost increase (occasionally even lower cost, thanks to the
+error tolerance granted by the Tree Refinement stage).
+"""
+
+import math
+
+from conftest import default_scale, run_once
+
+from repro.analysis import run_fig08_approx_ns
+
+
+def test_fig08_approx_ns(benchmark, record_figure):
+    scale = default_scale(tasks=1)
+    result = run_once(benchmark, run_fig08_approx_ns, scale)
+    record_figure(result)
+    for row in result.rows:
+        robot, exact_cost, approx_cost, saving = row
+        # Shape check 1: the paper's >=4x saving on the second search.
+        assert saving > 3.0, f"{robot}: saving {saving}"
+        # Shape check 2: path quality is preserved where both succeed.
+        if not math.isnan(exact_cost) and not math.isnan(approx_cost):
+            assert approx_cost <= 1.3 * exact_cost

@@ -1,0 +1,32 @@
+"""Fig 14: algorithmic performance across all robots and environments.
+
+Paper claim: MOPED significantly reduces computational cost without
+compromising path quality; the reduction is more pronounced for
+higher-dimensional robots and denser environments.
+"""
+
+import math
+
+import numpy as np
+
+from conftest import default_scale, run_once
+
+from repro.analysis import run_fig14_algorithmic
+
+
+def test_fig14_algorithmic(benchmark, record_figure):
+    scale = default_scale(tasks=1)
+    result = run_once(benchmark, run_fig14_algorithmic, scale)
+    record_figure(result)
+    rows = result.rows
+    # Shape check 1: MOPED always reduces computation.
+    assert all(row[2] > 1.0 for row in rows)
+    # Shape check 2: 3D robots save more than the 2D mobile robot on average.
+    mobile = [row[2] for row in rows if row[0] == "2D Mobile"]
+    arms = [row[2] for row in rows if row[0] in ("ROZUM", "xArm-7")]
+    if mobile and arms:
+        assert np.mean(arms) > np.mean(mobile)
+    # Shape check 3: path quality is comparable (ratio around 1 where known).
+    ratios = [row[3] for row in rows if not math.isnan(row[3])]
+    if ratios:
+        assert np.mean(ratios) < 1.3

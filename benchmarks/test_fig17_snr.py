@@ -1,0 +1,30 @@
+"""Fig 17: speedup brought by speculate-and-repair.
+
+Paper claim: consistent speedup across robot models (2-7 DoF) and
+environment complexities (8-48 obstacles); about 2x for the 2D mobile
+workload at 5000 samplings.  The magnitude depends on how balanced the
+NS and CC unit loads are (the paper makes the same observation).
+"""
+
+from conftest import default_scale, run_once
+
+from repro.analysis import run_fig17_snr, run_snr_buffer_stats
+
+
+def test_fig17_snr(benchmark, record_figure):
+    scale = default_scale(tasks=1)
+    result = run_once(benchmark, run_fig17_snr, scale)
+    record_figure(result)
+    # Shape check: S&R consistently helps on every workload.
+    assert all(row[2] > 1.0 for row in result.rows)
+
+
+def test_snr_buffers(benchmark, record_figure):
+    """Section IV-B buffer sizing: FIFO <= 20, missing neighbors <= 5."""
+    scale = default_scale(tasks=1, obstacle_counts=(8, 48))
+    result = run_once(benchmark, run_snr_buffer_stats, scale)
+    record_figure(result)
+    for row in result.rows:
+        robot, count, max_fifo, max_missing, stall = row
+        assert max_fifo <= 20
+        assert max_missing <= 5

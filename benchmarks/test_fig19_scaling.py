@@ -1,0 +1,41 @@
+"""Fig 19: speedup vs sampling stage (left) and SI-MBR vs KD-tree (right).
+
+Paper claims: MOPED's speedup steadily increases with the number of sampled
+points (left); SI-MBR-Tree neighbor search costs 4.12-7.76x less than a
+KD-tree-based one in RRT\\* (right), because KD-trees degrade on dynamic
+high-dimensional data and cannot skip the second search per round.
+"""
+
+from conftest import default_scale, run_once
+
+from repro.analysis import run_fig19_kd_comparison, run_fig19_scaling
+
+
+def test_fig19_left_speedup_scaling(benchmark, record_figure):
+    scale = default_scale(tasks=1, samples=max(default_scale().samples, 800))
+    result = run_once(benchmark, run_fig19_scaling, scale)
+    record_figure(result)
+    # Shape check: the increasing trend comes from the baseline's O(n)
+    # brute neighbor search outgrowing MOPED's O(log n) search.  At reduced
+    # budgets NS is a visible share of baseline work only for the low-DoF
+    # workloads; the CC-dominated arms reach that regime at far larger
+    # sample counts (the paper evaluates at 5000-500000), so they are only
+    # held to a no-collapse floor here.
+    strict = {"2D Mobile", "3D Drone"}
+    robots = {row[0] for row in result.rows}
+    for robot in robots:
+        series = [row for row in result.rows if row[0] == robot]
+        series.sort(key=lambda row: row[1])
+        first, last = series[0][2], series[-1][2]
+        if robot in strict:
+            assert last > first, f"{robot}: {series}"
+        else:
+            assert last > 0.6 * first, f"{robot}: {series}"
+
+
+def test_fig19_right_kd_comparison(benchmark, record_figure):
+    scale = default_scale(tasks=1)
+    result = run_once(benchmark, run_fig19_kd_comparison, scale)
+    record_figure(result)
+    # Shape check: SI-MBR search is cheaper than KD search on every robot.
+    assert all(row[3] > 1.0 for row in result.rows)

@@ -1,0 +1,94 @@
+"""Wall-clock micro-benchmarks of the library's kernel operations.
+
+Unlike the figure benches (which measure hardware-model MAC counts), these
+time the *Python implementation* itself — the regression guard an
+open-source release needs so kernel changes don't silently slow the
+planner.  pytest-benchmark runs each kernel many times and reports
+statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.collision import TwoStageChecker
+from repro.core.robots import get_robot
+from repro.geometry import AABB, OBB, mindist_sq_point_to_rect, obb_intersects_obb
+from repro.geometry.rotations import random_rotation_3d
+from repro.geometry.sat import aabb_intersects_obb
+from repro.spatial import RTree, SIMBRTree
+from repro.workloads import random_environment
+
+RNG = np.random.default_rng(42)
+
+
+@pytest.fixture(scope="module")
+def obb_pair():
+    a = OBB(RNG.uniform(0, 10, 3), RNG.uniform(0.5, 3, 3), random_rotation_3d(RNG))
+    b = OBB(RNG.uniform(0, 10, 3), RNG.uniform(0.5, 3, 3), random_rotation_3d(RNG))
+    return a, b
+
+
+def test_kernel_sat_obb_obb_3d(benchmark, obb_pair):
+    a, b = obb_pair
+    benchmark(obb_intersects_obb, a, b)
+
+
+def test_kernel_sat_aabb_obb_3d(benchmark, obb_pair):
+    a, b = obb_pair
+    box = a.to_aabb()
+    benchmark(aabb_intersects_obb, box, b)
+
+
+def test_kernel_mindist(benchmark):
+    box = AABB(np.zeros(7), np.ones(7) * 5.0)
+    point = RNG.uniform(-3, 8, 7)
+    benchmark(mindist_sq_point_to_rect, point, box)
+
+
+def test_kernel_rtree_query(benchmark):
+    env = random_environment(3, 48, seed=0)
+    tree = env.rtree
+    robot_obb = OBB(np.full(3, 150.0), np.full(3, 8.0), random_rotation_3d(RNG))
+    benchmark(tree.query_obb, robot_obb, prefilter_aabb=robot_obb.to_aabb())
+
+
+def test_kernel_simbr_nearest(benchmark):
+    tree = SIMBRTree(dim=6, capacity=8)
+    rng = np.random.default_rng(1)
+    points = [rng.uniform(0, 10, 6)]
+    tree.insert(0, points[0])
+    for i in range(1, 2000):
+        parent = int(rng.integers(0, i))
+        p = points[parent] + rng.normal(scale=0.4, size=6)
+        tree.insert(i, p, sibling_of=parent)
+        points.append(p)
+    query = rng.uniform(0, 10, 6)
+    benchmark(tree.nearest, query)
+
+
+def test_kernel_simbr_steering_insert(benchmark):
+    rng = np.random.default_rng(2)
+    tree = SIMBRTree(dim=6, capacity=8)
+    tree.insert(0, rng.uniform(0, 10, 6))
+    counter = {"i": 0}
+
+    def insert_one():
+        counter["i"] += 1
+        key = counter["i"]
+        tree.insert(key, rng.uniform(0, 10, 6), sibling_of=0)
+
+    benchmark(insert_one)
+
+
+def test_kernel_two_stage_config_check(benchmark):
+    env = random_environment(3, 32, seed=1)
+    robot = get_robot("drone3d")
+    checker = TwoStageChecker(robot, env, motion_resolution=5.0)
+    config = np.array([150.0, 150.0, 150.0, 0.3, 0.1, -0.2])
+    benchmark(checker.config_in_collision, config)
+
+
+def test_kernel_arm_forward_kinematics(benchmark):
+    robot = get_robot("xarm7")
+    config = RNG.uniform(robot.config_lo, robot.config_hi)
+    benchmark(robot.body_obbs, config)

@@ -1,0 +1,69 @@
+"""Section IV-A extension: validating the 16-bit word width.
+
+The hardware stores every spatial value as a 16-bit word.  This bench
+sweeps the word width over the mobile and drone workloads and reports
+success rate and path cost per width — the quantitative backing for the
+paper's choice: 16 bits is quality-neutral (grid step ~0.005 units over a
+300-unit workspace), while 8 bits visibly degrades geometry.
+"""
+
+import math
+
+import numpy as np
+
+from conftest import default_scale, run_once
+
+from repro.analysis.tables import format_table
+from repro.core.config import moped_config
+from repro.core.quantization import quantization_step, quantize_task
+from repro.core.robots import get_robot
+from repro.core.rrtstar import RRTStarPlanner
+from repro.workloads import random_task
+
+
+def test_word_width_sweep(benchmark, record_figure):
+    scale = default_scale(tasks=1)
+
+    def experiment():
+        rows = []
+        for robot_name in ("mobile2d", "drone3d"):
+            robot = get_robot(robot_name)
+            task = random_task(robot_name, 16, seed=scale.seed)
+            outcomes = {}
+            for bits in (8, 12, 16, None):  # None = float64 reference
+                run_task = task if bits is None else quantize_task(task, robot, bits)
+                costs, successes = [], 0
+                for seed in range(3):
+                    config = moped_config(
+                        "v4", max_samples=scale.samples, seed=seed, goal_bias=0.15
+                    )
+                    result = RRTStarPlanner(robot, run_task, config).plan()
+                    if result.success:
+                        successes += 1
+                        costs.append(result.path_cost)
+                outcomes[bits] = (successes, float(np.mean(costs)) if costs else float("nan"))
+            for bits in (8, 12, 16, None):
+                successes, cost = outcomes[bits]
+                rows.append([
+                    robot.label,
+                    "float64" if bits is None else f"{bits}-bit",
+                    successes,
+                    cost,
+                ])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print("\n" + format_table(
+        ["robot", "width", "successes/3", "mean_path_cost"], rows,
+        title="Section IV-A: planning quality vs word width",
+    ))
+    print(f"(16-bit grid step over the 300-unit workspace: "
+          f"{quantization_step(0.0, 300.0, 16):.4f} units)")
+    # Shape check: 16-bit matches the float reference on success and cost.
+    by_key = {(row[0], row[1]): row for row in rows}
+    for robot in ("2D Mobile", "3D Drone"):
+        ref = by_key[(robot, "float64")]
+        q16 = by_key[(robot, "16-bit")]
+        assert q16[2] >= ref[2] - 1  # success parity (1-run tolerance)
+        if not math.isnan(ref[3]) and not math.isnan(q16[3]):
+            assert abs(q16[3] - ref[3]) <= 0.1 * ref[3]

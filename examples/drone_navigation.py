@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Drone navigation: 6-DoF planning in a cluttered 3D workspace.
+
+Demonstrates the OBB-vs-AABB trade-off of Section III-A / Fig 18: the cheap
+AABB obstacle representation over-approximates rotated obstacles, producing
+longer paths (or outright failures); MOPED's two-stage checker keeps the
+cheap filter but restores exact OBB decisions in the second stage.
+
+Run:  python examples/drone_navigation.py
+"""
+
+import numpy as np
+
+from repro import MopedEngine, get_robot, path_length
+from repro.workloads import random_environment, random_start_goal
+
+
+def main() -> None:
+    robot = get_robot("drone3d")
+    environment = random_environment(workspace_dim=3, num_obstacles=32, seed=21)
+    rng = np.random.default_rng(21)
+    start, goal = random_start_goal(robot, environment, rng)
+    print(f"robot: {robot.label} ({robot.dof} DoF)")
+    print(f"environment: {environment.num_obstacles} rotated OBB obstacles\n")
+
+    results = {}
+    for checker, label in (("two_stage", "OBB (two-stage)"), ("aabb", "AABB only")):
+        engine = MopedEngine(robot, environment, variant="full",
+                             checker=checker, max_samples=900, seed=3, goal_bias=0.15)
+        result = engine.plan(start, goal)
+        results[checker] = result
+        status = f"cost={result.path_cost:.1f}" if result.success else "FAILED"
+        print(f"{label:>18}: {status}  ({result.total_macs:.3g} MACs)")
+
+    obb, aabb = results["two_stage"], results["aabb"]
+    if obb.success and aabb.success:
+        saving = 100 * (1 - obb.path_cost / aabb.path_cost)
+        print(f"\nOBB-exact checking found a path {saving:.1f}% shorter —")
+        print("the Fig 18 (left) effect: tighter bounding boxes, better paths.")
+    elif obb.success and not aabb.success:
+        print("\nAABB over-approximation blocked every corridor the drone needed;")
+        print("the exact OBB second stage found a path anyway (Fig 5's false-positive effect).")
+
+
+if __name__ == "__main__":
+    main()

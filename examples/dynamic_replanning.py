@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Dynamic replanning: moving obstacles and cheap environment updates.
+
+Section VI contrasts MOPED with accelerators whose state bakes in the
+environment: the MICRO'16 precomputed-collision design "needs hours of
+offline reset if obstacles change" and CODAcc must re-rasterise its
+multi-megabyte occupancy grid.  MOPED only rebuilds its obstacle R-tree —
+an STR bulk load over a few dozen boxes.
+
+This example drives the 2D mobile robot through a field of drifting
+obstacles with an execute-and-replan loop, prints per-epoch progress with
+an ASCII rendering of the final snapshot, and compares the per-epoch
+environment-preparation cost of the three approaches.
+
+Run:  python examples/dynamic_replanning.py
+"""
+
+import numpy as np
+
+from repro import get_robot
+from repro.analysis import render_environment
+from repro.core.config import moped_config
+from repro.core.replan import ReplanningSession, environment_prep_macs
+from repro.workloads import random_dynamic_scenario
+
+
+def main() -> None:
+    scenario = random_dynamic_scenario(2, num_obstacles=12, seed=3, max_speed=8.0)
+    robot = get_robot("mobile2d")
+    start = np.array([30.0, 30.0, 0.0])
+    goal = np.array([270.0, 270.0, 0.0])
+
+    print("per-epoch environment preparation cost (MAC-equivalents):")
+    env0 = scenario.environment_at(0.0)
+    for method, label in (
+        ("rtree", "MOPED: STR R-tree rebuild"),
+        ("grid", "CODAcc: occupancy-grid re-rasterisation"),
+        ("precomputed", "MICRO'16: re-run collision precomputation"),
+    ):
+        print(f"  {label:>42}: {environment_prep_macs(env0, method):>12.3g}")
+
+    session = ReplanningSession(
+        robot,
+        scenario,
+        config=moped_config("v4", max_samples=250, goal_bias=0.2, seed=0),
+        execute_distance=60.0,
+    )
+    outcome = session.run(start, goal, max_epochs=12)
+
+    print(f"\nreplanning: {'reached goal' if outcome.reached_goal else 'did not finish'} "
+          f"in {len(outcome.epochs)} epochs")
+    for epoch in outcome.epochs:
+        pos = epoch.executed_to
+        status = "ok" if epoch.plan.success else "blocked"
+        print(f"  t={epoch.time:>4.1f}  at ({pos[0]:6.1f}, {pos[1]:6.1f})  "
+              f"plan {status}, {epoch.plan.total_macs:.3g} MACs")
+    print(f"\ntotal planning work: {outcome.total_plan_macs:.3g} MACs; "
+          f"environment prep: {outcome.total_prep_macs:.3g} MACs "
+          f"({100 * outcome.total_prep_macs / outcome.total_plan_macs:.2f}% overhead)")
+
+    final_env = scenario.environment_at(outcome.epochs[-1].time)
+    print("\nfinal obstacle snapshot (robot path not shown; obstacles move):")
+    print(render_environment(final_env, width=60, height=24))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Narrow passage: where bounding-box accuracy decides the route.
+
+Two long bars rotated 45 degrees form a diagonal channel (Fig 5's
+motivating scenario).  The channel is genuinely wide enough for the robot,
+but each bar's AABB is a huge square that covers the channel completely:
+an AABB-only checker believes the direct route is blocked and must detour
+around the bar ends, while the exact OBB second stage drives straight
+through -- lower path cost, and in tighter variants the difference between
+success and failure.
+
+Run:  python examples/narrow_passage.py
+"""
+
+import numpy as np
+
+from repro import MopedEngine, get_robot
+from repro.workloads import narrow_passage_environment
+
+
+def main() -> None:
+    robot = get_robot("mobile2d")
+    environment = narrow_passage_environment(workspace_dim=2, gap=26.0)
+    start = np.array([60.0, 60.0, np.pi / 4])
+    goal = np.array([240.0, 240.0, np.pi / 4])
+    print("scenario: diagonal channel between two 45-degree bars")
+    print("channel width: 26 units; robot footprint: 16x10 units\n")
+
+    results = {}
+    for checker, label in (("two_stage", "OBB two-stage"), ("aabb", "AABB only")):
+        engine = MopedEngine(
+            robot,
+            environment,
+            variant="full",
+            checker=checker,
+            max_samples=1500,
+            seed=5,
+            goal_bias=0.15,
+        )
+        result = engine.plan(start, goal)
+        results[checker] = result
+        if result.success:
+            print(f"{label:>14}: SUCCESS  cost={result.path_cost:.1f} "
+                  f"({len(result.path)} waypoints)")
+        else:
+            print(f"{label:>14}: FAILED after {result.iterations} samples")
+
+    obb, aabb = results["two_stage"], results["aabb"]
+    if obb.success and aabb.success:
+        extra = 100 * (aabb.path_cost / obb.path_cost - 1)
+        print(f"\nThe AABB planner detoured around the bars: {extra:.0f}% longer path.")
+    elif obb.success:
+        print("\nThe AABB planner found no route at all; only exact OBB checking")
+        print("keeps the channel open.")
+    print("\nA 45-degree bar maximises AABB over-approximation -- this is the")
+    print("false-positive problem MOPED's second-stage OBB check eliminates")
+    print("(Section III-A, Fig 5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro -- a full Python reproduction of MOPED (HPCA 2024).
+
+MOPED is an algorithm/hardware co-design for sampling-based motion planning
+(RRT*) with flexible dimension support.  This package implements the
+complete system: the geometry and spatial-index substrates, the MOPED
+planning algorithm with every ablation rung, the baseline planners, and a
+functional model of the MOPED hardware engine with its speculate-and-repair
+pipeline, multi-level caches, and CPU/ASIC/CODAcc comparison points.
+
+Quickstart::
+
+    from repro import MopedEngine, get_robot
+    from repro.workloads import random_environment, random_start_goal
+    import numpy as np
+
+    robot = get_robot("viperx300")
+    env = random_environment(workspace_dim=3, num_obstacles=16, seed=0)
+    start, goal = random_start_goal(robot, env, np.random.default_rng(0))
+    result = MopedEngine(robot, env, max_samples=800, seed=0).plan(start, goal)
+    print(result.summary())
+"""
+
+from repro.core import (
+    Environment,
+    RRTConnectPlanner,
+    MopedEngine,
+    OpCounter,
+    PlanResult,
+    PlannerConfig,
+    PlanningTask,
+    RRTStarPlanner,
+    RobotModel,
+    all_robots,
+    baseline_config,
+    get_robot,
+    moped_config,
+    path_length,
+    plan,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Environment",
+    "RRTConnectPlanner",
+    "MopedEngine",
+    "OpCounter",
+    "PlanResult",
+    "PlannerConfig",
+    "PlanningTask",
+    "RRTStarPlanner",
+    "RobotModel",
+    "all_robots",
+    "baseline_config",
+    "get_robot",
+    "moped_config",
+    "path_length",
+    "plan",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""Experiment runners and table formatting for the paper's figures.
+
+Every figure/table of the MOPED evaluation (Section V) has a runner in
+:mod:`repro.analysis.experiments` returning a structured result, and the
+``benchmarks/`` directory contains one pytest-benchmark target per figure
+that invokes the runner and prints a paper-style table.
+"""
+
+from repro.analysis.experiments import (
+    ExperimentScale,
+    run_fig03_breakdown,
+    run_moped_breakdown,
+    run_fig06_two_stage,
+    run_fig08_approx_ns,
+    run_fig10_insertion,
+    run_fig14_algorithmic,
+    run_fig15_hardware,
+    run_fig16_breakdown,
+    run_fig17_snr,
+    run_fig18_aabb_speedup,
+    run_fig18_bounding_box,
+    run_fig19_scaling,
+    run_fig19_kd_comparison,
+    run_snr_buffer_stats,
+    run_cache_stats,
+)
+from repro.analysis.compare import Comparison, compare_configs
+from repro.analysis.render import render_environment
+from repro.analysis.suite import SuiteStats, evaluate_suite
+from repro.analysis.tables import format_table
+from repro.analysis.tree_viz import TreeStats, render_tree, tree_stats
+
+__all__ = [
+    "ExperimentScale",
+    "Comparison",
+    "SuiteStats",
+    "compare_configs",
+    "evaluate_suite",
+    "format_table",
+    "render_environment",
+    "render_tree",
+    "tree_stats",
+    "TreeStats",
+    "run_cache_stats",
+    "run_fig03_breakdown",
+    "run_moped_breakdown",
+    "run_fig06_two_stage",
+    "run_fig08_approx_ns",
+    "run_fig10_insertion",
+    "run_fig14_algorithmic",
+    "run_fig15_hardware",
+    "run_fig16_breakdown",
+    "run_fig17_snr",
+    "run_fig18_aabb_speedup",
+    "run_fig18_bounding_box",
+    "run_fig19_scaling",
+    "run_fig19_kd_comparison",
+    "run_snr_buffer_stats",
+]

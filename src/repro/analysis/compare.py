@@ -1,0 +1,77 @@
+"""Side-by-side comparison of planner configurations on shared tasks.
+
+The utility a user reaches for when tuning: run several named
+configurations over the same task suite and get one aligned table of
+success rate, path cost, and computational cost, plus pairwise ratios
+against a designated reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.suite import SuiteStats, evaluate_suite
+from repro.analysis.tables import format_table
+from repro.core.config import PlannerConfig
+from repro.core.world import PlanningTask
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Results of comparing several configurations on one task suite."""
+
+    stats: Dict[str, SuiteStats]
+    reference: str
+
+    def table(self) -> str:
+        """Aligned comparison table with ratios against the reference."""
+        ref = self.stats[self.reference]
+        rows = []
+        for name, stat in self.stats.items():
+            cost_ratio = (
+                stat.mean_path_cost / ref.mean_path_cost
+                if ref.mean_path_cost == ref.mean_path_cost  # not NaN
+                else float("nan")
+            )
+            rows.append(
+                [
+                    name,
+                    stat.success_rate,
+                    stat.mean_path_cost,
+                    cost_ratio,
+                    stat.mean_macs,
+                    ref.mean_macs / stat.mean_macs,
+                ]
+            )
+        return format_table(
+            ["config", "success", "path_cost", "cost_vs_ref", "macs", "speedup_vs_ref"],
+            rows,
+            title=f"Configuration comparison (reference: {self.reference})",
+        )
+
+    def speedup(self, name: str) -> float:
+        """MAC-count speedup of ``name`` relative to the reference."""
+        return self.stats[self.reference].mean_macs / self.stats[name].mean_macs
+
+
+def compare_configs(
+    tasks: List[PlanningTask],
+    configs: Dict[str, PlannerConfig],
+    reference: Optional[str] = None,
+) -> Comparison:
+    """Evaluate every named configuration over ``tasks``.
+
+    Args:
+        tasks: shared task suite.
+        configs: name -> PlannerConfig mapping.
+        reference: name ratios are computed against (default: first entry).
+    """
+    if not configs:
+        raise ValueError("need at least one configuration")
+    names = list(configs)
+    reference = reference if reference is not None else names[0]
+    if reference not in configs:
+        raise KeyError(f"reference {reference!r} not among configs {names}")
+    stats = {name: evaluate_suite(tasks, config) for name, config in configs.items()}
+    return Comparison(stats=stats, reference=reference)

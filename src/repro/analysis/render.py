@@ -1,0 +1,71 @@
+"""ASCII rendering of 2D workspaces, obstacles, and planned paths.
+
+A dependency-free visual check for the 2D mobile workloads: obstacles are
+rasterised as ``#``, the planned path as ``*``, start/goal as ``S``/``G``.
+Used by the examples and handy when debugging environment generators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.world import Environment
+
+
+def render_environment(
+    environment: Environment,
+    path: Optional[Sequence[np.ndarray]] = None,
+    width: int = 60,
+    height: int = 30,
+) -> str:
+    """Render a 2D environment (and optionally a path) as ASCII art.
+
+    Args:
+        environment: must be 2D.
+        path: optional waypoint list; configurations may carry extra
+            dimensions (e.g. heading) — only x/y are drawn.
+        width / height: character-grid resolution.
+
+    Raises ValueError for non-2D environments or degenerate grids.
+    """
+    if environment.workspace_dim != 2:
+        raise ValueError("ASCII rendering supports 2D environments only")
+    if width < 2 or height < 2:
+        raise ValueError("grid must be at least 2x2")
+    size = environment.size
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def to_cell(x: float, y: float):
+        col = int(np.clip(x / size * (width - 1), 0, width - 1))
+        # Row 0 is the top of the drawing = the largest y.
+        row = int(np.clip((1.0 - y / size) * (height - 1), 0, height - 1))
+        return row, col
+
+    # Rasterise obstacles by testing each cell centre against every OBB.
+    xs = (np.arange(width) + 0.5) / width * size
+    ys = (1.0 - (np.arange(height) + 0.5) / height) * size
+    for obstacle in environment.obstacles:
+        for row, y in enumerate(ys):
+            for col, x in enumerate(xs):
+                if obstacle.contains_point(np.array([x, y])):
+                    grid[row][col] = "#"
+
+    if path is not None and len(path) > 0:
+        # Draw segments with dense interpolation so lines are continuous.
+        for a, b in zip(path[:-1], path[1:]):
+            a2, b2 = np.asarray(a)[:2], np.asarray(b)[:2]
+            steps = max(2, int(np.linalg.norm(b2 - a2) / size * max(width, height) * 2))
+            for t in np.linspace(0.0, 1.0, steps):
+                row, col = to_cell(*(a2 + t * (b2 - a2)))
+                if grid[row][col] == " ":
+                    grid[row][col] = "*"
+        srow, scol = to_cell(*np.asarray(path[0])[:2])
+        grow_, gcol = to_cell(*np.asarray(path[-1])[:2])
+        grid[srow][scol] = "S"
+        grid[grow_][gcol] = "G"
+
+    border = "+" + "-" * width + "+"
+    lines = [border] + ["|" + "".join(row) + "|" for row in grid] + [border]
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Regenerate every paper figure into ``results/`` from one command.
+
+Usage::
+
+    python -m repro.analysis.run_all                 # default scale
+    python -m repro.analysis.run_all --samples 2000 --tasks 5
+    python -m repro.analysis.run_all --only fig06 fig16
+
+The same runners back the ``benchmarks/`` targets; this entry point exists
+for regenerating all tables without pytest (e.g. on a bigger budget).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.analysis.experiments import (
+    ExperimentScale,
+    run_moped_breakdown,
+    run_cache_stats,
+    run_fig03_breakdown,
+    run_fig06_two_stage,
+    run_fig08_approx_ns,
+    run_fig10_insertion,
+    run_fig14_algorithmic,
+    run_fig15_hardware,
+    run_fig16_breakdown,
+    run_fig17_snr,
+    run_fig18_aabb_speedup,
+    run_fig18_bounding_box,
+    run_fig19_kd_comparison,
+    run_fig19_scaling,
+    run_snr_buffer_stats,
+)
+from repro.analysis.tables import format_table
+
+RUNNERS = {
+    "fig03": run_fig03_breakdown,
+    "fig05": run_fig18_bounding_box,
+    "fig06": run_fig06_two_stage,
+    "fig08": run_fig08_approx_ns,
+    "fig10": run_fig10_insertion,
+    "fig14": run_fig14_algorithmic,
+    "fig15": run_fig15_hardware,
+    "fig16": run_fig16_breakdown,
+    "fig17": run_fig17_snr,
+    "fig18": run_fig18_aabb_speedup,
+    "fig19L": run_fig19_scaling,
+    "fig19R": run_fig19_kd_comparison,
+    "snr_buffers": run_snr_buffer_stats,
+    "caching": run_cache_stats,
+    "moped_breakdown": run_moped_breakdown,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--samples", type=int, default=None,
+                        help="sampling budget per run (paper: 5000)")
+    parser.add_argument("--tasks", type=int, default=None,
+                        help="tasks per configuration (paper: 50)")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help=f"subset of figures to run: {sorted(RUNNERS)}")
+    parser.add_argument("--out", default="results",
+                        help="output directory for the tables")
+    args = parser.parse_args(argv)
+
+    scale_kwargs = {}
+    if args.samples is not None:
+        scale_kwargs["samples"] = args.samples
+    if args.tasks is not None:
+        scale_kwargs["tasks"] = args.tasks
+    scale = ExperimentScale(**scale_kwargs) if scale_kwargs else ExperimentScale.from_env()
+
+    selected = args.only if args.only else sorted(RUNNERS)
+    unknown = [name for name in selected if name not in RUNNERS]
+    if unknown:
+        parser.error(f"unknown figures {unknown}; choose from {sorted(RUNNERS)}")
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(exist_ok=True)
+    for name in selected:
+        started = time.time()
+        result = RUNNERS[name](scale)
+        table = format_table(result.headers, result.rows, title=result.title)
+        body = (
+            f"{table}\n\npaper claim: {result.paper_claim}\n"
+            + (f"notes: {result.notes}\n" if result.notes else "")
+        )
+        (out_dir / f"{result.figure}.txt").write_text(body)
+        print(f"\n{body}\n[{name} done in {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Suite-level evaluation: the paper's 50-task protocol as a library call.
+
+Section V evaluates every configuration over 50 random planning tasks and
+reports aggregates.  :func:`evaluate_suite` runs a task suite through one
+planner configuration and returns success rate, path-cost statistics, and
+operation-count statistics — the building block behind Fig 14/15 as well as
+a convenient user-facing API for comparing configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import PlannerConfig
+from repro.core.metrics import PlanResult
+from repro.core.robots import get_robot
+from repro.core.rrtstar import RRTStarPlanner
+from repro.core.world import PlanningTask
+
+
+@dataclass(frozen=True)
+class SuiteStats:
+    """Aggregates over one suite of planning tasks."""
+
+    num_tasks: int
+    successes: int
+    mean_path_cost: float
+    median_path_cost: float
+    mean_macs: float
+    p95_macs: float
+    mean_nodes: float
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.num_tasks if self.num_tasks else 0.0
+
+    def row(self) -> List:
+        return [
+            self.num_tasks,
+            self.successes,
+            self.success_rate,
+            self.mean_path_cost,
+            self.mean_macs,
+        ]
+
+
+def evaluate_suite(
+    tasks: List[PlanningTask],
+    config: PlannerConfig,
+    robot_name: Optional[str] = None,
+) -> SuiteStats:
+    """Plan every task with ``config`` and aggregate the outcomes.
+
+    Args:
+        tasks: planning tasks (typically from
+            :func:`repro.workloads.task_suite`).
+        config: planner configuration applied to every task.
+        robot_name: overrides the tasks' robot (rarely needed).
+    """
+    if not tasks:
+        raise ValueError("need at least one task")
+    results: List[PlanResult] = []
+    for task in tasks:
+        robot = get_robot(robot_name or task.robot_name)
+        results.append(RRTStarPlanner(robot, task, config).plan())
+    costs = [r.path_cost for r in results if r.success]
+    macs = [r.total_macs for r in results]
+    nodes = [r.num_nodes for r in results]
+    return SuiteStats(
+        num_tasks=len(tasks),
+        successes=sum(1 for r in results if r.success),
+        mean_path_cost=float(np.mean(costs)) if costs else float("nan"),
+        median_path_cost=float(np.median(costs)) if costs else float("nan"),
+        mean_macs=float(np.mean(macs)),
+        p95_macs=float(np.percentile(macs, 95)),
+        mean_nodes=float(np.mean(nodes)),
+    )

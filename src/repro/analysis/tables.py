@@ -1,0 +1,36 @@
+"""Plain-text table formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    float_fmt: str = "{:.3g}",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are formatted with ``float_fmt``; everything else via ``str``.
+    """
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append(
+            [float_fmt.format(cell) if isinstance(cell, float) else str(cell) for cell in row]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""SI-MBR-Tree structure diagnostics and text visualisation.
+
+Section III-C argues the steering-informed insertion yields "smaller
+spatial overlap and more balanced tree structure".  These helpers turn
+that claim into numbers (per-level fanout/occupancy/overlap statistics)
+and a text rendering of the hierarchy for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.spatial.simbr import SIMBRTree
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Aggregate statistics of one tree level."""
+
+    depth: int
+    nodes: int
+    mean_fanout: float
+    mean_volume: float
+    overlap_volume: float
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Whole-tree structural statistics."""
+
+    size: int
+    height: int
+    levels: List[LevelStats]
+    total_overlap: float
+    mean_leaf_occupancy: float
+
+    def summary(self) -> str:
+        lines = [
+            f"SI-MBR-Tree: {self.size} entries, height {self.height}, "
+            f"total sibling overlap {self.total_overlap:.4g}, "
+            f"mean leaf occupancy {self.mean_leaf_occupancy:.2f}"
+        ]
+        for level in self.levels:
+            lines.append(
+                f"  depth {level.depth}: {level.nodes} nodes, "
+                f"fanout {level.mean_fanout:.2f}, "
+                f"mean volume {level.mean_volume:.4g}, "
+                f"overlap {level.overlap_volume:.4g}"
+            )
+        return "\n".join(lines)
+
+
+def tree_stats(tree: SIMBRTree) -> TreeStats:
+    """Compute per-level structural statistics of an SI-MBR-Tree."""
+    root = tree._root
+    if root is None:
+        return TreeStats(size=0, height=0, levels=[], total_overlap=0.0,
+                         mean_leaf_occupancy=0.0)
+    levels: List[LevelStats] = []
+    leaf_occupancies: List[int] = []
+    frontier = [root]
+    depth = 0
+    while frontier:
+        volumes, fanouts = [], []
+        overlap = 0.0
+        next_frontier = []
+        for node in frontier:
+            volumes.append(float(np.prod(node.hi - node.lo)))
+            if node.is_leaf:
+                fanouts.append(len(node.entries))
+                leaf_occupancies.append(len(node.entries))
+            else:
+                fanouts.append(len(node.children))
+                for i, a in enumerate(node.children):
+                    for b in node.children[i + 1 :]:
+                        lo = np.maximum(a.lo, b.lo)
+                        hi = np.minimum(a.hi, b.hi)
+                        gaps = hi - lo
+                        if np.all(gaps > 0):
+                            overlap += float(np.prod(gaps))
+                next_frontier.extend(node.children)
+        levels.append(
+            LevelStats(
+                depth=depth,
+                nodes=len(frontier),
+                mean_fanout=float(np.mean(fanouts)) if fanouts else 0.0,
+                mean_volume=float(np.mean(volumes)) if volumes else 0.0,
+                overlap_volume=overlap,
+            )
+        )
+        frontier = next_frontier
+        depth += 1
+    return TreeStats(
+        size=len(tree),
+        height=tree.height,
+        levels=levels,
+        total_overlap=tree.total_overlap(),
+        mean_leaf_occupancy=float(np.mean(leaf_occupancies)) if leaf_occupancies else 0.0,
+    )
+
+
+def render_tree(tree: SIMBRTree, max_depth: int = 3, max_children: int = 4) -> str:
+    """Text rendering of the top of the hierarchy (truncated for sanity)."""
+    root = tree._root
+    if root is None:
+        return "(empty tree)"
+    lines: List[str] = []
+
+    def walk(node, depth: int, prefix: str) -> None:
+        volume = float(np.prod(node.hi - node.lo))
+        if node.is_leaf:
+            lines.append(f"{prefix}leaf[{len(node.entries)} entries] vol={volume:.3g}")
+            return
+        lines.append(f"{prefix}node[{len(node.children)} children] vol={volume:.3g}")
+        if depth >= max_depth:
+            lines.append(prefix + "  ...")
+            return
+        for child in node.children[:max_children]:
+            walk(child, depth + 1, prefix + "  ")
+        if len(node.children) > max_children:
+            lines.append(f"{prefix}  (+{len(node.children) - max_children} more)")
+
+    walk(root, 0, "")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Command-line interface: plan a task end to end from the shell.
+
+Usage::
+
+    python -m repro.cli --robot viperx300 --obstacles 16 --samples 600
+    python -m repro.cli --robot mobile2d --variant baseline --render
+    python -m repro.cli --task task.json --out result.json
+
+Plans one task (randomly generated from a seed, or loaded from JSON),
+prints the outcome, optionally smooths / time-parameterizes the path,
+renders 2D workspaces as ASCII, and archives the result as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.config import PlannerConfig
+from repro.core.moped import VARIANTS, config_for_variant
+from repro.core.robots import ROBOT_FACTORIES, get_robot
+from repro.core.rrtstar import RRTStarPlanner
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--robot", default="mobile2d", choices=sorted(ROBOT_FACTORIES),
+                        help="robot model (ignored with --task)")
+    parser.add_argument("--obstacles", type=int, default=16,
+                        help="obstacle count for the generated environment")
+    parser.add_argument("--seed", type=int, default=0, help="workload + planner seed")
+    parser.add_argument("--samples", type=int, default=500, help="sampling budget")
+    parser.add_argument("--variant", default="full", choices=VARIANTS,
+                        help="MOPED ablation variant or 'baseline'")
+    parser.add_argument("--goal-bias", type=float, default=0.1)
+    parser.add_argument("--task", default=None, help="plan a task from this JSON file")
+    parser.add_argument("--out", default=None, help="write the result JSON here")
+    parser.add_argument("--smooth", action="store_true",
+                        help="shortcut-smooth the path after planning")
+    parser.add_argument("--render", action="store_true",
+                        help="ASCII-render 2D workspaces with the path")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.task is not None:
+        from repro.io import load_task
+
+        task = load_task(args.task)
+    else:
+        from repro.workloads import random_task
+
+        task = random_task(args.robot, args.obstacles, seed=args.seed)
+
+    robot = get_robot(task.robot_name)
+    config = config_for_variant(
+        args.variant,
+        max_samples=args.samples,
+        seed=args.seed,
+        goal_bias=args.goal_bias,
+    )
+    result = RRTStarPlanner(robot, task, config).plan()
+    print(f"robot={robot.label} obstacles={task.environment.num_obstacles} "
+          f"variant={args.variant} samples={args.samples}")
+    print(result.summary())
+
+    if args.smooth and result.success:
+        from repro.core.collision import BruteOBBChecker
+        from repro.core.smoothing import shortcut_smooth
+
+        checker = BruteOBBChecker(
+            robot, task.environment, motion_resolution=robot.step_size / 4.0
+        )
+        smoothed, cost = shortcut_smooth(result.path, checker, iterations=150,
+                                         seed=args.seed)
+        print(f"smoothed: cost {result.path_cost:.2f} -> {cost:.2f} "
+              f"({len(result.path)} -> {len(smoothed)} waypoints)")
+        result.path = smoothed
+        result.path_cost = cost
+
+    if args.render and task.environment.workspace_dim == 2:
+        from repro.analysis.render import render_environment
+
+        print(render_environment(task.environment,
+                                 path=result.path if result.success else None))
+
+    if args.out is not None:
+        from repro.io import save_result
+
+        save_result(result, args.out)
+        print(f"result written to {args.out}")
+
+    return 0 if result.success else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""Batch (spatially parallel) RRT\\*: the [39]/[47] composition point.
+
+Section VI distinguishes MOPED's *temporal* parallelism (overlapping
+consecutive samplings on one engine via speculate-and-repair) from the
+*spatial* parallelism of prior work (multiple samples processed by
+parallel threads/lanes per round) and argues the two compose.  This module
+implements the spatial side so the claim is measurable:
+
+:class:`BatchRRTStarPlanner` processes ``batch_size`` samples per round.
+Like parallel threads sharing the exploration tree, every lane's
+nearest-neighbor search reads the tree *snapshot from the round start* —
+nodes inserted by sibling lanes in the same round are invisible (stale
+reads).  Stale nearest neighbors are still valid tree nodes, so the planner
+remains correct; the cost is mild redundancy, which is exactly the
+behaviour of lock-free parallel RRT\\* implementations.
+
+A ``batch_size``-lane engine then executes each round's lanes concurrently;
+:func:`multilane_latency_cycles` models that by scaling the unit capacities,
+so benchmarks can combine lane-parallelism with the S&R schedule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.core.config import PlannerConfig
+from repro.core.counters import OpCounter
+from repro.core.metrics import PlanResult, RoundRecord
+from repro.core.robots import RobotModel
+from repro.core.rrtstar import RRTStarPlanner
+from repro.core.world import PlanningTask
+from repro.hardware.params import MopedHardwareParams
+from repro.hardware.pipeline import PipelineReport, snr_latency_cycles
+
+
+class BatchRRTStarPlanner(RRTStarPlanner):
+    """RRT\\* processing ``batch_size`` samples per round with stale reads."""
+
+    def __init__(
+        self,
+        robot: RobotModel,
+        task: PlanningTask,
+        config: PlannerConfig,
+        batch_size: int = 4,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        super().__init__(robot, task, config)
+        self.batch_size = batch_size
+
+    def plan(self) -> PlanResult:
+        """Run the batched sampling loop."""
+        config, robot, task = self.config, self.robot, self.task
+        dim = robot.dof
+        counter = OpCounter()
+        from repro.core.tree import ExpTree
+
+        tree = ExpTree(task.start)
+        self.strategy.insert(tree.root, task.start, counter=counter)
+        self.tree = tree
+        self._neighborhood_macs = 0.0
+
+        goal_nodes: List[int] = []
+        first_solution: Optional[int] = None
+        rounds: List[RoundRecord] = []
+        samples_drawn = 0
+
+        while samples_drawn < config.max_samples:
+            snapshot = counter.snapshot()
+            lanes = min(self.batch_size, config.max_samples - samples_drawn)
+            inserted_this_round: Set[int] = set()
+            accepted_any = False
+            for _ in range(lanes):
+                samples_drawn += 1
+                x_rand = self.sampler.sample_biased(
+                    task.goal, config.goal_bias, counter=counter
+                )
+                # Stale read: sibling-lane insertions are invisible.
+                found = self.strategy.nearest(
+                    x_rand, counter=counter,
+                    exclude=inserted_this_round or None,
+                )
+                nearest_key, nearest_point, nearest_dist = found
+                if nearest_dist <= 1e-12:
+                    continue
+                counter.record("steer", dim=dim)
+                x_new = self._steer(nearest_point, x_rand, nearest_dist)
+                if self.checker.motion_in_collision(
+                    nearest_point, x_new, counter=counter
+                ):
+                    continue
+                node_id = self._extend(tree, x_new, nearest_key, nearest_point, counter)
+                inserted_this_round.add(node_id)
+                accepted_any = True
+                if float(np.linalg.norm(x_new - task.goal)) <= self.goal_tolerance:
+                    goal_nodes.append(node_id)
+                    if first_solution is None:
+                        first_solution = samples_drawn - 1
+            rounds.append(
+                self._round_record(counter.diff(snapshot), accepted_any, 0, False)
+            )
+            if config.stop_on_goal and first_solution is not None:
+                break
+
+        return self._result(tree, goal_nodes, first_solution, counter, rounds, len(rounds))
+
+
+def multilane_latency_cycles(
+    rounds: List[RoundRecord],
+    params: Optional[MopedHardwareParams] = None,
+    lanes: int = 4,
+    use_snr: bool = True,
+) -> PipelineReport:
+    """Latency of a ``lanes``-wide engine executing batched round records.
+
+    Each round record aggregates the work of ``lanes`` concurrent lanes, so
+    a ``lanes``-replicated engine provides ``lanes`` times the unit MACs per
+    round.  ``use_snr=False`` serialises consecutive rounds (spatial
+    parallelism only); with S&R the two parallelism levels compose.
+    """
+    if lanes < 1:
+        raise ValueError("lanes must be >= 1")
+    params = params if params is not None else MopedHardwareParams()
+    scaled = MopedHardwareParams(
+        num_macs=params.num_macs * lanes,
+        sram_kbytes=params.sram_kbytes * lanes,
+        area_mm2=params.area_mm2 * lanes,
+        power_w=params.power_w * lanes,
+        ns_unit_macs=params.ns_unit_macs * lanes,
+        cc_unit_macs=params.cc_unit_macs * lanes,
+        refine_unit_macs=params.refine_unit_macs * lanes,
+        tree_op_macs=params.tree_op_macs * lanes,
+        fifo_depth=params.fifo_depth,
+        missing_buffer_entries=params.missing_buffer_entries,
+    )
+    report = snr_latency_cycles(rounds, scaled)
+    if use_snr:
+        return report
+    return PipelineReport(
+        serial_cycles=report.serial_cycles,
+        snr_cycles=report.serial_cycles,
+        max_fifo_occupancy=0,
+        max_missing_neighbors=0,
+        fifo_stall_cycles=0.0,
+        repair_cycles=0.0,
+    )

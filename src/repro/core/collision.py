@@ -1,0 +1,254 @@
+"""Collision checkers: brute OBB, AABB-only, two-stage, and occupancy grid.
+
+Four interchangeable checkers cover the paper's design space:
+
+* :class:`BruteOBBChecker` — the vanilla RRT\\* checker: every body OBB is
+  SAT-tested against every obstacle OBB at every interpolated configuration
+  of a movement (the Section II-C cost bottleneck).
+* :class:`BruteAABBChecker` — obstacles represented by their AABBs and
+  checked with the cheaper AABB-OBB SAT.  Conservative: clear means clear,
+  but its false positives degrade path quality (Section III-A, Fig 5/18).
+* :class:`TwoStageChecker` — MOPED's contribution (Section III-A): an
+  R-tree traversal of AABB-OBB checks filters the obstacle set, and only the
+  surviving candidates receive the accurate OBB-OBB second stage.  Decisions
+  are *identical* to :class:`BruteOBBChecker` (the filter is conservative
+  and the second stage exact) at a fraction of the cost.
+* :class:`OccupancyGridChecker` — the CODAcc baseline (ISCA'22, ref [4]):
+  the workspace is discretised at one unit per cell and a configuration is
+  checked by probing the voxels covered by the robot body.  Conservative by
+  construction (voxels are outer approximations).
+
+All checkers share one interface: ``config_in_collision`` for a single
+configuration and ``motion_in_collision`` for a movement, which walks the
+interpolated configurations from the tree side so collisions are found with
+the fewest checks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.robots import RobotModel
+from repro.core.world import Environment
+from repro.geometry.motion import interpolate_configs
+from repro.geometry.obb import OBB
+from repro.geometry.sat import aabb_intersects_obb, obb_intersects_obb
+
+
+class CollisionChecker:
+    """Base class wiring a robot model to an environment."""
+
+    def __init__(self, robot: RobotModel, environment: Environment, motion_resolution: float):
+        if robot.workspace_dim != environment.workspace_dim:
+            raise ValueError(
+                f"robot workspace dim {robot.workspace_dim} != "
+                f"environment dim {environment.workspace_dim}"
+            )
+        if motion_resolution <= 0:
+            raise ValueError("motion_resolution must be positive")
+        self.robot = robot
+        self.environment = environment
+        self.motion_resolution = motion_resolution
+
+    def config_in_collision(self, config: np.ndarray, counter=None) -> bool:
+        """True when the robot at ``config`` intersects any obstacle."""
+        raise NotImplementedError
+
+    def motion_in_collision(self, start: np.ndarray, end: np.ndarray, counter=None) -> bool:
+        """True when the movement from ``start`` to ``end`` hits an obstacle.
+
+        The straight C-space segment is discretised at ``motion_resolution``
+        and each configuration checked from the ``start`` side, stopping at
+        the first collision.
+        """
+        for config in interpolate_configs(start, end, self.motion_resolution):
+            if self.config_in_collision(config, counter=counter):
+                return True
+        return False
+
+
+class BruteOBBChecker(CollisionChecker):
+    """Exhaustive OBB-OBB checking (vanilla RRT\\*)."""
+
+    def config_in_collision(self, config: np.ndarray, counter=None) -> bool:
+        dim = self.environment.workspace_dim
+        for body in self.robot.body_obbs(config):
+            for obstacle in self.environment.obstacles:
+                if counter is not None:
+                    counter.record("sat_obb_obb", dim=dim)
+                if obb_intersects_obb(body, obstacle):
+                    return True
+        return False
+
+
+class BruteAABBChecker(CollisionChecker):
+    """Exhaustive AABB-OBB checking with AABB-represented obstacles.
+
+    Cheaper per query than :class:`BruteOBBChecker` but over-approximates
+    obstacles, so it may flag collision-free movements as colliding.
+    """
+
+    def config_in_collision(self, config: np.ndarray, counter=None) -> bool:
+        dim = self.environment.workspace_dim
+        for body in self.robot.body_obbs(config):
+            for box in self.environment.obstacle_aabbs:
+                if counter is not None:
+                    counter.record("sat_aabb_obb", dim=dim)
+                if aabb_intersects_obb(box, body):
+                    return True
+        return False
+
+
+class TwoStageChecker(CollisionChecker):
+    """MOPED's two-stage processing scheme (Section III-A).
+
+    First stage: walk the obstacle R-tree with cheap AABB-OBB checks; clear
+    subtrees are skipped wholesale.  Second stage: the surviving leaf
+    candidates get the accurate OBB-OBB check.
+
+    With ``fine_stage=False`` the checker stops after the first stage and
+    treats every surviving candidate as a collision — the AABB-only MOPED
+    variant of Fig 18 (right).
+    """
+
+    def __init__(
+        self,
+        robot: RobotModel,
+        environment: Environment,
+        motion_resolution: float,
+        fine_stage: bool = True,
+    ):
+        super().__init__(robot, environment, motion_resolution)
+        self.fine_stage = fine_stage
+        self._rtree = environment.rtree
+
+    def config_in_collision(self, config: np.ndarray, counter=None) -> bool:
+        dim = self.environment.workspace_dim
+        for body in self.robot.body_obbs(config):
+            if counter is not None:
+                counter.record("aabb_derive", dim=dim)
+            candidates = self._rtree.query_obb(
+                body, counter=counter, prefilter_aabb=body.to_aabb()
+            )
+            if not self.fine_stage:
+                if candidates:
+                    return True
+                continue
+            for idx in candidates:
+                if counter is not None:
+                    counter.record("sat_obb_obb", dim=dim)
+                if obb_intersects_obb(body, self.environment.obstacles[idx]):
+                    return True
+        return False
+
+
+class OccupancyGridChecker(CollisionChecker):
+    """CODAcc-style occupancy-grid checking (baseline of Section V-B).
+
+    The grid is built offline by rasterising every obstacle OBB at
+    ``resolution`` units per cell (paper setting: 1.0).  A configuration is
+    in collision when any grid cell covered by a body OBB is occupied.  The
+    checker is conservative: cells partially covered by an obstacle are
+    marked occupied, so clear means clear.
+
+    Attributes:
+        grid: boolean occupancy array.
+        grid_bytes: storage the grid needs at one bit per cell — with the
+            paper's 300^3 workspace this exceeds 3.2 MB, the on-chip memory
+            pressure the paper charges against the CODAcc baseline.
+    """
+
+    def __init__(
+        self,
+        robot: RobotModel,
+        environment: Environment,
+        motion_resolution: float,
+        resolution: float = 1.0,
+    ):
+        super().__init__(robot, environment, motion_resolution)
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        self.resolution = resolution
+        self._cells = int(math.ceil(environment.size / resolution))
+        shape = (self._cells,) * environment.workspace_dim
+        self.grid = np.zeros(shape, dtype=bool)
+        for obstacle in environment.obstacles:
+            self._rasterise(obstacle)
+
+    @property
+    def grid_bytes(self) -> int:
+        """Grid storage at one bit per cell."""
+        return int(math.ceil(self.grid.size / 8))
+
+    def _cell_centers(self, box) -> Optional[List[np.ndarray]]:
+        """Integer cell index ranges covering an AABB, clipped to the grid."""
+        lo_idx = np.floor(box.lo / self.resolution).astype(int)
+        hi_idx = np.ceil(box.hi / self.resolution).astype(int)
+        lo_idx = np.clip(lo_idx, 0, self._cells)
+        hi_idx = np.clip(hi_idx, 0, self._cells)
+        if np.any(lo_idx >= hi_idx):
+            return None
+        axes = [np.arange(lo_idx[d], hi_idx[d]) for d in range(box.dim)]
+        return axes
+
+    def _covered_cells(self, obb: OBB):
+        """Indices and centre points of grid cells inside the OBB's AABB."""
+        axes = self._cell_centers(obb.to_aabb())
+        if axes is None:
+            return None, None
+        mesh = np.meshgrid(*axes, indexing="ij")
+        idx = np.stack([m.ravel() for m in mesh], axis=1)
+        centers = (idx + 0.5) * self.resolution
+        return idx, centers
+
+    def _rasterise(self, obstacle: OBB) -> None:
+        """Mark every cell whose centre region intersects ``obstacle``.
+
+        Cells are tested at their centres with the obstacle's half-extents
+        padded by half a cell diagonal, a conservative cover.
+        """
+        idx, centers = self._covered_cells(obstacle)
+        if idx is None:
+            return
+        pad = 0.5 * self.resolution * math.sqrt(obstacle.dim)
+        local = (centers - obstacle.center) @ obstacle.rotation
+        inside = np.all(np.abs(local) <= obstacle.half_extents + pad, axis=1)
+        occupied = idx[inside]
+        if occupied.size:
+            self.grid[tuple(occupied.T)] = True
+
+    def config_in_collision(self, config: np.ndarray, counter=None) -> bool:
+        for body in self.robot.body_obbs(config):
+            idx, centers = self._covered_cells(body)
+            if idx is None:
+                continue
+            local = (centers - body.center) @ body.rotation
+            inside = np.all(np.abs(local) <= body.half_extents, axis=1)
+            probes = idx[inside]
+            if counter is not None and len(probes):
+                counter.record("grid_lookup", dim=self.environment.workspace_dim, n=len(probes))
+            if len(probes) and bool(np.any(self.grid[tuple(probes.T)])):
+                return True
+        return False
+
+
+CHECKERS = {
+    "obb": BruteOBBChecker,
+    "aabb": BruteAABBChecker,
+    "two_stage": TwoStageChecker,
+    "grid": OccupancyGridChecker,
+}
+
+
+def make_checker(
+    name: str, robot: RobotModel, environment: Environment, motion_resolution: float, **kwargs
+) -> CollisionChecker:
+    """Factory over the checker registry."""
+    try:
+        cls = CHECKERS[name]
+    except KeyError:
+        raise KeyError(f"unknown checker {name!r}; available: {sorted(CHECKERS)}") from None
+    return cls(robot, environment, motion_resolution, **kwargs)

@@ -1,0 +1,150 @@
+"""Planner configuration and the paper's ablation presets.
+
+The single :class:`PlannerConfig` drives both the vanilla RRT\\* baseline and
+every MOPED variant; the presets mirror the Fig 16 ablation ladder:
+
+* ``baseline``  — original RRT\\*: brute NN, exhaustive OBB-OBB collision.
+* ``v1`` (TSPS) — + two-stage collision processing (Section III-A).
+* ``v2`` (STNS) — + SI-MBR-Tree neighbor search (Section III-B).
+* ``v3`` (SIAS) — + steering-informed approximated neighborhood.
+* ``v4`` (LCI)  — + low-cost O(1) insertion (Section III-C) = full MOPED.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """All knobs of the planning loop.
+
+    Attributes:
+        max_samples: sampling budget (the paper evaluates at 5 000).
+        goal_bias: probability of sampling the goal configuration.
+        step_size: steering step; ``None`` uses the robot's default.
+        motion_resolution: movement-check discretisation; ``None`` derives
+            ``step_size / 4``.
+        goal_tolerance: C-space distance at which a node counts as reaching
+            the goal; ``None`` derives ``step_size``.
+        neighbor_radius_factor: neighborhood radius = ``factor * step_size``
+            shrunk by the standard RRT\\* ``(log n / n)^(1/d)`` schedule and
+            floored at ``step_size``.
+        rewire: run the Tree Refinement stage (choose-parent + rewiring).
+            False degrades RRT\\* to plain RRT — the paper notes MOPED's
+            optimisations apply to the whole RRT family (Section VI).
+        checker: ``"obb"`` | ``"aabb"`` | ``"two_stage"`` | ``"grid"``.
+        fine_stage: second-stage OBB-OBB refinement for the two-stage
+            checker (off = the AABB-only MOPED of Fig 18 right).
+        neighbor_strategy: ``"brute"`` | ``"kd"`` | ``"simbr"``.
+        approx_neighborhood: SIAS flag (SI-MBR strategy only).
+        approx_scope: approximated-neighborhood scope — ``"leaf"``
+            (paper-literal: the node-C population holding ``x_nearest``) or
+            ``"parent"`` (wider; trades some of the saving for path quality
+            in low-dimensional spaces).
+        steering_insert: LCI flag (SI-MBR strategy only).
+        simbr_capacity: SI-MBR-Tree fanout.
+        kd_rebuild_every: periodic KD rebuild interval.
+        speculation_depth: functional speculate-and-repair model — the
+            nearest-neighbor search for round *i* cannot see nodes inserted
+            in the last ``depth`` rounds and repairs against the missing-
+            neighbors buffer instead (Section IV-B).  0 disables.
+        sampler: ``"numpy"`` | ``"lfsr"``.
+        informed: wrap the sampler with Informed-RRT\\* prolate-hyperspheroid
+            sampling once a first solution is found (the [22] variant the
+            paper calls complementary to MOPED).
+        seed: RNG seed.
+        stop_on_goal: stop sampling once the goal is first connected
+            (early-termination footnote 2 of the paper); default runs the
+            full budget so Tree Refinement keeps improving the path.
+    """
+
+    max_samples: int = 1000
+    goal_bias: float = 0.05
+    step_size: Optional[float] = None
+    motion_resolution: Optional[float] = None
+    goal_tolerance: Optional[float] = None
+    neighbor_radius_factor: float = 2.0
+    rewire: bool = True
+    checker: str = "obb"
+    fine_stage: bool = True
+    neighbor_strategy: str = "brute"
+    approx_neighborhood: bool = False
+    approx_scope: str = "leaf"
+    steering_insert: bool = False
+    simbr_capacity: int = 8
+    kd_rebuild_every: Optional[int] = None
+    speculation_depth: int = 0
+    sampler: str = "numpy"
+    informed: bool = False
+    seed: int = 0
+    stop_on_goal: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        if not 0.0 <= self.goal_bias < 1.0:
+            raise ValueError("goal_bias must be in [0, 1)")
+        if self.neighbor_radius_factor <= 0:
+            raise ValueError("neighbor_radius_factor must be positive")
+        if self.speculation_depth < 0:
+            raise ValueError("speculation_depth must be >= 0")
+
+    def resolved_step(self, robot_step: float) -> float:
+        """Steering step after applying the robot default."""
+        return self.step_size if self.step_size is not None else robot_step
+
+    def resolved_motion_resolution(self, robot_step: float) -> float:
+        """Movement-check resolution after applying the derivation rule."""
+        if self.motion_resolution is not None:
+            return self.motion_resolution
+        return self.resolved_step(robot_step) / 4.0
+
+    def resolved_goal_tolerance(self, robot_step: float) -> float:
+        """Goal tolerance after applying the derivation rule."""
+        if self.goal_tolerance is not None:
+            return self.goal_tolerance
+        return self.resolved_step(robot_step)
+
+    def neighbor_radius(self, n: int, dim: int, step: float) -> float:
+        """Shrinking RRT\\* neighborhood radius at tree size ``n``.
+
+        The standard ``gamma * (log n / n)^(1/d)`` schedule of Karaman &
+        Frazzoli, capped at ``factor * step`` and floored at one steering
+        step so rewiring always sees the immediate vicinity.
+        """
+        cap = self.neighbor_radius_factor * step
+        if n < 2:
+            return cap
+        gamma = 4.0 * cap
+        radius = gamma * (math.log(n) / n) ** (1.0 / dim)
+        return float(min(cap, max(step, radius)))
+
+
+def baseline_config(**overrides) -> PlannerConfig:
+    """Original RRT\\*: brute NN + exhaustive OBB-OBB collision checks."""
+    return PlannerConfig(**overrides)
+
+
+def moped_config(variant: str = "v4", **overrides) -> PlannerConfig:
+    """MOPED ablation presets ``v1``..``v4`` (``v4`` = full MOPED).
+
+    Fig 16's ladder: v1 adds the two-stage collision scheme, v2 adds
+    SI-MBR-Tree search, v3 adds the approximated neighborhood, v4 adds the
+    O(1) insertion.
+    """
+    base = dict(checker="two_stage", neighbor_strategy="brute")
+    if variant == "v1":
+        pass
+    elif variant == "v2":
+        base.update(neighbor_strategy="simbr", approx_neighborhood=False, steering_insert=False)
+    elif variant == "v3":
+        base.update(neighbor_strategy="simbr", approx_neighborhood=True, steering_insert=False)
+    elif variant in ("v4", "full"):
+        base.update(neighbor_strategy="simbr", approx_neighborhood=True, steering_insert=True)
+    else:
+        raise ValueError(f"unknown MOPED variant {variant!r}; use v1..v4 or full")
+    base.update(overrides)
+    return PlannerConfig(**base)

@@ -1,0 +1,95 @@
+"""Planner results and round-level telemetry.
+
+Besides the usual planning outputs (success, path, path cost), every planner
+run records a :class:`RoundRecord` per sampling round with the MAC load each
+hardware unit would carry that round.  The hardware pipeline model
+(:mod:`repro.hardware.pipeline`) replays these records to compute serialized
+vs speculate-and-repair latencies (Section IV-B), and the missing-neighbor
+telemetry sizes the FIFO / Missing Neighbors Buffer (0.75 KB claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.counters import OpCounter
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Per-sampling-round unit loads in MAC-equivalents.
+
+    Attributes:
+        ns_macs: neighbor-search component load (dist/MINDIST/KD ops).
+        cc_macs: collision-checker load (SAT/grid ops).
+        maint_macs: SI-MBR-Tree operator load (insertion, splits, MBR).
+        other_macs: sampling, steering, cost updates, buffer traffic.
+        accepted: whether the round inserted a node into the EXP-tree.
+        missing_used: entries read from the missing-neighbors buffer during
+            the repair step (speculative mode only).
+        repaired: whether the repair step changed the speculated nearest
+            neighbor.
+    """
+
+    ns_macs: float
+    cc_macs: float
+    maint_macs: float
+    other_macs: float
+    accepted: bool
+    missing_used: int = 0
+    repaired: bool = False
+    #: Per-kind event counts of the round (one SAT check, one MINDIST, ...);
+    #: consumed by the memory bank-conflict model (Section IV-C).
+    events: Optional[Dict[str, int]] = None
+
+    @property
+    def total_macs(self) -> float:
+        return self.ns_macs + self.cc_macs + self.maint_macs + self.other_macs
+
+
+@dataclass
+class PlanResult:
+    """Outcome of one planning run."""
+
+    success: bool
+    path: List[np.ndarray]
+    path_cost: float
+    num_nodes: int
+    iterations: int
+    counter: OpCounter
+    rounds: List[RoundRecord] = field(default_factory=list)
+    goal_node: Optional[int] = None
+    first_solution_iteration: Optional[int] = None
+    #: MACs spent in the second (neighborhood) search of each round — the
+    #: operation SIAS eliminates (Fig 8 right measures exactly this).
+    neighborhood_macs: float = 0.0
+    #: Anytime-convergence telemetry: (iteration, best path cost) pairs
+    #: recorded whenever the best known solution improved.  The Tree
+    #: Refinement stage keeps improving the solution after it is first
+    #: found — the error-tolerance argument of Section III-B.
+    cost_history: List[tuple] = field(default_factory=list)
+
+    @property
+    def total_macs(self) -> float:
+        """Total MAC-equivalents the run consumed."""
+        return self.counter.total_macs()
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "success" if self.success else "failure"
+        return (
+            f"{status}: cost={self.path_cost:.2f} nodes={self.num_nodes} "
+            f"iters={self.iterations} macs={self.total_macs:.3g}"
+        )
+
+
+def path_length(path: List[np.ndarray]) -> float:
+    """Total C-space length of a waypoint path."""
+    if len(path) < 2:
+        return 0.0
+    return float(
+        sum(np.linalg.norm(b - a) for a, b in zip(path[:-1], path[1:]))
+    )

@@ -1,0 +1,104 @@
+"""MOPED: the user-facing planning engine facade.
+
+This module packages the paper's full co-design into the public API a
+downstream user works with::
+
+    from repro import MopedEngine, get_robot
+    from repro.workloads import random_environment
+
+    robot = get_robot("viperx300")
+    env = random_environment(workspace_dim=3, num_obstacles=16, seed=0)
+    engine = MopedEngine(robot, env)
+    result = engine.plan(start, goal)
+
+``MopedEngine`` defaults to the full algorithm (two-stage collision check,
+SI-MBR-Tree search, approximated neighborhoods, O(1) insertion); the
+``variant`` argument selects the Fig 16 ablation rungs, and ``"baseline"``
+yields the original RRT\\* for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import PlannerConfig, baseline_config, moped_config
+from repro.core.metrics import PlanResult
+from repro.core.robots import RobotModel, get_robot
+from repro.core.rrtstar import RRTStarPlanner
+from repro.core.world import Environment, PlanningTask
+
+VARIANTS = ("baseline", "v1", "v2", "v3", "v4", "full")
+
+
+def config_for_variant(variant: str, **overrides) -> PlannerConfig:
+    """PlannerConfig for an ablation variant name (see :data:`VARIANTS`)."""
+    if variant == "baseline":
+        return baseline_config(**overrides)
+    return moped_config(variant, **overrides)
+
+
+class MopedEngine:
+    """High-level planning engine bound to one robot and environment.
+
+    Args:
+        robot: a :class:`~repro.core.robots.RobotModel` or registry name.
+        environment: the static workspace to plan in.
+        variant: ``"full"`` (default), ``"v1"``..``"v4"``, or ``"baseline"``.
+        **config_overrides: any :class:`~repro.core.config.PlannerConfig`
+            field (``max_samples``, ``seed``, ``goal_bias``, ...).
+    """
+
+    def __init__(
+        self,
+        robot,
+        environment: Environment,
+        variant: str = "full",
+        **config_overrides,
+    ):
+        if isinstance(robot, str):
+            robot = get_robot(robot)
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}; available: {VARIANTS}")
+        self.robot: RobotModel = robot
+        self.environment = environment
+        self.variant = variant
+        self.config = config_for_variant(variant, **config_overrides)
+
+    def plan(
+        self,
+        start: np.ndarray,
+        goal: np.ndarray,
+        task_id: int = 0,
+    ) -> PlanResult:
+        """Plan a collision-free path from ``start`` to ``goal``."""
+        task = PlanningTask(
+            robot_name=self.robot.name,
+            environment=self.environment,
+            start=np.asarray(start, dtype=float),
+            goal=np.asarray(goal, dtype=float),
+            task_id=task_id,
+        )
+        return self.plan_task(task)
+
+    def plan_task(self, task: PlanningTask) -> PlanResult:
+        """Plan a pre-built :class:`~repro.core.world.PlanningTask`."""
+        planner = RRTStarPlanner(self.robot, task, self.config)
+        return planner.plan()
+
+    def with_config(self, **overrides) -> "MopedEngine":
+        """A copy of this engine with configuration fields replaced."""
+        merged = {**_config_as_dict(self.config), **overrides}
+        engine = MopedEngine.__new__(MopedEngine)
+        engine.robot = self.robot
+        engine.environment = self.environment
+        engine.variant = self.variant
+        engine.config = PlannerConfig(**merged)
+        return engine
+
+
+def _config_as_dict(config: PlannerConfig) -> dict:
+    from dataclasses import asdict
+
+    return asdict(config)

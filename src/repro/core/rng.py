@@ -1,0 +1,125 @@
+"""Configuration-space samplers.
+
+The MOPED hardware samples with a bank of linear-feedback shift registers
+(LFSRs), one per configuration dimension (Section IV-A, Fig 11).  We expose
+two interchangeable samplers:
+
+* :class:`LFSRSampler` — bit-exact model of a 16-bit Fibonacci LFSR bank,
+  matching what the Tree Extension Module's RNG produces; and
+* :class:`NumpySampler` — a numpy PCG64 sampler for software-only runs.
+
+Both draw points uniformly inside the configuration-space bounds and can be
+asked for goal-biased samples, the standard RRT\\* practical refinement of
+occasionally sampling the goal configuration to pull the tree toward it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+# Taps for a maximal-length 16-bit Fibonacci LFSR: x^16 + x^14 + x^13 + x^11 + 1.
+_LFSR16_TAPS = (15, 13, 12, 10)
+_LFSR16_PERIOD = (1 << 16) - 1
+
+
+class LFSR16:
+    """A 16-bit maximal-length Fibonacci LFSR (period 65535)."""
+
+    def __init__(self, seed: int = 0xACE1):
+        seed &= 0xFFFF
+        if seed == 0:
+            raise ValueError("LFSR seed must be non-zero")
+        self.state = seed
+
+    def next_word(self) -> int:
+        """Advance 16 steps and return the 16-bit state word."""
+        state = self.state
+        for _ in range(16):
+            bit = 0
+            for tap in _LFSR16_TAPS:
+                bit ^= (state >> tap) & 1
+            state = ((state << 1) | bit) & 0xFFFF
+        self.state = state
+        return state
+
+    def next_unit(self) -> float:
+        """A draw in [0, 1) with 16-bit resolution."""
+        return self.next_word() / 65536.0
+
+
+class LFSRSampler:
+    """Bank of per-dimension LFSRs sampling a box in configuration space.
+
+    Args:
+        lo: per-dimension lower bounds.
+        hi: per-dimension upper bounds.
+        seed: integer seed; each dimension's LFSR is seeded differently so
+            the bank does not produce correlated coordinates.
+    """
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float], seed: int = 1):
+        self.lo = np.asarray(lo, dtype=float)
+        self.hi = np.asarray(hi, dtype=float)
+        if self.lo.shape != self.hi.shape or self.lo.ndim != 1:
+            raise ValueError("bounds must be matching 1-D arrays")
+        if np.any(self.lo >= self.hi):
+            raise ValueError("lo must be < hi in every dimension")
+        self.dim = self.lo.shape[0]
+        self._lfsrs = [
+            LFSR16(seed=((seed * 2654435761 + 0x9E37 * (i + 1)) & 0xFFFF) or 0xACE1)
+            for i in range(self.dim)
+        ]
+
+    def sample(self, counter=None) -> np.ndarray:
+        """Draw one uniform configuration; records one ``sample`` event."""
+        if counter is not None:
+            counter.record("sample", dim=self.dim)
+        units = np.array([lfsr.next_unit() for lfsr in self._lfsrs])
+        return self.lo + units * (self.hi - self.lo)
+
+    def sample_biased(self, goal: np.ndarray, bias: float, counter=None) -> np.ndarray:
+        """Draw a configuration, returning ``goal`` with probability ``bias``.
+
+        The bias coin also comes from the LFSR bank (dimension 0) so the
+        whole sampler stays deterministic for a given seed.
+        """
+        if not 0.0 <= bias < 1.0:
+            raise ValueError("bias must be in [0, 1)")
+        coin = self._lfsrs[0].next_unit()
+        if coin < bias:
+            if counter is not None:
+                counter.record("sample", dim=self.dim)
+            return np.asarray(goal, dtype=float).copy()
+        return self.sample(counter=counter)
+
+
+class NumpySampler:
+    """PCG64-backed sampler with the same interface as :class:`LFSRSampler`."""
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float], seed: Optional[int] = None):
+        self.lo = np.asarray(lo, dtype=float)
+        self.hi = np.asarray(hi, dtype=float)
+        if self.lo.shape != self.hi.shape or self.lo.ndim != 1:
+            raise ValueError("bounds must be matching 1-D arrays")
+        if np.any(self.lo >= self.hi):
+            raise ValueError("lo must be < hi in every dimension")
+        self.dim = self.lo.shape[0]
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, counter=None) -> np.ndarray:
+        """Draw one uniform configuration; records one ``sample`` event."""
+        if counter is not None:
+            counter.record("sample", dim=self.dim)
+        return self._rng.uniform(self.lo, self.hi)
+
+    def sample_biased(self, goal: np.ndarray, bias: float, counter=None) -> np.ndarray:
+        """Draw a configuration, returning ``goal`` with probability ``bias``."""
+        if not 0.0 <= bias < 1.0:
+            raise ValueError("bias must be in [0, 1)")
+        if self._rng.random() < bias:
+            if counter is not None:
+                counter.record("sample", dim=self.dim)
+            return np.asarray(goal, dtype=float).copy()
+        return self.sample(counter=counter)

@@ -1,0 +1,331 @@
+"""The RRT\\* planning loop shared by the baseline and every MOPED variant.
+
+One parameterised planner implements the Section II-B processing scheme —
+sample, nearest-neighbor, steer, collision check, choose-parent, rewire —
+with the collision checker and neighbor-search strategy injected through
+:class:`~repro.core.config.PlannerConfig`.  The MOPED presets
+(:func:`~repro.core.config.moped_config`) select the paper's optimisations;
+the defaults reproduce the original RRT\\* baseline.
+
+The planner also hosts the *functional* speculate-and-repair model
+(Section IV-B): with ``speculation_depth = k``, the nearest-neighbor search
+of each round is blinded to the nodes inserted in the previous ``k`` rounds
+(they are still in flight in the hardware pipeline) and a repair step then
+compares the speculated result against those pending nodes — the Missing
+Neighbors Buffer.  The repaired result is provably the true nearest
+neighbor, so planning outcomes are identical with and without speculation
+(a tested invariant mirroring the paper's "functionally equivalent" claim).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.collision import make_checker
+from repro.core.config import PlannerConfig
+from repro.core.counters import OpCounter
+from repro.core.informed import InformedSampler
+from repro.core.metrics import PlanResult, RoundRecord
+from repro.core.neighbors import make_strategy
+from repro.core.rng import LFSRSampler, NumpySampler
+from repro.core.robots import RobotModel
+from repro.core.tree import ExpTree
+from repro.core.world import PlanningTask
+
+# Operation kinds executed on each hardware unit, used to split a round's
+# counter diff into per-unit loads for the pipeline timing model.
+_NS_KINDS = ("dist", "mindist", "plane_compare", "buffer_read", "rebuild_item")
+_CC_KINDS = ("sat_obb_obb", "sat_aabb_obb", "sat_aabb_aabb", "aabb_derive", "grid_lookup")
+_MAINT_KINDS = ("enlargement", "mbr_update", "insert_direct", "split")
+
+
+class RRTStarPlanner:
+    """RRT\\* planner over a robot model and planning task."""
+
+    def __init__(self, robot: RobotModel, task: PlanningTask, config: PlannerConfig):
+        if task.start.shape != (robot.dof,) or task.goal.shape != (robot.dof,):
+            raise ValueError(
+                f"task configurations must be {robot.dof}-dimensional for {robot.name}"
+            )
+        self.robot = robot
+        self.task = task
+        self.config = config
+        self.step = config.resolved_step(robot.step_size)
+        self.goal_tolerance = config.resolved_goal_tolerance(robot.step_size)
+        resolution = config.resolved_motion_resolution(robot.step_size)
+        checker_kwargs = {}
+        if config.checker == "two_stage":
+            checker_kwargs["fine_stage"] = config.fine_stage
+        self.checker = make_checker(
+            config.checker, robot, task.environment, resolution, **checker_kwargs
+        )
+        self.strategy = make_strategy(
+            config.neighbor_strategy,
+            robot.dof,
+            steering_insert=config.steering_insert,
+            approx_neighborhood=config.approx_neighborhood,
+            capacity=config.simbr_capacity,
+            kd_rebuild_every=config.kd_rebuild_every,
+            approx_scope=config.approx_scope,
+        )
+        sampler_cls = {"numpy": NumpySampler, "lfsr": LFSRSampler}.get(config.sampler)
+        if sampler_cls is None:
+            raise KeyError(f"unknown sampler {config.sampler!r}; use 'numpy' or 'lfsr'")
+        self.sampler = sampler_cls(robot.config_lo, robot.config_hi, seed=config.seed)
+        if config.informed:
+            self.sampler = InformedSampler(
+                self.sampler, task.start, task.goal, seed=config.seed
+            )
+
+    # ------------------------------------------------------------------- plan
+
+    def plan(self) -> PlanResult:
+        """Run the sampling loop and return the planning outcome."""
+        config, robot, task = self.config, self.robot, self.task
+        dim = robot.dof
+        counter = OpCounter()
+        tree = ExpTree(task.start)
+        self.strategy.insert(tree.root, task.start, counter=counter)
+        self.tree = tree
+
+        goal_nodes: List[int] = []
+        first_solution: Optional[int] = None
+        rounds: List[RoundRecord] = []
+        self._neighborhood_macs = 0.0
+        cost_history: List[tuple] = []
+        best_known = float("inf")
+        # (round index, node id) pairs still "in flight" for speculation.
+        pending: Deque[Tuple[int, int]] = deque()
+
+        for iteration in range(config.max_samples):
+            snapshot = counter.snapshot()
+            x_rand = self.sampler.sample_biased(task.goal, config.goal_bias, counter=counter)
+
+            nearest_key, nearest_point, nearest_dist, missing_used, repaired = (
+                self._nearest_with_repair(tree, x_rand, pending, counter)
+            )
+
+            accepted = False
+            node_id: Optional[int] = None
+            if nearest_dist > 1e-12:
+                counter.record("steer", dim=dim)
+                x_new = self._steer(nearest_point, x_rand, nearest_dist)
+                if not self.checker.motion_in_collision(nearest_point, x_new, counter=counter):
+                    node_id = self._extend(
+                        tree, x_new, nearest_key, nearest_point, counter
+                    )
+                    accepted = True
+                    if float(np.linalg.norm(x_new - task.goal)) <= self.goal_tolerance:
+                        goal_nodes.append(node_id)
+                        if first_solution is None:
+                            first_solution = iteration
+                    if goal_nodes:
+                        best = min(
+                            tree.cost(n)
+                            + float(np.linalg.norm(tree.point(n) - task.goal))
+                            for n in goal_nodes
+                        )
+                        if best < best_known - 1e-9:
+                            best_known = best
+                            cost_history.append((iteration, best))
+                        if isinstance(self.sampler, InformedSampler):
+                            self.sampler.update_best_cost(best)
+
+            rounds.append(
+                self._round_record(counter.diff(snapshot), accepted, missing_used, repaired)
+            )
+
+            if accepted and config.speculation_depth > 0:
+                pending.append((iteration, node_id))
+            while pending and pending[0][0] <= iteration - config.speculation_depth:
+                pending.popleft()
+
+            if config.stop_on_goal and first_solution is not None:
+                break
+
+        self._cost_history = cost_history
+        return self._result(tree, goal_nodes, first_solution, counter, rounds, len(rounds))
+
+    # -------------------------------------------------------------- internals
+
+    def _nearest_with_repair(self, tree, x_rand, pending, counter):
+        """Speculated nearest-neighbor search plus the repair step.
+
+        Without speculation this is a plain exact search.  With speculation,
+        the index search cannot see the pending (in-flight) node ids; the
+        repair step then reads each pending node from the Missing Neighbors
+        Buffer and keeps whichever candidate is truly nearest.
+        """
+        dim = self.robot.dof
+        exclude = {key for _, key in pending} if pending else None
+        found = self.strategy.nearest(x_rand, counter=counter, exclude=exclude)
+        assert found is not None, "tree root can never be excluded"
+        nearest_key, nearest_point, nearest_dist = found
+        missing_used = 0
+        repaired = False
+        for _, key in pending:
+            missing_used += 1
+            counter.record("buffer_read", dim=dim)
+            counter.record("dist", dim=dim)
+            point = tree.point(key)
+            dist = float(np.linalg.norm(point - x_rand))
+            if dist < nearest_dist:
+                nearest_key, nearest_point, nearest_dist = key, point, dist
+                repaired = True
+        return nearest_key, nearest_point, nearest_dist, missing_used, repaired
+
+    def _steer(self, origin: np.ndarray, target: np.ndarray, dist: float) -> np.ndarray:
+        """Move from ``origin`` toward ``target`` by at most one step."""
+        if dist <= self.step:
+            return target.copy()
+        return origin + (self.step / dist) * (target - origin)
+
+    def _extend(self, tree, x_new, nearest_key, nearest_point, counter):
+        """Choose-parent + insert + rewire for an accepted sample.
+
+        With ``config.rewire`` disabled the sample is attached straight to
+        ``x_nearest`` (plain RRT): no neighborhood query, no refinement.
+        """
+        config, dim = self.config, self.robot.dof
+        if not config.rewire:
+            edge = float(np.linalg.norm(x_new - nearest_point))
+            node_id = tree.add(x_new, nearest_key, edge)
+            self.strategy.insert(node_id, x_new, nearest_key=nearest_key, counter=counter)
+            return node_id
+        radius = config.neighbor_radius(len(tree), dim, self.step)
+        before_neighborhood = counter.snapshot()
+        neighborhood = self.strategy.neighborhood(
+            x_new, radius, nearest_key=nearest_key, counter=counter
+        )
+        self._neighborhood_macs += counter.diff(before_neighborhood).total_macs()
+        candidates = {key: (point, dist) for key, point, dist in neighborhood}
+        nearest_edge = float(np.linalg.norm(x_new - nearest_point))
+        candidates.setdefault(nearest_key, (nearest_point, nearest_edge))
+
+        # Choose parent: lowest cost-to-come through a collision-free edge.
+        # The edge from x_nearest was already verified by the extension check.
+        parent_key, parent_edge = nearest_key, candidates[nearest_key][1]
+        best_cost = tree.cost(nearest_key) + parent_edge
+        ranked = sorted(
+            candidates.items(), key=lambda kv: tree.cost(kv[0]) + kv[1][1]
+        )
+        for key, (point, dist) in ranked:
+            counter.record("cost_update", dim=dim)
+            cost = tree.cost(key) + dist
+            if cost >= best_cost:
+                break
+            if not self.checker.motion_in_collision(point, x_new, counter=counter):
+                parent_key, parent_edge, best_cost = key, dist, cost
+                break
+
+        node_id = tree.add(x_new, parent_key, parent_edge)
+        self.strategy.insert(node_id, x_new, nearest_key=nearest_key, counter=counter)
+
+        # Rewire: route neighbors through x_new when cheaper and collision free.
+        new_cost = tree.cost(node_id)
+        for key, (point, dist) in candidates.items():
+            if key == parent_key:
+                continue
+            counter.record("cost_update", dim=dim)
+            if new_cost + dist >= tree.cost(key) - 1e-12:
+                continue
+            if self._is_ancestor(tree, key, node_id):
+                continue
+            if not self.checker.motion_in_collision(x_new, point, counter=counter):
+                tree.rewire(key, node_id, dist)
+        return node_id
+
+    @staticmethod
+    def _is_ancestor(tree, candidate: int, node_id: int) -> bool:
+        current = tree.parent(node_id)
+        while current is not None:
+            if current == candidate:
+                return True
+            current = tree.parent(current)
+        return False
+
+    @staticmethod
+    def _round_record(diff: OpCounter, accepted, missing_used, repaired) -> RoundRecord:
+        loads = {"ns": 0.0, "cc": 0.0, "maint": 0.0, "other": 0.0}
+        for kind, macs in diff.macs.items():
+            if kind in _NS_KINDS:
+                loads["ns"] += macs
+            elif kind in _CC_KINDS:
+                loads["cc"] += macs
+            elif kind in _MAINT_KINDS:
+                loads["maint"] += macs
+            else:
+                loads["other"] += macs
+        return RoundRecord(
+            ns_macs=loads["ns"],
+            cc_macs=loads["cc"],
+            maint_macs=loads["maint"],
+            other_macs=loads["other"],
+            accepted=accepted,
+            missing_used=missing_used,
+            repaired=repaired,
+            events=dict(diff.events),
+        )
+
+    def _result(self, tree, goal_nodes, first_solution, counter, rounds, iterations):
+        task = self.task
+        if goal_nodes:
+            # Pick the cheapest goal-region node whose final hop to the
+            # exact goal is itself collision free (the hop can be up to one
+            # goal_tolerance long, so it must be verified like any edge).
+            # Falls back to ending the path at the in-tolerance node.
+            best, best_cost, best_tail = None, float("inf"), 0.0
+            fallback, fallback_cost = None, float("inf")
+            for node in goal_nodes:
+                tail = float(np.linalg.norm(tree.point(node) - task.goal))
+                cost = tree.cost(node) + tail
+                if cost < fallback_cost:
+                    fallback, fallback_cost = node, cost
+                if cost < best_cost and (
+                    tail <= 1e-12
+                    or not self.checker.motion_in_collision(
+                        tree.point(node), task.goal, counter=counter
+                    )
+                ):
+                    best, best_cost, best_tail = node, cost, tail
+            if best is not None:
+                path = tree.path_to(best)
+                if best_tail > 1e-12:
+                    path = path + [task.goal.copy()]
+                path_cost = best_cost
+                goal_node = best
+            else:
+                goal_node = fallback
+                path = tree.path_to(fallback)
+                path_cost = tree.cost(fallback)
+            return PlanResult(
+                success=True,
+                path=path,
+                path_cost=path_cost,
+                num_nodes=len(tree),
+                iterations=iterations,
+                counter=counter,
+                rounds=rounds,
+                goal_node=goal_node,
+                first_solution_iteration=first_solution,
+                neighborhood_macs=self._neighborhood_macs,
+                cost_history=list(getattr(self, "_cost_history", [])),
+            )
+        return PlanResult(
+            success=False,
+            path=[],
+            path_cost=float("inf"),
+            num_nodes=len(tree),
+            iterations=iterations,
+            counter=counter,
+            rounds=rounds,
+            neighborhood_macs=self._neighborhood_macs,
+        )
+
+
+def plan(robot: RobotModel, task: PlanningTask, config: PlannerConfig) -> PlanResult:
+    """Convenience wrapper: build a planner and run it once."""
+    return RRTStarPlanner(robot, task, config).plan()

@@ -1,0 +1,49 @@
+"""Path post-processing: shortcut smoothing.
+
+A standard practical companion to sampling-based planners: repeatedly pick
+two random waypoints on the path and splice them with a straight segment
+when the movement between them is collision free.  Smoothing reduces the
+zig-zag a finite sampling budget leaves behind — the same path-cost metric
+the paper optimises (Section III-A discusses why path cost matters for the
+robot's energy budget).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.collision import CollisionChecker
+from repro.core.metrics import path_length
+
+
+def shortcut_smooth(
+    path: List[np.ndarray],
+    checker: CollisionChecker,
+    iterations: int = 100,
+    seed: int = 0,
+    counter=None,
+) -> Tuple[List[np.ndarray], float]:
+    """Shortcut-smooth ``path``; returns ``(smoothed_path, cost)``.
+
+    Each iteration samples two non-adjacent waypoint indices and replaces
+    the intermediate waypoints with a straight connection when that
+    movement is collision free.  The input path is not modified.
+
+    Raises ValueError for paths with fewer than two waypoints.
+    """
+    if len(path) < 2:
+        raise ValueError("path must contain at least two waypoints")
+    if iterations < 0:
+        raise ValueError("iterations must be >= 0")
+    rng = np.random.default_rng(seed)
+    waypoints = [np.asarray(p, dtype=float).copy() for p in path]
+    for _ in range(iterations):
+        if len(waypoints) < 3:
+            break
+        i = int(rng.integers(0, len(waypoints) - 2))
+        j = int(rng.integers(i + 2, len(waypoints)))
+        if not checker.motion_in_collision(waypoints[i], waypoints[j], counter=counter):
+            waypoints = waypoints[: i + 1] + waypoints[j:]
+    return waypoints, path_length(waypoints)

@@ -1,0 +1,142 @@
+"""Trajectory time-parameterization: turning paths into executable motion.
+
+The planner produces a geometric C-space path; a robot executes a *timed*
+trajectory bounded by per-joint velocity and acceleration limits.  This
+module applies trapezoidal velocity profiles segment by segment (the robot
+stops at interior waypoints, the standard conservative scheme), yielding
+the execution time and energy-relevant quantities the paper's path-cost
+argument is ultimately about: "higher path cost means the robot has to
+consume much more energy and time to move and act" (Section III-A).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TrajectorySegment:
+    """One timed straight segment with a trapezoidal speed profile.
+
+    Attributes:
+        start / end: segment endpoints in C-space.
+        duration: traversal time.
+        peak_speed: maximum C-space speed reached.
+        cruise_time: time at ``peak_speed`` (zero for triangular profiles).
+    """
+
+    start: np.ndarray
+    end: np.ndarray
+    duration: float
+    peak_speed: float
+    cruise_time: float
+
+    @property
+    def length(self) -> float:
+        return float(np.linalg.norm(self.end - self.start))
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A timed sequence of segments covering a waypoint path."""
+
+    segments: tuple
+
+    @property
+    def duration(self) -> float:
+        """Total execution time."""
+        return float(sum(s.duration for s in self.segments))
+
+    @property
+    def length(self) -> float:
+        """Total C-space length."""
+        return float(sum(s.length for s in self.segments))
+
+    def state_at(self, t: float) -> np.ndarray:
+        """Configuration at time ``t`` (clamped to the trajectory's span)."""
+        if t <= 0.0:
+            return self.segments[0].start.copy()
+        remaining = t
+        for segment in self.segments:
+            if remaining <= segment.duration:
+                fraction = _profile_fraction(segment, remaining)
+                return segment.start + fraction * (segment.end - segment.start)
+            remaining -= segment.duration
+        return self.segments[-1].end.copy()
+
+
+def _profile_fraction(segment: TrajectorySegment, t: float) -> float:
+    """Distance fraction covered after time ``t`` of a trapezoidal profile."""
+    length = segment.length
+    if length <= 0.0:
+        return 1.0
+    ramp_time = (segment.duration - segment.cruise_time) / 2.0
+    v = segment.peak_speed
+    if ramp_time <= 0.0:
+        return min(1.0, t * v / length)
+    accel = v / ramp_time
+    if t <= ramp_time:
+        covered = 0.5 * accel * t * t
+    elif t <= ramp_time + segment.cruise_time:
+        covered = 0.5 * accel * ramp_time**2 + v * (t - ramp_time)
+    else:
+        t_dec = t - ramp_time - segment.cruise_time
+        covered = (
+            0.5 * accel * ramp_time**2
+            + v * segment.cruise_time
+            + v * t_dec
+            - 0.5 * accel * t_dec**2
+        )
+    return min(1.0, covered / length)
+
+
+def time_parameterize(
+    path: Sequence[np.ndarray],
+    max_speed: float,
+    max_accel: float,
+) -> Trajectory:
+    """Time-parameterize ``path`` with per-segment trapezoidal profiles.
+
+    Args:
+        path: waypoint configurations (at least two).
+        max_speed: C-space speed limit (units/s).
+        max_accel: C-space acceleration limit (units/s^2).
+
+    Raises ValueError on degenerate inputs.
+    """
+    if len(path) < 2:
+        raise ValueError("path must contain at least two waypoints")
+    if max_speed <= 0 or max_accel <= 0:
+        raise ValueError("speed and acceleration limits must be positive")
+    segments: List[TrajectorySegment] = []
+    for a, b in zip(path[:-1], path[1:]):
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        length = float(np.linalg.norm(b - a))
+        if length <= 1e-12:
+            continue
+        # Distance needed to reach max_speed and brake again.
+        ramp_distance = max_speed**2 / max_accel
+        if length >= ramp_distance:
+            # Trapezoid: ramp up, cruise, ramp down.
+            ramp_time = max_speed / max_accel
+            cruise = (length - ramp_distance) / max_speed
+            duration = 2.0 * ramp_time + cruise
+            peak = max_speed
+        else:
+            # Triangle: never reaches max_speed.
+            peak = math.sqrt(length * max_accel)
+            duration = 2.0 * peak / max_accel
+            cruise = 0.0
+        segments.append(
+            TrajectorySegment(
+                start=a, end=b, duration=duration, peak_speed=peak, cruise_time=cruise
+            )
+        )
+    if not segments:
+        raise ValueError("path has zero length")
+    return Trajectory(segments=tuple(segments))

@@ -1,0 +1,164 @@
+"""The EXP-tree: RRT\\*'s exploration tree with cost propagation.
+
+The EXP-tree stores every accepted configuration (node), its parent edge,
+and its cost-to-come from the start configuration.  The Tree Refinement
+stage rewires edges when a cheaper route through a new node exists
+(Section II-B); rewiring must propagate the cost improvement to the whole
+affected subtree, which this implementation does eagerly so path costs are
+always consistent (a tested invariant).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+import numpy as np
+
+
+class ExpTree:
+    """Exploration tree rooted at the start configuration.
+
+    Node 0 is always the root.  Node ids are dense integers in insertion
+    order, matching how the hardware addresses the EXP Node SRAM.
+    """
+
+    def __init__(self, root_config: np.ndarray):
+        root = np.asarray(root_config, dtype=float)
+        if root.ndim != 1:
+            raise ValueError("root configuration must be 1-D")
+        self.dim = root.shape[0]
+        self._points: List[np.ndarray] = [root]
+        self._parent: List[Optional[int]] = [None]
+        self._cost: List[float] = [0.0]
+        self._children: List[Set[int]] = [set()]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def root(self) -> int:
+        return 0
+
+    def point(self, node_id: int) -> np.ndarray:
+        """Configuration stored at ``node_id``."""
+        return self._points[node_id]
+
+    def parent(self, node_id: int) -> Optional[int]:
+        """Parent id, or None for the root."""
+        return self._parent[node_id]
+
+    def cost(self, node_id: int) -> float:
+        """Cost-to-come from the root."""
+        return self._cost[node_id]
+
+    def children(self, node_id: int) -> Set[int]:
+        """Ids of direct children."""
+        return set(self._children[node_id])
+
+    def add(self, point: np.ndarray, parent_id: int, edge_cost: float) -> int:
+        """Append a node under ``parent_id``; returns the new node id."""
+        point = np.asarray(point, dtype=float)
+        if point.shape != (self.dim,):
+            raise ValueError(f"point must have shape ({self.dim},), got {point.shape}")
+        if not 0 <= parent_id < len(self._points):
+            raise IndexError(f"parent id {parent_id} out of range")
+        if edge_cost < 0:
+            raise ValueError("edge cost must be non-negative")
+        node_id = len(self._points)
+        self._points.append(point)
+        self._parent.append(parent_id)
+        self._cost.append(self._cost[parent_id] + edge_cost)
+        self._children.append(set())
+        self._children[parent_id].add(node_id)
+        return node_id
+
+    def rewire(self, node_id: int, new_parent_id: int, new_edge_cost: float) -> None:
+        """Reattach ``node_id`` under ``new_parent_id`` and propagate costs.
+
+        Raises ValueError when the rewiring would create a cycle (the new
+        parent is a descendant of the node), which a correct planner never
+        attempts but tests and the validator guard against.
+        """
+        if node_id == self.root:
+            raise ValueError("cannot rewire the root")
+        if new_edge_cost < 0:
+            raise ValueError("edge cost must be non-negative")
+        if self._is_descendant(new_parent_id, of=node_id):
+            raise ValueError(f"rewiring {node_id} under {new_parent_id} would create a cycle")
+        old_parent = self._parent[node_id]
+        if old_parent is not None:
+            self._children[old_parent].discard(node_id)
+        self._parent[node_id] = new_parent_id
+        self._children[new_parent_id].add(node_id)
+        new_cost = self._cost[new_parent_id] + new_edge_cost
+        delta = new_cost - self._cost[node_id]
+        self._propagate_delta(node_id, delta)
+
+    def _is_descendant(self, candidate: int, of: int) -> bool:
+        if candidate == of:
+            return True
+        stack = [of]
+        while stack:
+            current = stack.pop()
+            for child in self._children[current]:
+                if child == candidate:
+                    return True
+                stack.append(child)
+        return False
+
+    def _propagate_delta(self, node_id: int, delta: float) -> None:
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            self._cost[current] += delta
+            stack.extend(self._children[current])
+
+    def path_to(self, node_id: int) -> List[np.ndarray]:
+        """Configurations from the root to ``node_id`` (inclusive)."""
+        path: List[np.ndarray] = []
+        current: Optional[int] = node_id
+        while current is not None:
+            path.append(self._points[current])
+            current = self._parent[current]
+        path.reverse()
+        return path
+
+    def nodes(self) -> Iterator[int]:
+        """All node ids in insertion order."""
+        return iter(range(len(self._points)))
+
+    def depth(self, node_id: int) -> int:
+        """Number of edges from the root to ``node_id``."""
+        depth = 0
+        current = self._parent[node_id]
+        while current is not None:
+            depth += 1
+            current = self._parent[current]
+        return depth
+
+    def validate(self) -> None:
+        """Raise AssertionError when a structural invariant is broken.
+
+        Invariants: parent/child agreement, acyclicity (every node reaches
+        the root), and cost consistency (cost = parent cost + edge length).
+        """
+        n = len(self._points)
+        for node_id in range(1, n):
+            parent = self._parent[node_id]
+            assert parent is not None, f"non-root node {node_id} has no parent"
+            assert node_id in self._children[parent], "parent/child mismatch"
+            edge = float(np.linalg.norm(self._points[node_id] - self._points[parent]))
+            expected = self._cost[parent] + edge
+            assert abs(self._cost[node_id] - expected) < 1e-6, (
+                f"cost inconsistency at node {node_id}: "
+                f"{self._cost[node_id]} != {expected}"
+            )
+        # Acyclicity: walking up from every node must terminate at the root.
+        for node_id in range(n):
+            seen = set()
+            current: Optional[int] = node_id
+            while current is not None:
+                assert current not in seen, f"cycle through node {current}"
+                seen.add(current)
+                current = self._parent[current]
+            assert 0 in seen, f"node {node_id} does not reach the root"

@@ -1,0 +1,87 @@
+"""Planning environments: workspace, obstacles, and task definitions.
+
+Section V evaluates in a simulated workspace of size 300x300(x300) with
+8/16/32/48 randomly placed OBB obstacles (3D size up to 30x30x50, 2D up to
+30x30, random orientations).  Obstacles arrive in OBB format (the output of
+a perception front-end); the AABB forms consumed by the first-stage checker
+are derived from the OBBs, mirroring how MOPED fills its AABB SRAM from the
+obstacle OBB SRAM (Section V, "Environmental Settings").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.geometry.obb import OBB
+from repro.spatial.rtree import RTree
+
+
+@dataclass(frozen=True)
+class Environment:
+    """A static workspace populated with OBB obstacles.
+
+    Attributes:
+        workspace_dim: 2 or 3.
+        size: side length of the (square/cubic) workspace.
+        obstacles: obstacle OBBs, as produced by perception.
+    """
+
+    workspace_dim: int
+    size: float
+    obstacles: tuple
+
+    def __init__(self, workspace_dim: int, size: float, obstacles: Sequence[OBB]):
+        if workspace_dim not in (2, 3):
+            raise ValueError("workspace_dim must be 2 or 3")
+        if size <= 0:
+            raise ValueError("size must be positive")
+        for obstacle in obstacles:
+            if obstacle.dim != workspace_dim:
+                raise ValueError(
+                    f"obstacle dim {obstacle.dim} != workspace dim {workspace_dim}"
+                )
+        object.__setattr__(self, "workspace_dim", workspace_dim)
+        object.__setattr__(self, "size", float(size))
+        object.__setattr__(self, "obstacles", tuple(obstacles))
+
+    @cached_property
+    def obstacle_aabbs(self) -> List[AABB]:
+        """Derived AABB representation of every obstacle (the AABB SRAM)."""
+        return [obstacle.to_aabb() for obstacle in self.obstacles]
+
+    @cached_property
+    def rtree(self) -> RTree:
+        """STR-packed R-tree over the obstacle AABBs (built offline)."""
+        return RTree(self.obstacle_aabbs)
+
+    @property
+    def num_obstacles(self) -> int:
+        return len(self.obstacles)
+
+    def bounds(self) -> AABB:
+        """The workspace as an AABB."""
+        return AABB(np.zeros(self.workspace_dim), np.full(self.workspace_dim, self.size))
+
+
+@dataclass(frozen=True)
+class PlanningTask:
+    """One planning problem: a robot, an environment, and start/goal configs."""
+
+    robot_name: str
+    environment: Environment
+    start: np.ndarray
+    goal: np.ndarray
+    task_id: int = 0
+
+    def __post_init__(self) -> None:
+        start = np.asarray(self.start, dtype=float)
+        goal = np.asarray(self.goal, dtype=float)
+        if start.shape != goal.shape or start.ndim != 1:
+            raise ValueError("start and goal must be matching 1-D configurations")
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "goal", goal)

@@ -1,0 +1,149 @@
+"""Axis-aligned bounding boxes (AABB) in arbitrary dimension.
+
+AABBs serve two roles in MOPED:
+
+* the node bounding method of the obstacle R-tree (first-stage collision
+  filter, Section III-A) and of the SI-MBR-Tree (Section III-B), and
+* the coarse obstacle representation whose spatial information is stored in
+  the AABB SRAM (6 16-bit values for 3D, 4 for 2D: min/max per axis are
+  derivable from centre + halfwidth; Section IV-A).
+
+We store an AABB as ``lo``/``hi`` corner vectors, the natural form for both
+MINDIST and the R-tree MBR arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AABB:
+    """An axis-aligned box ``[lo, hi]`` in ``dim`` dimensions.
+
+    Attributes:
+        lo: minimum corner, shape ``(dim,)``.
+        hi: maximum corner, shape ``(dim,)``.
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        lo = np.asarray(self.lo, dtype=float)
+        hi = np.asarray(self.hi, dtype=float)
+        if lo.shape != hi.shape or lo.ndim != 1:
+            raise ValueError(f"corner shapes must match and be 1-D, got {lo.shape}/{hi.shape}")
+        if np.any(lo > hi):
+            raise ValueError(f"AABB lo must be <= hi componentwise, got lo={lo}, hi={hi}")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    @property
+    def dim(self) -> int:
+        """Number of spatial dimensions."""
+        return self.lo.shape[0]
+
+    @property
+    def center(self) -> np.ndarray:
+        """Centre point of the box."""
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def half_extents(self) -> np.ndarray:
+        """Positive halfwidth extents along each axis."""
+        return (self.hi - self.lo) / 2.0
+
+    @property
+    def extents(self) -> np.ndarray:
+        """Full side lengths along each axis."""
+        return self.hi - self.lo
+
+    def volume(self) -> float:
+        """Hyper-volume (area in 2D) of the box.
+
+        This is the quantity minimised by the conventional R-tree insertion's
+        *area enlargement* criterion (Section III-C, Fig 9).
+        """
+        return float(np.prod(self.hi - self.lo))
+
+    def margin(self) -> float:
+        """Sum of side lengths (the R*-tree "margin" metric)."""
+        return float(np.sum(self.hi - self.lo))
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        """Return True when ``point`` lies inside or on the boundary."""
+        point = np.asarray(point, dtype=float)
+        return bool(np.all(point >= self.lo) and np.all(point <= self.hi))
+
+    def contains_aabb(self, other: "AABB") -> bool:
+        """Return True when ``other`` is fully inside this box."""
+        return bool(np.all(other.lo >= self.lo) and np.all(other.hi <= self.hi))
+
+    def intersects(self, other: "AABB") -> bool:
+        """Interval-overlap test on every axis (the AABB-AABB SAT).
+
+        Implemented as a scalar loop: the boxes here are 2-13 dimensional,
+        where per-axis early exit beats vectorised comparison dispatch.
+        """
+        a_lo, a_hi, b_lo, b_hi = self.lo, self.hi, other.lo, other.hi
+        for i in range(a_lo.shape[0]):
+            if a_lo[i] > b_hi[i] or b_lo[i] > a_hi[i]:
+                return False
+        return True
+
+    def union(self, other: "AABB") -> "AABB":
+        """Smallest AABB enclosing both boxes."""
+        return AABB(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def expanded_to(self, point: np.ndarray) -> "AABB":
+        """Smallest AABB enclosing this box and ``point``."""
+        point = np.asarray(point, dtype=float)
+        return AABB(np.minimum(self.lo, point), np.maximum(self.hi, point))
+
+    def enlargement(self, point: np.ndarray) -> float:
+        """Volume increase needed to absorb ``point``.
+
+        This is the per-level cost the conventional insertion evaluates and
+        the O(1) steering-informed insertion avoids (Section III-C).
+        """
+        return self.expanded_to(point).volume() - self.volume()
+
+    def corners(self) -> np.ndarray:
+        """All 2^dim corner points, shape ``(2**dim, dim)``."""
+        dim = self.dim
+        out = np.empty((2**dim, dim))
+        for i in range(2**dim):
+            for d in range(dim):
+                out[i, d] = self.hi[d] if (i >> d) & 1 else self.lo[d]
+        return out
+
+    @staticmethod
+    def from_center(center: Sequence[float], half_extents: Sequence[float]) -> "AABB":
+        """Build from centre + halfwidth extents (the SRAM layout of IV-A)."""
+        center = np.asarray(center, dtype=float)
+        half_extents = np.asarray(half_extents, dtype=float)
+        if np.any(half_extents < 0):
+            raise ValueError("half extents must be non-negative")
+        return AABB(center - half_extents, center + half_extents)
+
+
+def aabb_of_points(points: np.ndarray) -> AABB:
+    """Minimum bounding rectangle of a point set, shape ``(n, dim)``."""
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError("need a non-empty (n, dim) array of points")
+    return AABB(points.min(axis=0), points.max(axis=0))
+
+
+def aabb_union(boxes: Iterable[AABB]) -> AABB:
+    """Minimum bounding rectangle of several AABBs."""
+    boxes = list(boxes)
+    if not boxes:
+        raise ValueError("need at least one box")
+    lo = np.minimum.reduce([b.lo for b in boxes])
+    hi = np.maximum.reduce([b.hi for b in boxes])
+    return AABB(lo, hi)

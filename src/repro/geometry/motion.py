@@ -1,0 +1,44 @@
+"""Swept-movement discretisation for collision checking.
+
+RRT\\* must verify that a planned movement is collision free *during the
+entire movement course* (Section II-C), not just at its endpoints.  Like the
+paper's checker, we discretise the configuration-space segment between two
+configurations at a fixed resolution and check the robot's body boxes at
+every intermediate configuration.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def motion_steps(start: np.ndarray, end: np.ndarray, resolution: float) -> int:
+    """Number of intermediate configurations for a movement check.
+
+    The count is ``ceil(||end - start|| / resolution)`` with a minimum of 1,
+    so even a zero-length movement is checked once (at the endpoint).
+    """
+    if resolution <= 0:
+        raise ValueError("resolution must be positive")
+    start = np.asarray(start, dtype=float)
+    end = np.asarray(end, dtype=float)
+    dist = float(np.linalg.norm(end - start))
+    return max(1, int(math.ceil(dist / resolution)))
+
+
+def interpolate_configs(start: np.ndarray, end: np.ndarray, resolution: float) -> np.ndarray:
+    """Configurations along the straight C-space segment from start to end.
+
+    Returns ``(k, dim)`` with ``k = motion_steps(...) + 1`` rows including
+    both endpoints.  The checker walks these from the ``start`` side so that
+    collisions near the tree are detected after the fewest checks.
+    """
+    start = np.asarray(start, dtype=float)
+    end = np.asarray(end, dtype=float)
+    if start.shape != end.shape:
+        raise ValueError("configuration shapes must match")
+    steps = motion_steps(start, end, resolution)
+    fractions = np.linspace(0.0, 1.0, steps + 1)
+    return start[None, :] + fractions[:, None] * (end - start)[None, :]

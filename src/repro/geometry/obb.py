@@ -1,0 +1,131 @@
+"""Oriented bounding boxes (OBB) in 2D and 3D.
+
+OBBs are MOPED's tight-fitting bounding method (Section II-A).  The hardware
+stores a 3D OBB as 15 16-bit values (3 centre + 3 halfwidth + 9 rotation) and
+a 2D OBB as 8 values (2 + 2 + 4); Section IV-A.  We mirror that layout in
+:meth:`OBB.to_values` / :meth:`OBB.from_values` so the memory model can count
+SRAM words exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.geometry.rotations import is_rotation_matrix
+
+
+@dataclass(frozen=True)
+class OBB:
+    """An oriented box: ``center`` + ``half_extents`` in a rotated frame.
+
+    Attributes:
+        center: box centre in world coordinates, shape ``(dim,)``.
+        half_extents: positive halfwidths along the box's local axes.
+        rotation: ``(dim, dim)`` rotation whose *columns* are the local axes
+            expressed in world coordinates.
+    """
+
+    center: np.ndarray
+    half_extents: np.ndarray
+    rotation: np.ndarray
+
+    def __post_init__(self) -> None:
+        center = np.asarray(self.center, dtype=float)
+        half = np.asarray(self.half_extents, dtype=float)
+        rot = np.asarray(self.rotation, dtype=float)
+        dim = center.shape[0]
+        if center.ndim != 1 or dim not in (2, 3):
+            raise ValueError(f"OBB supports 2D/3D, got center shape {center.shape}")
+        if half.shape != (dim,) or np.any(half < 0):
+            raise ValueError("half_extents must be non-negative with the same dim as center")
+        if rot.shape != (dim, dim):
+            raise ValueError(f"rotation must be ({dim},{dim}), got {rot.shape}")
+        object.__setattr__(self, "center", center)
+        object.__setattr__(self, "half_extents", half)
+        object.__setattr__(self, "rotation", rot)
+
+    @property
+    def dim(self) -> int:
+        """Number of spatial dimensions (2 or 3)."""
+        return self.center.shape[0]
+
+    @property
+    def axes(self) -> np.ndarray:
+        """Local axes as columns of the rotation matrix."""
+        return self.rotation
+
+    def volume(self) -> float:
+        """Hyper-volume of the box."""
+        return float(np.prod(2.0 * self.half_extents))
+
+    def corners(self) -> np.ndarray:
+        """All 2^dim world-space corner points, shape ``(2**dim, dim)``."""
+        dim = self.dim
+        out = np.empty((2**dim, dim))
+        for i in range(2**dim):
+            signs = np.array([1.0 if (i >> d) & 1 else -1.0 for d in range(dim)])
+            out[i] = self.center + self.rotation @ (signs * self.half_extents)
+        return out
+
+    def to_aabb(self) -> AABB:
+        """Tightest AABB containing this OBB.
+
+        This is how MOPED derives the AABB SRAM contents from the OBB-format
+        obstacle data received from perception (Section V): the world-frame
+        halfwidth along axis *i* is ``sum_j |R[i, j]| * e_j``.
+        """
+        world_half = np.abs(self.rotation) @ self.half_extents
+        return AABB(self.center - world_half, self.center + world_half)
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        """Return True when ``point`` is inside or on the boundary."""
+        local = self.rotation.T @ (np.asarray(point, dtype=float) - self.center)
+        return bool(np.all(np.abs(local) <= self.half_extents + 1e-12))
+
+    def transformed(self, rotation: np.ndarray, translation: np.ndarray) -> "OBB":
+        """Return this OBB rigidly transformed by (rotation, translation).
+
+        Used by the arm forward kinematics to place link-local OBBs in the
+        workspace for collision checking.
+        """
+        rotation = np.asarray(rotation, dtype=float)
+        translation = np.asarray(translation, dtype=float)
+        return OBB(
+            rotation @ self.center + translation,
+            self.half_extents,
+            rotation @ self.rotation,
+        )
+
+    def to_values(self) -> np.ndarray:
+        """Flatten to the SRAM word layout of Section IV-A.
+
+        3D: ``[cx, cy, cz, ex, ey, ez, r00..r22]`` (15 values);
+        2D: ``[cx, cy, ex, ey, r00, r01, r10, r11]`` (8 values).
+        """
+        return np.concatenate([self.center, self.half_extents, self.rotation.ravel()])
+
+    @staticmethod
+    def from_values(values: Sequence[float], dim: int) -> "OBB":
+        """Inverse of :meth:`to_values`."""
+        values = np.asarray(values, dtype=float)
+        expected = dim + dim + dim * dim
+        if values.shape != (expected,):
+            raise ValueError(f"expected {expected} values for {dim}D OBB, got {values.shape}")
+        return OBB(
+            values[:dim],
+            values[dim : 2 * dim],
+            values[2 * dim :].reshape(dim, dim),
+        )
+
+    def is_valid(self) -> bool:
+        """Return True when the rotation part is a proper rotation matrix."""
+        return is_rotation_matrix(self.rotation, atol=1e-6)
+
+
+def obb_from_aabb(box: AABB) -> OBB:
+    """Represent an AABB as an identity-rotation OBB."""
+    return OBB(box.center, box.half_extents, np.eye(box.dim))

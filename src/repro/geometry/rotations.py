@@ -1,0 +1,91 @@
+"""Rotation-matrix helpers for 2D and 3D oriented bounding boxes.
+
+The MOPED hardware encodes an OBB's orientation as an explicit rotation
+matrix (9 values for 3D, 4 for 2D; Section IV-A).  These helpers build
+those matrices from compact angle parameterisations and sample random
+orientations for the workload generator (Section V).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+
+def rotation_2d(theta: float) -> np.ndarray:
+    """Return the 2x2 rotation matrix for a counter-clockwise angle ``theta``.
+
+    Columns are the box's local x/y axes expressed in world coordinates.
+    """
+    c, s = math.cos(theta), math.sin(theta)
+    return np.array([[c, -s], [s, c]], dtype=float)
+
+
+def rotation_from_euler(yaw: float, pitch: float = 0.0, roll: float = 0.0) -> np.ndarray:
+    """Return the 3x3 rotation matrix for intrinsic Z-Y-X Euler angles.
+
+    ``yaw`` rotates about z, ``pitch`` about y, ``roll`` about x, matching the
+    paper's 3D drone parameterisation (yaw, pitch, roll; Section V).
+    """
+    cy, sy = math.cos(yaw), math.sin(yaw)
+    cp, sp = math.cos(pitch), math.sin(pitch)
+    cr, sr = math.cos(roll), math.sin(roll)
+    rz = np.array([[cy, -sy, 0.0], [sy, cy, 0.0], [0.0, 0.0, 1.0]])
+    ry = np.array([[cp, 0.0, sp], [0.0, 1.0, 0.0], [-sp, 0.0, cp]])
+    rx = np.array([[1.0, 0.0, 0.0], [0.0, cr, -sr], [0.0, sr, cr]])
+    return rz @ ry @ rx
+
+
+def rotation_about_axis(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Return the 3x3 rotation of ``angle`` radians about a unit ``axis``.
+
+    Uses the Rodrigues formula; used by the serial-arm forward kinematics.
+    """
+    axis = np.asarray(axis, dtype=float)
+    norm = np.linalg.norm(axis)
+    if norm == 0.0:
+        raise ValueError("rotation axis must be non-zero")
+    x, y, z = axis / norm
+    c, s = math.cos(angle), math.sin(angle)
+    t = 1.0 - c
+    return np.array(
+        [
+            [t * x * x + c, t * x * y - s * z, t * x * z + s * y],
+            [t * x * y + s * z, t * y * y + c, t * y * z - s * x],
+            [t * x * z - s * y, t * y * z + s * x, t * z * z + c],
+        ]
+    )
+
+
+def random_rotation_2d(rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Sample a uniformly random 2D rotation matrix."""
+    rng = rng if rng is not None else np.random.default_rng()
+    return rotation_2d(rng.uniform(-math.pi, math.pi))
+
+
+def random_rotation_3d(rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Sample a uniformly random 3D rotation matrix (via random quaternion)."""
+    rng = rng if rng is not None else np.random.default_rng()
+    q = rng.normal(size=4)
+    q /= np.linalg.norm(q)
+    w, x, y, z = q
+    return np.array(
+        [
+            [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+            [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+            [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+        ]
+    )
+
+
+def is_rotation_matrix(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """Return True when ``matrix`` is a proper rotation (orthonormal, det=+1)."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.shape not in ((2, 2), (3, 3)):
+        return False
+    identity = np.eye(matrix.shape[0])
+    if not np.allclose(matrix @ matrix.T, identity, atol=atol):
+        return False
+    return bool(abs(np.linalg.det(matrix) - 1.0) <= atol)

@@ -1,0 +1,69 @@
+"""Hardware models: the MOPED accelerator and its Section V-B baselines.
+
+* :class:`~repro.hardware.engine.MopedAccelerator` — the Fig 11 engine with
+  speculate-and-repair pipelining and three-level caching.
+* :mod:`repro.hardware.baselines` — CPU, RRT\\* ASIC, RRT\\* ASIC + CODAcc.
+* :mod:`repro.hardware.params` — the 28 nm design point (168 MACs, 198 KB
+  SRAM, 0.62 mm^2, 137.5 mW @ 1 GHz) and baseline platform parameters.
+"""
+
+from repro.hardware.baselines import (
+    asic_report,
+    codacc_report,
+    cpu_report,
+    run_asic_baseline,
+    run_codacc_baseline,
+    run_cpu_baseline,
+)
+from repro.hardware.conflict import ConflictReport, analyze_bank_conflicts
+from repro.hardware.engine import HardwareRunResult, MopedAccelerator
+from repro.hardware.eventsim import EventSimResult, MopedEventSimulator, format_timeline
+from repro.hardware.memory import CacheReport, LRUCache, MemorySystem, SRAMBank
+from repro.hardware.params import (
+    AsicParams,
+    CodaccParams,
+    CpuParams,
+    MopedHardwareParams,
+    SRAM_BANKS_KB,
+    sram_access_energy_j,
+)
+from repro.hardware.pipeline import (
+    PipelineReport,
+    serialized_latency_cycles,
+    snr_latency_cycles,
+)
+from repro.hardware.report import PerfReport, format_comparison
+from repro.hardware.technology import TechnologyModel, consistency_report
+
+__all__ = [
+    "AsicParams",
+    "asic_report",
+    "codacc_report",
+    "cpu_report",
+    "CacheReport",
+    "ConflictReport",
+    "analyze_bank_conflicts",
+    "CodaccParams",
+    "CpuParams",
+    "EventSimResult",
+    "HardwareRunResult",
+    "MopedEventSimulator",
+    "format_timeline",
+    "LRUCache",
+    "MemorySystem",
+    "MopedAccelerator",
+    "MopedHardwareParams",
+    "PerfReport",
+    "PipelineReport",
+    "SRAMBank",
+    "TechnologyModel",
+    "consistency_report",
+    "SRAM_BANKS_KB",
+    "format_comparison",
+    "run_asic_baseline",
+    "run_codacc_baseline",
+    "run_cpu_baseline",
+    "serialized_latency_cycles",
+    "snr_latency_cycles",
+    "sram_access_energy_j",
+]

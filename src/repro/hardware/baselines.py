@@ -1,0 +1,172 @@
+"""Baseline platform models: CPU, RRT\\* ASIC, and RRT\\* ASIC + CODAcc.
+
+Each baseline executes the *original* RRT\\* algorithm (brute nearest
+neighbor, exhaustive collision checking) and converts the resulting
+operation stream into latency and energy on its platform parameters
+(Section V-B):
+
+* :func:`run_cpu_baseline` — the RTRBench-style C++ software planner on an
+  AMD EPYC 7601.
+* :func:`run_asic_baseline` — a fixed-function RRT\\* accelerator with the
+  same compute/memory resources as MOPED, tree extension and refinement
+  overlapped (the [78]-style architecture) but no sampling-level overlap.
+* :func:`run_codacc_baseline` — the ASIC with four CODAcc occupancy-grid
+  collision accelerators; the occupancy grid lives off-chip on a host CPU
+  whose costs are excluded (paper footnote 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import PlannerConfig, baseline_config
+from repro.core.counters import mac_cost
+from repro.core.metrics import PlanResult
+from repro.core.robots import RobotModel
+from repro.core.rrtstar import RRTStarPlanner
+from repro.core.world import PlanningTask
+from repro.hardware.params import AsicParams, CodaccParams, CpuParams, sram_access_energy_j
+from repro.hardware.report import PerfReport
+
+
+def _run_plan(robot: RobotModel, task: PlanningTask, config: PlannerConfig) -> PlanResult:
+    return RRTStarPlanner(robot, task, config).plan()
+
+
+def _sram_energy_estimate(plan: PlanResult, dof: int, workspace_dim: int) -> float:
+    """Rough SRAM energy for a baseline accelerator's op stream.
+
+    Each neighbor-search distance reads one node record (``dof`` words) and
+    each SAT check reads one obstacle record from a ~64 KB bank.
+    """
+    events = plan.counter.events
+    per_word = sram_access_energy_j(64.0)
+    obb_words = 15 if workspace_dim == 3 else 8
+    aabb_words = 6 if workspace_dim == 3 else 4
+    words = (
+        events.get("dist", 0) * dof
+        + events.get("sat_obb_obb", 0) * obb_words
+        + events.get("sat_aabb_obb", 0) * aabb_words
+        + events.get("cost_update", 0) * 2
+    )
+    return words * per_word
+
+
+def cpu_report(plan: PlanResult, params: Optional[CpuParams] = None) -> PerfReport:
+    """Convert an RRT\\* op stream into the EPYC 7601 software cost model."""
+    params = params if params is not None else CpuParams()
+    cycles = plan.total_macs * params.cycles_per_mac
+    latency = cycles / params.frequency_hz
+    return PerfReport(
+        platform="CPU (EPYC 7601)",
+        latency_s=latency,
+        energy_j=latency * params.power_w,
+        area_mm2=213.0,  # one Zeppelin die; only used for area-efficiency ratios
+    )
+
+
+def run_cpu_baseline(
+    robot: RobotModel,
+    task: PlanningTask,
+    config: Optional[PlannerConfig] = None,
+    params: Optional[CpuParams] = None,
+) -> tuple:
+    """Original RRT\\* on the EPYC 7601 software model.
+
+    Returns ``(PlanResult, PerfReport)``.
+    """
+    config = config if config is not None else baseline_config()
+    plan = _run_plan(robot, task, config)
+    return plan, cpu_report(plan, params)
+
+
+def _asic_cycles(plan: PlanResult, params: AsicParams) -> float:
+    """Serialized per-round schedule with extension/refinement overlap.
+
+    NS and CC run back to back within a round (the inter-round dependency
+    of Section II-C); refinement's cost updates overlap the NS unit.
+    """
+    total = 0.0
+    for record in plan.rounds:
+        ns = (record.ns_macs + record.maint_macs) / params.ns_unit_macs
+        refine = record.other_macs / params.refine_unit_macs
+        cc = record.cc_macs / params.cc_unit_macs
+        total += max(ns, refine) + cc
+    return total
+
+
+def asic_report(
+    plan: PlanResult, robot: RobotModel, params: Optional[AsicParams] = None
+) -> PerfReport:
+    """Convert an RRT\\* op stream into the fixed-function ASIC cost model."""
+    params = params if params is not None else AsicParams()
+    cycles = _asic_cycles(plan, params)
+    latency = cycles / params.frequency_hz
+    energy = cycles * params.energy_per_cycle_j + _sram_energy_estimate(
+        plan, robot.dof, robot.workspace_dim
+    )
+    return PerfReport(
+        platform="RRT* ASIC",
+        latency_s=latency,
+        energy_j=energy,
+        area_mm2=params.area_mm2,
+    )
+
+
+def run_asic_baseline(
+    robot: RobotModel,
+    task: PlanningTask,
+    config: Optional[PlannerConfig] = None,
+    params: Optional[AsicParams] = None,
+) -> tuple:
+    """Original RRT\\* on MOPED-equivalent fixed-function hardware."""
+    config = config if config is not None else baseline_config()
+    plan = _run_plan(robot, task, config)
+    return plan, asic_report(plan, robot, params)
+
+
+def codacc_report(
+    plan: PlanResult,
+    robot: RobotModel,
+    asic_params: Optional[AsicParams] = None,
+    codacc_params: Optional[CodaccParams] = None,
+) -> PerfReport:
+    """Convert a grid-checker RRT\\* op stream into the CODAcc cost model."""
+    asic_params = asic_params if asic_params is not None else AsicParams()
+    codacc_params = codacc_params if codacc_params is not None else CodaccParams()
+    lookup_macs = mac_cost("grid_lookup", robot.workspace_dim)
+    total = 0.0
+    for record in plan.rounds:
+        ns = (record.ns_macs + record.maint_macs) / asic_params.ns_unit_macs
+        refine = record.other_macs / asic_params.refine_unit_macs
+        # CC load is voxel probes drained at the CODAcc probe rate.
+        probes = record.cc_macs / lookup_macs
+        cc = probes / codacc_params.total_probe_rate
+        total += max(ns, refine) + cc
+    latency = total / asic_params.frequency_hz
+    power = asic_params.power_w + codacc_params.extra_power_w
+    energy = total * (power / asic_params.frequency_hz) + _sram_energy_estimate(
+        plan, robot.dof, robot.workspace_dim
+    )
+    return PerfReport(
+        platform="RRT* ASIC+CODAcc",
+        latency_s=latency,
+        energy_j=energy,
+        area_mm2=asic_params.area_mm2 + codacc_params.extra_area_mm2,
+    )
+
+
+def run_codacc_baseline(
+    robot: RobotModel,
+    task: PlanningTask,
+    config: Optional[PlannerConfig] = None,
+    asic_params: Optional[AsicParams] = None,
+    codacc_params: Optional[CodaccParams] = None,
+) -> tuple:
+    """Original RRT\\* with occupancy-grid collision checking on 4 CODAccs."""
+    if config is None:
+        config = baseline_config(checker="grid")
+    elif config.checker != "grid":
+        raise ValueError("the CODAcc baseline requires the occupancy-grid checker")
+    plan = _run_plan(robot, task, config)
+    return plan, codacc_report(plan, robot, asic_params, codacc_params)

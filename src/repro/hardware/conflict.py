@@ -1,0 +1,195 @@
+"""Memory bank-conflict analysis: quantifying Section IV-C's claim.
+
+The paper motivates the module- and engine-level caches with *resource
+conflict*: the Bottom NS SRAM is hammered by the speculative neighbor
+search while the tree operator updates the same nodes, and the refinement
+module would re-read the identified neighborhood — "severe memory access
+conflict may occur".
+
+This model makes the claim measurable with a roofline-style bottleneck
+analysis.  Every round's operation events imply word traffic on each SRAM
+bank (derived from the Section IV-A record layouts).  A single-ported bank
+serves ``port_words`` 16-bit words per cycle, so per round each bank needs
+``words / port_words`` cycles.  The round's memory-bound time is the
+busiest bank; its compute-bound time comes from the unit MAC loads.  When
+the busiest bank exceeds the compute time, the difference is a *conflict
+stall* — the quantity the caches remove by redirecting traffic to private
+buffers.
+
+Cache redirection (``caches_enabled=True``) models the three levels of
+Section IV-C: the unit-level Top NS Cache absorbs ``top_hit_rate`` of
+MBR reads, the module-level trace cache absorbs the insertion/speculation
+re-reads, and the engine-level neighborhood cache absorbs refinement's
+neighborhood reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.metrics import RoundRecord
+from repro.hardware.params import MopedHardwareParams
+
+# 16-bit words moved per event, by (kind, bank); d = DoF, w = workspace dim.
+# Derived from the Section IV-A record layouts.
+
+
+def _words_per_event(kind: str, dof: int, workspace_dim: int) -> Dict[str, int]:
+    obb_words = 15 if workspace_dim == 3 else 8
+    aabb_words = 6 if workspace_dim == 3 else 4
+    table = {
+        "dist": {"bottom_ns": dof},
+        "mindist": {"bottom_ns": 2 * dof},
+        "buffer_read": {},  # served by the missing-neighbor buffer
+        "plane_compare": {"bottom_ns": 1},
+        "rebuild_item": {"bottom_ns": dof},
+        "sat_obb_obb": {"obstacle_obb": obb_words},
+        "sat_aabb_obb": {"obstacle_aabb": aabb_words},
+        "sat_aabb_aabb": {"obstacle_aabb": aabb_words},
+        "aabb_derive": {},
+        "grid_lookup": {"obstacle_aabb": 1},
+        "enlargement": {"bottom_ns": 2 * dof},
+        "mbr_update": {"bottom_ns": 2 * dof},
+        "insert_direct": {"bottom_ns": 2 * dof},
+        "split": {"bottom_ns": 4 * dof},
+        "cost_update": {"exp_struct": 2},
+        "sample": {},
+        "steer": {"exp_node": dof},
+        "fifo_op": {},
+    }
+    return table.get(kind, {})
+
+
+@dataclass
+class ConflictReport:
+    """Bank pressure and stall accounting for one planning run.
+
+    Attributes:
+        bank_cycles: total access cycles demanded per bank.
+        compute_cycles: total compute-bound cycles across rounds.
+        stall_cycles: cycles where the busiest bank exceeded compute.
+        bottleneck_bank: the bank responsible for most stalls.
+    """
+
+    bank_cycles: Dict[str, float]
+    compute_cycles: float
+    stall_cycles: float
+    bottleneck_bank: str
+
+    @property
+    def stall_fraction(self) -> float:
+        total = self.compute_cycles + self.stall_cycles
+        return self.stall_cycles / total if total > 0 else 0.0
+
+
+def analyze_bank_conflicts(
+    rounds: Sequence[RoundRecord],
+    dof: int,
+    workspace_dim: int,
+    params: Optional[MopedHardwareParams] = None,
+    caches_enabled: bool = True,
+    top_hit_rate: float = 0.85,
+    port_words: int = 16,
+    replication: Optional[Dict[str, int]] = None,
+) -> ConflictReport:
+    """Roofline bank-conflict analysis over a run's round records.
+
+    Args:
+        rounds: per-round telemetry (must carry ``events``).
+        dof / workspace_dim: the robot's dimensions (record layouts).
+        params: hardware design point (unit MAC widths).
+        caches_enabled: redirect traffic per the Section IV-C hierarchy.
+        top_hit_rate: fraction of SI-MBR MBR reads served by the Top NS
+            Cache when caches are enabled (measure with
+            :class:`~repro.hardware.memory.MemorySystem` for exact rates).
+        port_words: 16-bit words a bank port delivers per cycle (one SRAM
+            row; records are row-aligned).
+        replication: per-bank copy counts.  The small read-only obstacle
+            banks are cheap to replicate so parallel SAT lanes can stream
+            them; defaults to 4x for the AABB bank and 2x for the OBB bank.
+    """
+    if params is None:
+        params = MopedHardwareParams()
+    if not 0.0 <= top_hit_rate <= 1.0:
+        raise ValueError("top_hit_rate must be in [0, 1]")
+    if port_words < 1:
+        raise ValueError("port_words must be >= 1")
+    if replication is None:
+        replication = {"obstacle_aabb": 4, "obstacle_obb": 2}
+
+    bank_cycles: Dict[str, float] = {}
+    compute_total = 0.0
+    stall_total = 0.0
+    bank_stalls: Dict[str, float] = {}
+
+    for record in rounds:
+        events = record.events or {}
+        round_banks: Dict[str, float] = {}
+        for kind, count in events.items():
+            words = _words_per_event(kind, dof, workspace_dim)
+            for bank, per_event in words.items():
+                traffic = count * per_event
+                if caches_enabled and bank == "bottom_ns" and kind in (
+                    "dist", "mindist", "plane_compare"
+                ):
+                    # Unit-level cache absorbs the hot top of the tree.
+                    cached = traffic * top_hit_rate
+                    round_banks["top_ns_cache"] = (
+                        round_banks.get("top_ns_cache", 0.0) + cached / port_words
+                    )
+                    traffic -= cached
+                if caches_enabled and bank == "bottom_ns" and kind in (
+                    "insert_direct", "mbr_update", "split", "enlargement"
+                ):
+                    # Module-level trace cache holds the last search's nodes,
+                    # which are exactly the ones insertion touches.
+                    round_banks["trace_cache"] = (
+                        round_banks.get("trace_cache", 0.0) + traffic / port_words
+                    )
+                    continue
+                copies = replication.get(bank, 1)
+                round_banks[bank] = (
+                    round_banks.get(bank, 0.0) + traffic / port_words / copies
+                )
+        if caches_enabled and record.accepted:
+            # Engine-level cache: refinement reads the neighborhood from the
+            # cache instead of Bottom NS SRAM (8 entries x dof words).
+            round_banks["neighbor_cache"] = (
+                round_banks.get("neighbor_cache", 0.0) + 8 * dof / port_words
+            )
+        elif record.accepted:
+            round_banks["bottom_ns"] = (
+                round_banks.get("bottom_ns", 0.0) + 8 * dof / port_words
+            )
+
+        compute = (
+            record.ns_macs / params.ns_unit_macs
+            + record.cc_macs / params.cc_unit_macs
+            + record.maint_macs / params.tree_op_macs
+            + record.other_macs / params.refine_unit_macs
+        )
+        compute_total += compute
+        # Private cache buffers are multi-ported; only the big shared SRAM
+        # banks can stall the datapath.
+        shared = {
+            bank: cycles
+            for bank, cycles in round_banks.items()
+            if bank in ("bottom_ns", "exp_node", "obstacle_obb", "obstacle_aabb", "exp_struct")
+        }
+        busiest = max(shared.values(), default=0.0)
+        stall = max(0.0, busiest - compute)
+        stall_total += stall
+        if stall > 0:
+            bank = max(shared, key=shared.get)
+            bank_stalls[bank] = bank_stalls.get(bank, 0.0) + stall
+        for bank, cycles in round_banks.items():
+            bank_cycles[bank] = bank_cycles.get(bank, 0.0) + cycles
+
+    bottleneck = max(bank_stalls, key=bank_stalls.get) if bank_stalls else "none"
+    return ConflictReport(
+        bank_cycles=bank_cycles,
+        compute_cycles=compute_total,
+        stall_cycles=stall_total,
+        bottleneck_bank=bottleneck,
+    )

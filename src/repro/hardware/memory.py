@@ -1,0 +1,225 @@
+"""SRAM banks and the hierarchical multi-level caching model (Section IV-C).
+
+Three caching levels are modelled:
+
+* **Unit-level** — the Top NS Cache holds the most-recently-used top nodes
+  of the SI-MBR-Tree.  Searches walk root-to-leaf, so top nodes exhibit
+  strong temporal locality; the cache is an LRU over node uids, fed by the
+  real access trace the :class:`~repro.spatial.simbr.SIMBRTree` exposes via
+  its ``access_hook``.
+* **Module-level** — the search-trace cache keeps the non-leaf nodes the
+  last nearest-neighbor search visited.  Those same nodes are the ones the
+  insertion updates and the speculative search re-reads, so holding them
+  avoids Bottom NS SRAM port conflicts; the model counts how many accesses
+  the trace absorbs.
+* **Engine-level** — the identified-neighborhood cache hands the Tree
+  Extension Module's neighborhood result to the Tree Refinement Module
+  without re-querying NS memory; the model counts the avoided re-reads.
+
+Each absorbed access saves the difference between a Bottom NS SRAM access
+and a small-cache access, which is where the Section IV-C energy saving
+comes from.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.hardware.params import SRAM_BANKS_KB, sram_access_energy_j
+
+
+@dataclass
+class SRAMBank:
+    """One on-chip SRAM macro with access counting.
+
+    Attributes:
+        name: bank name from the Fig 11 floorplan.
+        kbytes: capacity.
+        reads / writes: 16-bit word access counts.
+    """
+
+    name: str
+    kbytes: float
+    reads: int = 0
+    writes: int = 0
+
+    def read(self, words: int = 1) -> None:
+        self.reads += words
+
+    def write(self, words: int = 1) -> None:
+        self.writes += words
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    def energy_j(self) -> float:
+        """Total access energy for this bank."""
+        return self.accesses * sram_access_energy_j(self.kbytes)
+
+
+class LRUCache:
+    """An LRU cache over opaque keys with hit/miss accounting."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, key) -> bool:
+        """Touch ``key``; returns True on hit, False on miss (and inserts)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._entries[key] = True
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class CacheReport:
+    """Hit statistics for the three caching levels plus energy accounting."""
+
+    top_cache_hits: int
+    top_cache_misses: int
+    trace_hits: int
+    neighbor_cache_reads: int
+    sram_energy_j: float
+    cache_energy_j: float
+
+    @property
+    def top_cache_hit_rate(self) -> float:
+        total = self.top_cache_hits + self.top_cache_misses
+        return self.top_cache_hits / total if total else 0.0
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.sram_energy_j + self.cache_energy_j
+
+
+class MemorySystem:
+    """The Fig 11 memory floorplan with the three-level caching strategy.
+
+    The planner's SI-MBR-Tree access trace drives the unit-level cache; the
+    module-level trace cache is approximated by replay of the previous
+    search's non-leaf visit set; engine-level neighborhood hand-off is
+    counted per accepted sample.
+
+    Args:
+        dof: robot DoF (node record = ``dof`` words, MBR = ``2*dof`` words).
+        top_cache_nodes: capacity of the Top NS Cache, in tree nodes.
+        enable_caches: with False, every access is charged to the big SRAM
+            banks (the ablation point for Section IV-C).
+    """
+
+    def __init__(self, dof: int, top_cache_nodes: int = 256, enable_caches: bool = True):
+        if dof < 1:
+            raise ValueError("dof must be >= 1")
+        self.dof = dof
+        self.enable_caches = enable_caches
+        self.banks: Dict[str, SRAMBank] = {
+            name: SRAMBank(name, kb) for name, kb in SRAM_BANKS_KB.items()
+        }
+        self.top_cache = LRUCache(top_cache_nodes)
+        self._last_trace: set = set()
+        self._current_trace: set = set()
+        self.trace_hits = 0
+        self.neighbor_cache_reads = 0
+
+    # ------------------------------------------------------------ NS traffic
+
+    def on_tree_access(self, node_uid: int, depth: int) -> None:
+        """SI-MBR-Tree access hook: one MBR read (2*dof words).
+
+        Shallow nodes hit the Top NS Cache (unit-level); nodes re-read from
+        the previous search's trace are served by the module-level trace
+        cache; everything else reads Bottom NS SRAM.
+        """
+        words = 2 * self.dof
+        if self.enable_caches:
+            if self.top_cache.access(node_uid):
+                self.banks["top_ns_cache"].read(words)
+                self._current_trace.add(node_uid)
+                return
+            if node_uid in self._last_trace:
+                self.trace_hits += 1
+                self.banks["trace_cache"].read(words)
+                self._current_trace.add(node_uid)
+                return
+        self.banks["bottom_ns"].read(words)
+        self._current_trace.add(node_uid)
+
+    def end_search(self) -> None:
+        """Rotate the module-level trace at the end of each NS query."""
+        self._last_trace = self._current_trace
+        self._current_trace = set()
+
+    # ------------------------------------------------------- other bank usage
+
+    def on_node_read(self, n: int = 1) -> None:
+        """EXP Node SRAM read of ``n`` node records."""
+        self.banks["exp_node"].read(n * self.dof)
+
+    def on_node_write(self, n: int = 1) -> None:
+        self.banks["exp_node"].write(n * self.dof)
+
+    def on_obstacle_obb_read(self, workspace_dim: int, n: int = 1) -> None:
+        words = 15 if workspace_dim == 3 else 8
+        self.banks["obstacle_obb"].read(n * words)
+
+    def on_obstacle_aabb_read(self, workspace_dim: int, n: int = 1) -> None:
+        words = 6 if workspace_dim == 3 else 4
+        self.banks["obstacle_aabb"].read(n * words)
+
+    def on_struct_update(self, n: int = 1) -> None:
+        """EXP Struct SRAM write (parent id + path cost)."""
+        self.banks["exp_struct"].write(n * 2)
+
+    def on_neighborhood_handoff(self, num_neighbors: int) -> None:
+        """Engine-level cache: refinement reads neighbors from the cache
+        instead of re-querying NS memory."""
+        words = num_neighbors * self.dof
+        if self.enable_caches:
+            self.neighbor_cache_reads += num_neighbors
+            self.banks["neighbor_cache"].read(words)
+        else:
+            self.banks["bottom_ns"].read(words)
+
+    # ---------------------------------------------------------------- report
+
+    def report(self) -> CacheReport:
+        """Summarise hits and energy across the hierarchy."""
+        cache_banks = {"top_ns_cache", "trace_cache", "neighbor_cache"}
+        sram_energy = sum(
+            bank.energy_j() for name, bank in self.banks.items() if name not in cache_banks
+        )
+        cache_energy = sum(
+            bank.energy_j() for name, bank in self.banks.items() if name in cache_banks
+        )
+        return CacheReport(
+            top_cache_hits=self.top_cache.hits,
+            top_cache_misses=self.top_cache.misses,
+            trace_hits=self.trace_hits,
+            neighbor_cache_reads=self.neighbor_cache_reads,
+            sram_energy_j=sram_energy,
+            cache_energy_j=cache_energy,
+        )

@@ -1,0 +1,147 @@
+"""Hardware parameters: the Section V-B design point and baseline platforms.
+
+The MOPED design example: 168 16-bit MACs, 198 KB on-chip SRAM, 28 nm CMOS,
+0.62 mm^2, 137.5 mW at 1000 MHz.  The simulator derives latency from
+MAC-equivalent operation counts scheduled onto the datapath units, and
+energy from cycle counts x average power plus SRAM access energy.
+
+Baselines (Section V-B):
+
+* **CPU** — AMD EPYC 7601 running the C++ RTRBench RRT\\* port.  Modelled as
+  the same operation stream executed scalar at ``cpu_cycles_per_mac``
+  effective cycles per MAC-equivalent (ILP partially offsetting memory
+  stalls and branch misprediction in pointer-heavy planner code).
+* **RRT\\* ASIC** — the original algorithm on MOPED-equivalent compute/memory
+  resources, with tree extension and refinement overlapped ([78]-style) but
+  no sampling-level parallelism.
+* **RRT\\* ASIC + CODAcc** — the ASIC with four occupancy-grid collision
+  accelerators; the >3.2 MB grid lives on an external CPU whose costs are
+  excluded, per the paper's footnote 3.
+
+All numbers are intentionally explicit dataclass fields so ablations can
+re-parameterise the models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class MopedHardwareParams:
+    """The MOPED accelerator design point (Section V-B)."""
+
+    num_macs: int = 168
+    sram_kbytes: float = 198.0
+    frequency_hz: float = 1.0e9
+    area_mm2: float = 0.62
+    power_w: float = 0.1375
+    # Datapath MAC allocation per unit: neighbor search, collision check,
+    # refinement (distance calculator + rewiring), SI-MBR-Tree operator.
+    # The collision checker gets the lion's share: SAT checks dominate the
+    # per-round MAC load (Fig 3), so balancing *cycle* loads across the
+    # pipelined units requires a wide checker datapath.
+    ns_unit_macs: int = 16
+    cc_unit_macs: int = 128
+    refine_unit_macs: int = 16
+    tree_op_macs: int = 8
+    # S&R buffers (Section IV-B): 20-deep FIFO + 5-entry missing buffer,
+    # 0.75 KB in total.
+    fifo_depth: int = 20
+    missing_buffer_entries: int = 5
+    snr_buffer_kbytes: float = 0.75
+
+    def __post_init__(self) -> None:
+        allocated = (
+            self.ns_unit_macs + self.cc_unit_macs + self.refine_unit_macs + self.tree_op_macs
+        )
+        if allocated != self.num_macs:
+            raise ValueError(
+                f"unit MAC allocation {allocated} != total MACs {self.num_macs}"
+            )
+
+    @property
+    def cycle_time_s(self) -> float:
+        return 1.0 / self.frequency_hz
+
+    @property
+    def energy_per_cycle_j(self) -> float:
+        """Average energy per active cycle (P/f)."""
+        return self.power_w / self.frequency_hz
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    """AMD EPYC 7601 software baseline model."""
+
+    frequency_hz: float = 2.2e9
+    # Effective cycles per MAC-equivalent for scalar pointer-chasing C++
+    # planner code (loads, branches, FP ops per useful MAC).
+    cycles_per_mac: float = 8.0
+    power_w: float = 90.0  # planner workload share of the 180 W socket
+
+
+@dataclass(frozen=True)
+class AsicParams:
+    """The RRT\\* ASIC baseline: MOPED-equivalent resources, no co-design."""
+
+    num_macs: int = 168
+    frequency_hz: float = 1.0e9
+    area_mm2: float = 0.60  # same compute, slightly less control logic
+    power_w: float = 0.135
+    ns_unit_macs: int = 24
+    cc_unit_macs: int = 128
+    refine_unit_macs: int = 16
+
+    @property
+    def energy_per_cycle_j(self) -> float:
+        return self.power_w / self.frequency_hz
+
+
+@dataclass(frozen=True)
+class CodaccParams:
+    """Four CODAcc occupancy-grid collision accelerators bolted on the ASIC.
+
+    Each accelerator probes ``probes_per_cycle`` grid cells per cycle — the
+    one-bit-per-cell grid packs 64 cells into every SRAM word, so a single
+    word fetch covers a 64-cell run.  The grid itself is held by an external
+    CPU whose area/power/communication costs are excluded (paper footnote 3).
+    """
+
+    num_accelerators: int = 4
+    probes_per_cycle: int = 64
+    extra_area_mm2: float = 0.14
+    extra_power_w: float = 0.031
+
+    @property
+    def total_probe_rate(self) -> float:
+        return float(self.num_accelerators * self.probes_per_cycle)
+
+
+def sram_access_energy_j(capacity_kbytes: float, word_bits: int = 16) -> float:
+    """CACTI-flavoured per-access energy for a 28 nm SRAM macro.
+
+    A simple capacity model: energy grows ~sqrt(capacity) from wordline /
+    bitline length.  Anchored at ~0.6 pJ for a 16 KB macro, 16-bit words —
+    representative of published 28 nm numbers.  Only *relative* energies
+    matter for the paper's efficiency ratios.
+    """
+    if capacity_kbytes <= 0:
+        raise ValueError("capacity must be positive")
+    base_pj = 0.6 * math.sqrt(capacity_kbytes / 16.0)
+    return base_pj * (word_bits / 16.0) * 1e-12
+
+
+# SRAM bank sizing of the Fig 11 floorplan (KB); sums to ~198 KB with the
+# small S&R buffers on top.
+SRAM_BANKS_KB = {
+    "exp_node": 64.0,       # EXP Node SRAM: d 16-bit values per node
+    "bottom_ns": 64.0,      # Bottom NS SRAM: SI-MBR-Tree MBRs (2d values)
+    "top_ns_cache": 8.0,    # cached top of the SI-MBR-Tree (unit-level)
+    "obstacle_obb": 16.0,   # OBB obstacle SRAM (15/8 values each)
+    "obstacle_aabb": 8.0,   # AABB obstacle SRAM (6/4 values each)
+    "exp_struct": 32.0,     # EXP Struct SRAM: parent ids + path costs
+    "trace_cache": 4.0,     # module-level search-trace cache
+    "neighbor_cache": 2.0,  # engine-level identified-neighborhood cache
+}

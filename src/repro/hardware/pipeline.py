@@ -1,0 +1,161 @@
+"""The speculate-and-repair pipeline timing model (Section IV-B).
+
+The serialized RRT\\* schedule runs, for every sampling round, neighbor
+search (NS) then collision check (CC) then tree maintenance back to back;
+the next round's NS cannot start until the current round fully finishes.
+
+With S&R, the Tree Extension Module launches round *i+1*'s sampling and
+(speculative) NS as soon as round *i*'s NS completes, while round *i*'s CC
+still occupies the collision checker.  A FIFO holds sampled points awaiting
+CC; the Missing Neighbors Buffer holds nodes whose insertion the speculative
+search could not see; the repair step is a handful of distance compares.
+
+This module replays a planning run's per-round unit loads
+(:class:`~repro.core.metrics.RoundRecord`) through both schedules and
+reports latency, speedup, and the peak FIFO / missing-buffer occupancies —
+the quantities behind Fig 17 and the 20-deep FIFO / 5-entry buffer sizing
+claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.metrics import RoundRecord
+from repro.hardware.params import MopedHardwareParams
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Outcome of replaying one run through the two schedules.
+
+    Attributes:
+        serial_cycles: latency of the fully serialized schedule.
+        snr_cycles: latency with speculate-and-repair overlap.
+        max_fifo_occupancy: peak number of sampled points awaiting CC.
+        max_missing_neighbors: peak in-flight insertions a speculative NS
+            missed (sizes the Missing Neighbors Buffer).
+        fifo_stall_cycles: cycles the extension module stalled because the
+            FIFO was full.
+        repair_cycles: total cycles spent in repair compares.
+    """
+
+    serial_cycles: float
+    snr_cycles: float
+    max_fifo_occupancy: int
+    max_missing_neighbors: int
+    fifo_stall_cycles: float
+    repair_cycles: float
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_cycles / self.snr_cycles if self.snr_cycles > 0 else float("inf")
+
+
+def _round_unit_cycles(record: RoundRecord, params: MopedHardwareParams):
+    """Cycles each unit needs for one round's load.
+
+    NS-side work (search + tree maintenance + sampling/steering/cost) runs
+    on the extension module's NS, tree-operator and refine units; CC work
+    runs on the collision checker.
+    """
+    ns = record.ns_macs / params.ns_unit_macs
+    ns += record.maint_macs / params.tree_op_macs
+    ns += record.other_macs / params.refine_unit_macs
+    cc = record.cc_macs / params.cc_unit_macs
+    return ns, cc
+
+
+def serialized_latency_cycles(
+    rounds: Sequence[RoundRecord], params: MopedHardwareParams
+) -> float:
+    """Latency of the dependency-respecting serial schedule."""
+    total = 0.0
+    for record in rounds:
+        ns, cc = _round_unit_cycles(record, params)
+        total += ns + cc
+    return total
+
+
+def snr_latency_cycles(
+    rounds: Sequence[RoundRecord],
+    params: MopedHardwareParams,
+    repair_cycles_per_entry: float = 1.0,
+) -> PipelineReport:
+    """Replay the speculate-and-repair schedule.
+
+    Event model: the NS pipeline processes rounds back to back (round i+1's
+    speculative NS starts when round i's NS ends, stalling only when the
+    FIFO of CC-pending samples is full); the CC unit drains the FIFO in
+    order.  A round's insertion is pending from its NS completion until its
+    CC completion; speculative searches overlapping that window must repair
+    against those pending nodes.
+    """
+    serial = serialized_latency_cycles(rounds, params)
+    ns_free = 0.0  # when the NS pipeline can accept the next round
+    cc_free = 0.0  # when the collision checker frees up
+    cc_done: List[float] = []  # per-round CC completion times
+    ns_done: List[float] = []  # per-round NS completion times
+    max_fifo = 0
+    max_missing = 0
+    stall = 0.0
+    repair_total = 0.0
+
+    for i, record in enumerate(rounds):
+        ns, cc = _round_unit_cycles(record, params)
+
+        ns_start = ns_free
+        # FIFO back-pressure: at most fifo_depth samples may await CC, so
+        # the NS pipeline waits until enough earlier CCs drain.
+        blockers = sorted(t for t in cc_done if t > ns_start)
+        if len(blockers) >= params.fifo_depth:
+            ns_start = blockers[len(blockers) - params.fifo_depth]
+        # Missing-buffer back-pressure: at most missing_buffer_entries
+        # accepted insertions may be in flight past a speculative search.
+        insert_blockers = sorted(
+            cc_done[j]
+            for j in range(i)
+            if rounds[j].accepted and cc_done[j] > ns_start
+        )
+        if len(insert_blockers) >= params.missing_buffer_entries:
+            ns_start = max(
+                ns_start,
+                insert_blockers[len(insert_blockers) - params.missing_buffer_entries],
+            )
+        stall += ns_start - ns_free
+
+        fifo_now = sum(1 for t in cc_done if t > ns_start)
+        max_fifo = max(max_fifo, fifo_now)
+
+        ns_end = ns_start + ns
+
+        # Missing neighbors: accepted rounds whose insertion (completed at
+        # their CC end) was still in flight while this NS ran.
+        missing = sum(
+            1
+            for j in range(i)
+            if rounds[j].accepted and cc_done[j] > ns_start
+        )
+        max_missing = max(max_missing, missing)
+        repair = missing * repair_cycles_per_entry
+        repair_total += repair
+        ns_end += repair
+
+        cc_start = max(ns_end, cc_free)
+        cc_end = cc_start + cc
+        cc_free = cc_end
+        ns_free = ns_end
+        ns_done.append(ns_end)
+        cc_done.append(cc_end)
+
+    total = max(cc_done[-1] if cc_done else 0.0, ns_done[-1] if ns_done else 0.0)
+    return PipelineReport(
+        serial_cycles=serial,
+        snr_cycles=total,
+        max_fifo_occupancy=max_fifo,
+        max_missing_neighbors=max_missing,
+        fifo_stall_cycles=stall,
+        repair_cycles=repair_total,
+    )

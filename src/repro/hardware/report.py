@@ -1,0 +1,73 @@
+"""Performance reports: the latency / energy / area metrics of Fig 15."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """Latency, energy and area of one platform executing one task.
+
+    The derived metrics follow the paper:
+
+    * throughput — planning tasks per second (1 / latency);
+    * energy efficiency — tasks per joule (1 / energy per task);
+    * area efficiency — throughput per mm^2.
+    """
+
+    platform: str
+    latency_s: float
+    energy_j: float
+    area_mm2: float
+
+    @property
+    def throughput_hz(self) -> float:
+        return 1.0 / self.latency_s if self.latency_s > 0 else float("inf")
+
+    @property
+    def energy_efficiency(self) -> float:
+        return 1.0 / self.energy_j if self.energy_j > 0 else float("inf")
+
+    @property
+    def area_efficiency(self) -> float:
+        return self.throughput_hz / self.area_mm2 if self.area_mm2 > 0 else float("inf")
+
+    def ratios_vs(self, baseline: "PerfReport") -> Dict[str, float]:
+        """Improvement factors of *this* platform over ``baseline``.
+
+        Matches the paper's reporting: speedup = baseline latency / ours,
+        and efficiency ratios are ours / baseline.
+        """
+        return {
+            "speedup": baseline.latency_s / self.latency_s,
+            "energy_efficiency": self.energy_efficiency / baseline.energy_efficiency,
+            "area_efficiency": self.area_efficiency / baseline.area_efficiency,
+        }
+
+    def row(self) -> str:
+        """One formatted table row."""
+        return (
+            f"{self.platform:<18} {self.latency_s * 1e3:>10.4f} ms "
+            f"{self.energy_j * 1e3:>10.5f} mJ {self.area_mm2:>7.2f} mm^2"
+        )
+
+
+def format_comparison(reports: Dict[str, PerfReport], reference: str) -> str:
+    """Format a Fig 15-style comparison table against ``reference``."""
+    if reference not in reports:
+        raise KeyError(f"reference platform {reference!r} not in reports")
+    ref = reports[reference]
+    lines = [
+        f"{'platform':<18} {'latency':>13} {'energy':>14} {'area':>11} "
+        f"{'speedup':>9} {'e-eff':>8} {'a-eff':>8}"
+    ]
+    for name, report in reports.items():
+        ratios = ref.ratios_vs(report)
+        lines.append(
+            report.row()
+            + f" {ratios['speedup']:>8.1f}x {ratios['energy_efficiency']:>7.1f}x"
+            f" {ratios['area_efficiency']:>7.1f}x"
+        )
+    return "\n".join(lines)

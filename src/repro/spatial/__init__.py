@@ -1,0 +1,27 @@
+"""Spatial index substrate for MOPED.
+
+* :mod:`repro.spatial.rtree` — static R-tree over obstacle AABBs, bulk-loaded
+  with the sort-tile-recursive (STR) algorithm; the first-stage collision
+  filter of Section III-A.
+* :mod:`repro.spatial.simbr` — the paper's steering-informed
+  minimal-bounding-rectangle tree (SI-MBR-Tree) used for neighbor search over
+  the EXP-tree nodes, with both conventional minimum-area-enlargement
+  insertion and the O(1) steering-informed insertion of Section III-C.
+* :mod:`repro.spatial.kdtree` — incremental KD-tree baseline (Fig 19 right).
+* :mod:`repro.spatial.brute` — brute-force scan baseline (vanilla RRT\\*).
+"""
+
+from repro.spatial.brute import BruteForceIndex
+from repro.spatial.octree import CollisionOctree, make_octree_checker
+from repro.spatial.kdtree import KDTree
+from repro.spatial.rtree import RTree
+from repro.spatial.simbr import SIMBRTree
+
+__all__ = [
+    "BruteForceIndex",
+    "CollisionOctree",
+    "KDTree",
+    "RTree",
+    "SIMBRTree",
+    "make_octree_checker",
+]

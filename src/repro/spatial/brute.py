@@ -1,0 +1,83 @@
+"""Brute-force nearest-neighbor index: the vanilla RRT\\* baseline.
+
+The original RRT\\* scans every node in the exploration tree for both the
+nearest-neighbor query and the neighborhood query, which is why "the search
+cost in the later growing stage will become very significant" (Section II-C).
+A growable numpy array keeps the Python-side scan fast while the counter
+records one ``dist`` operation per stored point per query — the cost model
+the hardware baselines consume.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+import numpy as np
+
+
+class BruteForceIndex:
+    """Flat array of points scanned linearly per query."""
+
+    def __init__(self, dim: int, initial_capacity: int = 1024):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = dim
+        self._points = np.empty((initial_capacity, dim), dtype=float)
+        self._keys: List[Hashable] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def insert(self, key: Hashable, point: np.ndarray, counter=None) -> None:
+        """Append a point (amortised O(1); no search structure to maintain)."""
+        point = np.asarray(point, dtype=float)
+        if point.shape != (self.dim,):
+            raise ValueError(f"point must have shape ({self.dim},), got {point.shape}")
+        n = len(self._keys)
+        if n == self._points.shape[0]:
+            grown = np.empty((2 * n, self.dim), dtype=float)
+            grown[:n] = self._points[:n]
+            self._points = grown
+        self._points[n] = point
+        self._keys.append(key)
+
+    def nearest(self, query: np.ndarray, counter=None, exclude=None):
+        """Linear-scan nearest neighbor; ``(key, point, distance)`` or None."""
+        n = len(self._keys)
+        if n == 0:
+            return None
+        query = np.asarray(query, dtype=float)
+        if counter is not None:
+            counter.record("dist", dim=self.dim, n=n)
+        diffs = self._points[:n] - query
+        d_sq = np.einsum("nd,nd->n", diffs, diffs)
+        if exclude:
+            for i, key in enumerate(self._keys):
+                if key in exclude:
+                    d_sq[i] = np.inf
+        idx = int(np.argmin(d_sq))
+        if not np.isfinite(d_sq[idx]):
+            return None
+        return self._keys[idx], self._points[idx].copy(), float(np.sqrt(d_sq[idx]))
+
+    def neighbors_within(self, query: np.ndarray, radius: float, counter=None):
+        """Linear-scan range query; list of (key, point, distance) by distance."""
+        n = len(self._keys)
+        if n == 0:
+            return []
+        query = np.asarray(query, dtype=float)
+        if counter is not None:
+            counter.record("dist", dim=self.dim, n=n)
+        diffs = self._points[:n] - query
+        d_sq = np.einsum("nd,nd->n", diffs, diffs)
+        hits = np.flatnonzero(d_sq <= radius * radius)
+        out = [
+            (self._keys[i], self._points[i].copy(), float(np.sqrt(d_sq[i]))) for i in hits
+        ]
+        out.sort(key=lambda item: item[2])
+        return out
+
+    def items(self):
+        """All (key, point) pairs."""
+        n = len(self._keys)
+        return [(self._keys[i], self._points[i].copy()) for i in range(n)]

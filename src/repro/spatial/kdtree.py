@@ -1,0 +1,190 @@
+"""Incremental KD-tree baseline for nearest-neighbor search.
+
+The Fig 19 (right) comparison point.  The tree supports incremental point
+insertion (axis cycling by depth) because RRT\\* acquires samples
+sequentially; as the paper notes (Section III-C), KD-trees degrade in this
+regime — incremental insertion produces unbalanced trees whose search visits
+many more branches, and the usual mitigation (periodic full rebuilds) costs
+extra.  Both behaviours are measurable here: searches report their operation
+counts through the same counter protocol as :class:`~repro.spatial.simbr.SIMBRTree`,
+and :meth:`KDTree.rebuild` re-balances at a recorded cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class _KDNode:
+    key: Hashable
+    point: np.ndarray
+    axis: int
+    left: Optional["_KDNode"] = None
+    right: Optional["_KDNode"] = None
+
+
+class KDTree:
+    """KD-tree over configuration-space points with incremental insertion."""
+
+    def __init__(self, dim: int):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = dim
+        self._root: Optional[_KDNode] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ---------------------------------------------------------------- insert
+
+    def insert(self, key: Hashable, point: np.ndarray, counter=None) -> None:
+        """Insert a point, descending by per-axis comparison.
+
+        Each level's comparison is recorded as a ``plane_compare`` op.
+        """
+        point = np.asarray(point, dtype=float)
+        if point.shape != (self.dim,):
+            raise ValueError(f"point must have shape ({self.dim},), got {point.shape}")
+        if self._root is None:
+            self._root = _KDNode(key, point, axis=0)
+            self._size = 1
+            return
+        node = self._root
+        while True:
+            if counter is not None:
+                counter.record("plane_compare", dim=self.dim)
+            axis = node.axis
+            next_axis = (axis + 1) % self.dim
+            if point[axis] < node.point[axis]:
+                if node.left is None:
+                    node.left = _KDNode(key, point, axis=next_axis)
+                    break
+                node = node.left
+            else:
+                if node.right is None:
+                    node.right = _KDNode(key, point, axis=next_axis)
+                    break
+                node = node.right
+        self._size += 1
+
+    def rebuild(self, counter=None) -> None:
+        """Rebuild a balanced tree from scratch (median splitting).
+
+        The cost — one ``rebuild_item`` op per stored point per level, i.e.
+        O(n log n) — is recorded so benchmarks can charge the KD baseline
+        for the periodic rebuilds dynamic data demands.
+        """
+        items = list(self.items())
+        if counter is not None and items:
+            levels = int(np.ceil(np.log2(len(items) + 1)))
+            counter.record("rebuild_item", dim=self.dim, n=len(items) * levels)
+        self._root = self._build_balanced(items, depth=0)
+
+    def _build_balanced(
+        self, items: List[Tuple[Hashable, np.ndarray]], depth: int
+    ) -> Optional[_KDNode]:
+        if not items:
+            return None
+        axis = depth % self.dim
+        items.sort(key=lambda kv: kv[1][axis])
+        mid = len(items) // 2
+        key, point = items[mid]
+        node = _KDNode(key, point, axis=axis)
+        node.left = self._build_balanced(items[:mid], depth + 1)
+        node.right = self._build_balanced(items[mid + 1 :], depth + 1)
+        return node
+
+    # ---------------------------------------------------------------- queries
+
+    def nearest(self, query: np.ndarray, counter=None, exclude=None):
+        """Exact nearest neighbor; returns ``(key, point, distance)`` or None."""
+        query = np.asarray(query, dtype=float)
+        if self._root is None:
+            return None
+        exclude = exclude or frozenset()
+        best: List = [None, None, float("inf")]
+
+        def visit(node: Optional[_KDNode]) -> None:
+            if node is None:
+                return
+            if node.key not in exclude:
+                if counter is not None:
+                    counter.record("dist", dim=self.dim)
+                d_sq = float(np.sum((node.point - query) ** 2))
+                if d_sq < best[2]:
+                    best[0], best[1], best[2] = node.key, node.point, d_sq
+            axis = node.axis
+            if counter is not None:
+                counter.record("plane_compare", dim=self.dim)
+            diff = query[axis] - node.point[axis]
+            near, far = (node.left, node.right) if diff < 0 else (node.right, node.left)
+            visit(near)
+            # The far side can only help if the splitting plane is closer
+            # than the current best ("visit substantially more branches" is
+            # exactly this test failing to prune in high dimension).
+            if diff * diff < best[2]:
+                visit(far)
+
+        visit(self._root)
+        if best[0] is None:
+            return None
+        return best[0], best[1], float(np.sqrt(best[2]))
+
+    def neighbors_within(self, query: np.ndarray, radius: float, counter=None):
+        """All entries within ``radius``; list of (key, point, distance)."""
+        query = np.asarray(query, dtype=float)
+        if self._root is None:
+            return []
+        radius_sq = radius * radius
+        out = []
+
+        def visit(node: Optional[_KDNode]) -> None:
+            if node is None:
+                return
+            if counter is not None:
+                counter.record("dist", dim=self.dim)
+            d_sq = float(np.sum((node.point - query) ** 2))
+            if d_sq <= radius_sq:
+                out.append((node.key, node.point, float(np.sqrt(d_sq))))
+            if counter is not None:
+                counter.record("plane_compare", dim=self.dim)
+            diff = query[node.axis] - node.point[node.axis]
+            near, far = (node.left, node.right) if diff < 0 else (node.right, node.left)
+            visit(near)
+            if diff * diff <= radius_sq:
+                visit(far)
+
+        visit(self._root)
+        out.sort(key=lambda item: item[2])
+        return out
+
+    # ------------------------------------------------------------ diagnostics
+
+    def items(self) -> List[Tuple[Hashable, np.ndarray]]:
+        """All (key, point) pairs in the tree."""
+        out: List[Tuple[Hashable, np.ndarray]] = []
+        stack = [self._root] if self._root else []
+        while stack:
+            node = stack.pop()
+            out.append((node.key, node.point))
+            if node.left:
+                stack.append(node.left)
+            if node.right:
+                stack.append(node.right)
+        return out
+
+    @property
+    def depth(self) -> int:
+        """Maximum depth (a balance diagnostic; log2(n) when balanced)."""
+
+        def walk(node: Optional[_KDNode]) -> int:
+            if node is None:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

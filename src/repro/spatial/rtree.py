@@ -1,0 +1,224 @@
+"""Static R-tree over obstacle bounding boxes, bulk-loaded with STR.
+
+This is the data structure behind MOPED's first-stage collision filter
+(Section III-A).  Obstacles are known before planning begins, so the tree is
+built *offline* with the sort-tile-recursive (STR) bulk-loading algorithm
+(Leutenegger et al., ICDE 1997; ref [48] of the paper); construction cost
+does not count toward planning-time operation counts.
+
+During planning, :meth:`RTree.query_obb` walks the tree from the root: each
+visited node performs one cheap AABB-OBB SAT check between the node's MBR and
+the robot's OBB.  A clear check prunes the whole subtree ("the corresponding
+collision checks ... are unnecessary and can be skipped"); an intersecting
+leaf yields its obstacle index for the accurate second-stage OBB-OBB check.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.aabb import AABB, aabb_union
+from repro.geometry.obb import OBB
+from repro.geometry.sat import aabb_intersects_obb
+
+
+@dataclass(eq=False)
+class _RNode:
+    """Internal R-tree node: an MBR plus children or leaf entry indices."""
+
+    mbr: AABB
+    children: List["_RNode"] = field(default_factory=list)
+    entries: List[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class RTree:
+    """Static R-tree over a list of AABBs, bulk-loaded with STR.
+
+    Args:
+        boxes: one AABB per obstacle; entry *i* of every query result refers
+            back to index *i* of this sequence.
+        leaf_capacity: maximum entries per leaf / children per node.
+    """
+
+    def __init__(self, boxes: Sequence[AABB], leaf_capacity: int = 8):
+        if leaf_capacity < 2:
+            raise ValueError("leaf_capacity must be >= 2")
+        self._boxes = list(boxes)
+        self._capacity = leaf_capacity
+        self._root: Optional[_RNode] = self._bulk_load() if self._boxes else None
+
+    # ------------------------------------------------------------------ build
+
+    def _bulk_load(self) -> _RNode:
+        """Sort-tile-recursive packing of all entries into a balanced tree."""
+        indices = list(range(len(self._boxes)))
+        leaves = [
+            _RNode(mbr=aabb_union([self._boxes[i] for i in chunk]), entries=list(chunk))
+            for chunk in self._str_tiles(indices)
+        ]
+        level = leaves
+        while len(level) > 1:
+            level = [
+                _RNode(mbr=aabb_union([child.mbr for child in group]), children=list(group))
+                for group in self._str_tiles_nodes(level)
+            ]
+        return level[0]
+
+    def _str_tiles(self, indices: List[int]) -> List[List[int]]:
+        """Group entry indices into leaf-sized tiles via STR."""
+        centers = np.array([self._boxes[i].center for i in indices])
+        groups = self._str_recursive(np.asarray(indices), centers, axis=0)
+        return groups
+
+    def _str_tiles_nodes(self, nodes: List[_RNode]) -> List[List[_RNode]]:
+        """Group nodes one level up using the same STR tiling on MBR centres."""
+        centers = np.array([n.mbr.center for n in nodes])
+        idx_groups = self._str_recursive(np.arange(len(nodes)), centers, axis=0)
+        return [[nodes[i] for i in group] for group in idx_groups]
+
+    def _str_recursive(self, ids: np.ndarray, centers: np.ndarray, axis: int) -> List[List[int]]:
+        """Recursively sort-and-slice along successive axes (the STR tiling)."""
+        n = len(ids)
+        if n <= self._capacity:
+            return [list(ids)]
+        dim = centers.shape[1]
+        order = np.argsort(centers[:, axis], kind="stable")
+        ids, centers = ids[order], centers[order]
+        n_tiles = math.ceil(n / self._capacity)
+        # Number of slabs along this axis: ceil(n_tiles ** (1/remaining_axes)).
+        remaining = dim - axis
+        slabs = max(1, math.ceil(n_tiles ** (1.0 / remaining)))
+        slab_size = math.ceil(n / slabs)
+        groups: List[List[int]] = []
+        for start in range(0, n, slab_size):
+            sl = slice(start, min(start + slab_size, n))
+            if axis + 1 < dim:
+                groups.extend(self._str_recursive(ids[sl], centers[sl], axis + 1))
+            else:
+                chunk_ids = ids[sl]
+                for c in range(0, len(chunk_ids), self._capacity):
+                    groups.append(list(chunk_ids[c : c + self._capacity]))
+        return groups
+
+    # ------------------------------------------------------------------ query
+
+    def query_obb(self, obb: OBB, counter=None, prefilter_aabb: Optional[AABB] = None) -> List[int]:
+        """Indices of obstacles whose AABB intersects the robot ``obb``.
+
+        Every SAT check performed during the traversal is recorded on
+        ``counter`` (any object with ``record(kind, dim=...)``), since these
+        are exactly the first-stage checks the hardware executes.
+
+        Args:
+            prefilter_aabb: the robot ``obb``'s own AABB, when the caller has
+                already derived it.  Each node is then screened with the
+                6-MAC AABB-AABB interval test first and only overlapping
+                nodes pay the AABB-OBB SAT.  The filter is conservative
+                (``AABB(robot) ⊇ robot``), so results are identical.
+        """
+        if self._root is None:
+            return []
+        dim = self._root.mbr.dim
+        hits: List[int] = []
+        stack = [self._root]
+
+        def intersects(box: AABB) -> bool:
+            if prefilter_aabb is not None:
+                if counter is not None:
+                    counter.record("sat_aabb_aabb", dim=dim)
+                if not box.intersects(prefilter_aabb):
+                    return False
+            if counter is not None:
+                counter.record("sat_aabb_obb", dim=dim)
+            return aabb_intersects_obb(box, obb)
+
+        while stack:
+            node = stack.pop()
+            if not intersects(node.mbr):
+                continue
+            if node.is_leaf:
+                for idx in node.entries:
+                    if intersects(self._boxes[idx]):
+                        hits.append(idx)
+            else:
+                stack.extend(node.children)
+        return hits
+
+    def query_aabb(self, box: AABB, counter=None) -> List[int]:
+        """Indices of obstacles whose AABB intersects the query ``box``."""
+        if self._root is None:
+            return []
+        dim = self._root.mbr.dim
+        hits: List[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if counter is not None:
+                counter.record("sat_aabb_aabb", dim=dim)
+            if not node.mbr.intersects(box):
+                continue
+            if node.is_leaf:
+                for idx in node.entries:
+                    if counter is not None:
+                        counter.record("sat_aabb_aabb", dim=dim)
+                    if self._boxes[idx].intersects(box):
+                        hits.append(idx)
+            else:
+                stack.extend(node.children)
+        return hits
+
+    # ------------------------------------------------------------- diagnostics
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    @property
+    def height(self) -> int:
+        """Tree height (1 for a single leaf root, 0 when empty)."""
+        h, node = 0, self._root
+        while node is not None:
+            h += 1
+            node = node.children[0] if node.children else None
+        return h
+
+    def iter_levels(self) -> Iterator[List[_RNode]]:
+        """Yield nodes level by level (root first); used by tests."""
+        if self._root is None:
+            return
+        level = [self._root]
+        while level:
+            yield level
+            level = [child for node in level for child in node.children]
+
+    def validate(self) -> None:
+        """Raise AssertionError when any structural invariant is broken.
+
+        Invariants: every node MBR contains its children's MBRs / entry boxes,
+        all leaves are at the same depth, and no node exceeds capacity.
+        """
+        if self._root is None:
+            return
+        depths = set()
+
+        def walk(node: _RNode, depth: int) -> None:
+            if node.is_leaf:
+                depths.add(depth)
+                assert len(node.entries) <= self._capacity, "leaf over capacity"
+                for idx in node.entries:
+                    assert node.mbr.contains_aabb(self._boxes[idx]), "leaf MBR too small"
+            else:
+                assert len(node.children) <= self._capacity, "node over capacity"
+                for child in node.children:
+                    assert node.mbr.contains_aabb(child.mbr), "node MBR too small"
+                    walk(child, depth + 1)
+
+        walk(self._root, 0)
+        assert len(depths) == 1, f"leaves at different depths: {depths}"

@@ -1,0 +1,27 @@
+"""Workload generation: the Section V evaluation environments and tasks."""
+
+from repro.workloads.dynamic import (
+    DynamicScenario,
+    MovingObstacle,
+    random_dynamic_scenario,
+)
+from repro.workloads.generator import (
+    OBSTACLE_COUNTS,
+    random_environment,
+    random_start_goal,
+    random_task,
+    task_suite,
+    narrow_passage_environment,
+)
+
+__all__ = [
+    "DynamicScenario",
+    "MovingObstacle",
+    "OBSTACLE_COUNTS",
+    "random_dynamic_scenario",
+    "narrow_passage_environment",
+    "random_environment",
+    "random_start_goal",
+    "random_task",
+    "task_suite",
+]

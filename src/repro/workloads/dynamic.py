@@ -1,0 +1,107 @@
+"""Dynamic environments: moving obstacles and replanning scenarios.
+
+Section VI contrasts MOPED with accelerators that bake the environment into
+their state: the MICRO'16 precomputed-collision design "needs hours of
+offline reset if obstacles change", and CODAcc's occupancy grid must be
+re-rasterised.  MOPED only needs its obstacle R-tree rebuilt — an STR bulk
+load over a few dozen boxes.  This module provides moving-obstacle
+scenarios so the replanning loop (:mod:`repro.core.replan`) and the
+environment-prep cost comparison can exercise that difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.world import Environment
+from repro.geometry.obb import OBB
+
+
+@dataclass(frozen=True)
+class MovingObstacle:
+    """An OBB translating at constant velocity, bouncing off the walls.
+
+    Attributes:
+        obb: the obstacle geometry at ``t = 0``.
+        velocity: workspace-units per unit time, shape ``(dim,)``.
+    """
+
+    obb: OBB
+    velocity: np.ndarray
+
+    def __post_init__(self) -> None:
+        velocity = np.asarray(self.velocity, dtype=float)
+        if velocity.shape != (self.obb.dim,):
+            raise ValueError(
+                f"velocity must be {self.obb.dim}-dimensional, got {velocity.shape}"
+            )
+        object.__setattr__(self, "velocity", velocity)
+
+    def at(self, t: float, size: float) -> OBB:
+        """Obstacle pose at time ``t``, reflecting at the workspace walls.
+
+        The centre follows a triangle wave per axis so obstacles stay inside
+        the workspace for all ``t``.
+        """
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        margin = float(np.max(self.obb.half_extents))
+        span = size - 2.0 * margin
+        if span <= 0:
+            return self.obb
+        raw = self.obb.center + self.velocity * t - margin
+        # Triangle-wave fold into [0, span].
+        period = 2.0 * span
+        folded = np.abs(np.mod(raw, period) - span)
+        folded = span - folded
+        center = folded + margin
+        return OBB(center, self.obb.half_extents, self.obb.rotation)
+
+
+@dataclass(frozen=True)
+class DynamicScenario:
+    """A workspace whose obstacles move over time."""
+
+    workspace_dim: int
+    size: float
+    obstacles: tuple
+
+    def __init__(self, workspace_dim: int, size: float, obstacles: Sequence[MovingObstacle]):
+        if workspace_dim not in (2, 3):
+            raise ValueError("workspace_dim must be 2 or 3")
+        for moving in obstacles:
+            if moving.obb.dim != workspace_dim:
+                raise ValueError("obstacle dim mismatch")
+        object.__setattr__(self, "workspace_dim", workspace_dim)
+        object.__setattr__(self, "size", float(size))
+        object.__setattr__(self, "obstacles", tuple(obstacles))
+
+    def environment_at(self, t: float) -> Environment:
+        """Static snapshot of the workspace at time ``t``."""
+        return Environment(
+            self.workspace_dim,
+            self.size,
+            [moving.at(t, self.size) for moving in self.obstacles],
+        )
+
+
+def random_dynamic_scenario(
+    workspace_dim: int,
+    num_obstacles: int,
+    seed: int = 0,
+    size: float = 300.0,
+    max_speed: float = 10.0,
+) -> DynamicScenario:
+    """A scenario with randomly placed, randomly drifting obstacles."""
+    from repro.workloads.generator import random_environment
+
+    static = random_environment(workspace_dim, num_obstacles, seed=seed, size=size)
+    rng = np.random.default_rng(seed + 4242)
+    moving = [
+        MovingObstacle(obb, rng.uniform(-max_speed, max_speed, workspace_dim))
+        for obb in static.obstacles
+    ]
+    return DynamicScenario(workspace_dim, size, moving)

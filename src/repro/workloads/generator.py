@@ -1,0 +1,193 @@
+"""Random environments and planning tasks (Section V, Environmental Settings).
+
+The paper evaluates in a 300x300(x300) workspace with 8/16/32/48 obstacles of
+random shape (3D size up to 30x30x50, 2D up to 30x30), random location and
+random orientation; 50 planning tasks per configuration with random start and
+goal configurations.  This module reproduces that protocol with seeded
+generators so every benchmark run is repeatable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.collision import BruteOBBChecker
+from repro.core.robots import RobotModel, get_robot, WORKSPACE_SIZE
+from repro.core.world import Environment, PlanningTask
+from repro.geometry.obb import OBB
+from repro.geometry.rotations import random_rotation_2d, random_rotation_3d
+
+OBSTACLE_COUNTS = (8, 16, 32, 48)
+
+# Paper limits: 3D obstacles up to 30x30x50, 2D up to 30x30 (full side lengths).
+_MAX_HALF_3D = np.array([15.0, 15.0, 25.0])
+_MAX_HALF_2D = np.array([15.0, 15.0])
+_MIN_HALF = 2.5
+
+
+def random_environment(
+    workspace_dim: int,
+    num_obstacles: int,
+    seed: int = 0,
+    size: float = WORKSPACE_SIZE,
+    clear_center: Optional[np.ndarray] = None,
+    clear_radius: float = 0.0,
+) -> Environment:
+    """Generate a workspace with randomly placed OBB obstacles.
+
+    Args:
+        workspace_dim: 2 or 3.
+        num_obstacles: obstacle count (the paper sweeps 8/16/32/48).
+        seed: RNG seed.
+        size: workspace side length.
+        clear_center / clear_radius: optionally keep a sphere free of
+            obstacle centres (used to protect an arm's base region).
+    """
+    if workspace_dim not in (2, 3):
+        raise ValueError("workspace_dim must be 2 or 3")
+    if num_obstacles < 0:
+        raise ValueError("num_obstacles must be >= 0")
+    rng = np.random.default_rng(seed)
+    max_half = _MAX_HALF_3D if workspace_dim == 3 else _MAX_HALF_2D
+    obstacles: List[OBB] = []
+    while len(obstacles) < num_obstacles:
+        half = rng.uniform(_MIN_HALF, max_half)
+        margin = float(np.max(half))
+        center = rng.uniform(margin, size - margin, workspace_dim)
+        if clear_center is not None and clear_radius > 0.0:
+            if float(np.linalg.norm(center - clear_center)) < clear_radius:
+                continue
+        rotation = (
+            random_rotation_3d(rng) if workspace_dim == 3 else random_rotation_2d(rng)
+        )
+        obstacles.append(OBB(center, half, rotation))
+    return Environment(workspace_dim, size, obstacles)
+
+
+def narrow_passage_environment(
+    workspace_dim: int = 2,
+    gap: float = 24.0,
+    size: float = WORKSPACE_SIZE,
+    bar_half_width: float = 5.0,
+    bar_half_length: float = 95.0,
+) -> Environment:
+    """A diagonal channel between two 45-degree bars (the Fig 5 scenario).
+
+    Two long thin bars, both rotated 45 degrees, run parallel along the
+    workspace diagonal with a channel of width ``gap`` between them.  The
+    channel is genuinely passable — but each bar's AABB is a huge square
+    (a 45-degree rotation maximises AABB over-approximation), and the two
+    AABBs overlap the channel completely.  An AABB-based checker therefore
+    reports the direct route blocked and must detour around the bar ends
+    (longer path) or fail outright, while the exact OBB second stage plans
+    straight through: Fig 5's lower-path-cost / higher-success effect.
+    """
+    if gap <= 0 or gap >= size:
+        raise ValueError("gap must be inside (0, size)")
+    import math
+
+    mid = size / 2.0
+    # Perpendicular offset of each bar axis from the diagonal.
+    offset = (gap / 2.0 + bar_half_width) / math.sqrt(2.0)
+    obstacles = []
+    if workspace_dim == 2:
+        from repro.geometry.rotations import rotation_2d
+
+        rot = rotation_2d(math.pi / 4.0)
+        half = np.array([bar_half_length, bar_half_width])
+        for sign in (+1.0, -1.0):
+            center = np.array([mid + sign * offset, mid - sign * offset])
+            obstacles.append(OBB(center, half, rot))
+    else:
+        from repro.geometry.rotations import rotation_from_euler
+
+        rot = rotation_from_euler(math.pi / 4.0)
+        half = np.array([bar_half_length, bar_half_width, size / 2.0 - 1.0])
+        for sign in (+1.0, -1.0):
+            center = np.array([mid + sign * offset, mid - sign * offset, mid])
+            obstacles.append(OBB(center, half, rot))
+    return Environment(workspace_dim, size, obstacles)
+
+
+def random_start_goal(
+    robot: RobotModel,
+    environment: Environment,
+    rng: np.random.Generator,
+    min_separation: Optional[float] = None,
+    max_tries: int = 200,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample a collision-free, well-separated start/goal pair.
+
+    Raises RuntimeError when no valid pair is found within ``max_tries``
+    (e.g. an environment so dense the robot cannot stand anywhere).
+    """
+    checker = BruteOBBChecker(robot, environment, motion_resolution=robot.step_size)
+    if min_separation is None:
+        span = float(np.linalg.norm(robot.config_hi - robot.config_lo))
+        min_separation = 0.25 * span
+
+    def sample_free() -> Optional[np.ndarray]:
+        for _ in range(max_tries):
+            config = rng.uniform(robot.config_lo, robot.config_hi)
+            if not checker.config_in_collision(config):
+                return config
+        return None
+
+    start = sample_free()
+    if start is None:
+        raise RuntimeError(f"no collision-free start found for {robot.name}")
+    for _ in range(max_tries):
+        goal = sample_free()
+        if goal is None:
+            break
+        if float(np.linalg.norm(goal - start)) >= min_separation:
+            return start, goal
+    raise RuntimeError(f"no valid start/goal pair found for {robot.name}")
+
+
+def random_task(
+    robot_name: str,
+    num_obstacles: int,
+    seed: int = 0,
+    task_id: int = 0,
+) -> PlanningTask:
+    """One seeded planning task following the Section V protocol."""
+    robot = get_robot(robot_name)
+    clear_center = None
+    clear_radius = 0.0
+    if robot.workspace_dim == 3 and robot.dof in (5, 6, 7) and robot.name != "drone3d":
+        # Keep the arm's base area free so tasks are usually feasible.
+        clear_center = np.array([WORKSPACE_SIZE / 2, WORKSPACE_SIZE / 2, 20.0])
+        clear_radius = 45.0
+    environment = random_environment(
+        robot.workspace_dim,
+        num_obstacles,
+        seed=seed,
+        clear_center=clear_center,
+        clear_radius=clear_radius,
+    )
+    rng = np.random.default_rng(seed + 7919 * (task_id + 1))
+    start, goal = random_start_goal(robot, environment, rng)
+    return PlanningTask(
+        robot_name=robot_name,
+        environment=environment,
+        start=start,
+        goal=goal,
+        task_id=task_id,
+    )
+
+
+def task_suite(
+    robot_name: str,
+    num_obstacles: int,
+    num_tasks: int,
+    seed: int = 0,
+) -> List[PlanningTask]:
+    """A suite of seeded tasks (the paper uses 50 per configuration)."""
+    return [
+        random_task(robot_name, num_obstacles, seed=seed + i, task_id=i)
+        for i in range(num_tasks)
+    ]

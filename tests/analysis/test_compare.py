@@ -1,0 +1,51 @@
+"""Unit tests for the configuration-comparison utility."""
+
+import pytest
+
+from repro.analysis.compare import compare_configs
+from repro.core.config import baseline_config, moped_config
+from repro.workloads import task_suite
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    tasks = task_suite("mobile2d", 8, num_tasks=2, seed=0)
+    configs = {
+        "baseline": baseline_config(max_samples=200, seed=0, goal_bias=0.15),
+        "moped": moped_config("v4", max_samples=200, seed=0, goal_bias=0.15),
+    }
+    return compare_configs(tasks, configs, reference="baseline")
+
+
+class TestCompareConfigs:
+    def test_stats_per_config(self, comparison):
+        assert set(comparison.stats) == {"baseline", "moped"}
+        for stat in comparison.stats.values():
+            assert stat.num_tasks == 2
+
+    def test_moped_speedup_positive(self, comparison):
+        assert comparison.speedup("moped") > 1.0
+        assert comparison.speedup("baseline") == pytest.approx(1.0)
+
+    def test_table_renders(self, comparison):
+        table = comparison.table()
+        assert "baseline" in table and "moped" in table
+        assert "speedup_vs_ref" in table
+
+    def test_empty_configs_rejected(self):
+        with pytest.raises(ValueError):
+            compare_configs([], {})
+
+    def test_unknown_reference_rejected(self):
+        tasks = task_suite("mobile2d", 8, num_tasks=1, seed=1)
+        with pytest.raises(KeyError):
+            compare_configs(tasks, {"a": baseline_config()}, reference="b")
+
+    def test_default_reference_is_first(self):
+        tasks = task_suite("mobile2d", 8, num_tasks=1, seed=2)
+        configs = {
+            "x": baseline_config(max_samples=100, seed=0),
+            "y": moped_config("v4", max_samples=100, seed=0),
+        }
+        comparison = compare_configs(tasks, configs)
+        assert comparison.reference == "x"

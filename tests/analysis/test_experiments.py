@@ -1,0 +1,132 @@
+"""Smoke tests for the per-figure experiment runners.
+
+Each runner is executed at the tiny smoke scale and checked for structural
+sanity (headers match rows, values in plausible ranges).  The full-scale
+trend assertions live in ``benchmarks/``.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ExperimentScale,
+    run_fig15_hardware,
+    run_fig18_aabb_speedup,
+    run_fig18_bounding_box,
+    run_cache_stats,
+    run_fig03_breakdown,
+    run_fig06_two_stage,
+    run_fig08_approx_ns,
+    run_fig10_insertion,
+    run_fig14_algorithmic,
+    run_fig16_breakdown,
+    run_fig17_snr,
+    run_fig19_kd_comparison,
+    run_fig19_scaling,
+    run_snr_buffer_stats,
+)
+
+SMOKE = ExperimentScale.smoke()
+
+
+def check_structure(result):
+    assert result.rows, f"{result.figure}: no rows"
+    for row in result.rows:
+        assert len(row) == len(result.headers)
+    assert result.paper_claim
+    dicts = result.row_dicts()
+    assert dicts[0].keys() == set(result.headers)
+
+
+class TestScale:
+    def test_smoke_scale_is_tiny(self):
+        assert SMOKE.samples <= 200
+        assert SMOKE.robots == ("mobile2d",)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLES", "123")
+        monkeypatch.setenv("REPRO_TASKS", "7")
+        scale = ExperimentScale.from_env()
+        assert scale.samples == 123
+        assert scale.tasks == 7
+
+    def test_from_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SAMPLES", raising=False)
+        monkeypatch.delenv("REPRO_TASKS", raising=False)
+        scale = ExperimentScale.from_env()
+        assert scale.samples == 400
+
+
+class TestRunners:
+    def test_fig03(self):
+        result = run_fig03_breakdown(SMOKE)
+        check_structure(result)
+        for row in result.rows:
+            shares = row[2:5]
+            assert all(0.0 <= s <= 100.0 for s in shares)
+            assert math.isclose(sum(shares), 100.0, rel_tol=1e-6)
+
+    def test_fig06(self):
+        result = run_fig06_two_stage(SMOKE)
+        check_structure(result)
+        assert all(row[4] > 1.0 for row in result.rows)
+
+    def test_fig08(self):
+        result = run_fig08_approx_ns(SMOKE)
+        check_structure(result)
+        assert all(row[3] > 1.0 for row in result.rows)
+
+    def test_fig10(self):
+        result = run_fig10_insertion(SMOKE)
+        check_structure(result)
+
+    def test_fig14(self):
+        result = run_fig14_algorithmic(SMOKE)
+        check_structure(result)
+        assert all(row[2] > 1.0 for row in result.rows)
+
+    def test_fig16(self):
+        result = run_fig16_breakdown(SMOKE)
+        check_structure(result)
+        assert all(row[5] > 1.0 for row in result.rows)
+
+    def test_fig17(self):
+        result = run_fig17_snr(SMOKE)
+        check_structure(result)
+        assert all(row[2] > 0.9 for row in result.rows)
+
+    def test_fig19_left(self):
+        result = run_fig19_scaling(SMOKE)
+        check_structure(result)
+
+    def test_fig19_right(self):
+        result = run_fig19_kd_comparison(SMOKE)
+        check_structure(result)
+
+    def test_fig15(self):
+        result = run_fig15_hardware(SMOKE)
+        check_structure(result)
+        for row in result.rows:
+            assert row[3] > 1.0  # vs CPU
+            assert row[5] > 1.0  # vs ASIC
+
+    def test_fig18_bounding_box(self):
+        result = run_fig18_bounding_box(SMOKE)
+        check_structure(result)
+        labels = {row[0] for row in result.rows}
+        assert "Narrow passage" in labels
+
+    def test_fig18_aabb_speedup(self):
+        result = run_fig18_aabb_speedup(SMOKE)
+        check_structure(result)
+        assert all(row[1] > 1.0 for row in result.rows)
+
+    def test_snr_buffers(self):
+        result = run_snr_buffer_stats(SMOKE)
+        check_structure(result)
+        assert all(row[2] <= 20 and row[3] <= 5 for row in result.rows)
+
+    def test_cache_stats(self):
+        result = run_cache_stats(SMOKE)
+        check_structure(result)

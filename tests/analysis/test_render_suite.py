@@ -1,0 +1,100 @@
+"""Unit tests for ASCII rendering, suite statistics, and the run-all CLI."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import render_environment
+from repro.analysis.suite import SuiteStats, evaluate_suite
+from repro.core.config import moped_config
+from repro.core.world import Environment
+from repro.geometry.obb import OBB
+from repro.workloads import random_environment, task_suite
+
+
+class TestRender:
+    def test_dimensions(self):
+        env = random_environment(2, 8, seed=0)
+        art = render_environment(env, width=40, height=20)
+        lines = art.splitlines()
+        assert len(lines) == 22  # 20 rows + 2 borders
+        assert all(len(line) == 42 for line in lines)
+
+    def test_obstacles_drawn(self):
+        env = random_environment(2, 8, seed=0)
+        art = render_environment(env)
+        assert "#" in art
+
+    def test_empty_environment_blank(self):
+        env = Environment(2, 300.0, [])
+        art = render_environment(env)
+        assert "#" not in art
+
+    def test_path_markers(self):
+        env = Environment(2, 300.0, [])
+        path = [np.array([20.0, 20.0, 0.0]), np.array([280.0, 280.0, 0.0])]
+        art = render_environment(env, path=path)
+        assert "S" in art and "G" in art and "*" in art
+
+    def test_obstacle_position_correct(self):
+        obstacle = OBB(np.array([75.0, 225.0]), np.array([20.0, 20.0]), np.eye(2))
+        env = Environment(2, 300.0, [obstacle])
+        art = render_environment(env, width=60, height=30)
+        lines = art.splitlines()[1:-1]  # strip borders
+        # Obstacle centre (x=75 -> col ~15, y=225 -> upper quarter).
+        upper = "".join(lines[: len(lines) // 2])
+        lower = "".join(lines[len(lines) // 2 :])
+        assert "#" in upper and "#" not in lower
+
+    def test_rejects_3d(self):
+        env = random_environment(3, 4, seed=1)
+        with pytest.raises(ValueError):
+            render_environment(env)
+
+    def test_rejects_tiny_grid(self):
+        env = Environment(2, 300.0, [])
+        with pytest.raises(ValueError):
+            render_environment(env, width=1, height=1)
+
+
+class TestSuiteStats:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        tasks = task_suite("mobile2d", 8, num_tasks=3, seed=0)
+        config = moped_config("v4", max_samples=250, goal_bias=0.15, seed=0)
+        return evaluate_suite(tasks, config)
+
+    def test_counts(self, stats):
+        assert stats.num_tasks == 3
+        assert 0 <= stats.successes <= 3
+        assert stats.success_rate == stats.successes / 3
+
+    def test_aggregates_sane(self, stats):
+        assert stats.mean_macs > 0
+        assert stats.p95_macs >= stats.mean_macs * 0.5
+        assert stats.mean_nodes > 1
+
+    def test_row_shape(self, stats):
+        assert len(stats.row()) == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            evaluate_suite([], moped_config("v4"))
+
+
+class TestRunAllCli:
+    def test_single_figure(self, tmp_path, monkeypatch, capsys):
+        from repro.analysis.run_all import main
+
+        monkeypatch.setenv("REPRO_SAMPLES", "120")
+        monkeypatch.setenv("REPRO_TASKS", "1")
+        code = main(["--only", "fig17", "--out", str(tmp_path),
+                     "--samples", "120", "--tasks", "1"])
+        assert code == 0
+        assert (tmp_path / "fig17.txt").exists()
+        assert "S&R" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self, tmp_path):
+        from repro.analysis.run_all import main
+
+        with pytest.raises(SystemExit):
+            main(["--only", "fig99", "--out", str(tmp_path)])

@@ -1,0 +1,36 @@
+"""Unit tests for table formatting."""
+
+import pytest
+
+from repro.analysis import format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159]], float_fmt="{:.2f}")
+        assert "3.14" in out
+
+    def test_ints_and_strings_pass_through(self):
+        out = format_table(["n", "s"], [[7, "hello"]])
+        assert "7" in out and "hello" in out
+
+    def test_alignment_consistent(self):
+        out = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every line padded to the same width
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out

@@ -1,0 +1,106 @@
+"""Unit tests for SI-MBR-Tree diagnostics and visualisation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tree_viz import render_tree, tree_stats
+from repro.spatial import SIMBRTree
+
+
+def grown_tree(n=120, dim=3, capacity=6, steering=True, seed=0):
+    rng = np.random.default_rng(seed)
+    tree = SIMBRTree(dim, capacity=capacity)
+    points = {0: rng.uniform(0, 10, dim)}
+    tree.insert(0, points[0])
+    for i in range(1, n):
+        if steering:
+            parent = int(rng.integers(0, i))
+            p = points[parent] + rng.normal(scale=0.5, size=dim)
+            tree.insert(i, p, sibling_of=parent)
+        else:
+            p = rng.uniform(0, 10, dim)
+            tree.insert(i, p)
+        points[i] = p
+    return tree
+
+
+class TestTreeStats:
+    def test_empty_tree(self):
+        stats = tree_stats(SIMBRTree(dim=3))
+        assert stats.size == 0
+        assert stats.height == 0
+        assert stats.levels == []
+
+    def test_counts_consistent(self):
+        tree = grown_tree()
+        stats = tree_stats(tree)
+        assert stats.size == 120
+        assert stats.height == tree.height
+        assert len(stats.levels) == tree.height
+        assert stats.levels[0].nodes == 1  # the root
+
+    def test_leaf_occupancy_bounded_by_capacity(self):
+        tree = grown_tree(capacity=6)
+        stats = tree_stats(tree)
+        assert 1.0 <= stats.mean_leaf_occupancy <= 6.0
+
+    def test_total_overlap_matches_tree_method(self):
+        tree = grown_tree(seed=1)
+        stats = tree_stats(tree)
+        assert stats.total_overlap == pytest.approx(tree.total_overlap())
+
+    def test_level_overlaps_sum_to_total(self):
+        tree = grown_tree(seed=2)
+        stats = tree_stats(tree)
+        assert sum(l.overlap_volume for l in stats.levels) == pytest.approx(
+            stats.total_overlap
+        )
+
+    def test_summary_renders(self):
+        stats = tree_stats(grown_tree())
+        text = stats.summary()
+        assert "SI-MBR-Tree" in text
+        assert "depth 0" in text
+
+    def test_lci_reduces_overlap_in_real_planning(self):
+        """The Section III-C claim, measured on real planner runs.
+
+        LCI's sibling placement wins *because* x_new is steered from its
+        true nearest neighbor — placing far-apart points as siblings (as a
+        synthetic random-parent workload would) degrades the tree instead.
+        Averaged over planner seeds, the steering-informed trees carry less
+        sibling MBR overlap than minimum-area-enlargement descent.
+        """
+        from repro.core.config import moped_config
+        from repro.core.robots import get_robot
+        from repro.core.rrtstar import RRTStarPlanner
+        from repro.workloads import random_task
+
+        task = random_task("drone3d", 16, seed=0)
+        robot = get_robot("drone3d")
+        ratios = []
+        for seed in range(2):
+            overlaps = {}
+            for variant in ("v3", "v4"):
+                planner = RRTStarPlanner(
+                    robot, task,
+                    moped_config(variant, max_samples=250, seed=seed, goal_bias=0.1),
+                )
+                planner.plan()
+                overlaps[variant] = tree_stats(planner.strategy.tree).total_overlap
+            ratios.append(overlaps["v4"] / max(overlaps["v3"], 1e-12))
+        assert np.mean(ratios) < 1.0
+
+
+class TestRenderTree:
+    def test_empty(self):
+        assert "empty" in render_tree(SIMBRTree(dim=2))
+
+    def test_renders_hierarchy(self):
+        art = render_tree(grown_tree())
+        assert "node[" in art
+        assert "leaf[" in art
+
+    def test_truncation(self):
+        art = render_tree(grown_tree(n=400, capacity=4), max_depth=1, max_children=2)
+        assert "..." in art or "more)" in art

@@ -1,0 +1,221 @@
+"""Unit and property tests for the collision checkers.
+
+The central invariants (also stated in DESIGN.md):
+
+* the two-stage checker's decisions are identical to brute OBB-OBB
+  (conservative filter + exact second stage);
+* the AABB checker and the occupancy-grid checker are conservative with
+  respect to the OBB checker (clear implies truly clear);
+* the two-stage checker is far cheaper than brute checking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.collision import (
+    BruteAABBChecker,
+    BruteOBBChecker,
+    OccupancyGridChecker,
+    TwoStageChecker,
+    make_checker,
+)
+from repro.core.counters import OpCounter
+from repro.core.robots import get_robot
+from repro.core.world import Environment
+from repro.workloads.generator import random_environment
+
+
+@pytest.fixture(scope="module")
+def env3d():
+    return random_environment(workspace_dim=3, num_obstacles=16, seed=42)
+
+
+@pytest.fixture(scope="module")
+def env2d():
+    return random_environment(workspace_dim=2, num_obstacles=16, seed=42)
+
+
+def random_configs(robot, n, seed):
+    rng = np.random.default_rng(seed)
+    return [rng.uniform(robot.config_lo, robot.config_hi) for _ in range(n)]
+
+
+class TestFactory:
+    def test_all_names(self, env3d):
+        robot = get_robot("drone3d")
+        for name in ("obb", "aabb", "two_stage", "grid"):
+            checker = make_checker(name, robot, env3d, motion_resolution=5.0)
+            assert checker is not None
+
+    def test_unknown_name(self, env3d):
+        with pytest.raises(KeyError):
+            make_checker("magic", get_robot("drone3d"), env3d, motion_resolution=5.0)
+
+    def test_dim_mismatch_rejected(self, env2d):
+        with pytest.raises(ValueError):
+            BruteOBBChecker(get_robot("drone3d"), env2d, motion_resolution=5.0)
+
+    def test_bad_resolution_rejected(self, env3d):
+        with pytest.raises(ValueError):
+            BruteOBBChecker(get_robot("drone3d"), env3d, motion_resolution=0.0)
+
+
+class TestBruteOBB:
+    def test_empty_environment_never_collides(self):
+        robot = get_robot("drone3d")
+        env = Environment(3, 300.0, [])
+        checker = BruteOBBChecker(robot, env, motion_resolution=5.0)
+        for config in random_configs(robot, 10, 0):
+            assert not checker.config_in_collision(config)
+
+    def test_config_inside_obstacle_collides(self, env3d):
+        robot = get_robot("drone3d")
+        checker = BruteOBBChecker(robot, env3d, motion_resolution=5.0)
+        obstacle = env3d.obstacles[0]
+        config = np.concatenate([obstacle.center, np.zeros(3)])
+        assert checker.config_in_collision(config)
+
+    def test_counts_obb_obb_checks(self, env3d):
+        robot = get_robot("drone3d")
+        checker = BruteOBBChecker(robot, env3d, motion_resolution=5.0)
+        counter = OpCounter()
+        config = np.array([5.0, 5.0, 290.0, 0, 0, 0])  # likely free corner
+        collided = checker.config_in_collision(config, counter=counter)
+        if not collided:
+            # One check per obstacle per body OBB.
+            assert counter.events["sat_obb_obb"] == env3d.num_obstacles
+
+
+class TestTwoStageEquivalence:
+    @pytest.mark.parametrize("robot_name", ["drone3d", "viperx300", "xarm7"])
+    def test_decisions_match_brute_obb(self, env3d, robot_name):
+        robot = get_robot(robot_name)
+        brute = BruteOBBChecker(robot, env3d, motion_resolution=robot.step_size)
+        two_stage = TwoStageChecker(robot, env3d, motion_resolution=robot.step_size)
+        for config in random_configs(robot, 40, 1):
+            assert brute.config_in_collision(config) == two_stage.config_in_collision(config)
+
+    def test_motion_decisions_match(self, env2d):
+        robot = get_robot("mobile2d")
+        brute = BruteOBBChecker(robot, env2d, motion_resolution=4.0)
+        two_stage = TwoStageChecker(robot, env2d, motion_resolution=4.0)
+        rng = np.random.default_rng(2)
+        for _ in range(25):
+            a = rng.uniform(robot.config_lo, robot.config_hi)
+            b = a + rng.normal(scale=10.0, size=3)
+            b = robot.clip(b)
+            assert brute.motion_in_collision(a, b) == two_stage.motion_in_collision(a, b)
+
+    def test_two_stage_is_cheaper(self, env3d):
+        robot = get_robot("drone3d")
+        brute = BruteOBBChecker(robot, env3d, motion_resolution=5.0)
+        two_stage = TwoStageChecker(robot, env3d, motion_resolution=5.0)
+        c_brute, c_two = OpCounter(), OpCounter()
+        for config in random_configs(robot, 30, 3):
+            brute.config_in_collision(config, counter=c_brute)
+            two_stage.config_in_collision(config, counter=c_two)
+        assert c_two.total_macs() < 0.5 * c_brute.total_macs()
+
+    def test_coarse_only_mode_is_conservative(self, env3d):
+        robot = get_robot("drone3d")
+        exact = BruteOBBChecker(robot, env3d, motion_resolution=5.0)
+        coarse = TwoStageChecker(robot, env3d, motion_resolution=5.0, fine_stage=False)
+        for config in random_configs(robot, 40, 4):
+            if exact.config_in_collision(config):
+                assert coarse.config_in_collision(config)
+
+
+class TestAABBChecker:
+    def test_conservative_vs_obb(self, env3d):
+        robot = get_robot("drone3d")
+        exact = BruteOBBChecker(robot, env3d, motion_resolution=5.0)
+        coarse = BruteAABBChecker(robot, env3d, motion_resolution=5.0)
+        for config in random_configs(robot, 50, 5):
+            if exact.config_in_collision(config):
+                assert coarse.config_in_collision(config)
+
+    def test_has_false_positives_for_rotated_obstacles(self):
+        """A strongly rotated obstacle's AABB must flag some free configs."""
+        robot = get_robot("mobile2d")
+        from repro.geometry.obb import OBB
+        from repro.geometry.rotations import rotation_2d
+
+        obstacle = OBB(np.array([150.0, 150.0]), np.array([40.0, 4.0]), rotation_2d(np.pi / 4))
+        env = Environment(2, 300.0, [obstacle])
+        exact = BruteOBBChecker(robot, env, motion_resolution=5.0)
+        coarse = BruteAABBChecker(robot, env, motion_resolution=5.0)
+        false_positives = 0
+        rng = np.random.default_rng(6)
+        for _ in range(300):
+            config = rng.uniform(robot.config_lo, robot.config_hi)
+            if coarse.config_in_collision(config) and not exact.config_in_collision(config):
+                false_positives += 1
+        assert false_positives > 0
+
+
+class TestOccupancyGrid:
+    def test_grid_memory_matches_paper_footnote(self):
+        """300^3 at 1 unit/cell needs > 3.2 MB at one bit per cell."""
+        robot = get_robot("drone3d")
+        env = random_environment(3, 8, seed=0)
+        checker = OccupancyGridChecker(robot, env, motion_resolution=5.0, resolution=1.0)
+        assert checker.grid_bytes > 3.2 * 1024 * 1024
+
+    def test_conservative_vs_obb(self):
+        robot = get_robot("mobile2d")
+        env = random_environment(2, 16, seed=7)
+        exact = BruteOBBChecker(robot, env, motion_resolution=5.0)
+        grid = OccupancyGridChecker(robot, env, motion_resolution=5.0, resolution=1.0)
+        rng = np.random.default_rng(8)
+        for _ in range(60):
+            config = rng.uniform(robot.config_lo, robot.config_hi)
+            if exact.config_in_collision(config):
+                assert grid.config_in_collision(config)
+
+    def test_free_space_is_clear(self):
+        robot = get_robot("mobile2d")
+        from repro.geometry.obb import OBB
+        from repro.geometry.rotations import rotation_2d
+
+        obstacle = OBB(np.array([30.0, 30.0]), np.array([10.0, 10.0]), rotation_2d(0.0))
+        env = Environment(2, 300.0, [obstacle])
+        grid = OccupancyGridChecker(robot, env, motion_resolution=5.0, resolution=1.0)
+        assert not grid.config_in_collision(np.array([250.0, 250.0, 0.0]))
+
+    def test_counts_grid_lookups(self):
+        robot = get_robot("mobile2d")
+        env = random_environment(2, 8, seed=9)
+        grid = OccupancyGridChecker(robot, env, motion_resolution=5.0, resolution=1.0)
+        counter = OpCounter()
+        grid.config_in_collision(np.array([150.0, 150.0, 0.3]), counter=counter)
+        assert counter.events.get("grid_lookup", 0) > 0
+
+    def test_invalid_resolution(self):
+        robot = get_robot("mobile2d")
+        env = random_environment(2, 4, seed=10)
+        with pytest.raises(ValueError):
+            OccupancyGridChecker(robot, env, motion_resolution=5.0, resolution=0.0)
+
+
+class TestMotionChecks:
+    def test_motion_through_obstacle_detected(self):
+        robot = get_robot("mobile2d")
+        from repro.geometry.obb import OBB
+        from repro.geometry.rotations import rotation_2d
+
+        wall = OBB(np.array([150.0, 150.0]), np.array([5.0, 100.0]), rotation_2d(0.0))
+        env = Environment(2, 300.0, [wall])
+        checker = BruteOBBChecker(robot, env, motion_resolution=2.0)
+        a = np.array([50.0, 150.0, 0.0])
+        b = np.array([250.0, 150.0, 0.0])
+        assert checker.motion_in_collision(a, b)
+        assert not checker.config_in_collision(a)
+        assert not checker.config_in_collision(b)
+
+    def test_short_free_motion_clear(self, env3d):
+        robot = get_robot("drone3d")
+        checker = BruteOBBChecker(robot, env3d, motion_resolution=5.0)
+        a = np.array([5.0, 5.0, 290.0, 0, 0, 0])
+        if not checker.config_in_collision(a):
+            b = a + np.array([2.0, 2.0, 0.0, 0, 0, 0])
+            assert not checker.motion_in_collision(a, b)

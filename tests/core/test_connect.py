@@ -1,0 +1,110 @@
+"""Unit tests for the bidirectional RRT-Connect planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import baseline_config, moped_config
+from repro.core.connect import RRTConnectPlanner
+from repro.core.collision import BruteOBBChecker
+from repro.core.robots import get_robot
+from repro.core.rrtstar import RRTStarPlanner
+from repro.core.world import Environment, PlanningTask
+from repro.workloads import random_task
+
+
+@pytest.fixture(scope="module")
+def task2d():
+    return random_task("mobile2d", 16, seed=4)
+
+
+def connect_plan(task, config=None, **overrides):
+    robot = get_robot(task.robot_name)
+    config = config or moped_config("v4", max_samples=500, seed=0, **overrides)
+    return RRTConnectPlanner(robot, task, config).plan()
+
+
+class TestBasics:
+    def test_finds_path(self, task2d):
+        result = connect_plan(task2d)
+        assert result.success
+        assert len(result.path) >= 2
+
+    def test_path_endpoints(self, task2d):
+        result = connect_plan(task2d)
+        np.testing.assert_allclose(result.path[0], task2d.start)
+        np.testing.assert_allclose(result.path[-1], task2d.goal)
+
+    def test_path_is_collision_free(self, task2d):
+        result = connect_plan(task2d)
+        robot = get_robot("mobile2d")
+        checker = BruteOBBChecker(robot, task2d.environment, motion_resolution=1.5)
+        for a, b in zip(result.path[:-1], result.path[1:]):
+            assert not checker.motion_in_collision(a, b)
+
+    def test_cost_matches_path(self, task2d):
+        from repro.core.metrics import path_length
+
+        result = connect_plan(task2d)
+        assert result.path_cost == pytest.approx(path_length(result.path))
+
+    def test_both_trees_valid(self, task2d):
+        robot = get_robot("mobile2d")
+        planner = RRTConnectPlanner(robot, task2d, moped_config("v4", max_samples=300, seed=1))
+        planner.plan()
+        planner.trees[0].validate()
+        planner.trees[1].validate()
+
+    def test_deterministic(self, task2d):
+        a = connect_plan(task2d)
+        b = connect_plan(task2d)
+        assert a.path_cost == b.path_cost
+        assert a.iterations == b.iterations
+
+    def test_rejects_dim_mismatch(self, task2d):
+        robot = get_robot("drone3d")
+        with pytest.raises(ValueError):
+            RRTConnectPlanner(robot, task2d, moped_config("v4"))
+
+    def test_failure_when_boxed_in(self):
+        from repro.geometry.obb import OBB
+
+        walls = [
+            OBB(np.array([50.0, 30.0]), np.array([30.0, 5.0]), np.eye(2)),
+            OBB(np.array([50.0, 70.0]), np.array([30.0, 5.0]), np.eye(2)),
+            OBB(np.array([30.0, 50.0]), np.array([5.0, 30.0]), np.eye(2)),
+            OBB(np.array([70.0, 50.0]), np.array([5.0, 30.0]), np.eye(2)),
+        ]
+        env = Environment(2, 300.0, walls)
+        task = PlanningTask(
+            "mobile2d", env, np.array([50.0, 50.0, 0.0]), np.array([250.0, 250.0, 0.0])
+        )
+        result = connect_plan(task, config=moped_config("v4", max_samples=150, seed=0))
+        assert not result.success
+        assert result.path == []
+
+
+class TestVsRRTStar:
+    def test_finds_first_solution_faster(self, task2d):
+        """Connect reaches feasibility in fewer iterations than RRT\\*."""
+        connect = connect_plan(task2d)
+        robot = get_robot("mobile2d")
+        star = RRTStarPlanner(
+            robot, task2d, moped_config("v4", max_samples=500, seed=0, goal_bias=0.1)
+        ).plan()
+        assert connect.success and star.success
+        assert connect.iterations < star.first_solution_iteration + 50
+
+    def test_works_with_baseline_config(self, task2d):
+        result = connect_plan(task2d, config=baseline_config(max_samples=500, seed=0))
+        assert result.success
+
+    def test_composes_with_moped_optimisations(self, task2d):
+        """Two-stage checking cuts RRT-Connect's cost too (Section VI)."""
+        base = connect_plan(task2d, config=baseline_config(max_samples=500, seed=0))
+        moped = connect_plan(task2d, config=moped_config("v4", max_samples=500, seed=0))
+        assert moped.total_macs < base.total_macs
+
+    def test_rounds_recorded(self, task2d):
+        result = connect_plan(task2d)
+        assert len(result.rounds) == result.iterations
+        assert any(r.accepted for r in result.rounds)

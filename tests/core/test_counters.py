@@ -1,0 +1,101 @@
+"""Unit tests for the MAC-level operation counter."""
+
+import pytest
+
+from repro.core.counters import CATEGORY_OF, OpCounter, mac_cost
+
+
+class TestMacCost:
+    def test_obb_obb_3d_more_expensive_than_aabb_obb(self):
+        """The first-stage check must be cheaper (Section III-A)."""
+        assert mac_cost("sat_obb_obb", 3) > 2 * mac_cost("sat_aabb_obb", 3)
+
+    def test_2d_checks_cheaper_than_3d(self):
+        assert mac_cost("sat_obb_obb", 2) < mac_cost("sat_obb_obb", 3)
+        assert mac_cost("sat_aabb_obb", 2) < mac_cost("sat_aabb_obb", 3)
+
+    def test_dist_scales_with_dim(self):
+        assert mac_cost("dist", 7) > mac_cost("dist", 3)
+
+    def test_insert_direct_is_cheapest_tree_op(self):
+        assert mac_cost("insert_direct", 7) < mac_cost("enlargement", 7)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            mac_cost("nonexistent", 3)
+
+    def test_default_dim_is_3(self):
+        assert mac_cost("dist", None) == mac_cost("dist", 3)
+
+    def test_all_categorised_kinds_have_costs(self):
+        for kind in CATEGORY_OF:
+            assert mac_cost(kind, 3) > 0
+
+
+class TestOpCounter:
+    def test_starts_empty(self):
+        counter = OpCounter()
+        assert counter.total_macs() == 0.0
+        assert counter.total_events() == 0
+
+    def test_record_accumulates(self):
+        counter = OpCounter()
+        counter.record("dist", dim=3)
+        counter.record("dist", dim=3, n=4)
+        assert counter.events["dist"] == 5
+        assert counter.macs["dist"] == pytest.approx(5 * mac_cost("dist", 3))
+
+    def test_categories(self):
+        counter = OpCounter()
+        counter.record("sat_obb_obb", dim=3)
+        counter.record("dist", dim=3)
+        counter.record("enlargement", dim=3)
+        by_cat = counter.macs_by_category()
+        assert by_cat["collision_check"] == pytest.approx(mac_cost("sat_obb_obb", 3))
+        assert by_cat["neighbor_search"] == pytest.approx(mac_cost("dist", 3))
+        assert by_cat["tree_maintenance"] == pytest.approx(mac_cost("enlargement", 3))
+
+    def test_category_macs_missing_is_zero(self):
+        assert OpCounter().category_macs("collision_check") == 0.0
+
+    def test_merge(self):
+        a, b = OpCounter(), OpCounter()
+        a.record("dist", dim=2)
+        b.record("dist", dim=2, n=2)
+        b.record("sample", dim=2)
+        a.merge(b)
+        assert a.events["dist"] == 3
+        assert a.events["sample"] == 1
+
+    def test_snapshot_is_independent(self):
+        counter = OpCounter()
+        counter.record("dist", dim=3)
+        snap = counter.snapshot()
+        counter.record("dist", dim=3)
+        assert snap.events["dist"] == 1
+        assert counter.events["dist"] == 2
+
+    def test_diff(self):
+        counter = OpCounter()
+        counter.record("dist", dim=3)
+        snap = counter.snapshot()
+        counter.record("dist", dim=3, n=2)
+        counter.record("steer", dim=3)
+        delta = counter.diff(snap)
+        assert delta.events == {"dist": 2, "steer": 1}
+        assert delta.total_macs() == pytest.approx(
+            2 * mac_cost("dist", 3) + mac_cost("steer", 3)
+        )
+
+    def test_diff_of_identical_counters_is_empty(self):
+        counter = OpCounter()
+        counter.record("dist", dim=3)
+        delta = counter.diff(counter.snapshot())
+        assert delta.events == {}
+        assert delta.total_macs() == 0.0
+
+    def test_reset(self):
+        counter = OpCounter()
+        counter.record("dist", dim=3)
+        counter.reset()
+        assert counter.total_events() == 0

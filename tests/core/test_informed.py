@@ -1,0 +1,140 @@
+"""Unit tests for informed sampling (the Informed-RRT\\* extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.informed import InformedSampler, rotation_to_world_frame
+from repro.core.rng import NumpySampler
+from repro.geometry.rotations import is_rotation_matrix
+
+
+def make_sampler(dim=3, span=100.0, seed=0):
+    base = NumpySampler(np.zeros(dim), np.full(dim, span), seed=seed)
+    start = np.full(dim, 20.0)
+    goal = np.full(dim, 80.0)
+    return InformedSampler(base, start, goal, seed=seed), start, goal
+
+
+class TestRotationToWorldFrame:
+    def test_is_rotation(self):
+        rng = np.random.default_rng(0)
+        for dim in (2, 3, 5, 7):
+            start, goal = rng.uniform(0, 10, dim), rng.uniform(0, 10, dim)
+            c = rotation_to_world_frame(start, goal)
+            np.testing.assert_allclose(c @ c.T, np.eye(dim), atol=1e-9)
+            assert np.linalg.det(c) == pytest.approx(1.0)
+
+    def test_maps_x_axis_to_heading(self):
+        start = np.array([0.0, 0.0, 0.0])
+        goal = np.array([10.0, 0.0, 0.0])
+        c = rotation_to_world_frame(start, goal)
+        np.testing.assert_allclose(c @ np.array([1.0, 0.0, 0.0]), [1.0, 0.0, 0.0], atol=1e-9)
+
+    def test_general_heading(self):
+        rng = np.random.default_rng(1)
+        start, goal = rng.uniform(0, 10, 4), rng.uniform(0, 10, 4)
+        c = rotation_to_world_frame(start, goal)
+        heading = (goal - start) / np.linalg.norm(goal - start)
+        e1 = np.zeros(4)
+        e1[0] = 1.0
+        np.testing.assert_allclose(c @ e1, heading, atol=1e-9)
+
+    def test_degenerate_identical_foci(self):
+        c = rotation_to_world_frame(np.zeros(3), np.zeros(3))
+        np.testing.assert_allclose(c, np.eye(3))
+
+
+class TestInformedSampler:
+    def test_delegates_before_solution(self):
+        sampler, _, _ = make_sampler()
+        draws = [sampler.sample() for _ in range(50)]
+        assert sampler.informed_draws == 0
+        for draw in draws:
+            assert np.all(draw >= sampler.lo) and np.all(draw <= sampler.hi)
+
+    def test_informed_draws_inside_ellipsoid(self):
+        sampler, start, goal = make_sampler()
+        c_best = 1.5 * sampler.c_min
+        sampler.update_best_cost(c_best)
+        for _ in range(200):
+            point = sampler.sample()
+            # Ellipsoid membership: |x - f1| + |x - f2| <= c_best.
+            total = np.linalg.norm(point - start) + np.linalg.norm(point - goal)
+            assert total <= c_best + 1e-6
+
+    def test_informed_draws_respect_bounds(self):
+        sampler, _, _ = make_sampler(span=60.0)  # tight box clips the ellipsoid
+        sampler.update_best_cost(3.0 * sampler.c_min)
+        for _ in range(200):
+            point = sampler.sample()
+            assert np.all(point >= sampler.lo - 1e-9)
+            assert np.all(point <= sampler.hi + 1e-9)
+
+    def test_best_cost_only_shrinks(self):
+        sampler, _, _ = make_sampler()
+        sampler.update_best_cost(200.0)
+        sampler.update_best_cost(500.0)  # worse: ignored
+        assert sampler.best_cost == 200.0
+        sampler.update_best_cost(150.0)
+        assert sampler.best_cost == 150.0
+
+    def test_shrinking_cost_concentrates_samples(self):
+        sampler, start, goal = make_sampler(seed=3)
+        sampler.update_best_cost(2.0 * sampler.c_min)
+        wide = np.array([sampler.sample() for _ in range(300)])
+        sampler.update_best_cost(1.05 * sampler.c_min)
+        narrow = np.array([sampler.sample() for _ in range(300)])
+        axis = (goal - start) / np.linalg.norm(goal - start)
+        # Perpendicular spread must shrink with the ellipsoid.
+        def perp_spread(points):
+            rel = points - (start + goal) / 2.0
+            parallel = rel @ axis
+            perp = rel - np.outer(parallel, axis)
+            return np.linalg.norm(perp, axis=1).mean()
+        assert perp_spread(narrow) < 0.5 * perp_spread(wide)
+
+    def test_sample_biased_returns_goal(self):
+        sampler, _, goal = make_sampler(seed=4)
+        sampler.update_best_cost(1.5 * sampler.c_min)
+        hits = sum(
+            np.allclose(sampler.sample_biased(goal, 0.9), goal) for _ in range(100)
+        )
+        assert hits > 60
+
+    def test_counter_records_samples(self):
+        from repro.core.counters import OpCounter
+
+        sampler, _, _ = make_sampler(seed=5)
+        sampler.update_best_cost(1.5 * sampler.c_min)
+        counter = OpCounter()
+        for _ in range(10):
+            sampler.sample(counter=counter)
+        assert counter.events["sample"] == 10
+
+
+class TestPlannerIntegration:
+    def test_informed_planner_succeeds(self):
+        from repro import MopedEngine, get_robot
+        from repro.workloads import random_task
+
+        task = random_task("mobile2d", 8, seed=2)
+        robot = get_robot("mobile2d")
+        engine = MopedEngine(robot, task.environment, variant="full",
+                             max_samples=400, seed=0, goal_bias=0.1, informed=True)
+        result = engine.plan_task(task)
+        assert result.success
+
+    def test_informed_never_worse_much(self):
+        """Informed sampling must not degrade the solution."""
+        from repro import MopedEngine, get_robot
+        from repro.workloads import random_task
+
+        task = random_task("mobile2d", 8, seed=3)
+        robot = get_robot("mobile2d")
+        costs = {}
+        for informed in (False, True):
+            engine = MopedEngine(robot, task.environment, variant="full",
+                                 max_samples=500, seed=1, goal_bias=0.1,
+                                 informed=informed)
+            costs[informed] = engine.plan_task(task).path_cost
+        assert costs[True] <= 1.1 * costs[False]

@@ -1,0 +1,67 @@
+"""Unit tests for result dataclasses and path metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.counters import OpCounter
+from repro.core.metrics import PlanResult, RoundRecord, path_length
+
+
+class TestPathLength:
+    def test_empty_and_single(self):
+        assert path_length([]) == 0.0
+        assert path_length([np.zeros(3)]) == 0.0
+
+    def test_straight_segments(self):
+        path = [np.zeros(2), np.array([3.0, 4.0]), np.array([3.0, 8.0])]
+        assert path_length(path) == pytest.approx(9.0)
+
+    def test_high_dim(self):
+        path = [np.zeros(7), np.ones(7)]
+        assert path_length(path) == pytest.approx(np.sqrt(7.0))
+
+
+class TestRoundRecord:
+    def test_total(self):
+        record = RoundRecord(1.0, 2.0, 3.0, 4.0, accepted=True)
+        assert record.total_macs == pytest.approx(10.0)
+
+    def test_defaults(self):
+        record = RoundRecord(0.0, 0.0, 0.0, 0.0, accepted=False)
+        assert record.missing_used == 0
+        assert not record.repaired
+
+    def test_frozen(self):
+        record = RoundRecord(1.0, 2.0, 3.0, 4.0, accepted=True)
+        with pytest.raises(AttributeError):
+            record.ns_macs = 9.0
+
+
+class TestPlanResult:
+    def make(self, success=True):
+        counter = OpCounter()
+        counter.record("dist", dim=3, n=10)
+        return PlanResult(
+            success=success,
+            path=[np.zeros(3), np.ones(3)] if success else [],
+            path_cost=np.sqrt(3.0) if success else float("inf"),
+            num_nodes=5,
+            iterations=20,
+            counter=counter,
+        )
+
+    def test_total_macs_delegates_to_counter(self):
+        result = self.make()
+        assert result.total_macs == result.counter.total_macs()
+
+    def test_summary_success(self):
+        text = self.make().summary()
+        assert "success" in text
+        assert "nodes=5" in text
+
+    def test_summary_failure(self):
+        text = self.make(success=False).summary()
+        assert "failure" in text
+
+    def test_neighborhood_macs_default(self):
+        assert self.make().neighborhood_macs == 0.0

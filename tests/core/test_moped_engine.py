@@ -1,0 +1,75 @@
+"""Unit tests for the MopedEngine facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import MopedEngine, get_robot
+from repro.core.moped import VARIANTS, config_for_variant
+from repro.workloads import random_environment, random_task
+
+
+@pytest.fixture(scope="module")
+def env2d():
+    return random_environment(2, 8, seed=0)
+
+
+class TestConstruction:
+    def test_accepts_robot_by_name(self, env2d):
+        engine = MopedEngine("mobile2d", env2d)
+        assert engine.robot.name == "mobile2d"
+
+    def test_accepts_robot_model(self, env2d):
+        engine = MopedEngine(get_robot("mobile2d"), env2d)
+        assert engine.robot.name == "mobile2d"
+
+    def test_rejects_unknown_variant(self, env2d):
+        with pytest.raises(ValueError):
+            MopedEngine("mobile2d", env2d, variant="v9")
+
+    def test_all_variants_construct(self, env2d):
+        for variant in VARIANTS:
+            MopedEngine("mobile2d", env2d, variant=variant)
+
+    def test_config_overrides_applied(self, env2d):
+        engine = MopedEngine("mobile2d", env2d, max_samples=77, seed=5)
+        assert engine.config.max_samples == 77
+        assert engine.config.seed == 5
+
+    def test_full_variant_is_v4(self):
+        full = config_for_variant("full")
+        v4 = config_for_variant("v4")
+        assert full == v4
+
+    def test_baseline_variant(self):
+        config = config_for_variant("baseline")
+        assert config.checker == "obb"
+
+
+class TestPlanning:
+    def test_plan_builds_task(self, env2d):
+        engine = MopedEngine("mobile2d", env2d, max_samples=150, seed=0, goal_bias=0.2)
+        result = engine.plan(
+            np.array([20.0, 20.0, 0.0]), np.array([250.0, 250.0, 0.0]), task_id=3
+        )
+        assert result.iterations > 0
+
+    def test_plan_task_equivalent_to_plan(self, env2d):
+        task = random_task("mobile2d", 8, seed=0)
+        engine = MopedEngine("mobile2d", task.environment, max_samples=150, seed=0)
+        a = engine.plan(task.start, task.goal)
+        b = engine.plan_task(task)
+        assert a.path_cost == b.path_cost
+        assert a.total_macs == b.total_macs
+
+    def test_with_config_creates_modified_copy(self, env2d):
+        engine = MopedEngine("mobile2d", env2d, max_samples=100)
+        tweaked = engine.with_config(max_samples=222)
+        assert tweaked.config.max_samples == 222
+        assert engine.config.max_samples == 100
+        assert tweaked.robot is engine.robot
+
+    def test_with_config_preserves_variant_flags(self, env2d):
+        engine = MopedEngine("mobile2d", env2d, variant="v2")
+        tweaked = engine.with_config(seed=9)
+        assert tweaked.config.neighbor_strategy == "simbr"
+        assert not tweaked.config.approx_neighborhood

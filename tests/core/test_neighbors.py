@@ -1,0 +1,170 @@
+"""Unit tests for the neighbor-search strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.counters import OpCounter
+from repro.core.neighbors import (
+    BruteStrategy,
+    KDTreeStrategy,
+    SIMBRStrategy,
+    make_strategy,
+)
+
+
+def grow(strategy, rng, n=80, dim=3, steered=True):
+    points = {0: rng.uniform(0, 10, dim)}
+    strategy.insert(0, points[0])
+    for i in range(1, n):
+        if steered:
+            parent = int(rng.integers(0, i))
+            p = points[parent] + rng.normal(scale=0.5, size=dim)
+            strategy.insert(i, p, nearest_key=parent)
+        else:
+            p = rng.uniform(0, 10, dim)
+            strategy.insert(i, p)
+        points[i] = p
+    return points
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in ("brute", "kd", "simbr"):
+            assert make_strategy(name, dim=3) is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_strategy("octree", dim=3)
+
+    def test_kd_rebuild_param(self):
+        strategy = make_strategy("kd", dim=2, kd_rebuild_every=10)
+        assert isinstance(strategy, KDTreeStrategy)
+
+    def test_invalid_rebuild_interval(self):
+        with pytest.raises(ValueError):
+            KDTreeStrategy(dim=2, rebuild_every=0)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: BruteStrategy(dim=3),
+        lambda: KDTreeStrategy(dim=3),
+        lambda: KDTreeStrategy(dim=3, rebuild_every=25),
+        lambda: SIMBRStrategy(dim=3, steering_insert=False, approx_neighborhood=False),
+        lambda: SIMBRStrategy(dim=3, steering_insert=True, approx_neighborhood=False),
+    ],
+    ids=["brute", "kd", "kd-rebuild", "simbr-conv", "simbr-steer"],
+)
+class TestExactStrategies:
+    def test_nearest_matches_brute(self, factory):
+        rng = np.random.default_rng(0)
+        strategy = factory()
+        points = grow(strategy, rng)
+        for _ in range(15):
+            q = rng.uniform(0, 10, 3)
+            key, point, dist = strategy.nearest(q)
+            want = min(np.linalg.norm(p - q) for p in points.values())
+            assert dist == pytest.approx(want)
+
+    def test_neighborhood_is_exact_radius(self, factory):
+        rng = np.random.default_rng(1)
+        strategy = factory()
+        points = grow(strategy, rng)
+        q = rng.uniform(0, 10, 3)
+        got = {k for k, _, _ in strategy.neighborhood(q, 2.0, nearest_key=None)}
+        want = {k for k, p in points.items() if np.linalg.norm(p - q) <= 2.0}
+        assert got == want
+
+    def test_len_tracks_inserts(self, factory):
+        rng = np.random.default_rng(2)
+        strategy = factory()
+        grow(strategy, rng, n=37)
+        assert len(strategy) == 37
+
+
+class TestApproxNeighborhood:
+    def test_returns_leaf_population_of_nearest(self):
+        rng = np.random.default_rng(3)
+        strategy = SIMBRStrategy(dim=3, steering_insert=True, approx_neighborhood=True)
+        points = grow(strategy, rng, n=100)
+        nearest_key = 42
+        q = points[nearest_key] + 0.1
+        got = strategy.neighborhood(q, radius=1e9, nearest_key=nearest_key)
+        keys = {k for k, _, _ in got}
+        expected = {k for k, _ in strategy.tree.leaf_siblings(nearest_key)}
+        assert keys == expected
+
+    def test_radius_filters_leaf_population(self):
+        """Siblings beyond the RRT* radius are excluded from SIAS results."""
+        rng = np.random.default_rng(12)
+        strategy = SIMBRStrategy(dim=3, steering_insert=True, approx_neighborhood=True)
+        points = grow(strategy, rng, n=100)
+        nearest_key = 42
+        q = points[nearest_key] + 0.1
+        radius = 0.5
+        got = strategy.neighborhood(q, radius=radius, nearest_key=nearest_key)
+        for key, point, dist in got:
+            assert dist <= radius
+        all_sibs = strategy.neighborhood(q, radius=1e9, nearest_key=nearest_key)
+        assert len(got) <= len(all_sibs)
+
+    def test_distances_are_to_query(self):
+        rng = np.random.default_rng(4)
+        strategy = SIMBRStrategy(dim=2, steering_insert=True, approx_neighborhood=True)
+        points = grow(strategy, rng, n=50, dim=2)
+        q = np.array([5.0, 5.0])
+        for key, point, dist in strategy.neighborhood(q, 3.0, nearest_key=10):
+            assert dist == pytest.approx(float(np.linalg.norm(point - q)))
+
+    def test_falls_back_to_exact_without_nearest_key(self):
+        rng = np.random.default_rng(5)
+        strategy = SIMBRStrategy(dim=2, approx_neighborhood=True)
+        points = grow(strategy, rng, n=60, dim=2)
+        q = rng.uniform(0, 10, 2)
+        got = {k for k, _, _ in strategy.neighborhood(q, 2.0, nearest_key=None)}
+        want = {k for k, p in points.items() if np.linalg.norm(p - q) <= 2.0}
+        assert got == want
+
+    def test_approx_is_cheaper_than_exact(self):
+        rng = np.random.default_rng(6)
+        exact = SIMBRStrategy(dim=3, steering_insert=True, approx_neighborhood=False)
+        approx = SIMBRStrategy(dim=3, steering_insert=True, approx_neighborhood=True)
+        pts_e = grow(exact, rng, n=300)
+        rng = np.random.default_rng(6)
+        pts_a = grow(approx, rng, n=300)
+        c_exact, c_approx = OpCounter(), OpCounter()
+        for key in range(0, 300, 10):
+            q = pts_e[key] + 0.05
+            exact.neighborhood(q, 3.0, nearest_key=key, counter=c_exact)
+            approx.neighborhood(q, 3.0, nearest_key=key, counter=c_approx)
+        assert c_approx.total_macs() < 0.5 * c_exact.total_macs()
+
+
+class TestSteeringInsertCost:
+    def test_steering_insert_cheaper_than_conventional(self):
+        rng_a, rng_b = np.random.default_rng(7), np.random.default_rng(7)
+        conv = SIMBRStrategy(dim=5, steering_insert=False, approx_neighborhood=False)
+        steer = SIMBRStrategy(dim=5, steering_insert=True, approx_neighborhood=False)
+        c_conv, c_steer = OpCounter(), OpCounter()
+        points = {0: rng_a.uniform(0, 10, 5)}
+        conv.insert(0, points[0], counter=c_conv)
+        steer.insert(0, points[0], counter=c_steer)
+        for i in range(1, 250):
+            parent = int(rng_a.integers(0, i))
+            p = points[parent] + rng_a.normal(scale=0.4, size=5)
+            conv.insert(i, p, nearest_key=parent, counter=c_conv)
+            steer.insert(i, p, nearest_key=parent, counter=c_steer)
+            points[i] = p
+        # The conventional descent pays per-level enlargement calcs.
+        assert c_conv.events.get("enlargement", 0) > 0
+        assert c_steer.events.get("enlargement", 0) == 0
+        assert c_steer.total_macs() < c_conv.total_macs()
+
+    def test_kd_rebuild_charges_ops(self):
+        strategy = KDTreeStrategy(dim=2, rebuild_every=10)
+        counter = OpCounter()
+        rng = np.random.default_rng(8)
+        for i in range(25):
+            strategy.insert(i, rng.uniform(0, 1, 2), counter=counter)
+        assert counter.events.get("rebuild_item", 0) > 0

@@ -1,0 +1,203 @@
+"""Integration tests for the RRT\\* planning loop and MOPED variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import MopedEngine, PlannerConfig, PlanningTask, get_robot
+from repro.core.collision import BruteOBBChecker
+from repro.core.config import moped_config
+from repro.core.metrics import path_length
+from repro.core.rrtstar import RRTStarPlanner
+from repro.core.world import Environment
+from repro.geometry.obb import OBB
+from repro.geometry.rotations import rotation_2d
+
+
+@pytest.fixture(scope="module")
+def easy_env2d():
+    """A sparse 2D environment the mobile robot can always solve."""
+    obstacles = [
+        OBB(np.array([80.0, 80.0]), np.array([12.0, 12.0]), rotation_2d(0.4)),
+        OBB(np.array([200.0, 150.0]), np.array([10.0, 14.0]), rotation_2d(-0.7)),
+        OBB(np.array([120.0, 230.0]), np.array([14.0, 8.0]), rotation_2d(1.1)),
+    ]
+    return Environment(2, 300.0, obstacles)
+
+
+@pytest.fixture(scope="module")
+def easy_task(easy_env2d):
+    return PlanningTask(
+        "mobile2d",
+        easy_env2d,
+        start=np.array([20.0, 20.0, 0.0]),
+        goal=np.array([270.0, 270.0, 0.0]),
+    )
+
+
+def run(task, variant="full", **overrides):
+    robot = get_robot(task.robot_name)
+    engine = MopedEngine(robot, task.environment, variant=variant, **overrides)
+    return engine.plan_task(task)
+
+
+class TestBasicPlanning:
+    def test_moped_solves_easy_2d(self, easy_task):
+        result = run(easy_task, max_samples=400, seed=1)
+        assert result.success
+        assert result.path_cost < np.inf
+        assert len(result.path) >= 2
+
+    def test_baseline_solves_easy_2d(self, easy_task):
+        result = run(easy_task, variant="baseline", max_samples=400, seed=1)
+        assert result.success
+
+    def test_path_starts_and_ends_correctly(self, easy_task):
+        result = run(easy_task, max_samples=400, seed=2)
+        assert result.success
+        np.testing.assert_allclose(result.path[0], easy_task.start)
+        np.testing.assert_allclose(result.path[-1], easy_task.goal)
+
+    def test_path_cost_matches_path_length(self, easy_task):
+        result = run(easy_task, max_samples=400, seed=3)
+        assert result.success
+        assert result.path_cost == pytest.approx(path_length(result.path), rel=1e-6)
+
+    def test_returned_path_is_collision_free(self, easy_task):
+        result = run(easy_task, max_samples=400, seed=4)
+        assert result.success
+        robot = get_robot("mobile2d")
+        checker = BruteOBBChecker(robot, easy_task.environment, motion_resolution=1.0)
+        for a, b in zip(result.path[:-1], result.path[1:]):
+            assert not checker.motion_in_collision(a, b)
+
+    def test_rounds_telemetry_complete(self, easy_task):
+        result = run(easy_task, max_samples=150, seed=5)
+        assert len(result.rounds) == result.iterations == 150
+        assert all(r.total_macs >= 0 for r in result.rounds)
+        assert any(r.accepted for r in result.rounds)
+
+    def test_counter_populated(self, easy_task):
+        result = run(easy_task, max_samples=100, seed=6)
+        assert result.total_macs > 0
+        assert result.counter.events.get("sample", 0) >= 1
+
+    def test_failure_on_impossible_task(self):
+        """Start boxed in by walls: the planner must report failure."""
+        walls = [
+            OBB(np.array([50.0, 30.0]), np.array([30.0, 5.0]), rotation_2d(0.0)),
+            OBB(np.array([50.0, 70.0]), np.array([30.0, 5.0]), rotation_2d(0.0)),
+            OBB(np.array([30.0, 50.0]), np.array([5.0, 30.0]), rotation_2d(0.0)),
+            OBB(np.array([70.0, 50.0]), np.array([5.0, 30.0]), rotation_2d(0.0)),
+        ]
+        env = Environment(2, 300.0, walls)
+        task = PlanningTask(
+            "mobile2d", env, np.array([50.0, 50.0, 0.0]), np.array([250.0, 250.0, 0.0])
+        )
+        result = run(task, max_samples=200, seed=7)
+        assert not result.success
+        assert result.path_cost == np.inf
+        assert result.path == []
+
+    def test_stop_on_goal_terminates_early(self, easy_task):
+        result = run(easy_task, max_samples=2000, seed=8, stop_on_goal=True, goal_bias=0.2)
+        assert result.success
+        assert result.iterations < 2000
+        assert result.first_solution_iteration == result.iterations - 1
+
+    def test_exp_tree_valid_after_planning(self, easy_task):
+        robot = get_robot("mobile2d")
+        planner = RRTStarPlanner(robot, easy_task, moped_config("v4", max_samples=300, seed=9))
+        planner.plan()
+        planner.tree.validate()
+
+    def test_lfsr_sampler_plans(self, easy_task):
+        result = run(easy_task, max_samples=400, seed=10, sampler="lfsr", goal_bias=0.1)
+        assert result.success
+
+    def test_deterministic_given_seed(self, easy_task):
+        a = run(easy_task, max_samples=200, seed=11)
+        b = run(easy_task, max_samples=200, seed=11)
+        assert a.path_cost == b.path_cost
+        assert a.num_nodes == b.num_nodes
+        assert a.total_macs == b.total_macs
+
+
+class TestVariants:
+    @pytest.mark.parametrize("variant", ["baseline", "v1", "v2", "v3", "v4"])
+    def test_every_variant_plans(self, easy_task, variant):
+        result = run(easy_task, variant=variant, max_samples=300, seed=12, goal_bias=0.1)
+        assert result.success
+
+    def test_cost_ladder_monotone(self, easy_task):
+        """Each ablation rung must reduce total MACs (Fig 16 top)."""
+        macs = {}
+        for variant in ("baseline", "v1", "v2", "v3", "v4"):
+            result = run(easy_task, variant=variant, max_samples=300, seed=13)
+            macs[variant] = result.total_macs
+        assert macs["v1"] < macs["baseline"]
+        assert macs["v2"] < macs["v1"]
+        assert macs["v3"] < macs["v2"]
+        assert macs["v4"] < macs["v3"]
+
+    def test_moped_path_quality_comparable(self, easy_task):
+        """SIAS must not blow up path cost (Section III-B, Fig 8)."""
+        costs_base, costs_moped = [], []
+        for seed in range(4):
+            base = run(easy_task, variant="baseline", max_samples=350, seed=seed)
+            moped = run(easy_task, variant="v4", max_samples=350, seed=seed)
+            if base.success and moped.success:
+                costs_base.append(base.path_cost)
+                costs_moped.append(moped.path_cost)
+        assert costs_base, "baseline never succeeded"
+        assert np.mean(costs_moped) < 1.25 * np.mean(costs_base)
+
+
+class TestSpeculation:
+    """Functional speculate-and-repair: Section IV-B equivalence claim."""
+
+    @pytest.mark.parametrize("depth", [1, 2, 5])
+    def test_speculative_equals_exact(self, easy_task, depth):
+        exact = run(easy_task, max_samples=250, seed=20, speculation_depth=0)
+        spec = run(easy_task, max_samples=250, seed=20, speculation_depth=depth)
+        assert spec.success == exact.success
+        assert spec.path_cost == pytest.approx(exact.path_cost)
+        assert spec.num_nodes == exact.num_nodes
+
+    def test_repair_actually_fires(self, easy_task):
+        """With dense sampling the missing buffer must occasionally win."""
+        result = run(
+            easy_task, max_samples=600, seed=21, speculation_depth=2, goal_bias=0.0
+        )
+        assert any(r.missing_used > 0 for r in result.rounds)
+        assert any(r.repaired for r in result.rounds)
+
+    def test_missing_buffer_occupancy_small(self, easy_task):
+        """Paper sizes the Missing Neighbors Buffer at 5 entries."""
+        result = run(easy_task, max_samples=400, seed=22, speculation_depth=5)
+        assert max(r.missing_used for r in result.rounds) <= 5
+
+
+class TestHigherDof:
+    def test_drone_plans_in_sparse_env(self):
+        robot = get_robot("drone3d")
+        env = Environment(3, 300.0, [])
+        task = PlanningTask(
+            "drone3d",
+            env,
+            start=np.array([20.0, 20.0, 20.0, 0.0, 0.0, 0.0]),
+            goal=np.array([250.0, 250.0, 250.0, 0.0, 0.0, 0.0]),
+        )
+        result = run(task, max_samples=500, seed=23, goal_bias=0.15)
+        assert result.success
+
+    def test_arm_plans_small_budget(self):
+        robot = get_robot("viperx300")
+        env = Environment(3, 300.0, [])
+        task = PlanningTask(
+            "viperx300",
+            env,
+            start=np.zeros(5),
+            goal=np.full(5, 0.8),
+        )
+        result = run(task, max_samples=200, seed=24, goal_bias=0.2)
+        assert result.success

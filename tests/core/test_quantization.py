@@ -1,0 +1,131 @@
+"""Unit tests for the 16-bit fixed-point quantization model."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantization import (
+    QuantizingSampler,
+    quantization_step,
+    quantize_config,
+    quantize_environment,
+    quantize_obb,
+    quantize_task,
+    quantize_values,
+)
+from repro.core.rng import NumpySampler
+from repro.core.robots import get_robot
+from repro.workloads import random_environment, random_task
+
+
+class TestQuantizeValues:
+    def test_idempotent(self):
+        lo, hi = np.zeros(3), np.full(3, 300.0)
+        x = np.array([12.3456, 200.001, 299.9])
+        once = quantize_values(x, lo, hi)
+        twice = quantize_values(once, lo, hi)
+        np.testing.assert_allclose(once, twice)
+
+    def test_error_bounded_by_half_step(self):
+        lo, hi = np.zeros(1), np.ones(1) * 300.0
+        step = quantization_step(0.0, 300.0, bits=16)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            x = rng.uniform(0, 300, 1)
+            q = quantize_values(x, lo, hi, bits=16)
+            assert abs(float((q - x)[0])) <= step / 2 + 1e-12
+
+    def test_clipping(self):
+        lo, hi = np.zeros(2), np.ones(2)
+        q = quantize_values(np.array([-5.0, 7.0]), lo, hi)
+        np.testing.assert_allclose(q, [0.0, 1.0])
+
+    def test_endpoints_exact(self):
+        lo, hi = np.zeros(1), np.full(1, 300.0)
+        np.testing.assert_allclose(quantize_values(lo, lo, hi), lo)
+        np.testing.assert_allclose(quantize_values(hi, lo, hi), hi)
+
+    def test_fewer_bits_coarser(self):
+        lo, hi = np.zeros(1), np.full(1, 300.0)
+        x = np.array([123.456789])
+        err16 = abs(float((quantize_values(x, lo, hi, 16) - x)[0]))
+        err8 = abs(float((quantize_values(x, lo, hi, 8) - x)[0]))
+        assert err16 < err8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_values(np.zeros(1), np.zeros(1), np.ones(1), bits=1)
+        with pytest.raises(ValueError):
+            quantize_values(np.zeros(1), np.ones(1), np.zeros(1))
+
+    def test_step_for_paper_workspace(self):
+        """16 bits over 300 units: sub-0.005-unit grid (why 16 suffices)."""
+        assert quantization_step(0.0, 300.0, 16) < 0.005
+
+
+class TestQuantizeGeometry:
+    def test_obb_stays_valid(self):
+        env = random_environment(3, 16, seed=0)
+        for obstacle in env.obstacles:
+            q = quantize_obb(obstacle, env.size, bits=16)
+            assert q.is_valid()
+
+    def test_obb_16bit_is_close(self):
+        env = random_environment(3, 8, seed=1)
+        for obstacle in env.obstacles:
+            q = quantize_obb(obstacle, env.size, bits=16)
+            assert np.linalg.norm(q.center - obstacle.center) < 0.01
+            assert np.abs(q.rotation - obstacle.rotation).max() < 1e-3
+
+    def test_environment_preserves_structure(self):
+        env = random_environment(2, 12, seed=2)
+        q = quantize_environment(env, bits=16)
+        assert q.num_obstacles == 12
+        assert q.workspace_dim == 2
+
+    def test_task_round(self):
+        task = random_task("mobile2d", 8, seed=3)
+        robot = get_robot("mobile2d")
+        q = quantize_task(task, robot, bits=16)
+        assert np.linalg.norm(q.start - task.start) < 0.01
+
+
+class TestQuantizingSampler:
+    def test_draws_on_grid(self):
+        base = NumpySampler(np.zeros(3), np.full(3, 300.0), seed=0)
+        sampler = QuantizingSampler(base, bits=8)
+        step = quantization_step(0.0, 300.0, 8)
+        for _ in range(50):
+            x = sampler.sample()
+            codes = x / step
+            np.testing.assert_allclose(codes, np.round(codes), atol=1e-6)
+
+    def test_respects_bounds(self):
+        base = NumpySampler(np.zeros(2), np.ones(2), seed=1)
+        sampler = QuantizingSampler(base, bits=16)
+        for _ in range(50):
+            x = sampler.sample()
+            assert np.all(x >= 0.0) and np.all(x <= 1.0)
+
+    def test_validation(self):
+        base = NumpySampler(np.zeros(2), np.ones(2), seed=2)
+        with pytest.raises(ValueError):
+            QuantizingSampler(base, bits=64)
+
+
+class TestPlanningUnderQuantization:
+    def test_16bit_task_plans_like_float(self):
+        """16-bit data must not change planning viability (§IV-A)."""
+        from repro.core import MopedEngine
+
+        task = random_task("mobile2d", 16, seed=4)
+        robot = get_robot("mobile2d")
+        q_task = quantize_task(task, robot, bits=16)
+        float_result = MopedEngine(robot, task.environment, max_samples=300,
+                                   seed=0, goal_bias=0.15).plan_task(task)
+        quant_result = MopedEngine(robot, q_task.environment, max_samples=300,
+                                   seed=0, goal_bias=0.15).plan_task(q_task)
+        assert float_result.success == quant_result.success
+        if float_result.success:
+            assert quant_result.path_cost == pytest.approx(
+                float_result.path_cost, rel=0.05
+            )

@@ -1,0 +1,86 @@
+"""Unit tests for the dynamic-environment replanning loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import moped_config
+from repro.core.replan import ReplanningSession, environment_prep_macs
+from repro.core.robots import get_robot
+from repro.workloads.dynamic import random_dynamic_scenario
+from repro.workloads.generator import random_environment
+
+
+class TestPrepCosts:
+    @pytest.fixture(scope="class")
+    def env(self):
+        return random_environment(3, 32, seed=0)
+
+    def test_ordering_matches_section_vi(self, env):
+        """R-tree rebuild << grid re-rasterisation << full precomputation."""
+        rtree = environment_prep_macs(env, "rtree")
+        grid = environment_prep_macs(env, "grid")
+        precomputed = environment_prep_macs(env, "precomputed")
+        assert rtree < grid / 100.0
+        assert grid < precomputed / 100.0
+
+    def test_rtree_prep_scales_gently(self):
+        small = environment_prep_macs(random_environment(3, 8, seed=1), "rtree")
+        large = environment_prep_macs(random_environment(3, 48, seed=1), "rtree")
+        assert large < 20.0 * small  # ~n log n, not voxel-count
+
+    def test_empty_environment(self):
+        env = random_environment(3, 0, seed=2)
+        assert environment_prep_macs(env, "rtree") == 0.0
+        assert environment_prep_macs(env, "grid") == 0.0
+
+    def test_unknown_method_rejected(self, env):
+        with pytest.raises(KeyError):
+            environment_prep_macs(env, "magic")
+
+
+class TestReplanningSession:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        scenario = random_dynamic_scenario(2, 10, seed=3, max_speed=8.0)
+        robot = get_robot("mobile2d")
+        session = ReplanningSession(
+            robot,
+            scenario,
+            config=moped_config("v4", max_samples=200, goal_bias=0.2, seed=0),
+            execute_distance=60.0,
+        )
+        return session.run(
+            np.array([30.0, 30.0, 0.0]), np.array([270.0, 270.0, 0.0]), max_epochs=12
+        )
+
+    def test_reaches_goal(self, outcome):
+        assert outcome.reached_goal
+
+    def test_epochs_recorded(self, outcome):
+        assert 1 <= len(outcome.epochs) <= 12
+        for epoch in outcome.epochs:
+            assert epoch.prep_macs > 0
+            assert epoch.plan.iterations > 0
+
+    def test_progress_is_monotone_toward_goal(self, outcome):
+        goal = np.array([270.0, 270.0, 0.0])
+        first = float(np.linalg.norm(outcome.epochs[0].executed_to - goal))
+        last = float(np.linalg.norm(outcome.epochs[-1].executed_to - goal))
+        assert last < first
+
+    def test_totals(self, outcome):
+        assert outcome.total_plan_macs > 0
+        assert outcome.total_prep_macs == pytest.approx(
+            sum(e.prep_macs for e in outcome.epochs)
+        )
+        # The Section VI point: per-epoch prep is negligible next to planning.
+        assert outcome.total_prep_macs < 0.01 * outcome.total_plan_macs
+
+    def test_validation(self):
+        robot = get_robot("mobile2d")
+        scenario = random_dynamic_scenario(2, 4, seed=4)
+        with pytest.raises(ValueError):
+            ReplanningSession(robot, scenario, epoch_duration=0.0)
+        session = ReplanningSession(robot, scenario)
+        with pytest.raises(ValueError):
+            session.run(np.zeros(3), np.ones(3), max_epochs=0)

@@ -1,0 +1,108 @@
+"""Unit tests for the LFSR and numpy samplers."""
+
+import numpy as np
+import pytest
+
+from repro.core.counters import OpCounter
+from repro.core.rng import LFSR16, LFSRSampler, NumpySampler
+
+
+class TestLFSR16:
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ValueError):
+            LFSR16(seed=0)
+
+    def test_state_stays_16_bit(self):
+        lfsr = LFSR16(seed=0xACE1)
+        for _ in range(100):
+            word = lfsr.next_word()
+            assert 0 <= word <= 0xFFFF
+
+    def test_never_reaches_zero(self):
+        lfsr = LFSR16(seed=1)
+        for _ in range(5000):
+            assert lfsr.next_word() != 0
+
+    def test_deterministic(self):
+        a, b = LFSR16(seed=123), LFSR16(seed=123)
+        assert [a.next_word() for _ in range(20)] == [b.next_word() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a, b = LFSR16(seed=123), LFSR16(seed=321)
+        assert [a.next_word() for _ in range(10)] != [b.next_word() for _ in range(10)]
+
+    def test_unit_range(self):
+        lfsr = LFSR16(seed=7)
+        for _ in range(200):
+            u = lfsr.next_unit()
+            assert 0.0 <= u < 1.0
+
+    def test_roughly_uniform(self):
+        lfsr = LFSR16(seed=42)
+        draws = np.array([lfsr.next_unit() for _ in range(2000)])
+        assert 0.4 < draws.mean() < 0.6
+        assert draws.std() > 0.2
+
+
+@pytest.mark.parametrize("sampler_cls", [LFSRSampler, NumpySampler])
+class TestSamplers:
+    def test_within_bounds(self, sampler_cls):
+        lo, hi = np.array([0.0, -1.0, 5.0]), np.array([10.0, 1.0, 6.0])
+        sampler = sampler_cls(lo, hi, seed=3)
+        for _ in range(200):
+            x = sampler.sample()
+            assert np.all(x >= lo) and np.all(x <= hi)
+
+    def test_counter_records_samples(self, sampler_cls):
+        sampler = sampler_cls(np.zeros(4), np.ones(4), seed=1)
+        counter = OpCounter()
+        for _ in range(10):
+            sampler.sample(counter=counter)
+        assert counter.events["sample"] == 10
+
+    def test_goal_bias_zero_never_returns_goal(self, sampler_cls):
+        sampler = sampler_cls(np.zeros(2), np.ones(2), seed=5)
+        goal = np.array([0.5, 0.5])
+        hits = sum(
+            np.allclose(sampler.sample_biased(goal, 0.0), goal) for _ in range(100)
+        )
+        assert hits == 0
+
+    def test_goal_bias_high_returns_goal_often(self, sampler_cls):
+        sampler = sampler_cls(np.zeros(2), np.ones(2), seed=5)
+        goal = np.array([0.25, 0.75])
+        hits = sum(
+            np.allclose(sampler.sample_biased(goal, 0.9), goal) for _ in range(200)
+        )
+        assert hits > 120
+
+    def test_invalid_bias_rejected(self, sampler_cls):
+        sampler = sampler_cls(np.zeros(2), np.ones(2), seed=1)
+        with pytest.raises(ValueError):
+            sampler.sample_biased(np.zeros(2), 1.0)
+
+    def test_invalid_bounds_rejected(self, sampler_cls):
+        with pytest.raises(ValueError):
+            sampler_cls(np.ones(2), np.zeros(2), seed=1)
+
+    def test_deterministic_with_seed(self, sampler_cls):
+        a = sampler_cls(np.zeros(3), np.ones(3), seed=11)
+        b = sampler_cls(np.zeros(3), np.ones(3), seed=11)
+        for _ in range(20):
+            np.testing.assert_allclose(a.sample(), b.sample())
+
+
+class TestLFSRSamplerSpecifics:
+    def test_dimensions_not_identical(self):
+        """Per-dimension LFSRs must not produce correlated coordinates."""
+        sampler = LFSRSampler(np.zeros(3), np.ones(3), seed=1)
+        draws = np.array([sampler.sample() for _ in range(200)])
+        corr = np.corrcoef(draws.T)
+        off_diag = corr[~np.eye(3, dtype=bool)]
+        assert np.all(np.abs(off_diag) < 0.3)
+
+    def test_covers_space(self):
+        sampler = LFSRSampler(np.zeros(2), np.full(2, 100.0), seed=9)
+        draws = np.array([sampler.sample() for _ in range(1000)])
+        assert draws.min() < 10.0
+        assert draws.max() > 90.0

@@ -1,0 +1,177 @@
+"""Unit tests for the five Section V robot models."""
+
+import numpy as np
+import pytest
+
+from repro.core.robots import (
+    ROBOT_FACTORIES,
+    WORKSPACE_SIZE,
+    all_robots,
+    get_robot,
+)
+
+# Paper Section V: (name, DoF, workspace dim, number of body OBBs).
+PAPER_SPECS = [
+    ("mobile2d", 3, 2, 1),
+    ("drone3d", 6, 3, 1),
+    ("viperx300", 5, 3, 3),
+    ("rozum", 6, 3, 4),
+    ("xarm7", 7, 3, 7),
+]
+
+
+class TestRegistry:
+    def test_all_five_paper_robots_present(self):
+        assert {name for name, *_ in PAPER_SPECS} <= set(ROBOT_FACTORIES)
+
+    def test_extension_robot_present(self):
+        # The 2-13 DoF envelope claim: a 13-DoF platform is registered too.
+        assert "dualarm13" in ROBOT_FACTORIES
+
+    def test_unknown_robot_raises(self):
+        with pytest.raises(KeyError):
+            get_robot("optimus")
+
+    def test_all_robots_ordering_by_use(self):
+        robots = all_robots()
+        assert len(robots) == 5
+        assert robots[0].name == "mobile2d"
+
+
+@pytest.mark.parametrize("name,dof,ws_dim,n_obbs", PAPER_SPECS)
+class TestPaperSpecs:
+    def test_dof_matches_paper(self, name, dof, ws_dim, n_obbs):
+        assert get_robot(name).dof == dof
+
+    def test_workspace_dim_matches_paper(self, name, dof, ws_dim, n_obbs):
+        assert get_robot(name).workspace_dim == ws_dim
+
+    def test_obb_count_matches_paper(self, name, dof, ws_dim, n_obbs):
+        robot = get_robot(name)
+        assert robot.num_body_obbs == n_obbs
+        mid = (robot.config_lo + robot.config_hi) / 2.0
+        assert len(robot.body_obbs(mid)) == n_obbs
+
+    def test_bounds_are_consistent(self, name, dof, ws_dim, n_obbs):
+        robot = get_robot(name)
+        assert robot.config_lo.shape == (dof,)
+        assert np.all(robot.config_lo < robot.config_hi)
+
+    def test_body_obbs_valid_at_random_configs(self, name, dof, ws_dim, n_obbs):
+        robot = get_robot(name)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            config = rng.uniform(robot.config_lo, robot.config_hi)
+            for obb in robot.body_obbs(config):
+                assert obb.dim == ws_dim
+                assert obb.is_valid()
+                assert np.all(obb.half_extents > 0)
+
+    def test_wrong_config_dim_rejected(self, name, dof, ws_dim, n_obbs):
+        robot = get_robot(name)
+        with pytest.raises(ValueError):
+            robot.body_obbs(np.zeros(dof + 1))
+
+
+class TestMobile2D:
+    def test_body_follows_position(self):
+        robot = get_robot("mobile2d")
+        body = robot.body_obbs(np.array([100.0, 200.0, 0.0]))[0]
+        np.testing.assert_allclose(body.center, [100.0, 200.0])
+
+    def test_body_rotates_with_heading(self):
+        robot = get_robot("mobile2d")
+        body = robot.body_obbs(np.array([0.0, 0.0, np.pi / 2]))[0]
+        np.testing.assert_allclose(body.rotation @ [1, 0], [0, 1], atol=1e-12)
+
+
+class TestDrone3D:
+    def test_body_follows_position(self):
+        robot = get_robot("drone3d")
+        config = np.array([10.0, 20.0, 30.0, 0.0, 0.0, 0.0])
+        body = robot.body_obbs(config)[0]
+        np.testing.assert_allclose(body.center, [10.0, 20.0, 30.0])
+
+
+class TestArms:
+    @pytest.mark.parametrize("name", ["viperx300", "rozum", "xarm7"])
+    def test_base_is_fixed(self, name):
+        """Joint motion must never move the arm's base region far."""
+        robot = get_robot(name)
+        rng = np.random.default_rng(1)
+        base = np.array([WORKSPACE_SIZE / 2, WORKSPACE_SIZE / 2, 20.0])
+        for _ in range(5):
+            config = rng.uniform(robot.config_lo, robot.config_hi)
+            first = robot.body_obbs(config)[0]
+            # The first body box stays within one link length of the base.
+            assert np.linalg.norm(first.center - base) < 80.0
+
+    @pytest.mark.parametrize("name", ["viperx300", "rozum", "xarm7"])
+    def test_joint_motion_moves_end_effector(self, name):
+        robot = get_robot(name)
+        zero = np.zeros(robot.dof)
+        moved = zero.copy()
+        moved[1] = 1.0  # shoulder-ish joint
+        end_a = robot.body_obbs(zero)[-1].center
+        end_b = robot.body_obbs(moved)[-1].center
+        assert np.linalg.norm(end_a - end_b) > 1.0
+
+    @pytest.mark.parametrize("name", ["viperx300", "rozum", "xarm7"])
+    def test_first_joint_rotation_preserves_reach(self, name):
+        """Rotating only the base joint must not change the arm's radius."""
+        robot = get_robot(name)
+        zero = np.zeros(robot.dof)
+        spun = zero.copy()
+        spun[0] = 1.3
+        base = np.array([WORKSPACE_SIZE / 2, WORKSPACE_SIZE / 2, 20.0])
+        r_a = np.linalg.norm(robot.body_obbs(zero)[-1].center - base)
+        r_b = np.linalg.norm(robot.body_obbs(spun)[-1].center - base)
+        assert r_a == pytest.approx(r_b, rel=1e-6)
+
+    def test_clip(self):
+        robot = get_robot("xarm7")
+        clipped = robot.clip(np.full(7, 100.0))
+        np.testing.assert_allclose(clipped, robot.config_hi)
+
+
+class TestDualArm13:
+    """The 13-DoF envelope robot (paper intro: RRT* covers 2-13 DoF)."""
+
+    def test_spec(self):
+        robot = get_robot("dualarm13")
+        assert robot.dof == 13
+        assert robot.workspace_dim == 3
+        assert robot.num_body_obbs == 11
+
+    def test_body_obbs_valid(self):
+        robot = get_robot("dualarm13")
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            config = rng.uniform(robot.config_lo, robot.config_hi)
+            obbs = robot.body_obbs(config)
+            assert len(obbs) == 11
+            for obb in obbs:
+                assert obb.is_valid()
+
+    def test_arms_move_independently(self):
+        robot = get_robot("dualarm13")
+        zero = np.zeros(13)
+        left_only = zero.copy()
+        left_only[1] = 1.0  # first left-arm joint
+        obbs_zero = robot.body_obbs(zero)
+        obbs_left = robot.body_obbs(left_only)
+        # Torso and right arm unchanged; left arm moved.
+        np.testing.assert_allclose(obbs_zero[0].center, obbs_left[0].center)
+        for i in range(6, 11):  # right-arm boxes
+            np.testing.assert_allclose(obbs_zero[i].center, obbs_left[i].center)
+        assert not np.allclose(obbs_zero[1].center, obbs_left[1].center)
+
+    def test_plans_in_free_space(self):
+        from repro.core import MopedEngine
+        from repro.core.world import Environment
+
+        robot = get_robot("dualarm13")
+        env = Environment(3, 300.0, [])
+        engine = MopedEngine(robot, env, max_samples=150, seed=0, goal_bias=0.25)
+        result = engine.plan(np.zeros(13), np.full(13, 0.5))
+        assert result.success

@@ -1,0 +1,121 @@
+"""Unit tests for shortcut path smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.core.collision import BruteOBBChecker
+from repro.core.metrics import path_length
+from repro.core.robots import get_robot
+from repro.core.smoothing import shortcut_smooth
+from repro.core.world import Environment
+from repro.geometry.obb import OBB
+
+
+@pytest.fixture
+def empty_checker():
+    robot = get_robot("mobile2d")
+    return BruteOBBChecker(robot, Environment(2, 300.0, []), motion_resolution=2.0)
+
+
+@pytest.fixture
+def wall_checker():
+    robot = get_robot("mobile2d")
+    wall = OBB(np.array([150.0, 150.0]), np.array([5.0, 120.0]), np.eye(2))
+    return BruteOBBChecker(robot, Environment(2, 300.0, [wall]), motion_resolution=2.0)
+
+
+def zigzag_path():
+    return [
+        np.array([20.0, 20.0, 0.0]),
+        np.array([60.0, 120.0, 0.0]),
+        np.array([100.0, 40.0, 0.0]),
+        np.array([120.0, 130.0, 0.0]),
+        np.array([140.0, 20.0, 0.0]),
+    ]
+
+
+class TestShortcutSmooth:
+    def test_free_space_collapses_to_straight_line(self, empty_checker):
+        path = zigzag_path()
+        smoothed, cost = shortcut_smooth(path, empty_checker, iterations=200, seed=0)
+        direct = float(np.linalg.norm(path[-1] - path[0]))
+        assert cost == pytest.approx(direct, rel=1e-6)
+        assert len(smoothed) == 2
+
+    def test_never_increases_cost(self, empty_checker):
+        path = zigzag_path()
+        smoothed, cost = shortcut_smooth(path, empty_checker, iterations=50, seed=1)
+        assert cost <= path_length(path) + 1e-9
+
+    def test_endpoints_preserved(self, empty_checker):
+        path = zigzag_path()
+        smoothed, _ = shortcut_smooth(path, empty_checker, iterations=100, seed=2)
+        np.testing.assert_allclose(smoothed[0], path[0])
+        np.testing.assert_allclose(smoothed[-1], path[-1])
+
+    def test_respects_obstacles(self, wall_checker):
+        # Path around the wall; direct shortcut would pass through it.
+        path = [
+            np.array([100.0, 150.0, 0.0]),
+            np.array([110.0, 282.0, 0.0]),
+            np.array([190.0, 282.0, 0.0]),
+            np.array([200.0, 150.0, 0.0]),
+        ]
+        smoothed, _ = shortcut_smooth(path, wall_checker, iterations=300, seed=3)
+        for a, b in zip(smoothed[:-1], smoothed[1:]):
+            assert not wall_checker.motion_in_collision(a, b)
+
+    def test_input_path_unmodified(self, empty_checker):
+        path = zigzag_path()
+        original = [p.copy() for p in path]
+        shortcut_smooth(path, empty_checker, iterations=100, seed=4)
+        for a, b in zip(path, original):
+            np.testing.assert_allclose(a, b)
+
+    def test_two_waypoint_path_is_noop(self, empty_checker):
+        path = [np.array([0.0, 0.0, 0.0]), np.array([10.0, 0.0, 0.0])]
+        smoothed, cost = shortcut_smooth(path, empty_checker, iterations=10, seed=5)
+        assert len(smoothed) == 2
+        assert cost == pytest.approx(10.0)
+
+    def test_rejects_short_path(self, empty_checker):
+        with pytest.raises(ValueError):
+            shortcut_smooth([np.zeros(3)], empty_checker)
+
+    def test_rejects_negative_iterations(self, empty_checker):
+        with pytest.raises(ValueError):
+            shortcut_smooth(zigzag_path(), empty_checker, iterations=-1)
+
+    def test_zero_iterations_is_identity(self, empty_checker):
+        path = zigzag_path()
+        smoothed, cost = shortcut_smooth(path, empty_checker, iterations=0)
+        assert len(smoothed) == len(path)
+        assert cost == pytest.approx(path_length(path))
+
+    def test_counter_charges_collision_checks(self, empty_checker):
+        from repro.core.counters import OpCounter
+
+        counter = OpCounter()
+        # No obstacles -> checker never records SAT ops; use the wall fixture
+        # pattern inline to get real checks counted.
+        robot = get_robot("mobile2d")
+        wall = OBB(np.array([150.0, 20.0]), np.array([5.0, 10.0]), np.eye(2))
+        checker = BruteOBBChecker(robot, Environment(2, 300.0, [wall]), motion_resolution=5.0)
+        shortcut_smooth(zigzag_path(), checker, iterations=20, seed=6, counter=counter)
+        assert counter.events.get("sat_obb_obb", 0) > 0
+
+    def test_smooths_planner_output(self, empty_checker):
+        """End-to-end: smoothing a real planner path reduces its cost."""
+        from repro import MopedEngine, get_robot
+        from repro.workloads import random_task
+
+        task = random_task("mobile2d", 8, seed=6)
+        robot = get_robot("mobile2d")
+        checker = BruteOBBChecker(robot, task.environment, motion_resolution=3.0)
+        result = MopedEngine(robot, task.environment, max_samples=400, seed=0,
+                             goal_bias=0.1).plan_task(task)
+        if result.success:
+            smoothed, cost = shortcut_smooth(result.path, checker, iterations=150, seed=7)
+            assert cost <= result.path_cost + 1e-9
+            for a, b in zip(smoothed[:-1], smoothed[1:]):
+                assert not checker.motion_in_collision(a, b)

@@ -1,0 +1,114 @@
+"""Unit tests for trajectory time-parameterization."""
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import Trajectory, time_parameterize
+
+
+def straight_path(length=10.0, dim=2):
+    return [np.zeros(dim), np.array([length] + [0.0] * (dim - 1))]
+
+
+class TestValidation:
+    def test_rejects_short_path(self):
+        with pytest.raises(ValueError):
+            time_parameterize([np.zeros(2)], max_speed=1.0, max_accel=1.0)
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ValueError):
+            time_parameterize(straight_path(), max_speed=0.0, max_accel=1.0)
+        with pytest.raises(ValueError):
+            time_parameterize(straight_path(), max_speed=1.0, max_accel=-1.0)
+
+    def test_rejects_zero_length_path(self):
+        with pytest.raises(ValueError):
+            time_parameterize([np.zeros(2), np.zeros(2)], max_speed=1.0, max_accel=1.0)
+
+    def test_skips_duplicate_waypoints(self):
+        path = [np.zeros(2), np.zeros(2), np.array([5.0, 0.0])]
+        traj = time_parameterize(path, max_speed=1.0, max_accel=1.0)
+        assert len(traj.segments) == 1
+
+
+class TestProfiles:
+    def test_trapezoid_for_long_segment(self):
+        # v=2, a=1: ramp distance = 4; length 10 -> trapezoid.
+        traj = time_parameterize(straight_path(10.0), max_speed=2.0, max_accel=1.0)
+        seg = traj.segments[0]
+        assert seg.peak_speed == pytest.approx(2.0)
+        assert seg.cruise_time > 0.0
+        # ramp 2s + 2s + cruise (10-4)/2 = 3s -> 7s.
+        assert seg.duration == pytest.approx(7.0)
+
+    def test_triangle_for_short_segment(self):
+        # length 1 < ramp distance 4 -> triangular profile.
+        traj = time_parameterize(straight_path(1.0), max_speed=2.0, max_accel=1.0)
+        seg = traj.segments[0]
+        assert seg.cruise_time == 0.0
+        assert seg.peak_speed == pytest.approx(1.0)  # sqrt(1*1)
+        assert seg.duration == pytest.approx(2.0)
+
+    def test_duration_monotone_in_length(self):
+        short = time_parameterize(straight_path(5.0), 2.0, 1.0).duration
+        long = time_parameterize(straight_path(20.0), 2.0, 1.0).duration
+        assert long > short
+
+    def test_faster_limits_reduce_duration(self):
+        slow = time_parameterize(straight_path(10.0), 1.0, 1.0).duration
+        fast = time_parameterize(straight_path(10.0), 4.0, 4.0).duration
+        assert fast < slow
+
+    def test_total_length_preserved(self):
+        path = [np.zeros(2), np.array([3.0, 4.0]), np.array([3.0, 10.0])]
+        traj = time_parameterize(path, 2.0, 1.0)
+        assert traj.length == pytest.approx(11.0)
+
+
+class TestStateAt:
+    @pytest.fixture
+    def traj(self):
+        return time_parameterize(straight_path(10.0), max_speed=2.0, max_accel=1.0)
+
+    def test_endpoints(self, traj):
+        np.testing.assert_allclose(traj.state_at(0.0), [0.0, 0.0])
+        np.testing.assert_allclose(traj.state_at(traj.duration), [10.0, 0.0])
+
+    def test_clamps_outside_span(self, traj):
+        np.testing.assert_allclose(traj.state_at(-5.0), [0.0, 0.0])
+        np.testing.assert_allclose(traj.state_at(traj.duration + 5.0), [10.0, 0.0])
+
+    def test_midpoint_by_symmetry(self, traj):
+        mid = traj.state_at(traj.duration / 2.0)
+        np.testing.assert_allclose(mid, [5.0, 0.0], atol=1e-9)
+
+    def test_position_monotone(self, traj):
+        times = np.linspace(0.0, traj.duration, 50)
+        xs = [traj.state_at(float(t))[0] for t in times]
+        assert all(b >= a - 1e-9 for a, b in zip(xs, xs[1:]))
+
+    def test_speed_limit_respected(self, traj):
+        times = np.linspace(0.0, traj.duration, 200)
+        xs = np.array([traj.state_at(float(t)) for t in times])
+        speeds = np.linalg.norm(np.diff(xs, axis=0), axis=1) / np.diff(times)
+        assert speeds.max() <= 2.0 + 1e-6
+
+    def test_multi_segment_stops_at_waypoints(self):
+        path = [np.zeros(2), np.array([5.0, 0.0]), np.array([5.0, 5.0])]
+        traj = time_parameterize(path, 2.0, 1.0)
+        # At the end of segment one the robot is exactly at the waypoint.
+        t1 = traj.segments[0].duration
+        np.testing.assert_allclose(traj.state_at(t1), [5.0, 0.0], atol=1e-9)
+
+    def test_planner_path_integration(self):
+        from repro import MopedEngine, get_robot
+        from repro.workloads import random_task
+
+        task = random_task("mobile2d", 8, seed=7)
+        robot = get_robot("mobile2d")
+        result = MopedEngine(robot, task.environment, max_samples=300, seed=0,
+                             goal_bias=0.2).plan_task(task)
+        if result.success:
+            traj = time_parameterize(result.path, max_speed=20.0, max_accel=10.0)
+            assert traj.duration > 0
+            np.testing.assert_allclose(traj.state_at(0.0), result.path[0])

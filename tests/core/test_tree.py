@@ -1,0 +1,168 @@
+"""Unit and property tests for the EXP-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tree import ExpTree
+
+
+def build_chain(n=5):
+    """Root -> 1 -> 2 -> ... -> n-1, unit edges along x."""
+    tree = ExpTree(np.zeros(2))
+    for i in range(1, n):
+        tree.add(np.array([float(i), 0.0]), parent_id=i - 1, edge_cost=1.0)
+    return tree
+
+
+class TestBasics:
+    def test_root_only(self):
+        tree = ExpTree(np.array([1.0, 2.0]))
+        assert len(tree) == 1
+        assert tree.cost(0) == 0.0
+        assert tree.parent(0) is None
+        np.testing.assert_allclose(tree.point(0), [1.0, 2.0])
+
+    def test_add_accumulates_cost(self):
+        tree = build_chain(4)
+        assert tree.cost(3) == pytest.approx(3.0)
+        assert tree.parent(3) == 2
+
+    def test_add_rejects_bad_parent(self):
+        tree = ExpTree(np.zeros(2))
+        with pytest.raises(IndexError):
+            tree.add(np.ones(2), parent_id=5, edge_cost=1.0)
+
+    def test_add_rejects_negative_cost(self):
+        tree = ExpTree(np.zeros(2))
+        with pytest.raises(ValueError):
+            tree.add(np.ones(2), parent_id=0, edge_cost=-1.0)
+
+    def test_add_rejects_wrong_dim(self):
+        tree = ExpTree(np.zeros(2))
+        with pytest.raises(ValueError):
+            tree.add(np.ones(3), parent_id=0, edge_cost=1.0)
+
+    def test_children_tracking(self):
+        tree = ExpTree(np.zeros(2))
+        a = tree.add(np.array([1.0, 0.0]), 0, 1.0)
+        b = tree.add(np.array([0.0, 1.0]), 0, 1.0)
+        assert tree.children(0) == {a, b}
+        assert tree.children(a) == set()
+
+    def test_depth(self):
+        tree = build_chain(5)
+        assert tree.depth(0) == 0
+        assert tree.depth(4) == 4
+
+    def test_path_to(self):
+        tree = build_chain(4)
+        path = tree.path_to(3)
+        assert len(path) == 4
+        np.testing.assert_allclose(path[0], [0.0, 0.0])
+        np.testing.assert_allclose(path[-1], [3.0, 0.0])
+
+
+class TestRewire:
+    def test_rewire_reduces_cost(self):
+        # Root, A far from root, B close to both; rewiring A under B helps.
+        tree = ExpTree(np.zeros(2))
+        a = tree.add(np.array([3.0, 4.0]), 0, 5.0)  # cost 5
+        b = tree.add(np.array([3.0, 0.0]), 0, 3.0)  # cost 3
+        tree.rewire(a, b, 4.0)  # new cost 7? no: use a cheaper edge
+        assert tree.parent(a) == b
+        assert tree.cost(a) == pytest.approx(7.0)
+
+    def test_rewire_propagates_to_descendants(self):
+        tree = ExpTree(np.zeros(1))
+        a = tree.add(np.array([10.0]), 0, 10.0)
+        c = tree.add(np.array([11.0]), a, 1.0)  # cost 11
+        b = tree.add(np.array([5.0]), 0, 5.0)
+        tree.rewire(a, b, 2.0)  # a cost 7
+        assert tree.cost(a) == pytest.approx(7.0)
+        assert tree.cost(c) == pytest.approx(8.0)
+
+    def test_rewire_root_rejected(self):
+        tree = build_chain(3)
+        with pytest.raises(ValueError):
+            tree.rewire(0, 1, 1.0)
+
+    def test_rewire_cycle_rejected(self):
+        tree = build_chain(4)
+        with pytest.raises(ValueError):
+            tree.rewire(1, 3, 1.0)  # 3 is a descendant of 1
+
+    def test_rewire_self_rejected(self):
+        tree = build_chain(3)
+        with pytest.raises(ValueError):
+            tree.rewire(1, 1, 1.0)
+
+    def test_rewire_negative_cost_rejected(self):
+        tree = build_chain(3)
+        with pytest.raises(ValueError):
+            tree.rewire(2, 0, -1.0)
+
+    def test_old_parent_loses_child(self):
+        tree = ExpTree(np.zeros(1))
+        a = tree.add(np.array([1.0]), 0, 1.0)
+        b = tree.add(np.array([2.0]), a, 1.0)
+        c = tree.add(np.array([3.0]), 0, 3.0)
+        tree.rewire(b, c, 1.0)
+        assert b not in tree.children(a)
+        assert b in tree.children(c)
+
+
+class TestValidate:
+    def test_consistent_tree_passes(self):
+        tree = ExpTree(np.zeros(2))
+        rng = np.random.default_rng(0)
+        for i in range(50):
+            parent = int(rng.integers(0, len(tree)))
+            point = tree.point(parent) + rng.normal(scale=1.0, size=2)
+            edge = float(np.linalg.norm(point - tree.point(parent)))
+            tree.add(point, parent, edge)
+        tree.validate()
+
+    def test_validate_after_rewires(self):
+        rng = np.random.default_rng(1)
+        tree = ExpTree(np.zeros(2))
+        for i in range(30):
+            parent = int(rng.integers(0, len(tree)))
+            point = tree.point(parent) + rng.normal(scale=1.0, size=2)
+            tree.add(point, parent, float(np.linalg.norm(point - tree.point(parent))))
+        # Random legal rewires with geometric edge costs.
+        for _ in range(20):
+            node = int(rng.integers(1, len(tree)))
+            target = int(rng.integers(0, len(tree)))
+            if node == target:
+                continue
+            try:
+                edge = float(np.linalg.norm(tree.point(node) - tree.point(target)))
+                tree.rewire(node, target, edge)
+            except ValueError:
+                continue
+        tree.validate()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1), st.integers(min_value=2, max_value=60))
+def test_tree_invariants_hold_under_random_ops(seed, n_ops):
+    """Property: random adds + legal rewires keep the tree valid."""
+    rng = np.random.default_rng(seed)
+    tree = ExpTree(np.zeros(3))
+    for _ in range(n_ops):
+        if len(tree) > 2 and rng.random() < 0.3:
+            node = int(rng.integers(1, len(tree)))
+            target = int(rng.integers(0, len(tree)))
+            edge = float(np.linalg.norm(tree.point(node) - tree.point(target)))
+            try:
+                tree.rewire(node, target, edge)
+            except ValueError:
+                pass  # cycle attempts are expected and rejected
+        else:
+            parent = int(rng.integers(0, len(tree)))
+            point = tree.point(parent) + rng.normal(scale=1.0, size=3)
+            edge = float(np.linalg.norm(point - tree.point(parent)))
+            tree.add(point, parent, edge)
+    tree.validate()

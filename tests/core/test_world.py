@@ -1,0 +1,69 @@
+"""Unit tests for environments and tasks."""
+
+import numpy as np
+import pytest
+
+from repro.core.world import Environment, PlanningTask
+from repro.geometry.obb import OBB
+from repro.geometry.rotations import rotation_from_euler
+
+
+def obb3(center, half=(5.0, 5.0, 5.0), yaw=0.3):
+    return OBB(np.asarray(center, float), np.asarray(half, float), rotation_from_euler(yaw))
+
+
+class TestEnvironment:
+    def test_basic_construction(self):
+        env = Environment(3, 300.0, [obb3([50, 50, 50])])
+        assert env.num_obstacles == 1
+        assert env.workspace_dim == 3
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            Environment(4, 300.0, [])
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            Environment(3, 0.0, [])
+
+    def test_rejects_obstacle_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            Environment(2, 300.0, [obb3([50, 50, 50])])
+
+    def test_obstacle_aabbs_cover_obbs(self):
+        env = Environment(3, 300.0, [obb3([50, 50, 50]), obb3([100, 100, 100], yaw=1.0)])
+        for obb, aabb in zip(env.obstacles, env.obstacle_aabbs):
+            for corner in obb.corners():
+                assert aabb.contains_point(corner)
+
+    def test_rtree_is_cached_and_valid(self):
+        env = Environment(3, 300.0, [obb3([30 * i + 20, 50, 50]) for i in range(8)])
+        tree1 = env.rtree
+        tree2 = env.rtree
+        assert tree1 is tree2
+        tree1.validate()
+        assert len(tree1) == 8
+
+    def test_empty_environment(self):
+        env = Environment(3, 300.0, [])
+        assert env.obstacle_aabbs == []
+        assert len(env.rtree) == 0
+
+    def test_bounds(self):
+        env = Environment(2, 100.0, [])
+        bounds = env.bounds()
+        np.testing.assert_allclose(bounds.lo, [0.0, 0.0])
+        np.testing.assert_allclose(bounds.hi, [100.0, 100.0])
+
+
+class TestPlanningTask:
+    def test_construction(self):
+        env = Environment(2, 300.0, [])
+        task = PlanningTask("mobile2d", env, np.zeros(3), np.ones(3), task_id=7)
+        assert task.task_id == 7
+        np.testing.assert_allclose(task.goal, np.ones(3))
+
+    def test_rejects_mismatched_start_goal(self):
+        env = Environment(2, 300.0, [])
+        with pytest.raises(ValueError):
+            PlanningTask("mobile2d", env, np.zeros(3), np.ones(4))

@@ -1,0 +1,121 @@
+"""Unit tests for axis-aligned bounding boxes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import AABB, aabb_of_points, aabb_union
+
+
+def box(lo, hi):
+    return AABB(np.asarray(lo, dtype=float), np.asarray(hi, dtype=float))
+
+
+class TestConstruction:
+    def test_rejects_inverted_corners(self):
+        with pytest.raises(ValueError):
+            box([1.0, 0.0], [0.0, 1.0])
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            AABB(np.zeros(2), np.ones(3))
+
+    def test_from_center_round_trips(self):
+        b = AABB.from_center([5.0, 5.0, 5.0], [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(b.center, [5.0, 5.0, 5.0])
+        np.testing.assert_allclose(b.half_extents, [1.0, 2.0, 3.0])
+
+    def test_from_center_rejects_negative_half_extents(self):
+        with pytest.raises(ValueError):
+            AABB.from_center([0.0, 0.0], [-1.0, 1.0])
+
+    def test_degenerate_box_allowed(self):
+        b = box([1.0, 1.0], [1.0, 1.0])
+        assert b.volume() == 0.0
+        assert b.contains_point(np.array([1.0, 1.0]))
+
+
+class TestGeometryQueries:
+    def test_volume_2d(self):
+        assert box([0, 0], [2, 3]).volume() == pytest.approx(6.0)
+
+    def test_volume_3d(self):
+        assert box([0, 0, 0], [2, 3, 4]).volume() == pytest.approx(24.0)
+
+    def test_margin(self):
+        assert box([0, 0, 0], [2, 3, 4]).margin() == pytest.approx(9.0)
+
+    def test_contains_point_boundary(self):
+        b = box([0, 0], [1, 1])
+        assert b.contains_point(np.array([1.0, 0.0]))
+        assert not b.contains_point(np.array([1.0001, 0.0]))
+
+    def test_contains_aabb(self):
+        outer = box([0, 0], [10, 10])
+        inner = box([1, 1], [2, 2])
+        assert outer.contains_aabb(inner)
+        assert not inner.contains_aabb(outer)
+
+    def test_corners_count_and_membership(self):
+        b = box([0, 0, 0], [1, 2, 3])
+        corners = b.corners()
+        assert corners.shape == (8, 3)
+        for corner in corners:
+            assert b.contains_point(corner)
+
+
+class TestIntersection:
+    def test_overlapping(self):
+        assert box([0, 0], [2, 2]).intersects(box([1, 1], [3, 3]))
+
+    def test_touching_counts_as_intersecting(self):
+        assert box([0, 0], [1, 1]).intersects(box([1, 0], [2, 1]))
+
+    def test_disjoint(self):
+        assert not box([0, 0], [1, 1]).intersects(box([2, 2], [3, 3]))
+
+    def test_disjoint_on_one_axis_only(self):
+        # Overlap in x, gap in y.
+        assert not box([0, 0], [5, 1]).intersects(box([1, 2], [2, 3]))
+
+    def test_intersection_is_symmetric(self):
+        a, b = box([0, 0], [2, 2]), box([1, 1], [3, 3])
+        assert a.intersects(b) == b.intersects(a)
+
+
+class TestUnionAndEnlargement:
+    def test_union_covers_both(self):
+        a, b = box([0, 0], [1, 1]), box([2, 2], [3, 3])
+        u = a.union(b)
+        assert u.contains_aabb(a) and u.contains_aabb(b)
+
+    def test_expanded_to_interior_point_is_noop(self):
+        b = box([0, 0], [2, 2])
+        e = b.expanded_to(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(e.lo, b.lo)
+        np.testing.assert_allclose(e.hi, b.hi)
+
+    def test_enlargement_zero_for_contained_point(self):
+        assert box([0, 0], [2, 2]).enlargement(np.array([1.0, 1.0])) == pytest.approx(0.0)
+
+    def test_enlargement_positive_for_outside_point(self):
+        assert box([0, 0], [2, 2]).enlargement(np.array([4.0, 1.0])) > 0.0
+
+    def test_aabb_of_points(self):
+        pts = np.array([[0.0, 5.0], [2.0, 1.0], [-1.0, 3.0]])
+        b = aabb_of_points(pts)
+        np.testing.assert_allclose(b.lo, [-1.0, 1.0])
+        np.testing.assert_allclose(b.hi, [2.0, 5.0])
+
+    def test_aabb_of_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aabb_of_points(np.empty((0, 2)))
+
+    def test_aabb_union_multiple(self):
+        boxes = [box([0, 0], [1, 1]), box([5, -2], [6, 0]), box([2, 2], [3, 9])]
+        u = aabb_union(boxes)
+        np.testing.assert_allclose(u.lo, [0.0, -2.0])
+        np.testing.assert_allclose(u.hi, [6.0, 9.0])
+
+    def test_aabb_union_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aabb_union([])

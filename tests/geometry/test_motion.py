@@ -1,0 +1,51 @@
+"""Unit tests for swept-movement discretisation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import interpolate_configs, motion_steps
+
+
+class TestMotionSteps:
+    def test_counts_by_resolution(self):
+        assert motion_steps(np.zeros(2), np.array([1.0, 0.0]), resolution=0.25) == 4
+
+    def test_rounds_up(self):
+        assert motion_steps(np.zeros(2), np.array([1.0, 0.0]), resolution=0.3) == 4
+
+    def test_zero_length_has_one_step(self):
+        assert motion_steps(np.ones(3), np.ones(3), resolution=0.5) == 1
+
+    def test_rejects_nonpositive_resolution(self):
+        with pytest.raises(ValueError):
+            motion_steps(np.zeros(2), np.ones(2), resolution=0.0)
+
+
+class TestInterpolate:
+    def test_includes_both_endpoints(self):
+        configs = interpolate_configs(np.zeros(2), np.array([1.0, 2.0]), resolution=0.5)
+        np.testing.assert_allclose(configs[0], [0.0, 0.0])
+        np.testing.assert_allclose(configs[-1], [1.0, 2.0])
+
+    def test_uniform_spacing(self):
+        configs = interpolate_configs(np.zeros(2), np.array([2.0, 0.0]), resolution=0.5)
+        gaps = np.linalg.norm(np.diff(configs, axis=0), axis=1)
+        np.testing.assert_allclose(gaps, gaps[0])
+        assert gaps[0] <= 0.5 + 1e-12
+
+    def test_spacing_never_exceeds_resolution(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            start, end = rng.uniform(-5, 5, 4), rng.uniform(-5, 5, 4)
+            configs = interpolate_configs(start, end, resolution=0.7)
+            gaps = np.linalg.norm(np.diff(configs, axis=0), axis=1)
+            assert np.all(gaps <= 0.7 + 1e-9)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            interpolate_configs(np.zeros(2), np.zeros(3), resolution=0.5)
+
+    def test_high_dim(self):
+        configs = interpolate_configs(np.zeros(7), np.ones(7), resolution=0.1)
+        assert configs.shape[1] == 7
+        assert configs.shape[0] >= 27

@@ -1,0 +1,130 @@
+"""Unit tests for oriented bounding boxes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import AABB, OBB, obb_from_aabb
+from repro.geometry.rotations import random_rotation_3d, rotation_2d, rotation_from_euler
+
+
+class TestConstruction:
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            OBB(np.zeros(1), np.ones(1), np.eye(1))
+
+    def test_rejects_negative_extents(self):
+        with pytest.raises(ValueError):
+            OBB(np.zeros(3), np.array([1.0, -1.0, 1.0]), np.eye(3))
+
+    def test_rejects_rotation_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            OBB(np.zeros(3), np.ones(3), np.eye(2))
+
+    def test_dim_property(self):
+        assert OBB(np.zeros(2), np.ones(2), np.eye(2)).dim == 2
+        assert OBB(np.zeros(3), np.ones(3), np.eye(3)).dim == 3
+
+
+class TestCornersAndContainment:
+    def test_axis_aligned_corners(self):
+        b = OBB(np.zeros(2), np.array([1.0, 2.0]), np.eye(2))
+        corners = b.corners()
+        assert corners.shape == (4, 2)
+        assert set(map(tuple, np.round(corners, 9))) == {
+            (-1.0, -2.0),
+            (1.0, -2.0),
+            (-1.0, 2.0),
+            (1.0, 2.0),
+        }
+
+    def test_rotated_corners_are_contained(self):
+        b = OBB(np.array([5.0, 5.0]), np.array([2.0, 1.0]), rotation_2d(0.7))
+        for corner in b.corners():
+            assert b.contains_point(corner)
+
+    def test_contains_center(self):
+        b = OBB(np.array([1.0, 2.0, 3.0]), np.ones(3), rotation_from_euler(0.5, 0.2, 0.1))
+        assert b.contains_point(b.center)
+
+    def test_does_not_contain_far_point(self):
+        b = OBB(np.zeros(3), np.ones(3), np.eye(3))
+        assert not b.contains_point(np.array([10.0, 0.0, 0.0]))
+
+    def test_volume(self):
+        b = OBB(np.zeros(3), np.array([1.0, 2.0, 3.0]), random_rotation_3d(np.random.default_rng(1)))
+        assert b.volume() == pytest.approx(48.0)
+
+
+class TestToAABB:
+    def test_identity_rotation_matches(self):
+        b = OBB(np.array([1.0, 2.0]), np.array([3.0, 4.0]), np.eye(2))
+        aabb = b.to_aabb()
+        np.testing.assert_allclose(aabb.lo, [-2.0, -2.0])
+        np.testing.assert_allclose(aabb.hi, [4.0, 6.0])
+
+    def test_aabb_contains_all_corners(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            b = OBB(rng.uniform(-5, 5, 3), rng.uniform(0.1, 3, 3), random_rotation_3d(rng))
+            aabb = b.to_aabb()
+            for corner in b.corners():
+                assert aabb.contains_point(corner)
+
+    def test_aabb_is_tight(self):
+        # A 45-degree rotated unit square has a sqrt(2)-halfwidth AABB.
+        b = OBB(np.zeros(2), np.ones(2), rotation_2d(math.pi / 4))
+        np.testing.assert_allclose(b.to_aabb().half_extents, [math.sqrt(2)] * 2, atol=1e-12)
+
+
+class TestValueLayout:
+    def test_3d_round_trip_is_15_values(self):
+        b = OBB(np.array([1.0, 2.0, 3.0]), np.array([4.0, 5.0, 6.0]), rotation_from_euler(0.3))
+        values = b.to_values()
+        assert values.shape == (15,)
+        back = OBB.from_values(values, dim=3)
+        np.testing.assert_allclose(back.center, b.center)
+        np.testing.assert_allclose(back.rotation, b.rotation)
+
+    def test_2d_round_trip_is_8_values(self):
+        b = OBB(np.array([1.0, 2.0]), np.array([3.0, 4.0]), rotation_2d(1.0))
+        values = b.to_values()
+        assert values.shape == (8,)
+        back = OBB.from_values(values, dim=2)
+        np.testing.assert_allclose(back.half_extents, b.half_extents)
+
+    def test_from_values_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            OBB.from_values(np.zeros(10), dim=3)
+
+
+class TestTransformed:
+    def test_translation_moves_center(self):
+        b = OBB(np.zeros(3), np.ones(3), np.eye(3))
+        t = b.transformed(np.eye(3), np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(t.center, [1.0, 2.0, 3.0])
+
+    def test_rotation_composes(self):
+        b = OBB(np.array([1.0, 0.0, 0.0]), np.ones(3), np.eye(3))
+        r = rotation_from_euler(math.pi / 2)
+        t = b.transformed(r, np.zeros(3))
+        np.testing.assert_allclose(t.center, [0.0, 1.0, 0.0], atol=1e-12)
+        np.testing.assert_allclose(t.rotation, r, atol=1e-12)
+
+    def test_transformed_preserves_validity(self):
+        rng = np.random.default_rng(3)
+        b = OBB(np.zeros(3), np.ones(3), random_rotation_3d(rng))
+        t = b.transformed(random_rotation_3d(rng), rng.uniform(-5, 5, 3))
+        assert t.is_valid()
+
+
+class TestObbFromAabb:
+    def test_round_trip(self):
+        aabb = AABB(np.array([0.0, 1.0]), np.array([4.0, 5.0]))
+        b = obb_from_aabb(aabb)
+        np.testing.assert_allclose(b.center, [2.0, 3.0])
+        np.testing.assert_allclose(b.half_extents, [2.0, 2.0])
+        back = b.to_aabb()
+        np.testing.assert_allclose(back.lo, aabb.lo)
+        np.testing.assert_allclose(back.hi, aabb.hi)

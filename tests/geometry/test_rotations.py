@@ -1,0 +1,94 @@
+"""Unit tests for rotation helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.rotations import (
+    is_rotation_matrix,
+    random_rotation_2d,
+    random_rotation_3d,
+    rotation_2d,
+    rotation_about_axis,
+    rotation_from_euler,
+)
+
+
+class TestRotation2D:
+    def test_identity_at_zero(self):
+        np.testing.assert_allclose(rotation_2d(0.0), np.eye(2), atol=1e-12)
+
+    def test_quarter_turn(self):
+        r = rotation_2d(math.pi / 2)
+        np.testing.assert_allclose(r @ np.array([1.0, 0.0]), [0.0, 1.0], atol=1e-12)
+
+    def test_is_proper_rotation(self):
+        assert is_rotation_matrix(rotation_2d(1.234))
+
+
+class TestRotationEuler:
+    def test_identity_at_zero(self):
+        np.testing.assert_allclose(rotation_from_euler(0.0, 0.0, 0.0), np.eye(3), atol=1e-12)
+
+    def test_pure_yaw_rotates_x_to_y(self):
+        r = rotation_from_euler(math.pi / 2)
+        np.testing.assert_allclose(r @ np.array([1.0, 0.0, 0.0]), [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_pure_roll_rotates_y_to_z(self):
+        r = rotation_from_euler(0.0, 0.0, math.pi / 2)
+        np.testing.assert_allclose(r @ np.array([0.0, 1.0, 0.0]), [0.0, 0.0, 1.0], atol=1e-12)
+
+    def test_is_proper_rotation(self):
+        assert is_rotation_matrix(rotation_from_euler(0.3, -0.8, 2.1))
+
+
+class TestRotationAboutAxis:
+    def test_matches_yaw(self):
+        np.testing.assert_allclose(
+            rotation_about_axis(np.array([0.0, 0.0, 1.0]), 0.7),
+            rotation_from_euler(0.7),
+            atol=1e-12,
+        )
+
+    def test_axis_is_fixed(self):
+        axis = np.array([1.0, 2.0, 3.0]) / math.sqrt(14.0)
+        r = rotation_about_axis(axis, 1.1)
+        np.testing.assert_allclose(r @ axis, axis, atol=1e-12)
+
+    def test_rejects_zero_axis(self):
+        with pytest.raises(ValueError):
+            rotation_about_axis(np.zeros(3), 1.0)
+
+    def test_non_unit_axis_is_normalised(self):
+        r1 = rotation_about_axis(np.array([0.0, 0.0, 5.0]), 0.4)
+        r2 = rotation_about_axis(np.array([0.0, 0.0, 1.0]), 0.4)
+        np.testing.assert_allclose(r1, r2, atol=1e-12)
+
+
+class TestRandomRotations:
+    def test_random_2d_is_rotation(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert is_rotation_matrix(random_rotation_2d(rng))
+
+    def test_random_3d_is_rotation(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert is_rotation_matrix(random_rotation_3d(rng))
+
+    def test_seeded_reproducibility(self):
+        a = random_rotation_3d(np.random.default_rng(42))
+        b = random_rotation_3d(np.random.default_rng(42))
+        np.testing.assert_allclose(a, b)
+
+
+class TestIsRotationMatrix:
+    def test_rejects_reflection(self):
+        assert not is_rotation_matrix(np.diag([1.0, -1.0]))
+
+    def test_rejects_scaled_matrix(self):
+        assert not is_rotation_matrix(2.0 * np.eye(3))
+
+    def test_rejects_wrong_shape(self):
+        assert not is_rotation_matrix(np.eye(4))

@@ -1,0 +1,194 @@
+"""Unit and property tests for the SAT collision kernels.
+
+The property tests validate the SAT implementation against a dense
+point-sampling ground truth: if any sampled point of box A lies inside box B
+(or vice versa), SAT must report intersection.  The converse (SAT says
+intersect but sampling finds no shared point) is only checked with a margin,
+since thin overlaps can slip between samples.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import AABB, OBB
+from repro.geometry.sat import (
+    aabb_intersects_aabb,
+    aabb_intersects_obb,
+    obb_intersects_obb,
+    sat_axis_count,
+)
+from repro.geometry.rotations import random_rotation_3d, rotation_2d, rotation_from_euler
+
+
+def unit_obb(center, rotation=None, dim=3, half=1.0):
+    center = np.asarray(center, dtype=float)
+    rotation = rotation if rotation is not None else np.eye(dim)
+    return OBB(center, np.full(dim, half), rotation)
+
+
+class TestAxisCount:
+    def test_3d_is_15(self):
+        assert sat_axis_count(3, aligned=False) == 15
+        assert sat_axis_count(3, aligned=True) == 15
+
+    def test_2d_is_4(self):
+        assert sat_axis_count(2, aligned=False) == 4
+
+    def test_rejects_other_dims(self):
+        with pytest.raises(ValueError):
+            sat_axis_count(4, aligned=False)
+
+
+class TestObbObb3D:
+    def test_identical_boxes_intersect(self):
+        a = unit_obb([0, 0, 0])
+        assert obb_intersects_obb(a, a)
+
+    def test_far_apart_disjoint(self):
+        assert not obb_intersects_obb(unit_obb([0, 0, 0]), unit_obb([10, 0, 0]))
+
+    def test_face_touching_intersects(self):
+        assert obb_intersects_obb(unit_obb([0, 0, 0]), unit_obb([2.0, 0, 0]))
+
+    def test_just_separated(self):
+        assert not obb_intersects_obb(unit_obb([0, 0, 0]), unit_obb([2.001, 0, 0]))
+
+    def test_rotated_corner_overlap(self):
+        # 45-degree rotated box reaches sqrt(2) along x: centres 2.4 apart overlap.
+        r = rotation_from_euler(math.pi / 4)
+        a = unit_obb([0, 0, 0])
+        b = unit_obb([2.4, 0, 0], rotation=r)
+        assert obb_intersects_obb(a, b)
+
+    def test_rotated_diagonal_separation(self):
+        # Same rotation but centres 2.5 apart: 1 + sqrt(2) = 2.414 < 2.5.
+        r = rotation_from_euler(math.pi / 4)
+        a = unit_obb([0, 0, 0])
+        b = unit_obb([2.5, 0, 0], rotation=r)
+        assert not obb_intersects_obb(a, b)
+
+    def test_edge_cross_axis_case(self):
+        # A classic case only resolvable via an edge-edge cross-product axis:
+        # two long thin rods rotated to pass near each other.
+        a = OBB(np.zeros(3), np.array([5.0, 0.1, 0.1]), np.eye(3))
+        b = OBB(
+            np.array([0.0, 0.0, 0.5]),
+            np.array([5.0, 0.1, 0.1]),
+            rotation_from_euler(math.pi / 2),
+        )
+        assert not obb_intersects_obb(a, b)
+        b_touching = OBB(
+            np.array([0.0, 0.0, 0.15]),
+            np.array([5.0, 0.1, 0.1]),
+            rotation_from_euler(math.pi / 2),
+        )
+        assert obb_intersects_obb(a, b_touching)
+
+    def test_containment_counts_as_intersection(self):
+        outer = OBB(np.zeros(3), np.full(3, 5.0), np.eye(3))
+        inner = unit_obb([0.5, 0.5, 0.5], rotation=rotation_from_euler(1.0))
+        assert obb_intersects_obb(outer, inner)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(11)
+        for _ in range(30):
+            a = OBB(rng.uniform(-3, 3, 3), rng.uniform(0.2, 2, 3), random_rotation_3d(rng))
+            b = OBB(rng.uniform(-3, 3, 3), rng.uniform(0.2, 2, 3), random_rotation_3d(rng))
+            assert obb_intersects_obb(a, b) == obb_intersects_obb(b, a)
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            obb_intersects_obb(unit_obb([0, 0, 0]), unit_obb([0, 0], dim=2))
+
+
+class TestObbObb2D:
+    def test_identical_boxes_intersect(self):
+        a = unit_obb([0, 0], dim=2)
+        assert obb_intersects_obb(a, a)
+
+    def test_disjoint(self):
+        assert not obb_intersects_obb(unit_obb([0, 0], dim=2), unit_obb([5, 5], dim=2))
+
+    def test_rotated_diamond_gap(self):
+        # Diamond (45 deg) next to a square: diagonal reach sqrt(2).
+        a = unit_obb([0, 0], dim=2)
+        b = unit_obb([2.5, 0], dim=2, rotation=rotation_2d(math.pi / 4))
+        assert not obb_intersects_obb(a, b)
+        b_close = unit_obb([2.3, 0], dim=2, rotation=rotation_2d(math.pi / 4))
+        assert obb_intersects_obb(a, b_close)
+
+
+class TestAabbObb:
+    def test_matches_obb_obb_for_identity(self):
+        rng = np.random.default_rng(5)
+        for _ in range(40):
+            aabb = AABB(rng.uniform(-4, 0, 3), rng.uniform(0.5, 4, 3))
+            obb = OBB(rng.uniform(-3, 3, 3), rng.uniform(0.2, 2, 3), random_rotation_3d(rng))
+            via_obb = obb_intersects_obb(
+                OBB(aabb.center, aabb.half_extents, np.eye(3)), obb
+            )
+            assert aabb_intersects_obb(aabb, obb) == via_obb
+
+    def test_2d_variant(self):
+        aabb = AABB(np.array([0.0, 0.0]), np.array([2.0, 2.0]))
+        inside = unit_obb([1.0, 1.0], dim=2, rotation=rotation_2d(0.3), half=0.2)
+        outside = unit_obb([5.0, 5.0], dim=2, half=0.2)
+        assert aabb_intersects_obb(aabb, inside)
+        assert not aabb_intersects_obb(aabb, outside)
+
+    def test_conservative_vs_obb_check(self):
+        """An OBB intersecting an obstacle's OBB must intersect its AABB too."""
+        rng = np.random.default_rng(9)
+        for _ in range(50):
+            obstacle = OBB(rng.uniform(-3, 3, 3), rng.uniform(0.2, 2, 3), random_rotation_3d(rng))
+            robot = OBB(rng.uniform(-3, 3, 3), rng.uniform(0.2, 2, 3), random_rotation_3d(rng))
+            if obb_intersects_obb(obstacle, robot):
+                assert aabb_intersects_obb(obstacle.to_aabb(), robot)
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            aabb_intersects_obb(AABB(np.zeros(2), np.ones(2)), unit_obb([0, 0, 0]))
+
+
+class TestAabbAabb:
+    def test_agrees_with_method(self):
+        a = AABB(np.zeros(3), np.ones(3))
+        b = AABB(np.full(3, 0.5), np.full(3, 1.5))
+        assert aabb_intersects_aabb(a, b) == a.intersects(b) is True
+
+
+@st.composite
+def random_obb_3d(draw):
+    rng_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(rng_seed)
+    center = np.array([draw(st.floats(-3, 3)) for _ in range(3)])
+    half = np.array([draw(st.floats(0.3, 2.0)) for _ in range(3)])
+    return OBB(center, half, random_rotation_3d(rng))
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_obb_3d(), random_obb_3d())
+def test_sat_never_misses_sampled_overlap(a, b):
+    """Property: if dense sampling finds a shared point, SAT must agree."""
+    result = obb_intersects_obb(a, b)
+    grid = np.linspace(-1.0, 1.0, 5)
+    pts = np.array([[x, y, z] for x in grid for y in grid for z in grid])
+    a_pts = a.center + (a.rotation @ (pts * a.half_extents).T).T
+    b_pts = b.center + (b.rotation @ (pts * b.half_extents).T).T
+    sampled_overlap = any(b.contains_point(p) for p in a_pts) or any(
+        a.contains_point(p) for p in b_pts
+    )
+    if sampled_overlap:
+        assert result
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_obb_3d(), random_obb_3d())
+def test_aabb_filter_is_conservative(a, b):
+    """Property: the first-stage AABB check never rejects a true collision."""
+    if obb_intersects_obb(a, b):
+        assert aabb_intersects_obb(a.to_aabb(), b)

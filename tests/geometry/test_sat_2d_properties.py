@@ -1,0 +1,60 @@
+"""Property tests for the 2D SAT kernel and the R-tree prefilter path."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import AABB, OBB, aabb_intersects_obb, obb_intersects_obb
+from repro.geometry.rotations import rotation_2d
+from repro.spatial import RTree
+
+
+@st.composite
+def random_obb_2d(draw):
+    center = np.array([draw(st.floats(-5, 5)) for _ in range(2)])
+    half = np.array([draw(st.floats(0.3, 3.0)) for _ in range(2)])
+    theta = draw(st.floats(-np.pi, np.pi))
+    return OBB(center, half, rotation_2d(theta))
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_obb_2d(), random_obb_2d())
+def test_2d_sat_never_misses_sampled_overlap(a, b):
+    """Property: if dense sampling finds a shared point, 2D SAT agrees."""
+    result = obb_intersects_obb(a, b)
+    grid = np.linspace(-1.0, 1.0, 9)
+    pts = np.array([[x, y] for x in grid for y in grid])
+    a_pts = a.center + (a.rotation @ (pts * a.half_extents).T).T
+    b_pts = b.center + (b.rotation @ (pts * b.half_extents).T).T
+    overlap = any(b.contains_point(p) for p in a_pts) or any(
+        a.contains_point(p) for p in b_pts
+    )
+    if overlap:
+        assert result
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_obb_2d(), random_obb_2d())
+def test_2d_aabb_filter_is_conservative(a, b):
+    """Property: the 2D AABB first stage never rejects a true collision."""
+    if obb_intersects_obb(a, b):
+        assert aabb_intersects_obb(a.to_aabb(), b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_rtree_prefilter_does_not_change_results(n, seed):
+    """Property: the AABB-AABB prefilter is transparent to query_obb."""
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 100, size=(n, 3))
+    boxes = [AABB(lo[i], lo[i] + rng.uniform(0.5, 10, 3)) for i in range(n)]
+    tree = RTree(boxes, leaf_capacity=5)
+    from repro.geometry.rotations import random_rotation_3d
+
+    robot = OBB(rng.uniform(0, 100, 3), rng.uniform(1, 15, 3), random_rotation_3d(rng))
+    plain = sorted(tree.query_obb(robot))
+    filtered = sorted(tree.query_obb(robot, prefilter_aabb=robot.to_aabb()))
+    assert plain == filtered

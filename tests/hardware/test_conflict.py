@@ -1,0 +1,104 @@
+"""Unit tests for the memory bank-conflict analysis (Section IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import moped_config
+from repro.core.metrics import RoundRecord
+from repro.core.robots import get_robot
+from repro.core.rrtstar import RRTStarPlanner
+from repro.hardware.conflict import analyze_bank_conflicts
+from repro.workloads import random_task
+
+
+@pytest.fixture(scope="module")
+def plan():
+    task = random_task("mobile2d", 16, seed=1)
+    robot = get_robot("mobile2d")
+    return RRTStarPlanner(
+        robot, task, moped_config("v4", max_samples=300, seed=0)
+    ).plan()
+
+
+class TestValidation:
+    def test_bad_hit_rate(self, plan):
+        with pytest.raises(ValueError):
+            analyze_bank_conflicts(plan.rounds, 3, 2, top_hit_rate=1.5)
+
+    def test_bad_port(self, plan):
+        with pytest.raises(ValueError):
+            analyze_bank_conflicts(plan.rounds, 3, 2, port_words=0)
+
+    def test_empty_rounds(self):
+        report = analyze_bank_conflicts([], 3, 2)
+        assert report.stall_cycles == 0.0
+        assert report.bottleneck_bank == "none"
+
+
+class TestCacheEffect:
+    def test_caches_cut_bottom_ns_pressure(self, plan):
+        """The Section IV-C claim: redirected traffic relieves the NS SRAM."""
+        with_caches = analyze_bank_conflicts(plan.rounds, 3, 2, caches_enabled=True)
+        without = analyze_bank_conflicts(plan.rounds, 3, 2, caches_enabled=False)
+        assert with_caches.bank_cycles["bottom_ns"] < 0.3 * without.bank_cycles["bottom_ns"]
+
+    def test_cache_banks_absorb_traffic(self, plan):
+        report = analyze_bank_conflicts(plan.rounds, 3, 2, caches_enabled=True)
+        assert report.bank_cycles.get("top_ns_cache", 0.0) > 0
+        assert report.bank_cycles.get("trace_cache", 0.0) > 0
+        assert report.bank_cycles.get("neighbor_cache", 0.0) > 0
+
+    def test_no_cache_banks_when_disabled(self, plan):
+        report = analyze_bank_conflicts(plan.rounds, 3, 2, caches_enabled=False)
+        assert "top_ns_cache" not in report.bank_cycles
+        assert "neighbor_cache" not in report.bank_cycles
+
+    def test_stalls_never_negative(self, plan):
+        report = analyze_bank_conflicts(plan.rounds, 3, 2)
+        assert report.stall_cycles >= 0.0
+        assert 0.0 <= report.stall_fraction <= 1.0
+
+    def test_narrow_ports_create_stalls(self, plan):
+        """Starving the banks (1 word/cycle, no replication, no caches)
+        must surface conflict stalls."""
+        report = analyze_bank_conflicts(
+            plan.rounds, 3, 2, caches_enabled=False, port_words=1,
+            replication={},
+        )
+        assert report.stall_cycles > 0.0
+        assert report.bottleneck_bank != "none"
+
+    def test_replication_reduces_pressure(self, plan):
+        solo = analyze_bank_conflicts(
+            plan.rounds, 3, 2, caches_enabled=False, replication={}
+        )
+        replicated = analyze_bank_conflicts(
+            plan.rounds, 3, 2, caches_enabled=False,
+            replication={"obstacle_aabb": 4},
+        )
+        assert (
+            replicated.bank_cycles["obstacle_aabb"]
+            < solo.bank_cycles["obstacle_aabb"]
+        )
+
+
+class TestSyntheticRounds:
+    def test_known_traffic(self):
+        # One round: 16 dist events in 3-D C-space -> 48 words on bottom_ns.
+        record = RoundRecord(
+            ns_macs=64.0, cc_macs=0.0, maint_macs=0.0, other_macs=0.0,
+            accepted=False, events={"dist": 16},
+        )
+        report = analyze_bank_conflicts(
+            [record], dof=3, workspace_dim=2, caches_enabled=False, port_words=16
+        )
+        assert report.bank_cycles["bottom_ns"] == pytest.approx(48 / 16)
+
+    def test_rounds_without_events_are_computed_only(self):
+        record = RoundRecord(
+            ns_macs=160.0, cc_macs=128.0, maint_macs=0.0, other_macs=0.0,
+            accepted=False, events=None,
+        )
+        report = analyze_bank_conflicts([record], dof=3, workspace_dim=2)
+        assert report.compute_cycles > 0
+        assert report.bank_cycles == {}

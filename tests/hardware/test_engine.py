@@ -1,0 +1,149 @@
+"""Integration tests for the MOPED accelerator model and its baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_robot
+from repro.core.config import baseline_config, moped_config
+from repro.hardware import (
+    MopedAccelerator,
+    format_comparison,
+    run_asic_baseline,
+    run_codacc_baseline,
+    run_cpu_baseline,
+)
+from repro.workloads import random_task
+
+SAMPLES = 250
+
+
+@pytest.fixture(scope="module")
+def task2d():
+    return random_task("mobile2d", 16, seed=3)
+
+
+@pytest.fixture(scope="module")
+def robot2d():
+    return get_robot("mobile2d")
+
+
+@pytest.fixture(scope="module")
+def moped_run(robot2d, task2d):
+    acc = MopedAccelerator()
+    return acc.run(
+        robot2d, task2d, moped_config("v4", max_samples=SAMPLES, seed=0, sampler="lfsr")
+    )
+
+
+class TestAccelerator:
+    def test_produces_valid_plan(self, moped_run):
+        assert moped_run.plan.iterations == SAMPLES
+        assert moped_run.plan.total_macs > 0
+
+    def test_latency_positive_and_sub_second(self, moped_run):
+        assert 0 < moped_run.perf.latency_s < 1.0
+
+    def test_pipeline_speedup_over_one(self, moped_run):
+        assert moped_run.pipeline.speedup > 1.0
+
+    def test_buffer_occupancies_within_paper_budgets(self, moped_run):
+        """Section IV-B: 20-deep FIFO and 5-entry missing buffer suffice."""
+        assert moped_run.pipeline.max_fifo_occupancy <= 20
+        assert moped_run.pipeline.max_missing_neighbors <= 5
+
+    def test_cache_hierarchy_active(self, moped_run):
+        assert moped_run.cache.top_cache_hit_rate > 0.5
+        assert moped_run.cache.neighbor_cache_reads > 0
+
+    def test_trace_cache_engages_beyond_unit_cache(self, robot2d, task2d):
+        """With a unit cache smaller than the tree, the module-level trace
+        cache must absorb revisits (Section IV-C)."""
+        from repro.core.config import moped_config as mc
+        from repro.hardware.memory import MemorySystem
+        from repro.core.rrtstar import RRTStarPlanner
+
+        config = mc("v4", max_samples=SAMPLES, seed=0, sampler="lfsr")
+        acc = MopedAccelerator()
+        planner = RRTStarPlanner(robot2d, task2d, config)
+        memory = MemorySystem(robot2d.dof, top_cache_nodes=2, enable_caches=True)
+        acc._attach_memory(planner, memory)
+        planner.plan()
+        assert memory.trace_hits > 0
+
+    def test_snr_disabled_is_slower(self, robot2d, task2d):
+        config = moped_config("v4", max_samples=SAMPLES, seed=0, sampler="lfsr")
+        fast = MopedAccelerator(enable_snr=True).run(robot2d, task2d, config)
+        slow = MopedAccelerator(enable_snr=False).run(robot2d, task2d, config)
+        assert slow.perf.latency_s > fast.perf.latency_s
+
+    def test_caches_disabled_cost_more_energy(self, robot2d, task2d):
+        config = moped_config("v4", max_samples=SAMPLES, seed=0, sampler="lfsr")
+        cached = MopedAccelerator(enable_caches=True).run(robot2d, task2d, config)
+        uncached = MopedAccelerator(enable_caches=False).run(robot2d, task2d, config)
+        assert cached.cache.total_energy_j < uncached.cache.total_energy_j
+
+    def test_default_config_is_full_moped(self, robot2d, task2d):
+        result = MopedAccelerator().run(robot2d, task2d)
+        assert result.plan.iterations > 0
+
+
+class TestBaselines:
+    @pytest.fixture(scope="class")
+    def base_cfg(self):
+        return baseline_config(max_samples=SAMPLES, seed=0)
+
+    def test_cpu_baseline(self, robot2d, task2d, base_cfg):
+        plan, report = run_cpu_baseline(robot2d, task2d, base_cfg)
+        assert plan.total_macs > 0
+        assert report.latency_s > 0
+        assert report.platform.startswith("CPU")
+
+    def test_asic_baseline(self, robot2d, task2d, base_cfg):
+        plan, report = run_asic_baseline(robot2d, task2d, base_cfg)
+        assert report.latency_s > 0
+        assert report.area_mm2 == pytest.approx(0.60)
+
+    def test_codacc_requires_grid_checker(self, robot2d, task2d, base_cfg):
+        with pytest.raises(ValueError):
+            run_codacc_baseline(robot2d, task2d, base_cfg)
+
+    def test_codacc_baseline(self, robot2d, task2d):
+        config = baseline_config(checker="grid", max_samples=SAMPLES, seed=0)
+        plan, report = run_codacc_baseline(robot2d, task2d, config)
+        assert report.latency_s > 0
+        assert report.area_mm2 > 0.60  # CODAcc adds area
+
+    def test_fig15_ordering(self, robot2d, task2d, moped_run, base_cfg):
+        """The paper's headline: MOPED beats CODAcc beats ASIC beats CPU."""
+        _, cpu = run_cpu_baseline(robot2d, task2d, base_cfg)
+        _, asic = run_asic_baseline(robot2d, task2d, base_cfg)
+        _, codacc = run_codacc_baseline(
+            robot2d, task2d, baseline_config(checker="grid", max_samples=SAMPLES, seed=0)
+        )
+        moped = moped_run.perf
+        assert moped.latency_s < codacc.latency_s < asic.latency_s < cpu.latency_s
+        ratios = moped.ratios_vs(asic)
+        assert ratios["speedup"] > 2.0
+        assert ratios["energy_efficiency"] > 2.0
+
+    def test_format_comparison_renders(self, moped_run, robot2d, task2d, base_cfg):
+        _, asic = run_asic_baseline(robot2d, task2d, base_cfg)
+        table = format_comparison({"MOPED": moped_run.perf, "ASIC": asic}, reference="MOPED")
+        assert "MOPED" in table and "ASIC" in table
+
+    def test_format_comparison_bad_reference(self, moped_run):
+        with pytest.raises(KeyError):
+            format_comparison({"MOPED": moped_run.perf}, reference="GPU")
+
+
+class TestPerfReport:
+    def test_derived_metrics(self, moped_run):
+        perf = moped_run.perf
+        assert perf.throughput_hz == pytest.approx(1.0 / perf.latency_s)
+        assert perf.energy_efficiency == pytest.approx(1.0 / perf.energy_j)
+        assert perf.area_efficiency == pytest.approx(perf.throughput_hz / perf.area_mm2)
+
+    def test_self_ratios_are_one(self, moped_run):
+        ratios = moped_run.perf.ratios_vs(moped_run.perf)
+        for value in ratios.values():
+            assert value == pytest.approx(1.0)

@@ -1,0 +1,106 @@
+"""Tests for the discrete-event simulator, incl. analytical cross-validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import moped_config
+from repro.core.metrics import RoundRecord
+from repro.core.robots import get_robot
+from repro.core.rrtstar import RRTStarPlanner
+from repro.hardware.eventsim import MopedEventSimulator, format_timeline
+from repro.hardware.params import MopedHardwareParams
+from repro.hardware.pipeline import snr_latency_cycles
+from repro.workloads import random_task
+
+PARAMS = MopedHardwareParams()
+
+
+def make_round(ns=160.0, cc=1280.0, accepted=True):
+    return RoundRecord(ns_macs=ns, cc_macs=cc, maint_macs=0.0, other_macs=0.0,
+                       accepted=accepted)
+
+
+class TestBasics:
+    def test_empty(self):
+        result = MopedEventSimulator().run([])
+        assert result.total_cycles == 0.0
+        assert result.traces == []
+
+    def test_single_round(self):
+        result = MopedEventSimulator().run([make_round(ns=16.0, cc=128.0)])
+        trace = result.traces[0]
+        assert trace.ns_start == 0.0
+        assert trace.ns_end == pytest.approx(1.0)
+        assert trace.cc_start == pytest.approx(1.0)
+        assert trace.cc_end == pytest.approx(2.0)
+
+    def test_overlap_emerges(self):
+        """With balanced loads, round i+1's NS overlaps round i's CC."""
+        rounds = [make_round(ns=1600.0, cc=12800.0, accepted=False)] * 3
+        result = MopedEventSimulator().run(rounds)
+        t0, t1 = result.traces[0], result.traces[1]
+        assert t1.ns_start < t0.cc_end  # overlap
+
+    def test_buffer_bounds_respected(self):
+        rounds = [make_round(ns=1.6, cc=12800.0) for _ in range(60)]
+        result = MopedEventSimulator().run(rounds)
+        assert result.max_fifo <= PARAMS.fifo_depth
+        assert result.max_missing <= PARAMS.missing_buffer_entries
+
+    def test_utilisations_in_range(self):
+        rounds = [make_round() for _ in range(40)]
+        result = MopedEventSimulator().run(rounds)
+        assert 0.0 < result.utilisation_cc <= 1.0
+        assert 0.0 < result.utilisation_ns <= 1.0
+
+
+class TestCrossValidation:
+    """The DES must agree with the analytical model — independently coded."""
+
+    def test_agrees_on_real_planner_run(self):
+        task = random_task("mobile2d", 16, seed=1)
+        robot = get_robot("mobile2d")
+        plan = RRTStarPlanner(
+            robot, task, moped_config("v4", max_samples=300, seed=0)
+        ).plan()
+        analytical = snr_latency_cycles(plan.rounds, PARAMS)
+        des = MopedEventSimulator().run(plan.rounds)
+        assert des.total_cycles == pytest.approx(analytical.snr_cycles, rel=0.01)
+        assert des.max_fifo == analytical.max_fifo_occupancy
+        assert des.max_missing == analytical.max_missing_neighbors
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(
+            st.floats(0.0, 4000.0),
+            st.floats(0.0, 4000.0),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=40,
+    ))
+    def test_agrees_on_random_round_logs(self, spec):
+        rounds = [
+            RoundRecord(ns_macs=ns, cc_macs=cc, maint_macs=0.0, other_macs=0.0,
+                        accepted=acc)
+            for ns, cc, acc in spec
+        ]
+        analytical = snr_latency_cycles(rounds, PARAMS)
+        des = MopedEventSimulator().run(rounds)
+        assert des.total_cycles == pytest.approx(analytical.snr_cycles, rel=1e-6, abs=1e-6)
+        assert des.max_missing == analytical.max_missing_neighbors
+
+
+class TestTimeline:
+    def test_renders(self):
+        rounds = [make_round() for _ in range(20)]
+        result = MopedEventSimulator().run(rounds)
+        art = format_timeline(result, first=0, count=8)
+        assert "N" in art and "C" in art
+        assert art.count("\n") == 8  # header + 8 rows
+
+    def test_empty_window(self):
+        result = MopedEventSimulator().run([make_round()])
+        assert "no rounds" in format_timeline(result, first=5, count=3)

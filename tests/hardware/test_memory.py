@@ -1,0 +1,136 @@
+"""Unit tests for the SRAM banks and multi-level cache model."""
+
+import pytest
+
+from repro.hardware.memory import LRUCache, MemorySystem, SRAMBank
+
+
+class TestSRAMBank:
+    def test_access_counting(self):
+        bank = SRAMBank("exp_node", 64.0)
+        bank.read(10)
+        bank.write(3)
+        assert bank.reads == 10
+        assert bank.writes == 3
+        assert bank.accesses == 13
+
+    def test_energy_scales_with_accesses(self):
+        bank = SRAMBank("exp_node", 64.0)
+        bank.read(100)
+        e100 = bank.energy_j()
+        bank.read(100)
+        assert bank.energy_j() == pytest.approx(2 * e100)
+
+
+class TestLRUCache:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_hit_after_insert(self):
+        cache = LRUCache(4)
+        assert not cache.access("a")  # cold miss
+        assert cache.access("a")  # hit
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # refresh a; b is now LRU
+        cache.access("c")  # evicts b
+        assert cache.access("a")
+        assert not cache.access("b")
+
+    def test_capacity_respected(self):
+        cache = LRUCache(3)
+        for key in range(10):
+            cache.access(key)
+        assert len(cache) == 3
+
+    def test_hit_rate(self):
+        cache = LRUCache(8)
+        for _ in range(2):
+            for key in range(4):
+                cache.access(key)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_empty_hit_rate_is_zero(self):
+        assert LRUCache(2).hit_rate == 0.0
+
+
+class TestMemorySystem:
+    def test_rejects_bad_dof(self):
+        with pytest.raises(ValueError):
+            MemorySystem(dof=0)
+
+    def test_top_cache_captures_temporal_locality(self):
+        """Repeated root-side accesses must mostly hit the unit cache."""
+        mem = MemorySystem(dof=3, top_cache_nodes=16)
+        for _ in range(50):
+            for uid in range(4):  # the same "top" nodes every search
+                mem.on_tree_access(uid, depth=0)
+            mem.end_search()
+        report = mem.report()
+        assert report.top_cache_hit_rate > 0.9
+
+    def test_trace_cache_absorbs_revisits(self):
+        """Nodes revisited in the next search hit the module-level trace
+        even after the tiny unit cache evicted them."""
+        mem = MemorySystem(dof=3, top_cache_nodes=1)
+        mem.on_tree_access(100, depth=2)
+        mem.on_tree_access(200, depth=2)  # evicts 100 from the 1-entry cache
+        mem.end_search()
+        mem.on_tree_access(100, depth=2)  # same node, next search
+        mem.end_search()
+        assert mem.trace_hits == 1
+
+    def test_disabled_caches_charge_sram(self):
+        mem = MemorySystem(dof=3, enable_caches=False)
+        for _ in range(20):
+            mem.on_tree_access(0, depth=0)
+            mem.end_search()
+        report = mem.report()
+        assert report.top_cache_hits == 0
+        assert report.trace_hits == 0
+        assert mem.banks["bottom_ns"].reads > 0
+
+    def test_caches_reduce_energy(self):
+        """The Section IV-C claim: caching lowers memory energy."""
+
+        def run(enable):
+            mem = MemorySystem(dof=5, top_cache_nodes=64, enable_caches=enable)
+            for _ in range(100):
+                for uid in range(8):
+                    mem.on_tree_access(uid, depth=uid // 4)
+                mem.end_search()
+            return mem.report().total_energy_j
+
+        assert run(True) < run(False)
+
+    def test_neighborhood_handoff_uses_engine_cache(self):
+        mem = MemorySystem(dof=4)
+        mem.on_neighborhood_handoff(num_neighbors=6)
+        assert mem.neighbor_cache_reads == 6
+        assert mem.banks["neighbor_cache"].reads == 24  # 6 neighbors x dof
+
+    def test_obstacle_reads_use_paper_word_counts(self):
+        mem = MemorySystem(dof=3)
+        mem.on_obstacle_obb_read(3, n=2)
+        mem.on_obstacle_aabb_read(3, n=2)
+        assert mem.banks["obstacle_obb"].reads == 30  # 15 words per 3D OBB
+        assert mem.banks["obstacle_aabb"].reads == 12  # 6 words per 3D AABB
+        mem2 = MemorySystem(dof=3)
+        mem2.on_obstacle_obb_read(2, n=1)
+        mem2.on_obstacle_aabb_read(2, n=1)
+        assert mem2.banks["obstacle_obb"].reads == 8  # 8 words per 2D OBB
+        assert mem2.banks["obstacle_aabb"].reads == 4
+
+    def test_report_totals(self):
+        mem = MemorySystem(dof=3)
+        mem.on_node_write(5)
+        mem.on_struct_update(2)
+        report = mem.report()
+        assert report.sram_energy_j > 0
+        assert report.total_energy_j >= report.sram_energy_j

@@ -1,0 +1,89 @@
+"""Unit tests for the hardware parameter sets."""
+
+import pytest
+
+from repro.hardware.params import (
+    AsicParams,
+    CodaccParams,
+    CpuParams,
+    MopedHardwareParams,
+    SRAM_BANKS_KB,
+    sram_access_energy_j,
+)
+
+
+class TestMopedParams:
+    def test_paper_design_point(self):
+        """Section V-B: 168 MACs, 198 KB, 0.62 mm^2, 137.5 mW, 1 GHz."""
+        params = MopedHardwareParams()
+        assert params.num_macs == 168
+        assert params.sram_kbytes == 198.0
+        assert params.area_mm2 == pytest.approx(0.62)
+        assert params.power_w == pytest.approx(0.1375)
+        assert params.frequency_hz == 1.0e9
+
+    def test_unit_allocation_sums_to_total(self):
+        params = MopedHardwareParams()
+        total = (
+            params.ns_unit_macs
+            + params.cc_unit_macs
+            + params.refine_unit_macs
+            + params.tree_op_macs
+        )
+        assert total == params.num_macs
+
+    def test_bad_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            MopedHardwareParams(ns_unit_macs=100)
+
+    def test_snr_buffer_sizing(self):
+        """Section IV-B: 20-deep FIFO, 5-entry missing buffer, 0.75 KB."""
+        params = MopedHardwareParams()
+        assert params.fifo_depth == 20
+        assert params.missing_buffer_entries == 5
+        assert params.snr_buffer_kbytes == pytest.approx(0.75)
+
+    def test_derived_quantities(self):
+        params = MopedHardwareParams()
+        assert params.cycle_time_s == pytest.approx(1e-9)
+        # 137.5 mW at 1 GHz = 137.5 pJ per cycle.
+        assert params.energy_per_cycle_j == pytest.approx(137.5e-12)
+
+
+class TestBaselineParams:
+    def test_cpu_is_epyc_7601(self):
+        params = CpuParams()
+        assert params.frequency_hz == pytest.approx(2.2e9)
+        assert params.power_w > 1.0  # a server core, not an accelerator
+
+    def test_asic_mirrors_moped_resources(self):
+        asic, moped = AsicParams(), MopedHardwareParams()
+        assert asic.num_macs == moped.num_macs
+        assert asic.frequency_hz == moped.frequency_hz
+        assert abs(asic.area_mm2 - moped.area_mm2) < 0.1
+
+    def test_codacc_four_accelerators(self):
+        params = CodaccParams()
+        assert params.num_accelerators == 4
+        assert params.total_probe_rate == 256.0
+
+
+class TestSramModel:
+    def test_energy_positive_and_monotone(self):
+        small = sram_access_energy_j(4.0)
+        large = sram_access_energy_j(64.0)
+        assert 0 < small < large
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            sram_access_energy_j(0.0)
+
+    def test_word_width_scaling(self):
+        assert sram_access_energy_j(16.0, word_bits=32) == pytest.approx(
+            2.0 * sram_access_energy_j(16.0, word_bits=16)
+        )
+
+    def test_bank_budget_close_to_paper(self):
+        """The Fig 11 banks must sum to roughly the 198 KB budget."""
+        total = sum(SRAM_BANKS_KB.values())
+        assert 150.0 <= total <= 198.0

@@ -1,0 +1,101 @@
+"""Unit tests for the speculate-and-repair pipeline timing model."""
+
+import pytest
+
+from repro.core.metrics import RoundRecord
+from repro.hardware.params import MopedHardwareParams
+from repro.hardware.pipeline import serialized_latency_cycles, snr_latency_cycles
+
+PARAMS = MopedHardwareParams()
+
+
+def make_round(ns_macs=160.0, cc_macs=1280.0, maint=0.0, other=0.0, accepted=True):
+    return RoundRecord(
+        ns_macs=ns_macs,
+        cc_macs=cc_macs,
+        maint_macs=maint,
+        other_macs=other,
+        accepted=accepted,
+    )
+
+
+class TestSerialized:
+    def test_empty(self):
+        assert serialized_latency_cycles([], PARAMS) == 0.0
+
+    def test_sums_unit_cycles(self):
+        rounds = [make_round(ns_macs=16.0, cc_macs=128.0)]
+        # 16/16 + 128/128 = 2 cycles.
+        assert serialized_latency_cycles(rounds, PARAMS) == pytest.approx(2.0)
+
+    def test_linear_in_rounds(self):
+        one = serialized_latency_cycles([make_round()], PARAMS)
+        ten = serialized_latency_cycles([make_round()] * 10, PARAMS)
+        assert ten == pytest.approx(10 * one)
+
+
+class TestSnr:
+    def test_empty(self):
+        report = snr_latency_cycles([], PARAMS)
+        assert report.snr_cycles == 0.0
+        assert report.max_fifo_occupancy == 0
+
+    def test_speedup_at_least_one_ish(self):
+        """Overlap can only help (up to tiny repair overhead)."""
+        rounds = [make_round() for _ in range(50)]
+        report = snr_latency_cycles(rounds, PARAMS)
+        assert report.speedup > 0.95
+
+    def test_balanced_loads_approach_2x(self):
+        """Equal NS/CC cycle loads overlap almost perfectly."""
+        rounds = [
+            make_round(ns_macs=16.0 * 100, cc_macs=128.0 * 100, accepted=False)
+            for _ in range(200)
+        ]
+        report = snr_latency_cycles(rounds, PARAMS)
+        assert report.speedup > 1.8
+
+    def test_imbalanced_loads_limited_speedup(self):
+        """CC-dominated rounds cap the overlap benefit."""
+        rounds = [
+            make_round(ns_macs=16.0, cc_macs=128.0 * 100, accepted=False)
+            for _ in range(100)
+        ]
+        report = snr_latency_cycles(rounds, PARAMS)
+        assert report.speedup < 1.2
+
+    def test_missing_buffer_bounded(self):
+        """Backpressure caps in-flight insertions at the buffer size."""
+        rounds = [make_round(ns_macs=1.6, cc_macs=12800.0) for _ in range(100)]
+        report = snr_latency_cycles(rounds, PARAMS)
+        assert report.max_missing_neighbors <= PARAMS.missing_buffer_entries
+
+    def test_fifo_bounded(self):
+        rounds = [make_round(ns_macs=1.6, cc_macs=12800.0, accepted=False) for _ in range(100)]
+        report = snr_latency_cycles(rounds, PARAMS)
+        assert report.max_fifo_occupancy <= PARAMS.fifo_depth
+
+    def test_stalls_appear_under_backpressure(self):
+        rounds = [make_round(ns_macs=1.6, cc_macs=12800.0) for _ in range(100)]
+        report = snr_latency_cycles(rounds, PARAMS)
+        assert report.fifo_stall_cycles > 0
+
+    def test_no_stalls_when_cc_is_fast(self):
+        rounds = [make_round(ns_macs=1600.0, cc_macs=12.8) for _ in range(50)]
+        report = snr_latency_cycles(rounds, PARAMS)
+        assert report.fifo_stall_cycles == pytest.approx(0.0)
+        assert report.max_missing_neighbors <= 1
+
+    def test_repair_overhead_accounted(self):
+        rounds = [make_round() for _ in range(30)]
+        report = snr_latency_cycles(rounds, PARAMS, repair_cycles_per_entry=5.0)
+        baseline = snr_latency_cycles(rounds, PARAMS, repair_cycles_per_entry=0.0)
+        assert report.snr_cycles >= baseline.snr_cycles
+        if report.max_missing_neighbors > 0:
+            assert report.repair_cycles > 0
+
+    def test_snr_never_slower_than_serial_plus_repair(self):
+        rounds = [make_round() for _ in range(40)]
+        report = snr_latency_cycles(rounds, PARAMS)
+        serial = serialized_latency_cycles(rounds, PARAMS)
+        assert report.snr_cycles <= serial + report.repair_cycles + 1e-9

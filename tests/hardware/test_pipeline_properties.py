@@ -1,0 +1,82 @@
+"""Property tests for the speculate-and-repair pipeline model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import RoundRecord
+from repro.hardware.params import MopedHardwareParams
+from repro.hardware.pipeline import serialized_latency_cycles, snr_latency_cycles
+
+PARAMS = MopedHardwareParams()
+
+
+@st.composite
+def round_list(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    rounds = []
+    for _ in range(n):
+        rounds.append(
+            RoundRecord(
+                ns_macs=draw(st.floats(0.0, 5000.0)),
+                cc_macs=draw(st.floats(0.0, 5000.0)),
+                maint_macs=draw(st.floats(0.0, 500.0)),
+                other_macs=draw(st.floats(0.0, 500.0)),
+                accepted=draw(st.booleans()),
+            )
+        )
+    return rounds
+
+
+@settings(max_examples=80, deadline=None)
+@given(round_list())
+def test_snr_never_slower_than_serial_plus_repairs(rounds):
+    """S&R latency <= serialized latency + total repair overhead."""
+    report = snr_latency_cycles(rounds, PARAMS)
+    serial = serialized_latency_cycles(rounds, PARAMS)
+    assert report.snr_cycles <= serial + report.repair_cycles + 1e-6
+
+
+@settings(max_examples=80, deadline=None)
+@given(round_list())
+def test_buffer_occupancies_respect_hardware_budgets(rounds):
+    """Backpressure caps FIFO at 20 entries and missing neighbors at 5."""
+    report = snr_latency_cycles(rounds, PARAMS)
+    assert report.max_fifo_occupancy <= PARAMS.fifo_depth
+    assert report.max_missing_neighbors <= PARAMS.missing_buffer_entries
+
+
+@settings(max_examples=80, deadline=None)
+@given(round_list())
+def test_latencies_nonnegative_and_monotone_in_rounds(rounds):
+    """Adding a round never reduces either schedule's latency."""
+    full = snr_latency_cycles(rounds, PARAMS)
+    prefix = snr_latency_cycles(rounds[:-1], PARAMS)
+    assert full.snr_cycles >= prefix.snr_cycles - 1e-9
+    assert full.serial_cycles >= prefix.serial_cycles - 1e-9
+    assert full.snr_cycles >= 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(round_list(), st.floats(0.0, 10.0))
+def test_repair_overhead_scales_with_cost(rounds, repair_cost):
+    """Higher per-entry repair cost never reduces latency."""
+    cheap = snr_latency_cycles(rounds, PARAMS, repair_cycles_per_entry=0.0)
+    priced = snr_latency_cycles(rounds, PARAMS, repair_cycles_per_entry=repair_cost)
+    assert priced.snr_cycles >= cheap.snr_cycles - 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(round_list())
+def test_serial_equals_sum_of_unit_cycles(rounds):
+    """The serialized schedule is exactly the per-round cycle sum."""
+    params = PARAMS
+    expected = 0.0
+    for r in rounds:
+        expected += (
+            r.ns_macs / params.ns_unit_macs
+            + r.maint_macs / params.tree_op_macs
+            + r.other_macs / params.refine_unit_macs
+            + r.cc_macs / params.cc_unit_macs
+        )
+    assert serialized_latency_cycles(rounds, params) == np.float64(expected)

@@ -1,0 +1,64 @@
+"""Unit tests for the 28 nm technology model."""
+
+import pytest
+
+from repro.hardware.params import MopedHardwareParams
+from repro.hardware.technology import TechnologyModel, consistency_report
+
+TECH = TechnologyModel()
+PARAMS = MopedHardwareParams()
+
+
+class TestAreaModel:
+    def test_sram_area_scales_linearly(self):
+        assert TECH.sram_area_mm2(64.0) == pytest.approx(2 * TECH.sram_area_mm2(32.0))
+
+    def test_datapath_area_scales_with_macs(self):
+        assert TECH.datapath_area_mm2(336) == pytest.approx(
+            2 * TECH.datapath_area_mm2(168)
+        )
+
+    def test_breakdown_sums_to_total(self):
+        breakdown = TECH.area_breakdown(PARAMS)
+        assert sum(breakdown.values()) == pytest.approx(TECH.total_area_mm2(PARAMS))
+
+    def test_derived_area_matches_paper(self):
+        """Bottom-up 28nm area lands within 10% of the reported 0.62 mm^2."""
+        derived = TECH.total_area_mm2(PARAMS)
+        assert derived == pytest.approx(PARAMS.area_mm2, rel=0.10)
+
+    def test_sram_dominates_area(self):
+        """At 198 KB vs 168 MACs, memory is the bigger area consumer."""
+        breakdown = TECH.area_breakdown(PARAMS)
+        assert breakdown["sram"] > breakdown["datapath"]
+
+
+class TestPowerModel:
+    def test_derived_power_matches_paper(self):
+        """Bottom-up 28nm power lands within 15% of the reported 137.5 mW."""
+        derived = TECH.total_power_w(PARAMS)
+        assert derived == pytest.approx(PARAMS.power_w, rel=0.15)
+
+    def test_power_scales_with_activity(self):
+        low = TECH.total_power_w(PARAMS, mac_activity=0.2)
+        high = TECH.total_power_w(PARAMS, mac_activity=0.9)
+        assert low < high
+
+    def test_activity_validation(self):
+        with pytest.raises(ValueError):
+            TECH.dynamic_power_w(PARAMS, mac_activity=1.5)
+
+    def test_breakdown_sums_to_total(self):
+        breakdown = TECH.power_breakdown(PARAMS)
+        assert sum(breakdown.values()) == pytest.approx(TECH.total_power_w(PARAMS))
+
+    def test_static_power_is_small_fraction(self):
+        breakdown = TECH.power_breakdown(PARAMS)
+        assert breakdown["static"] < 0.2 * TECH.total_power_w(PARAMS)
+
+
+class TestConsistencyReport:
+    def test_renders(self):
+        text = consistency_report()
+        assert "derived" in text and "reported" in text
+        assert "0.62" in text

@@ -1,0 +1,138 @@
+"""Cross-validation against independent reference implementations.
+
+scipy and networkx are available in the environment; they provide oracles
+built by other people:
+
+* ``scipy.spatial.cKDTree`` validates every nearest-neighbor structure;
+* ``scipy.spatial.distance`` validates the MINDIST-pruned radius queries;
+* ``networkx`` validates the EXP-tree's structure and shortest-path costs.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.core.tree import ExpTree
+from repro.spatial import BruteForceIndex, KDTree, SIMBRTree
+
+
+def build_point_set(n=300, dim=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-10, 10, size=(n, dim))
+
+
+class TestNearestVsScipy:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda dim: BruteForceIndex(dim),
+            lambda dim: KDTree(dim),
+            lambda dim: SIMBRTree(dim, capacity=6),
+        ],
+        ids=["brute", "kdtree", "simbr"],
+    )
+    def test_nearest_matches_ckdtree(self, factory):
+        points = build_point_set()
+        index = factory(points.shape[1])
+        for i, p in enumerate(points):
+            index.insert(i, p)
+        reference = cKDTree(points)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            query = rng.uniform(-12, 12, points.shape[1])
+            dist_ref, idx_ref = reference.query(query)
+            key, point, dist = index.nearest(query)
+            assert dist == pytest.approx(float(dist_ref))
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda dim: BruteForceIndex(dim),
+            lambda dim: KDTree(dim),
+            lambda dim: SIMBRTree(dim, capacity=6),
+        ],
+        ids=["brute", "kdtree", "simbr"],
+    )
+    def test_radius_query_matches_ckdtree(self, factory):
+        points = build_point_set(seed=2)
+        index = factory(points.shape[1])
+        for i, p in enumerate(points):
+            index.insert(i, p)
+        reference = cKDTree(points)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            query = rng.uniform(-12, 12, points.shape[1])
+            radius = float(rng.uniform(1.0, 6.0))
+            expected = set(reference.query_ball_point(query, radius))
+            got = {key for key, _, _ in index.neighbors_within(query, radius)}
+            assert got == expected
+
+    def test_simbr_steering_inserts_match_ckdtree(self):
+        """LCI-built trees answer queries identically to scipy."""
+        rng = np.random.default_rng(4)
+        dim = 6
+        tree = SIMBRTree(dim, capacity=8)
+        points = [rng.uniform(0, 10, dim)]
+        tree.insert(0, points[0])
+        for i in range(1, 250):
+            parent = int(rng.integers(0, i))
+            p = points[parent] + rng.normal(scale=0.5, size=dim)
+            tree.insert(i, p, sibling_of=parent)
+            points.append(p)
+        reference = cKDTree(np.array(points))
+        for _ in range(40):
+            query = rng.uniform(0, 10, dim)
+            dist_ref, _ = reference.query(query)
+            _, _, dist = tree.nearest(query)
+            assert dist == pytest.approx(float(dist_ref))
+
+
+class TestExpTreeVsNetworkx:
+    def build_random_tree(self, n=120, seed=5):
+        rng = np.random.default_rng(seed)
+        tree = ExpTree(np.zeros(3))
+        graph = nx.DiGraph()
+        graph.add_node(0)
+        for i in range(1, n):
+            parent = int(rng.integers(0, i))
+            point = tree.point(parent) + rng.normal(scale=1.0, size=3)
+            edge = float(np.linalg.norm(point - tree.point(parent)))
+            node = tree.add(point, parent, edge)
+            graph.add_edge(parent, node, weight=edge)
+        return tree, graph, rng
+
+    def test_structure_is_a_tree(self):
+        tree, graph, _ = self.build_random_tree()
+        assert nx.is_arborescence(graph)
+
+    def test_costs_match_shortest_paths(self):
+        tree, graph, _ = self.build_random_tree()
+        lengths = nx.single_source_dijkstra_path_length(graph, 0)
+        for node in tree.nodes():
+            assert tree.cost(node) == pytest.approx(lengths[node])
+
+    def test_costs_match_after_rewiring(self):
+        tree, graph, rng = self.build_random_tree(seed=6)
+        for _ in range(60):
+            node = int(rng.integers(1, len(tree)))
+            target = int(rng.integers(0, len(tree)))
+            edge = float(np.linalg.norm(tree.point(node) - tree.point(target)))
+            try:
+                tree.rewire(node, target, edge)
+            except ValueError:
+                continue
+            old_parent = next(iter(graph.predecessors(node)))
+            graph.remove_edge(old_parent, node)
+            graph.add_edge(target, node, weight=edge)
+        assert nx.is_arborescence(graph)
+        lengths = nx.single_source_dijkstra_path_length(graph, 0)
+        for node in tree.nodes():
+            assert tree.cost(node) == pytest.approx(lengths[node])
+
+    def test_path_to_matches_networkx(self):
+        tree, graph, rng = self.build_random_tree(seed=7)
+        target = int(rng.integers(1, len(tree)))
+        nx_path = nx.shortest_path(graph, 0, target)
+        our_path = tree.path_to(target)
+        assert len(our_path) == len(nx_path)

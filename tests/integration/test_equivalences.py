@@ -1,0 +1,115 @@
+"""Cross-module equivalence invariants.
+
+These tests pin the *semantic* claims of the paper's co-design:
+
+1. The two-stage collision scheme only reorganises work — planning outcomes
+   are bit-identical to the brute OBB checker (same seed, same decisions).
+2. Speculate-and-repair is functionally transparent (Section IV-B).
+3. Exact SI-MBR / KD / brute nearest-neighbor strategies all drive the
+   planner to the same nearest choices, so with identical neighborhoods the
+   planners agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PlanningTask, get_robot
+from repro.core.config import PlannerConfig, baseline_config, moped_config
+from repro.core.rrtstar import RRTStarPlanner
+from repro.workloads import random_task
+
+
+@pytest.fixture(scope="module", params=["mobile2d", "drone3d"])
+def task(request):
+    return random_task(request.param, 16, seed=5)
+
+
+def plan_with(task, **kwargs):
+    robot = get_robot(task.robot_name)
+    config = PlannerConfig(**kwargs)
+    return RRTStarPlanner(robot, task, config).plan()
+
+
+SAMPLES = 200
+
+
+class TestTwoStageTransparency:
+    def test_identical_plans(self, task):
+        """v1 (two-stage) and baseline (brute OBB) must produce the same tree."""
+        brute = plan_with(task, checker="obb", max_samples=SAMPLES, seed=0)
+        two_stage = plan_with(task, checker="two_stage", max_samples=SAMPLES, seed=0)
+        assert brute.success == two_stage.success
+        assert brute.num_nodes == two_stage.num_nodes
+        assert brute.path_cost == pytest.approx(two_stage.path_cost)
+        for a, b in zip(brute.path, two_stage.path):
+            np.testing.assert_allclose(a, b)
+
+    def test_two_stage_strictly_cheaper(self, task):
+        brute = plan_with(task, checker="obb", max_samples=SAMPLES, seed=0)
+        two_stage = plan_with(task, checker="two_stage", max_samples=SAMPLES, seed=0)
+        assert two_stage.total_macs < brute.total_macs
+
+
+class TestNearestStrategyAgreement:
+    def test_brute_and_simbr_exact_agree(self, task):
+        """Exact SI-MBR search must not change planning outcomes."""
+        brute = plan_with(
+            task, neighbor_strategy="brute", max_samples=SAMPLES, seed=1
+        )
+        simbr = plan_with(
+            task,
+            neighbor_strategy="simbr",
+            approx_neighborhood=False,
+            steering_insert=False,
+            max_samples=SAMPLES,
+            seed=1,
+        )
+        assert brute.num_nodes == simbr.num_nodes
+        assert brute.path_cost == pytest.approx(simbr.path_cost)
+
+    def test_kd_agrees_too(self, task):
+        brute = plan_with(task, neighbor_strategy="brute", max_samples=SAMPLES, seed=2)
+        kd = plan_with(task, neighbor_strategy="kd", max_samples=SAMPLES, seed=2)
+        assert brute.num_nodes == kd.num_nodes
+        assert brute.path_cost == pytest.approx(kd.path_cost)
+
+    def test_steering_insert_preserves_search_exactness(self, task):
+        """LCI reshuffles the tree's internal grouping, never its answers."""
+        conventional = plan_with(
+            task,
+            neighbor_strategy="simbr",
+            approx_neighborhood=False,
+            steering_insert=False,
+            max_samples=SAMPLES,
+            seed=3,
+        )
+        lci = plan_with(
+            task,
+            neighbor_strategy="simbr",
+            approx_neighborhood=False,
+            steering_insert=True,
+            max_samples=SAMPLES,
+            seed=3,
+        )
+        assert conventional.num_nodes == lci.num_nodes
+        assert conventional.path_cost == pytest.approx(lci.path_cost)
+
+
+class TestSpeculationTransparency:
+    @pytest.mark.parametrize("depth", [1, 3, 5])
+    def test_full_moped_with_speculation(self, task, depth):
+        base = RRTStarPlanner(
+            get_robot(task.robot_name),
+            task,
+            moped_config("v4", max_samples=SAMPLES, seed=4, speculation_depth=0),
+        ).plan()
+        spec = RRTStarPlanner(
+            get_robot(task.robot_name),
+            task,
+            moped_config("v4", max_samples=SAMPLES, seed=4, speculation_depth=depth),
+        ).plan()
+        assert base.num_nodes == spec.num_nodes
+        assert base.path_cost == pytest.approx(spec.path_cost)
+        # The speculative run pays only tiny repair overhead.
+        extra = spec.total_macs - base.total_macs
+        assert extra < 0.05 * base.total_macs

@@ -1,0 +1,176 @@
+"""Failure injection: validators must catch corruption, inputs must fail loud.
+
+Two families:
+
+* **Structure corruption** — damage an internal invariant directly and
+  assert the structure's ``validate()`` reports it (guarding against
+  validators that silently pass everything).
+* **Adversarial inputs** — NaN/inf configurations, degenerate geometry,
+  and malformed payloads must raise clean errors instead of corrupting
+  state or planning garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.robots import get_robot
+from repro.core.tree import ExpTree
+from repro.core.world import Environment, PlanningTask
+from repro.geometry.obb import OBB
+from repro.spatial import RTree, SIMBRTree
+from repro.geometry.aabb import AABB
+from repro.workloads import random_environment
+
+
+class TestSimbrCorruptionDetected:
+    def build(self):
+        tree = SIMBRTree(dim=3, capacity=4)
+        rng = np.random.default_rng(0)
+        for i in range(40):
+            tree.insert(i, rng.uniform(0, 10, 3))
+        return tree
+
+    def test_shrunken_mbr_detected(self):
+        tree = self.build()
+        node = tree._root
+        node.lo = node.lo + 5.0  # root MBR no longer covers children
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_broken_parent_pointer_detected(self):
+        tree = self.build()
+        child = tree._root.children[0]
+        child.parent = None
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_stale_leaf_map_detected(self):
+        tree = self.build()
+        # Point the leaf map at the wrong leaf.
+        leaves = [n for n in tree._root.children if n.is_leaf] or tree._root.children
+        tree._leaf_of[0] = leaves[-1] if leaves[-1] is not tree._leaf_of[0] else leaves[0]
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_overfull_leaf_detected(self):
+        tree = self.build()
+        leaf = tree._leaf_of[0]
+        for extra in range(100, 110):
+            point = leaf.entries[0][1]
+            leaf.entries.append((extra, point))
+            tree._points[extra] = point
+            tree._leaf_of[extra] = leaf
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+
+class TestExpTreeCorruptionDetected:
+    def build(self):
+        tree = ExpTree(np.zeros(2))
+        rng = np.random.default_rng(1)
+        for i in range(30):
+            parent = int(rng.integers(0, len(tree)))
+            point = tree.point(parent) + rng.normal(size=2)
+            tree.add(point, parent, float(np.linalg.norm(point - tree.point(parent))))
+        return tree
+
+    def test_cost_corruption_detected(self):
+        tree = self.build()
+        tree._cost[5] += 3.0
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_cycle_detected(self):
+        tree = self.build()
+        # Manually create a cycle, bypassing rewire's guard.
+        child = 3
+        descendant = None
+        for node in tree.nodes():
+            if tree.parent(node) == child:
+                descendant = node
+                break
+        if descendant is None:
+            descendant = tree.add(tree.point(child) + 0.1, child, 0.2)
+        tree._parent[child] = descendant
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_orphan_detected(self):
+        tree = self.build()
+        tree._children[tree.parent(7)].discard(7)
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+
+class TestRTreeCorruptionDetected:
+    def test_shrunken_node_mbr_detected(self):
+        rng = np.random.default_rng(2)
+        lo = rng.uniform(0, 100, size=(40, 3))
+        boxes = [AABB(lo[i], lo[i] + rng.uniform(1, 10, 3)) for i in range(40)]
+        tree = RTree(boxes, leaf_capacity=4)
+        node = tree._root
+        object.__setattr__(node.mbr, "hi", node.mbr.hi - 50.0)
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+
+class TestAdversarialInputs:
+    def test_nan_configuration_rejected_by_robot(self):
+        robot = get_robot("mobile2d")
+        body = robot.body_obbs(np.array([np.nan, 10.0, 0.0]))
+        # NaN propagates into geometry; the OBB must at least not claim
+        # validity, so downstream validators can reject it.
+        assert not body[0].is_valid() or np.isnan(body[0].center).any()
+
+    def test_planner_rejects_mismatched_task(self):
+        from repro.core.config import moped_config
+        from repro.core.rrtstar import RRTStarPlanner
+
+        env = random_environment(2, 4, seed=3)
+        task = PlanningTask("mobile2d", env, np.zeros(4), np.ones(4))
+        with pytest.raises(ValueError):
+            RRTStarPlanner(get_robot("mobile2d"), task, moped_config("v4"))
+
+    def test_environment_rejects_wrong_dim_obstacle(self):
+        with pytest.raises(ValueError):
+            Environment(2, 300.0, [OBB(np.zeros(3), np.ones(3), np.eye(3))])
+
+    def test_obb_rejects_nonfinite_validity(self):
+        bad = OBB(np.array([np.inf, 0.0]), np.ones(2), np.eye(2))
+        # Construction succeeds (dataclass), but validity must flag issues
+        # via geometry operations: its AABB is non-finite.
+        assert not np.isfinite(bad.to_aabb().hi).all()
+
+    def test_zero_extent_obstacle_is_handled(self):
+        flat = OBB(np.array([150.0, 150.0]), np.array([0.0, 10.0]), np.eye(2))
+        env = Environment(2, 300.0, [flat])
+        env.rtree.validate()
+        robot = get_robot("mobile2d")
+        from repro.core.collision import TwoStageChecker, BruteOBBChecker
+
+        two_stage = TwoStageChecker(robot, env, motion_resolution=5.0)
+        brute = BruteOBBChecker(robot, env, motion_resolution=5.0)
+        rng = np.random.default_rng(4)
+        for _ in range(40):
+            config = rng.uniform(robot.config_lo, robot.config_hi)
+            assert two_stage.config_in_collision(config) == brute.config_in_collision(config)
+
+    def test_sampler_rejects_degenerate_bounds(self):
+        from repro.core.rng import LFSRSampler, NumpySampler
+
+        for cls in (LFSRSampler, NumpySampler):
+            with pytest.raises(ValueError):
+                cls(np.zeros(3), np.zeros(3), seed=1)
+
+    def test_smoothing_with_inf_waypoint_keeps_endpoints(self):
+        """Non-finite interior waypoints must not crash the smoother."""
+        from repro.core.collision import BruteOBBChecker
+        from repro.core.smoothing import shortcut_smooth
+
+        robot = get_robot("mobile2d")
+        env = Environment(2, 300.0, [])
+        checker = BruteOBBChecker(robot, env, motion_resolution=5.0)
+        path = [np.zeros(3), np.array([np.inf, 0.0, 0.0]), np.array([10.0, 0.0, 0.0])]
+        smoothed, cost = shortcut_smooth(path, checker, iterations=20, seed=0)
+        np.testing.assert_allclose(smoothed[0], path[0])
+        np.testing.assert_allclose(smoothed[-1], path[-1])

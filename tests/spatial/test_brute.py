@@ -1,0 +1,98 @@
+"""Unit tests for the brute-force index."""
+
+import numpy as np
+import pytest
+
+from repro.spatial import BruteForceIndex
+
+
+class CountingStub:
+    def __init__(self):
+        self.counts = {}
+
+    def record(self, kind, dim=None, n=1):
+        self.counts[kind] = self.counts.get(kind, 0) + n
+
+
+class TestBasics:
+    def test_empty(self):
+        idx = BruteForceIndex(dim=3)
+        assert len(idx) == 0
+        assert idx.nearest(np.zeros(3)) is None
+        assert idx.neighbors_within(np.zeros(3), 1.0) == []
+
+    def test_wrong_dim_rejected(self):
+        idx = BruteForceIndex(dim=2)
+        with pytest.raises(ValueError):
+            idx.insert(0, np.zeros(3))
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            BruteForceIndex(dim=0)
+
+    def test_growth_beyond_initial_capacity(self):
+        idx = BruteForceIndex(dim=2, initial_capacity=4)
+        rng = np.random.default_rng(0)
+        points = {}
+        for i in range(50):
+            p = rng.uniform(0, 1, 2)
+            idx.insert(i, p)
+            points[i] = p
+        assert len(idx) == 50
+        got = dict(idx.items())
+        for key, p in points.items():
+            np.testing.assert_allclose(got[key], p)
+
+
+class TestNearest:
+    def test_finds_closest(self):
+        idx = BruteForceIndex(dim=2)
+        idx.insert("a", np.array([0.0, 0.0]))
+        idx.insert("b", np.array([10.0, 0.0]))
+        key, point, dist = idx.nearest(np.array([1.0, 0.0]))
+        assert key == "a"
+        assert dist == pytest.approx(1.0)
+
+    def test_exclude(self):
+        idx = BruteForceIndex(dim=2)
+        idx.insert("a", np.array([0.0, 0.0]))
+        idx.insert("b", np.array([10.0, 0.0]))
+        key, _, _ = idx.nearest(np.array([1.0, 0.0]), exclude={"a"})
+        assert key == "b"
+
+    def test_exclude_all_returns_none(self):
+        idx = BruteForceIndex(dim=2)
+        idx.insert("a", np.zeros(2))
+        assert idx.nearest(np.zeros(2), exclude={"a"}) is None
+
+    def test_counter_charges_full_scan(self):
+        idx = BruteForceIndex(dim=3)
+        rng = np.random.default_rng(1)
+        for i in range(77):
+            idx.insert(i, rng.uniform(0, 1, 3))
+        counter = CountingStub()
+        idx.nearest(rng.uniform(0, 1, 3), counter=counter)
+        assert counter.counts["dist"] == 77
+
+
+class TestNeighborsWithin:
+    def test_exact_set(self):
+        idx = BruteForceIndex(dim=2)
+        rng = np.random.default_rng(2)
+        points = {}
+        for i in range(100):
+            p = rng.uniform(0, 10, 2)
+            idx.insert(i, p)
+            points[i] = p
+        q = np.array([5.0, 5.0])
+        got = {k for k, _, _ in idx.neighbors_within(q, 2.0)}
+        want = {k for k, p in points.items() if np.linalg.norm(p - q) <= 2.0}
+        assert got == want
+
+    def test_sorted_output(self):
+        idx = BruteForceIndex(dim=2)
+        rng = np.random.default_rng(3)
+        for i in range(50):
+            idx.insert(i, rng.uniform(0, 10, 2))
+        dists = [d for _, _, d in idx.neighbors_within(np.full(2, 5.0), 5.0)]
+        assert dists == sorted(dists)

@@ -1,0 +1,167 @@
+"""Unit and property tests for the KD-tree baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import KDTree
+
+
+class CountingStub:
+    def __init__(self):
+        self.counts = {}
+
+    def record(self, kind, dim=None, n=1):
+        self.counts[kind] = self.counts.get(kind, 0) + n
+
+
+def brute_nearest(points, query):
+    best = None
+    for key, p in points.items():
+        d = float(np.linalg.norm(p - query))
+        if best is None or d < best[1]:
+            best = (key, d)
+    return best
+
+
+class TestInsert:
+    def test_empty(self):
+        tree = KDTree(dim=2)
+        assert len(tree) == 0
+        assert tree.nearest(np.zeros(2)) is None
+        assert tree.neighbors_within(np.zeros(2), 1.0) == []
+
+    def test_size_tracks_inserts(self):
+        tree = KDTree(dim=2)
+        rng = np.random.default_rng(0)
+        for i in range(37):
+            tree.insert(i, rng.uniform(0, 1, 2))
+        assert len(tree) == 37
+        assert len(tree.items()) == 37
+
+    def test_wrong_dim_rejected(self):
+        tree = KDTree(dim=3)
+        with pytest.raises(ValueError):
+            tree.insert(0, np.zeros(2))
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            KDTree(dim=0)
+
+
+class TestNearest:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        tree = KDTree(dim=3)
+        points = {}
+        for i in range(200):
+            p = rng.uniform(-5, 5, 3)
+            tree.insert(i, p)
+            points[i] = p
+        for _ in range(30):
+            q = rng.uniform(-6, 6, 3)
+            got = tree.nearest(q)
+            want = brute_nearest(points, q)
+            assert got[2] == pytest.approx(want[1])
+
+    def test_exclude(self):
+        tree = KDTree(dim=2)
+        tree.insert("a", np.zeros(2))
+        tree.insert("b", np.ones(2))
+        got = tree.nearest(np.array([0.1, 0.1]), exclude={"a"})
+        assert got[0] == "b"
+
+    def test_counter_counts_distance_ops(self):
+        rng = np.random.default_rng(2)
+        tree = KDTree(dim=2)
+        for i in range(100):
+            tree.insert(i, rng.uniform(0, 10, 2))
+        counter = CountingStub()
+        tree.nearest(rng.uniform(0, 10, 2), counter=counter)
+        assert counter.counts["dist"] >= 1
+        assert counter.counts["plane_compare"] >= 1
+
+    def test_high_dim_visits_more(self):
+        """Curse of dimensionality: 7D search visits more nodes than 2D."""
+        visits = {}
+        for dim in (2, 7):
+            rng = np.random.default_rng(3)
+            tree = KDTree(dim=dim)
+            for i in range(300):
+                tree.insert(i, rng.uniform(0, 10, dim))
+            counter = CountingStub()
+            for _ in range(20):
+                tree.nearest(rng.uniform(0, 10, dim), counter=counter)
+            visits[dim] = counter.counts["dist"]
+        assert visits[7] > visits[2]
+
+
+class TestNeighborsWithin:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(4)
+        tree = KDTree(dim=3)
+        points = {}
+        for i in range(150):
+            p = rng.uniform(0, 10, 3)
+            tree.insert(i, p)
+            points[i] = p
+        q = rng.uniform(0, 10, 3)
+        got = {k for k, _, _ in tree.neighbors_within(q, 3.0)}
+        want = {k for k, p in points.items() if np.linalg.norm(p - q) <= 3.0}
+        assert got == want
+
+
+class TestRebuild:
+    def test_rebuild_preserves_contents(self):
+        rng = np.random.default_rng(5)
+        tree = KDTree(dim=2)
+        points = {}
+        for i in range(64):
+            p = rng.uniform(0, 10, 2)
+            tree.insert(i, p)
+            points[i] = p
+        tree.rebuild()
+        assert len(tree) == 64
+        q = rng.uniform(0, 10, 2)
+        got = tree.nearest(q)
+        want = brute_nearest(points, q)
+        assert got[2] == pytest.approx(want[1])
+
+    def test_rebuild_reduces_depth_for_sorted_inserts(self):
+        tree = KDTree(dim=1)
+        for i in range(64):
+            tree.insert(i, np.array([float(i)]))
+        assert tree.depth == 64  # pathological chain
+        tree.rebuild()
+        assert tree.depth <= 7  # log2(64) + 1
+
+    def test_rebuild_cost_recorded(self):
+        tree = KDTree(dim=2)
+        rng = np.random.default_rng(6)
+        for i in range(32):
+            tree.insert(i, rng.uniform(0, 1, 2))
+        counter = CountingStub()
+        tree.rebuild(counter=counter)
+        assert counter.counts["rebuild_item"] >= 32
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=80),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=1, max_value=7),
+)
+def test_kdtree_nearest_is_exact(n, seed, dim):
+    """Property: KD-tree NN always matches brute force."""
+    rng = np.random.default_rng(seed)
+    tree = KDTree(dim=dim)
+    points = {}
+    for i in range(n):
+        p = rng.uniform(-10, 10, dim)
+        tree.insert(i, p)
+        points[i] = p
+    q = rng.uniform(-12, 12, dim)
+    got = tree.nearest(q)
+    want = brute_nearest(points, q)
+    assert got[2] == pytest.approx(want[1])

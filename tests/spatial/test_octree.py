@@ -1,0 +1,147 @@
+"""Unit and property tests for the Octree collision structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collision import BruteOBBChecker
+from repro.core.counters import OpCounter
+from repro.core.robots import get_robot
+from repro.geometry.obb import OBB
+from repro.geometry.rotations import rotation_2d
+from repro.spatial.octree import CollisionOctree, make_octree_checker
+from repro.workloads import random_environment
+
+
+class TestConstruction:
+    def test_empty_space_is_one_free_node(self):
+        tree = CollisionOctree([], size=300.0, dim=2, max_depth=6)
+        assert tree.node_count == 1
+        assert tree.root.state == "free"
+
+    def test_full_coverage_is_occupied(self):
+        big = OBB(np.full(2, 150.0), np.full(2, 400.0), np.eye(2))
+        tree = CollisionOctree([big], size=300.0, dim=2, max_depth=6)
+        assert tree.root.state == "occupied"
+        assert tree.node_count == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollisionOctree([], size=300.0, dim=4)
+        with pytest.raises(ValueError):
+            CollisionOctree([], size=0.0, dim=2)
+        with pytest.raises(ValueError):
+            CollisionOctree([], size=300.0, dim=2, max_depth=-1)
+
+    def test_node_count_grows_with_depth(self):
+        env = random_environment(2, 16, seed=0)
+        counts = [
+            CollisionOctree(env.obstacles, env.size, 2, max_depth=d).node_count
+            for d in (3, 5, 7)
+        ]
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_memory_tracks_nodes(self):
+        env = random_environment(2, 8, seed=1)
+        tree = CollisionOctree(env.obstacles, env.size, 2, max_depth=5)
+        assert tree.memory_bytes() == 4 * tree.node_count
+
+    def test_leaf_resolution(self):
+        tree = CollisionOctree([], size=256.0, dim=2, max_depth=4)
+        assert tree.leaf_resolution() == pytest.approx(16.0)
+
+    def test_3d_octree(self):
+        env = random_environment(3, 8, seed=2)
+        tree = CollisionOctree(env.obstacles, env.size, 3, max_depth=4)
+        assert tree.node_count >= 1
+
+
+class TestPointQueries:
+    def test_inside_obstacle_is_occupied(self):
+        obstacle = OBB(np.array([100.0, 100.0]), np.array([20.0, 20.0]), rotation_2d(0.4))
+        tree = CollisionOctree([obstacle], size=300.0, dim=2, max_depth=7)
+        assert tree.point_occupied(np.array([100.0, 100.0]))
+
+    def test_far_free_space_is_free(self):
+        obstacle = OBB(np.array([100.0, 100.0]), np.array([20.0, 20.0]), rotation_2d(0.4))
+        tree = CollisionOctree([obstacle], size=300.0, dim=2, max_depth=7)
+        assert not tree.point_occupied(np.array([280.0, 280.0]))
+
+    def test_conservative_near_boundary(self):
+        """Points inside an obstacle are always flagged (never false-free)."""
+        obstacle = OBB(np.array([150.0, 150.0]), np.array([30.0, 10.0]), rotation_2d(0.7))
+        tree = CollisionOctree([obstacle], size=300.0, dim=2, max_depth=7)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            local = rng.uniform(-1, 1, 2) * obstacle.half_extents
+            point = obstacle.center + obstacle.rotation @ local
+            assert tree.point_occupied(point)
+
+
+class TestOctreeChecker:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        env = random_environment(2, 16, seed=3)
+        robot = get_robot("mobile2d")
+        return (
+            robot,
+            env,
+            make_octree_checker(robot, env, motion_resolution=5.0, max_depth=7),
+            BruteOBBChecker(robot, env, motion_resolution=5.0),
+        )
+
+    def test_conservative_vs_exact(self, setup):
+        robot, env, octree, exact = setup
+        rng = np.random.default_rng(1)
+        for _ in range(150):
+            config = rng.uniform(robot.config_lo, robot.config_hi)
+            if exact.config_in_collision(config):
+                assert octree.config_in_collision(config)
+
+    def test_free_space_detected(self, setup):
+        robot, env, octree, exact = setup
+        rng = np.random.default_rng(2)
+        free = 0
+        for _ in range(150):
+            config = rng.uniform(robot.config_lo, robot.config_hi)
+            if not octree.config_in_collision(config):
+                free += 1
+                assert not exact.config_in_collision(config)
+        assert free > 30  # the checker is not degenerately conservative
+
+    def test_counter_records_queries(self, setup):
+        robot, env, octree, _ = setup
+        counter = OpCounter()
+        octree.config_in_collision(np.array([150.0, 150.0, 0.2]), counter=counter)
+        assert counter.events.get("sat_aabb_obb", 0) > 0
+
+    def test_motion_check(self, setup):
+        robot, env, octree, exact = setup
+        a = np.array([10.0, 10.0, 0.0])
+        b = np.array([290.0, 290.0, 0.0])
+        if exact.motion_in_collision(a, b):
+            assert octree.motion_in_collision(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=3, max_value=7),
+)
+def test_octree_never_reports_false_free(seed, depth):
+    """Property: any in-workspace point inside any obstacle is occupied.
+
+    The octree's domain is the workspace box; a rotated obstacle's corner
+    can poke slightly outside it, and such points are legitimately outside
+    the tree's coverage — they are skipped here.
+    """
+    rng = np.random.default_rng(seed)
+    env = random_environment(2, 6, seed=seed)
+    tree = CollisionOctree(env.obstacles, env.size, 2, max_depth=depth)
+    for obstacle in env.obstacles:
+        local = rng.uniform(-1, 1, 2) * obstacle.half_extents
+        point = obstacle.center + obstacle.rotation @ local
+        if np.any(point < 0) or np.any(point > env.size):
+            continue  # outside the octree's domain
+        assert tree.point_occupied(point)

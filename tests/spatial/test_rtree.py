@@ -1,0 +1,130 @@
+"""Unit and property tests for the STR-packed R-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import AABB, OBB, aabb_intersects_obb
+from repro.geometry.rotations import random_rotation_3d
+from repro.spatial import RTree
+
+
+def random_boxes(n, dim, rng, span=100.0, size=10.0):
+    lo = rng.uniform(0, span, size=(n, dim))
+    return [AABB(lo[i], lo[i] + rng.uniform(0.5, size, dim)) for i in range(n)]
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = RTree([])
+        assert len(tree) == 0
+        assert tree.height == 0
+        obb = OBB(np.zeros(3), np.ones(3), np.eye(3))
+        assert tree.query_obb(obb) == []
+
+    def test_single_box(self):
+        tree = RTree([AABB(np.zeros(3), np.ones(3))])
+        assert len(tree) == 1
+        assert tree.height == 1
+        tree.validate()
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            RTree([AABB(np.zeros(2), np.ones(2))], leaf_capacity=1)
+
+    def test_structure_valid_for_many_sizes(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 2, 7, 8, 9, 30, 64, 100):
+            tree = RTree(random_boxes(n, 3, rng), leaf_capacity=8)
+            tree.validate()
+
+    def test_height_grows_logarithmically(self):
+        rng = np.random.default_rng(1)
+        tree = RTree(random_boxes(200, 3, rng), leaf_capacity=8)
+        # 200 entries, fanout 8: height must stay small.
+        assert tree.height <= 4
+        tree.validate()
+
+    def test_2d_boxes(self):
+        rng = np.random.default_rng(2)
+        tree = RTree(random_boxes(40, 2, rng), leaf_capacity=4)
+        tree.validate()
+
+
+class TestQueryObb:
+    def test_matches_naive_filter(self):
+        rng = np.random.default_rng(3)
+        boxes = random_boxes(60, 3, rng)
+        tree = RTree(boxes, leaf_capacity=6)
+        for _ in range(25):
+            robot = OBB(rng.uniform(0, 100, 3), rng.uniform(1, 15, 3), random_rotation_3d(rng))
+            expected = sorted(
+                i for i, b in enumerate(boxes) if aabb_intersects_obb(b, robot)
+            )
+            assert sorted(tree.query_obb(robot)) == expected
+
+    def test_counter_records_sat_checks(self):
+        class Counter:
+            def __init__(self):
+                self.events = []
+
+            def record(self, kind, dim=None, n=1):
+                self.events.append((kind, dim, n))
+
+        rng = np.random.default_rng(4)
+        boxes = random_boxes(30, 3, rng)
+        tree = RTree(boxes)
+        counter = Counter()
+        robot = OBB(np.full(3, 50.0), np.full(3, 5.0), np.eye(3))
+        tree.query_obb(robot, counter=counter)
+        kinds = {kind for kind, _, _ in counter.events}
+        assert kinds == {"sat_aabb_obb"}
+        assert len(counter.events) >= 1
+
+    def test_pruning_reduces_checks(self):
+        """A far-away robot must touch far fewer nodes than a naive scan."""
+
+        class Counter:
+            def __init__(self):
+                self.n = 0
+
+            def record(self, kind, dim=None, n=1):
+                self.n += n
+
+        rng = np.random.default_rng(5)
+        boxes = random_boxes(200, 3, rng, span=100.0)
+        tree = RTree(boxes, leaf_capacity=8)
+        counter = Counter()
+        distant = OBB(np.full(3, 1e5), np.ones(3), np.eye(3))
+        assert tree.query_obb(distant, counter=counter) == []
+        assert counter.n < 200  # fewer checks than one per obstacle
+
+
+class TestQueryAabb:
+    def test_matches_naive_filter(self):
+        rng = np.random.default_rng(6)
+        boxes = random_boxes(50, 2, rng)
+        tree = RTree(boxes, leaf_capacity=5)
+        for _ in range(20):
+            lo = rng.uniform(0, 100, 2)
+            probe = AABB(lo, lo + rng.uniform(1, 20, 2))
+            expected = sorted(i for i, b in enumerate(boxes) if b.intersects(probe))
+            assert sorted(tree.query_aabb(probe)) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=80),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=2, max_value=10),
+)
+def test_rtree_query_is_exhaustive(n, seed, capacity):
+    """Property: tree query returns exactly the naively-filtered set."""
+    rng = np.random.default_rng(seed)
+    boxes = random_boxes(n, 3, rng)
+    tree = RTree(boxes, leaf_capacity=capacity)
+    tree.validate()
+    robot = OBB(rng.uniform(0, 100, 3), rng.uniform(1, 20, 3), random_rotation_3d(rng))
+    expected = sorted(i for i, b in enumerate(boxes) if aabb_intersects_obb(b, robot))
+    assert sorted(tree.query_obb(robot)) == expected

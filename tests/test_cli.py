@@ -1,0 +1,69 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.robot == "mobile2d"
+        assert args.variant == "full"
+
+    def test_rejects_unknown_robot(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--robot", "optimus"])
+
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--variant", "v9"])
+
+
+class TestMain:
+    def test_plans_and_reports(self, capsys):
+        code = main(["--robot", "mobile2d", "--obstacles", "8",
+                     "--samples", "200", "--seed", "1", "--goal-bias", "0.2"])
+        out = capsys.readouterr().out
+        assert "2D Mobile" in out
+        assert code in (0, 1)
+
+    def test_writes_result_json(self, tmp_path, capsys):
+        out_file = tmp_path / "result.json"
+        main(["--robot", "mobile2d", "--obstacles", "8", "--samples", "150",
+              "--seed", "1", "--goal-bias", "0.2", "--out", str(out_file)])
+        data = json.loads(out_file.read_text())
+        assert data["iterations"] == 150
+
+    def test_smooth_flag(self, capsys):
+        code = main(["--robot", "mobile2d", "--obstacles", "8",
+                     "--samples", "250", "--seed", "1", "--goal-bias", "0.2",
+                     "--smooth"])
+        out = capsys.readouterr().out
+        if code == 0:  # success path
+            assert "smoothed" in out
+
+    def test_render_flag(self, capsys):
+        main(["--robot", "mobile2d", "--obstacles", "8", "--samples", "150",
+              "--seed", "1", "--goal-bias", "0.2", "--render"])
+        out = capsys.readouterr().out
+        assert "+----" in out  # the ASCII border
+
+    def test_task_round_trip(self, tmp_path, capsys):
+        from repro.io import save_task
+        from repro.workloads import random_task
+
+        task = random_task("mobile2d", 8, seed=2)
+        task_file = tmp_path / "task.json"
+        save_task(task, task_file)
+        code = main(["--task", str(task_file), "--samples", "150",
+                     "--seed", "0", "--goal-bias", "0.2"])
+        out = capsys.readouterr().out
+        assert "obstacles=8" in out
+
+    def test_baseline_variant(self, capsys):
+        main(["--robot", "mobile2d", "--obstacles", "8", "--samples", "100",
+              "--seed", "1", "--variant", "baseline"])
+        assert "variant=baseline" in capsys.readouterr().out

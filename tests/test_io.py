@@ -1,0 +1,117 @@
+"""Unit tests for JSON persistence."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    environment_from_dict,
+    environment_to_dict,
+    load_task,
+    load_tasks,
+    obb_from_dict,
+    obb_to_dict,
+    result_to_dict,
+    save_result,
+    save_task,
+    save_tasks,
+    task_from_dict,
+    task_to_dict,
+)
+from repro.workloads import random_task, task_suite
+from repro.geometry.obb import OBB
+from repro.geometry.rotations import rotation_from_euler
+
+
+class TestObbRoundTrip:
+    def test_round_trip(self):
+        obb = OBB(np.array([1.0, 2.0, 3.0]), np.array([4.0, 5.0, 6.0]),
+                  rotation_from_euler(0.3, 0.2, 0.1))
+        back = obb_from_dict(obb_to_dict(obb))
+        np.testing.assert_allclose(back.center, obb.center)
+        np.testing.assert_allclose(back.rotation, obb.rotation)
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        obb = OBB(np.zeros(2), np.ones(2), np.eye(2))
+        json.dumps(obb_to_dict(obb))  # must not raise
+
+
+class TestEnvironmentRoundTrip:
+    def test_round_trip(self):
+        task = random_task("mobile2d", 8, seed=0)
+        env = task.environment
+        back = environment_from_dict(environment_to_dict(env))
+        assert back.num_obstacles == env.num_obstacles
+        assert back.workspace_dim == env.workspace_dim
+        for a, b in zip(env.obstacles, back.obstacles):
+            np.testing.assert_allclose(a.center, b.center)
+
+
+class TestTaskRoundTrip:
+    def test_dict_round_trip(self):
+        task = random_task("viperx300", 16, seed=1)
+        back = task_from_dict(task_to_dict(task))
+        assert back.robot_name == task.robot_name
+        np.testing.assert_allclose(back.start, task.start)
+        np.testing.assert_allclose(back.goal, task.goal)
+
+    def test_file_round_trip(self, tmp_path):
+        task = random_task("mobile2d", 8, seed=2)
+        file_path = tmp_path / "task.json"
+        save_task(task, file_path)
+        back = load_task(file_path)
+        np.testing.assert_allclose(back.start, task.start)
+        assert back.environment.num_obstacles == 8
+
+    def test_suite_round_trip(self, tmp_path):
+        tasks = task_suite("mobile2d", 8, num_tasks=3, seed=3)
+        file_path = tmp_path / "suite.json"
+        save_tasks(tasks, file_path)
+        back = load_tasks(file_path)
+        assert len(back) == 3
+        assert [t.task_id for t in back] == [0, 1, 2]
+
+    def test_loaded_task_is_plannable(self, tmp_path):
+        from repro import MopedEngine, get_robot
+
+        task = random_task("mobile2d", 8, seed=4)
+        file_path = tmp_path / "task.json"
+        save_task(task, file_path)
+        loaded = load_task(file_path)
+        robot = get_robot(loaded.robot_name)
+        result = MopedEngine(robot, loaded.environment, max_samples=100, seed=0).plan_task(loaded)
+        assert result.iterations == 100
+
+
+class TestResultSerialisation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro import MopedEngine, get_robot
+
+        task = random_task("mobile2d", 8, seed=5)
+        robot = get_robot("mobile2d")
+        return MopedEngine(robot, task.environment, max_samples=150, seed=0,
+                           goal_bias=0.2).plan_task(task)
+
+    def test_dict_fields(self, result):
+        data = result_to_dict(result)
+        assert data["iterations"] == 150
+        assert data["total_macs"] > 0
+        assert isinstance(data["events"], dict)
+
+    def test_failure_cost_encoded_as_none(self):
+        from repro.core.metrics import PlanResult
+        from repro.core.counters import OpCounter
+
+        failed = PlanResult(False, [], float("inf"), 1, 10, OpCounter())
+        data = result_to_dict(failed)
+        assert data["path_cost"] is None
+
+    def test_save_result(self, result, tmp_path):
+        import json
+
+        file_path = tmp_path / "result.json"
+        save_result(result, file_path)
+        data = json.loads(file_path.read_text())
+        assert data["success"] == result.success

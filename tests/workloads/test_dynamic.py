@@ -1,0 +1,94 @@
+"""Unit tests for dynamic scenarios and moving obstacles."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.obb import OBB
+from repro.geometry.rotations import rotation_2d
+from repro.workloads.dynamic import (
+    DynamicScenario,
+    MovingObstacle,
+    random_dynamic_scenario,
+)
+
+
+def obstacle(center=(50.0, 50.0), half=(10.0, 10.0), velocity=(5.0, 0.0)):
+    return MovingObstacle(
+        OBB(np.asarray(center, float), np.asarray(half, float), rotation_2d(0.3)),
+        np.asarray(velocity, float),
+    )
+
+
+class TestMovingObstacle:
+    def test_zero_time_is_initial_pose(self):
+        moving = obstacle()
+        at0 = moving.at(0.0, size=300.0)
+        np.testing.assert_allclose(at0.center, [50.0, 50.0])
+
+    def test_moves_with_velocity(self):
+        moving = obstacle(velocity=(10.0, 0.0))
+        at2 = moving.at(2.0, size=300.0)
+        np.testing.assert_allclose(at2.center, [70.0, 50.0])
+
+    def test_stays_inside_workspace(self):
+        moving = obstacle(velocity=(37.0, -23.0))
+        for t in np.linspace(0, 100, 60):
+            box = moving.at(float(t), size=300.0).to_aabb()
+            assert np.all(box.lo >= -16.0)  # rotated box AABB slightly wider
+            assert np.all(box.hi <= 316.0)
+
+    def test_bounces_off_walls(self):
+        moving = obstacle(center=(280.0, 150.0), velocity=(30.0, 0.0))
+        # Travelling right from near the wall must eventually come back left.
+        positions = [moving.at(float(t), 300.0).center[0] for t in range(8)]
+        assert min(positions) < 280.0
+
+    def test_rotation_preserved(self):
+        moving = obstacle()
+        at5 = moving.at(5.0, size=300.0)
+        np.testing.assert_allclose(at5.rotation, moving.obb.rotation)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            obstacle().at(-1.0, size=300.0)
+
+    def test_velocity_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MovingObstacle(
+                OBB(np.zeros(2), np.ones(2), np.eye(2)), np.zeros(3)
+            )
+
+
+class TestDynamicScenario:
+    def test_environment_snapshots(self):
+        scenario = DynamicScenario(2, 300.0, [obstacle()])
+        env0 = scenario.environment_at(0.0)
+        env5 = scenario.environment_at(5.0)
+        assert env0.num_obstacles == env5.num_obstacles == 1
+        assert not np.allclose(env0.obstacles[0].center, env5.obstacles[0].center)
+
+    def test_snapshot_is_plannable(self):
+        scenario = random_dynamic_scenario(2, 8, seed=1)
+        env = scenario.environment_at(3.0)
+        env.rtree.validate()
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            DynamicScenario(4, 300.0, [])
+
+    def test_rejects_obstacle_dim_mismatch(self):
+        bad = MovingObstacle(OBB(np.zeros(3), np.ones(3), np.eye(3)), np.zeros(3))
+        with pytest.raises(ValueError):
+            DynamicScenario(2, 300.0, [bad])
+
+    def test_random_scenario_deterministic(self):
+        a = random_dynamic_scenario(2, 6, seed=2)
+        b = random_dynamic_scenario(2, 6, seed=2)
+        for ma, mb in zip(a.obstacles, b.obstacles):
+            np.testing.assert_allclose(ma.velocity, mb.velocity)
+
+    def test_random_scenario_3d(self):
+        scenario = random_dynamic_scenario(3, 6, seed=3)
+        env = scenario.environment_at(1.0)
+        assert env.workspace_dim == 3
+        assert env.num_obstacles == 6

@@ -1,0 +1,158 @@
+"""Unit tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.collision import BruteOBBChecker
+from repro.core.robots import get_robot
+from repro.workloads import (
+    OBSTACLE_COUNTS,
+    narrow_passage_environment,
+    random_environment,
+    random_start_goal,
+    random_task,
+    task_suite,
+)
+
+
+class TestRandomEnvironment:
+    def test_counts_match_paper(self):
+        assert OBSTACLE_COUNTS == (8, 16, 32, 48)
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    @pytest.mark.parametrize("count", [0, 8, 48])
+    def test_obstacle_count(self, dim, count):
+        env = random_environment(dim, count, seed=0)
+        assert env.num_obstacles == count
+        assert env.workspace_dim == dim
+
+    def test_size_limits_respected_3d(self):
+        """Paper: 3D obstacles limited to 30x30x50."""
+        env = random_environment(3, 48, seed=1)
+        for obstacle in env.obstacles:
+            extents = 2.0 * obstacle.half_extents
+            assert extents[0] <= 30.0 + 1e-9
+            assert extents[1] <= 30.0 + 1e-9
+            assert extents[2] <= 50.0 + 1e-9
+
+    def test_size_limits_respected_2d(self):
+        """Paper: 2D obstacles limited to 30x30."""
+        env = random_environment(2, 48, seed=2)
+        for obstacle in env.obstacles:
+            assert np.all(2.0 * obstacle.half_extents <= 30.0 + 1e-9)
+
+    def test_centers_inside_workspace(self):
+        env = random_environment(3, 32, seed=3)
+        for obstacle in env.obstacles:
+            assert np.all(obstacle.center >= 0) and np.all(obstacle.center <= 300.0)
+
+    def test_deterministic(self):
+        a = random_environment(3, 16, seed=4)
+        b = random_environment(3, 16, seed=4)
+        for oa, ob in zip(a.obstacles, b.obstacles):
+            np.testing.assert_allclose(oa.center, ob.center)
+
+    def test_different_seeds_differ(self):
+        a = random_environment(3, 16, seed=5)
+        b = random_environment(3, 16, seed=6)
+        assert not np.allclose(a.obstacles[0].center, b.obstacles[0].center)
+
+    def test_clear_region_respected(self):
+        center = np.array([150.0, 150.0, 20.0])
+        env = random_environment(3, 48, seed=7, clear_center=center, clear_radius=50.0)
+        for obstacle in env.obstacles:
+            assert np.linalg.norm(obstacle.center - center) >= 50.0
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            random_environment(4, 8)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            random_environment(3, -1)
+
+    def test_orientations_are_random(self):
+        env = random_environment(3, 8, seed=8)
+        rotations = [o.rotation for o in env.obstacles]
+        assert not all(np.allclose(r, np.eye(3)) for r in rotations)
+
+
+class TestNarrowPassage:
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_structure(self, dim):
+        env = narrow_passage_environment(workspace_dim=dim, gap=20.0)
+        assert env.num_obstacles == 2
+        assert env.workspace_dim == dim
+
+    def test_gap_is_passable_with_obb_but_not_aabb(self):
+        """The channel must be truly free yet AABB-blocked (Fig 5)."""
+        from repro.core.collision import BruteAABBChecker
+
+        env = narrow_passage_environment(workspace_dim=2, gap=26.0)
+        robot = get_robot("mobile2d")
+        exact = BruteOBBChecker(robot, env, motion_resolution=2.0)
+        coarse = BruteAABBChecker(robot, env, motion_resolution=2.0)
+        # Robot centred in the channel, aligned with the diagonal.
+        config = np.array([150.0, 150.0, np.pi / 4])
+        assert not exact.config_in_collision(config)
+        assert coarse.config_in_collision(config)
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            narrow_passage_environment(gap=0.0)
+        with pytest.raises(ValueError):
+            narrow_passage_environment(gap=500.0)
+
+
+class TestStartGoal:
+    @pytest.mark.parametrize("robot_name", ["mobile2d", "drone3d", "viperx300"])
+    def test_pair_is_collision_free(self, robot_name):
+        robot = get_robot(robot_name)
+        env = random_environment(robot.workspace_dim, 8, seed=9)
+        rng = np.random.default_rng(0)
+        start, goal = random_start_goal(robot, env, rng)
+        checker = BruteOBBChecker(robot, env, motion_resolution=robot.step_size)
+        assert not checker.config_in_collision(start)
+        assert not checker.config_in_collision(goal)
+
+    def test_pair_is_separated(self):
+        robot = get_robot("mobile2d")
+        env = random_environment(2, 8, seed=10)
+        rng = np.random.default_rng(1)
+        start, goal = random_start_goal(robot, env, rng)
+        span = float(np.linalg.norm(robot.config_hi - robot.config_lo))
+        assert np.linalg.norm(goal - start) >= 0.25 * span
+
+    def test_impossible_environment_raises(self):
+        """A workspace packed solid must raise, not loop forever."""
+        from repro.core.world import Environment
+        from repro.geometry.obb import OBB
+
+        solid = OBB(np.array([150.0, 150.0]), np.array([160.0, 160.0]), np.eye(2))
+        env = Environment(2, 300.0, [solid])
+        robot = get_robot("mobile2d")
+        with pytest.raises(RuntimeError):
+            random_start_goal(robot, env, np.random.default_rng(2), max_tries=20)
+
+
+class TestTasks:
+    def test_random_task_shape(self):
+        task = random_task("mobile2d", 8, seed=11)
+        assert task.robot_name == "mobile2d"
+        assert task.environment.num_obstacles == 8
+        assert task.start.shape == (3,)
+
+    def test_task_suite_sizes(self):
+        suite = task_suite("mobile2d", 8, num_tasks=3, seed=12)
+        assert len(suite) == 3
+        assert [t.task_id for t in suite] == [0, 1, 2]
+
+    def test_suite_tasks_differ(self):
+        suite = task_suite("mobile2d", 8, num_tasks=2, seed=13)
+        assert not np.allclose(suite[0].start, suite[1].start)
+
+    def test_arm_task_protects_base(self):
+        task = random_task("viperx300", 16, seed=14)
+        base = np.array([150.0, 150.0, 20.0])
+        for obstacle in task.environment.obstacles:
+            assert np.linalg.norm(obstacle.center - base) >= 45.0
