@@ -156,6 +156,23 @@ class OpCounter:
         """MAC total for one breakdown category."""
         return self.macs_by_category().get(category, 0.0)
 
+    def to_dict(self) -> Dict[str, Dict]:
+        """Plain-data snapshot (``{"events": ..., "macs": ...}``).
+
+        JSON-safe and picklable without custom logic, so service workers
+        can ship op counts back across process boundaries and telemetry
+        can persist them; :meth:`from_dict` is the exact inverse.
+        """
+        return {"events": dict(self.events), "macs": dict(self.macs)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Dict]) -> "OpCounter":
+        """Rebuild a counter from :meth:`to_dict` output."""
+        return cls(
+            events={k: int(v) for k, v in data.get("events", {}).items()},
+            macs={k: float(v) for k, v in data.get("macs", {}).items()},
+        )
+
     def merge(self, other: "OpCounter") -> None:
         """Fold another counter's totals into this one."""
         for kind, n in other.events.items():

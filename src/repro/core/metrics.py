@@ -77,6 +77,24 @@ class PlanResult:
         """Total MAC-equivalents the run consumed."""
         return self.counter.total_macs()
 
+    def brief(self) -> Dict[str, object]:
+        """Plain-data outcome summary (no arrays, no counter object).
+
+        The transport-friendly core of the result: everything scalar a
+        service or log line needs, with non-finite costs mapped to None so
+        the dict is JSON-safe.  Paths and round records are deliberately
+        excluded — use :func:`repro.io.result_to_dict` for full archival.
+        """
+        cost = float(self.path_cost)
+        return {
+            "success": self.success,
+            "path_cost": cost if np.isfinite(cost) else None,
+            "num_nodes": self.num_nodes,
+            "iterations": self.iterations,
+            "first_solution_iteration": self.first_solution_iteration,
+            "total_macs": self.total_macs,
+        }
+
     def summary(self) -> str:
         """One-line human-readable summary."""
         status = "success" if self.success else "failure"

@@ -97,6 +97,30 @@ def result_to_dict(result: PlanResult) -> Dict:
     }
 
 
+def result_from_dict(data: Dict) -> PlanResult:
+    """Inverse of :func:`result_to_dict` (rounds are not archived).
+
+    The counter is rebuilt via :meth:`OpCounter.from_dict`, so a result
+    that crossed a JSON file or a process boundary still answers
+    ``total_macs`` / ``macs_by_category`` queries exactly.
+    """
+    from repro.core.counters import OpCounter
+
+    cost = data.get("path_cost")
+    return PlanResult(
+        success=bool(data["success"]),
+        path=[np.asarray(p, dtype=float) for p in data.get("path", [])],
+        path_cost=float(cost) if cost is not None else float("inf"),
+        num_nodes=int(data.get("num_nodes", 0)),
+        iterations=int(data.get("iterations", 0)),
+        counter=OpCounter.from_dict(
+            {"events": data.get("events", {}), "macs": data.get("macs", {})}
+        ),
+        first_solution_iteration=data.get("first_solution_iteration"),
+        neighborhood_macs=float(data.get("neighborhood_macs", 0.0)),
+    )
+
+
 # --------------------------------------------------------------------- files
 
 
@@ -125,3 +149,8 @@ def load_tasks(path: PathLike) -> List[PlanningTask]:
 def save_result(result: PlanResult, path: PathLike) -> None:
     """Write a planning result summary to a JSON file."""
     pathlib.Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result(path: PathLike) -> PlanResult:
+    """Read a planning result summary back from a JSON file."""
+    return result_from_dict(json.loads(pathlib.Path(path).read_text()))

@@ -1,0 +1,118 @@
+"""Batch service entry point: plan many tasks through the worker pool.
+
+Usage::
+
+    python -m repro.service --jobs 8 --workers 4 --samples 400
+    python -m repro.service --jobs 8 --duplicate 2          # show cache hits
+    python -m repro.service --jobs 8 --inject hang:2 --timeout 1.0
+    python -m repro.service --tasks suite.json --out telemetry.json
+
+Generates ``--jobs`` seeded tasks (or loads a suite from ``--tasks``), runs
+them through :class:`~repro.service.runner.PlanningService`, and prints the
+telemetry summary as JSON: job/status counts, cache hit-rate, p50/p95 plan
+latency and queue wait, and MAC-level op totals.  Exit code 0 when every
+job finished ``ok``, 2 when some jobs failed (the service itself survives
+worker timeouts and crashes by design).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.core.moped import VARIANTS
+from repro.core.robots import ROBOT_FACTORIES
+from repro.service.pool import PoolConfig
+from repro.service.runner import PlanningService, build_requests
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.service", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--robot", default="mobile2d",
+                        choices=sorted(ROBOT_FACTORIES))
+    parser.add_argument("--obstacles", type=int, default=8)
+    parser.add_argument("--variant", default="full", choices=VARIANTS)
+    parser.add_argument("--samples", type=int, default=400,
+                        help="sampling budget per job")
+    parser.add_argument("--goal-bias", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument("--jobs", type=int, default=8,
+                        help="number of generated tasks (seeds seed..seed+N-1)")
+    parser.add_argument("--tasks", default=None,
+                        help="plan a task suite from this JSON file instead")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes (0 = inline, no pool)")
+    parser.add_argument("--lanes", type=int, default=1,
+                        help="in-job spatial lanes (BatchRRTStarPlanner)")
+    parser.add_argument("--smooth", action="store_true")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="per-job wall budget in seconds")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="max retry attempts for crashed/errored jobs")
+    parser.add_argument("--duplicate", type=int, default=1,
+                        help="submit the batch N times (exercises the cache)")
+    parser.add_argument("--inject", default=None, metavar="KIND[:INDEX]",
+                        help="arm a fault on one request: hang|crash|error")
+    parser.add_argument("--cache-capacity", type=int, default=128)
+    parser.add_argument("--records", action="store_true",
+                        help="include per-job records in the printed summary")
+    parser.add_argument("--out", default=None,
+                        help="also write the summary (with records) here")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    tasks = None
+    if args.tasks is not None:
+        from repro.io import load_tasks
+
+        tasks = load_tasks(args.tasks)
+
+    requests = build_requests(
+        robot=args.robot,
+        obstacles=args.obstacles,
+        jobs=args.jobs,
+        seed=args.seed,
+        variant=args.variant,
+        samples=args.samples,
+        goal_bias=args.goal_bias,
+        lanes=args.lanes,
+        smooth=args.smooth,
+        timeout_s=args.timeout,
+        duplicate=args.duplicate,
+        inject=args.inject,
+        tasks=tasks,
+    )
+
+    pool_config = None
+    if args.workers > 0:
+        pool_config = PoolConfig(
+            num_workers=args.workers,
+            default_timeout_s=args.timeout,
+            max_retries=args.retries,
+        )
+    with PlanningService(
+        num_workers=args.workers,
+        cache_capacity=args.cache_capacity,
+        pool_config=pool_config,
+    ) as service:
+        responses = service.run_batch(requests)
+        summary = service.summary(include_records=args.records)
+        if args.out is not None:
+            service.telemetry.dump(
+                args.out,
+                cache_stats=service.cache.stats(),
+            )
+
+    print(json.dumps(summary, indent=2))
+    return 0 if all(r.status == "ok" for r in responses) else 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Job bookkeeping and the ready queue feeding the worker pool.
+
+A :class:`Job` wraps one :class:`~repro.service.request.PlanRequest` with
+its scheduling lifecycle (pending -> running -> done/failed), timing marks
+(submit, dispatch, finish) and the retry trail.  The :class:`JobQueue` is a
+min-heap keyed by *eligibility time*, which is how retry backoff works: a
+requeued job simply becomes eligible ``delay`` seconds in the future and the
+pool's dispatch loop skips it until then.  Among eligible jobs the order is
+FIFO by job id.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.service.request import PlanRequest, PlanResponse
+
+#: Lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One request plus its scheduling lifecycle inside the pool."""
+
+    job_id: int
+    request: PlanRequest
+    submitted_at: float
+    state: str = PENDING
+    #: Dispatch attempts so far (1 on first dispatch).
+    attempts: int = 0
+    #: Monotonic time before which the job must not be dispatched (backoff).
+    eligible_at: float = 0.0
+    #: Monotonic time of the *first* dispatch (queue-wait endpoint).
+    dispatched_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    response: Optional[PlanResponse] = None
+    #: Human-readable note per failed attempt, e.g. ``"crash: worker died"``.
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Seconds between submission and first dispatch (0 if never run)."""
+        if self.dispatched_at is None:
+            return 0.0
+        return max(0.0, self.dispatched_at - self.submitted_at)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Seconds between submission and the terminal state."""
+        if self.finished_at is None:
+            return 0.0
+        return max(0.0, self.finished_at - self.submitted_at)
+
+
+class JobQueue:
+    """Eligibility-ordered ready queue (FIFO among currently-eligible jobs)."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._ids = itertools.count()
+        self._pending = 0
+
+    def __len__(self) -> int:
+        return self._pending
+
+    def submit(self, request: PlanRequest, now: float) -> Job:
+        """Enqueue a new job, eligible immediately."""
+        job = Job(job_id=next(self._ids), request=request, submitted_at=now)
+        heapq.heappush(self._heap, (job.eligible_at, job.job_id, job))
+        self._pending += 1
+        return job
+
+    def requeue(self, job: Job, delay: float, now: float) -> None:
+        """Put a failed job back with ``delay`` seconds of backoff."""
+        job.state = PENDING
+        job.eligible_at = now + max(0.0, delay)
+        heapq.heappush(self._heap, (job.eligible_at, job.job_id, job))
+        self._pending += 1
+
+    def pop_ready(self, now: float) -> Optional[Job]:
+        """Next eligible job, or ``None`` if none is eligible yet."""
+        if not self._heap or self._heap[0][0] > now:
+            return None
+        _, _, job = heapq.heappop(self._heap)
+        self._pending -= 1
+        return job
+
+    def next_eligible_in(self, now: float) -> Optional[float]:
+        """Seconds until the head job becomes eligible (0 if ready now)."""
+        if not self._heap:
+            return None
+        return max(0.0, self._heap[0][0] - now)

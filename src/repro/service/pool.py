@@ -1,0 +1,281 @@
+"""Supervised ``multiprocessing`` worker pool with timeouts and retries.
+
+The supervisor owns N long-lived worker processes, each connected by a
+*private duplex pipe* — deliberately not a shared queue.  A shared
+``multiprocessing.Queue`` has a write lock all workers contend on, and a
+worker killed (or crashing) at the wrong instant can die holding it,
+deadlocking every sibling's result delivery.  With one pipe per worker a
+sick worker can only corrupt its own channel, which the supervisor discards
+wholesale on respawn; crash detection comes free as end-of-file on the
+pipe.
+
+The dispatch loop interleaves four duties:
+
+1. hand eligible jobs from the :class:`~repro.service.jobs.JobQueue` to
+   idle workers (one in-flight job per worker, so ownership is always
+   unambiguous);
+2. wait on the busy workers' pipes and drain results;
+3. detect workers that died mid-job (pipe EOF) and synthesise a structured
+   ``"crash"`` failure;
+4. kill-and-respawn any worker past its job deadline, synthesising a
+   structured ``"timeout"`` failure.
+
+Failures whose status is in ``retry_statuses`` are requeued with
+exponential backoff up to ``max_retries`` extra attempts; everything else
+finalises immediately.  The invariant the service layer relies on: *every
+submitted job reaches a terminal state with a structured response* — a sick
+worker can cost latency, never the batch.
+
+Job ids disambiguate results as a second line of defence: a message that
+does not match the slot's current job is dropped on the floor.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.jobs import DONE, FAILED, RUNNING, Job, JobQueue
+from repro.service.request import PlanResponse, failure_response
+from repro.service.worker import worker_main
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Scheduling knobs of the worker pool.
+
+    Attributes:
+        num_workers: worker process count.
+        default_timeout_s: per-job wall budget when the request does not
+            carry its own ``timeout_s``.
+        max_retries: extra attempts after the first (2 means up to 3 runs).
+        backoff_base_s: retry ``k`` waits ``backoff_base_s * 2**(k-1)``.
+        retry_statuses: failure statuses eligible for retry.  Timeouts are
+            excluded by default — a job that blew its wall budget once will
+            blow it again.
+        poll_interval_s: supervisor wait granularity; bounds how stale
+            deadline enforcement can be.
+        start_method: ``multiprocessing`` start method; ``None`` keeps the
+            platform default (``fork`` on Linux, ``spawn`` elsewhere).
+    """
+
+    num_workers: int = 2
+    default_timeout_s: float = 60.0
+    max_retries: int = 1
+    backoff_base_s: float = 0.05
+    retry_statuses: Tuple[str, ...] = ("crash", "error")
+    poll_interval_s: float = 0.02
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.default_timeout_s <= 0:
+            raise ValueError("default_timeout_s must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+
+
+class _Slot:
+    """Supervisor-side view of one worker process and its pipe."""
+
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.job: Optional[Job] = None
+        self.deadline: Optional[float] = None
+
+
+class WorkerPool:
+    """Fixed-size pool of planner processes driven by :meth:`run`."""
+
+    def __init__(self, config: Optional[PoolConfig] = None) -> None:
+        self.config = config if config is not None else PoolConfig()
+        self._ctx = multiprocessing.get_context(self.config.start_method)
+        self._slots: List[_Slot] = [
+            self._spawn(i) for i in range(self.config.num_workers)
+        ]
+        self.restarts = 0
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def _spawn(self, worker_id: int) -> _Slot:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, child_conn),
+            daemon=True,
+            name=f"repro-service-worker-{worker_id}",
+        )
+        process.start()
+        # Drop the parent's copy of the child end so the worker's death
+        # surfaces as EOF on ``parent_conn``.
+        child_conn.close()
+        return _Slot(worker_id, process, parent_conn)
+
+    def _replace(self, slot: _Slot, kill: bool) -> None:
+        """Retire a slot's process and pipe (killing if alive) and respawn."""
+        if kill and slot.process.is_alive():
+            slot.process.terminate()
+        slot.process.join(timeout=2.0)
+        if slot.process.is_alive():  # terminate ignored; escalate
+            slot.process.kill()
+            slot.process.join(timeout=2.0)
+        slot.conn.close()
+        fresh = self._spawn(slot.worker_id)
+        slot.process, slot.conn = fresh.process, fresh.conn
+        slot.job, slot.deadline = None, None
+        self.restarts += 1
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self._slots:
+            try:
+                slot.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for slot in self._slots:
+            slot.process.join(timeout=1.0)
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join(timeout=1.0)
+            slot.conn.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- dispatch
+
+    def _dispatch(self, slot: _Slot, job: Job, now: float) -> None:
+        job.state = RUNNING
+        job.attempts += 1
+        if job.dispatched_at is None:
+            job.dispatched_at = now
+        timeout = (
+            job.request.timeout_s
+            if job.request.timeout_s is not None
+            else self.config.default_timeout_s
+        )
+        slot.job = job
+        slot.deadline = now + timeout
+        try:
+            slot.conn.send((job.job_id, job.request))
+        except (BrokenPipeError, OSError):
+            # The worker died while idle; that is no fault of the job —
+            # respawn and hand it to the fresh process.
+            self._replace(slot, kill=False)
+            slot.job = job
+            slot.deadline = now + timeout
+            slot.conn.send((job.job_id, job.request))
+
+    def _settle(
+        self,
+        queue: JobQueue,
+        job: Job,
+        response: PlanResponse,
+        done: List[Job],
+        now: float,
+    ) -> None:
+        """Finalise or requeue a job that just produced ``response``."""
+        response.attempts = job.attempts
+        retryable = (
+            response.status in self.config.retry_statuses
+            and job.attempts <= self.config.max_retries
+        )
+        if response.status != "ok":
+            job.failures.append(f"{response.status}: {response.error}")
+        if retryable:
+            delay = self.config.backoff_base_s * (2.0 ** (job.attempts - 1))
+            queue.requeue(job, delay, now)
+            return
+        job.response = response
+        job.state = DONE if response.status == "ok" else FAILED
+        job.finished_at = now
+        done.append(job)
+
+    def run(self, queue: JobQueue) -> List[Job]:
+        """Drive every job in ``queue`` to a terminal state.
+
+        Returns the finished jobs in completion order; each carries a
+        :class:`PlanResponse` (structured failure included).
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        done: List[Job] = []
+        while len(queue) or any(slot.job is not None for slot in self._slots):
+            now = time.monotonic()
+            # 1. Feed idle workers.
+            for slot in self._slots:
+                if slot.job is None:
+                    job = queue.pop_ready(now)
+                    if job is None:
+                        break
+                    self._dispatch(slot, job, now)
+            # 2. Wait on busy pipes (doubles as the loop's sleep).
+            busy = {slot.conn: slot for slot in self._slots if slot.job is not None}
+            if busy:
+                ready = mp_connection.wait(
+                    list(busy), timeout=self.config.poll_interval_s
+                )
+            else:
+                # Only backoff-delayed jobs remain; nap until one matures.
+                delay = queue.next_eligible_in(now)
+                time.sleep(min(delay, self.config.poll_interval_s)
+                           if delay else self.config.poll_interval_s)
+                ready = []
+            for conn in ready:
+                slot = busy[conn]
+                job = slot.job
+                if job is None:  # settled earlier this iteration
+                    continue
+                try:
+                    job_id, response = slot.conn.recv()
+                except (EOFError, OSError):
+                    # 3. Pipe EOF: the worker died mid-job.
+                    self._replace(slot, kill=False)
+                    self._settle(
+                        queue, job,
+                        failure_response(job.request, "crash",
+                                         "worker process died mid-job"),
+                        done, time.monotonic(),
+                    )
+                    continue
+                if job_id != job.job_id:  # stale/foreign message; drop
+                    continue
+                slot.job, slot.deadline = None, None
+                response.worker_id = slot.worker_id
+                self._settle(queue, job, response, done, time.monotonic())
+            # 4. Deadline enforcement.
+            now = time.monotonic()
+            for slot in self._slots:
+                job = slot.job
+                if job is None or slot.deadline is None or now <= slot.deadline:
+                    continue
+                self._replace(slot, kill=True)
+                self._settle(
+                    queue, job,
+                    failure_response(
+                        job.request, "timeout",
+                        f"exceeded per-job budget after "
+                        f"{job.attempts} attempt(s)",
+                    ),
+                    done, now,
+                )
+        return done
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for the telemetry summary."""
+        return {"count": self.config.num_workers, "restarts": self.restarts}

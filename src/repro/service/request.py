@@ -1,0 +1,207 @@
+"""The service wire format: :class:`PlanRequest` / :class:`PlanResponse`.
+
+A request bundles everything one planning job needs (task, planner config,
+in-job lane parallelism, post-processing flags) and hashes deterministically
+so identical work is recognisable across processes and sessions — the cache
+key mirrors MOPED's multi-level caching idea at the *request* level: the
+same (task, config) pair always maps to the same digest, so a repeat
+request is a pure cache lookup.
+
+A response is deliberately plain data (lists / dicts / scalars only): it
+must cross a ``multiprocessing`` boundary, survive a worker crash on the
+supervisor side, and serialise to JSON for telemetry dumps without custom
+encoders.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.core.config import PlannerConfig
+from repro.core.counters import OpCounter
+from repro.core.world import PlanningTask
+
+#: Terminal job statuses a response can carry.
+STATUSES = ("ok", "error", "timeout", "crash")
+
+
+def _digest(payload: object) -> str:
+    """SHA-256 of the canonical (sorted-key, compact) JSON of ``payload``."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def task_fingerprint(task: PlanningTask) -> str:
+    """Deterministic digest of a planning task (robot, world, start, goal).
+
+    Built on :func:`repro.io.task_to_dict`, so anything that round-trips
+    through the JSON persistence layer hashes identically before and after.
+    """
+    from repro.io import task_to_dict
+
+    payload = task_to_dict(task)
+    # task_id is bookkeeping, not geometry: two tasks that differ only in
+    # their id describe the same planning problem.
+    payload.pop("task_id", None)
+    return _digest(payload)
+
+
+def config_fingerprint(config: PlannerConfig) -> str:
+    """Deterministic digest of a planner configuration (all knobs)."""
+    return _digest(asdict(config))
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One unit of work for the planning service.
+
+    Attributes:
+        task: the planning problem.
+        config: full planner configuration (includes the seed, so the job
+            is deterministic and therefore cacheable).
+        lanes: in-job spatial parallelism — ``>1`` plans with
+            :class:`~repro.core.batch.BatchRRTStarPlanner` using this many
+            lanes per round, composing with the pool's job parallelism.
+        smooth: shortcut-smooth the path after a successful plan.
+        timeout_s: per-job wall-clock budget; ``None`` uses the pool
+            default.
+        request_id: caller-chosen label echoed back in the response.
+        fault: testing/chaos hook honoured by the worker before planning:
+            ``"hang"`` sleeps past any timeout, ``"crash"`` hard-exits the
+            worker process, ``"error"`` raises, ``"flaky:<path>"`` crashes
+            once while ``<path>`` exists (the worker deletes it first, so
+            the retry succeeds).  Faulted requests bypass the cache.
+    """
+
+    task: PlanningTask
+    config: PlannerConfig
+    lanes: int = 1
+    smooth: bool = False
+    timeout_s: Optional[float] = None
+    request_id: str = ""
+    fault: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+    def cache_key(self) -> str:
+        """Digest identifying the *work* (not the labels) of this request.
+
+        Two requests with equal keys produce byte-identical responses, so
+        the plan cache may answer one with the other's result.  The id and
+        timeout are excluded (labels / scheduling, not work); the fault
+        hook is excluded too because faulted requests never touch the
+        cache.
+        """
+        return _digest(
+            {
+                "task": task_fingerprint(self.task),
+                "config": config_fingerprint(self.config),
+                "lanes": self.lanes,
+                "smooth": self.smooth,
+            }
+        )
+
+
+@dataclass
+class PlanResponse:
+    """Outcome of one service job — always produced, even on failure.
+
+    ``status`` is one of :data:`STATUSES`: ``"ok"`` means the planner ran
+    to completion (``success`` then reports whether a path was found);
+    ``"timeout"`` / ``"crash"`` / ``"error"`` are structured failures the
+    pool synthesises so a sick worker never takes the service down.
+    """
+
+    request_id: str
+    status: str
+    success: bool = False
+    path_cost: Optional[float] = None
+    num_nodes: int = 0
+    iterations: int = 0
+    first_solution_iteration: Optional[int] = None
+    path: List[List[float]] = field(default_factory=list)
+    #: Per-kind operation counts / MAC-equivalents shipped back across the
+    #: process boundary as plain dicts (see :meth:`OpCounter.to_dict`).
+    op_events: Dict[str, int] = field(default_factory=dict)
+    op_macs: Dict[str, float] = field(default_factory=dict)
+    #: Worker-measured planning wall time (excludes queueing/transport).
+    plan_seconds: float = 0.0
+    error: Optional[str] = None
+    cache_hit: bool = False
+    worker_id: Optional[int] = None
+    attempts: int = 1
+
+    def counter(self) -> OpCounter:
+        """Rebuild an :class:`OpCounter` from the shipped dicts."""
+        return OpCounter.from_dict({"events": self.op_events, "macs": self.op_macs})
+
+    @property
+    def total_macs(self) -> float:
+        """Total MAC-equivalents the job consumed."""
+        return sum(self.op_macs.values())
+
+    def macs_by_category(self) -> Dict[str, float]:
+        """MAC totals per breakdown category (collision_check, ...)."""
+        return self.counter().macs_by_category()
+
+    def as_cache_hit(self, request_id: str) -> "PlanResponse":
+        """Copy of this response relabelled as a cache hit for ``request_id``."""
+        return replace(self, request_id=request_id, cache_hit=True,
+                       worker_id=None, attempts=0)
+
+    def to_dict(self, include_path: bool = True) -> Dict:
+        """Plain-dict form for JSON persistence."""
+        out = {
+            "request_id": self.request_id,
+            "status": self.status,
+            "success": self.success,
+            "path_cost": self.path_cost,
+            "num_nodes": self.num_nodes,
+            "iterations": self.iterations,
+            "first_solution_iteration": self.first_solution_iteration,
+            "op_events": dict(self.op_events),
+            "op_macs": dict(self.op_macs),
+            "plan_seconds": self.plan_seconds,
+            "error": self.error,
+            "cache_hit": self.cache_hit,
+            "worker_id": self.worker_id,
+            "attempts": self.attempts,
+        }
+        if include_path:
+            out["path"] = [list(p) for p in self.path]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PlanResponse":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            request_id=data["request_id"],
+            status=data["status"],
+            success=bool(data.get("success", False)),
+            path_cost=data.get("path_cost"),
+            num_nodes=int(data.get("num_nodes", 0)),
+            iterations=int(data.get("iterations", 0)),
+            first_solution_iteration=data.get("first_solution_iteration"),
+            path=[list(p) for p in data.get("path", [])],
+            op_events=dict(data.get("op_events", {})),
+            op_macs=dict(data.get("op_macs", {})),
+            plan_seconds=float(data.get("plan_seconds", 0.0)),
+            error=data.get("error"),
+            cache_hit=bool(data.get("cache_hit", False)),
+            worker_id=data.get("worker_id"),
+            attempts=int(data.get("attempts", 1)),
+        )
+
+
+def failure_response(request: PlanRequest, status: str, error: str) -> PlanResponse:
+    """Structured failure the supervisor synthesises for a sick job."""
+    if status not in STATUSES or status == "ok":
+        raise ValueError(f"not a failure status: {status!r}")
+    return PlanResponse(request_id=request.request_id, status=status, error=error)

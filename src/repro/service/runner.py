@@ -1,0 +1,251 @@
+"""The service facade: cache -> coalesce -> pool -> telemetry.
+
+:class:`PlanningService` is the object callers hold.  ``run_batch`` takes a
+list of :class:`PlanRequest` and returns one :class:`PlanResponse` per
+request, in order, after routing each through:
+
+1. **Cache lookup** — a previously-planned (task, config, lanes, smooth)
+   digest is answered immediately with the stored response.
+2. **Single-flight coalescing** — duplicate keys *within* a batch plan
+   once; the followers are answered from the leader's freshly-cached
+   result (and count as cache hits, which is what they are).
+3. **The worker pool** — misses fan out across processes with timeouts,
+   retries, and crash isolation (:mod:`repro.service.pool`).
+4. **Telemetry** — every response (hit, miss, or structured failure)
+   becomes a :class:`~repro.service.telemetry.JobRecord`.
+
+The pool is created lazily and reused across batches, so worker start-up
+cost is amortised over the service lifetime — the request-level analogue of
+the engine's amortised setup.  ``num_workers=0`` selects *inline* mode
+(plan sequentially in-process, no timeout enforcement): handy for tests
+and for environments where ``multiprocessing`` is unwelcome.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.moped import config_for_variant
+from repro.core.world import PlanningTask
+from repro.service.cache import PlanCache
+from repro.service.jobs import DONE, FAILED, Job, JobQueue
+from repro.service.pool import PoolConfig, WorkerPool
+from repro.service.request import PlanRequest, PlanResponse
+from repro.service.telemetry import (
+    TelemetrySink,
+    record_from_job,
+    record_from_response,
+)
+from repro.service.worker import execute_request
+
+
+class PlanningService:
+    """Accepts planning jobs; caches, schedules, and observes them."""
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        cache_capacity: int = 128,
+        pool_config: Optional[PoolConfig] = None,
+        telemetry: Optional[TelemetrySink] = None,
+    ) -> None:
+        if pool_config is not None:
+            num_workers = pool_config.num_workers
+        self.inline = num_workers == 0
+        self.pool_config = (
+            pool_config
+            if pool_config is not None
+            else (None if self.inline else PoolConfig(num_workers=num_workers))
+        )
+        self.cache = PlanCache(cache_capacity)
+        self.telemetry = telemetry if telemetry is not None else TelemetrySink()
+        self._pool: Optional[WorkerPool] = None
+        self._pending: List[PlanRequest] = []
+
+    # ----------------------------------------------------------- lifecycle
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = WorkerPool(self.pool_config)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; service stays queryable)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "PlanningService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- serving
+
+    def submit(self, request: PlanRequest) -> int:
+        """Queue a request for the next :meth:`drain`; returns its index."""
+        self._pending.append(request)
+        return len(self._pending) - 1
+
+    def drain(self) -> List[PlanResponse]:
+        """Run everything :meth:`submit` queued since the last drain."""
+        pending, self._pending = self._pending, []
+        return self.run_batch(pending)
+
+    def run_batch(self, requests: Sequence[PlanRequest]) -> List[PlanResponse]:
+        """Plan a batch; one response per request, original order."""
+        responses: List[Optional[PlanResponse]] = [None] * len(requests)
+        queue = JobQueue()
+        job_index: Dict[int, Tuple[int, Optional[str]]] = {}
+        leaders: Dict[str, int] = {}
+        followers: Dict[str, List[int]] = {}
+
+        for i, request in enumerate(requests):
+            key = None if request.fault else request.cache_key()
+            if key is not None:
+                if key in leaders:  # coalesce before a (miss-counting) lookup
+                    followers.setdefault(key, []).append(i)
+                    continue
+                cached = self.cache.get(key, request.request_id)
+                if cached is not None:
+                    responses[i] = cached
+                    self.telemetry.record(record_from_response(cached))
+                    continue
+            job = queue.submit(request, time.monotonic())
+            job_index[job.job_id] = (i, key)
+            if key is not None:
+                leaders[key] = job.job_id
+
+        jobs = self._run_inline(queue) if self.inline else self._ensure_pool().run(queue)
+
+        for job in jobs:
+            i, key = job_index[job.job_id]
+            response = job.response
+            assert response is not None
+            responses[i] = response
+            self.telemetry.record(record_from_job(job))
+            if key is not None and response.status == "ok":
+                self.cache.put(key, replace(response))
+
+        for key, indices in followers.items():
+            leader_i = job_index[leaders[key]][0]
+            leader = responses[leader_i]
+            assert leader is not None
+            for i in indices:
+                hit = self.cache.get(key, requests[i].request_id)
+                if hit is None:  # leader failed; echo its failure (miss counted)
+                    hit = replace(leader, request_id=requests[i].request_id)
+                responses[i] = hit
+                self.telemetry.record(record_from_response(hit))
+
+        assert all(r is not None for r in responses)
+        return responses  # type: ignore[return-value]
+
+    def _run_inline(self, queue: JobQueue) -> List[Job]:
+        """Sequential in-process execution (no pool, no timeouts)."""
+        done: List[Job] = []
+        while True:
+            job = queue.pop_ready(time.monotonic())
+            if job is None:
+                break
+            job.attempts = 1
+            job.dispatched_at = time.monotonic()
+            try:
+                job.response = execute_request(job.request)
+            except Exception as exc:
+                job.response = PlanResponse(
+                    request_id=job.request.request_id,
+                    status="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            job.response.attempts = 1
+            job.state = DONE if job.response.status == "ok" else FAILED
+            job.finished_at = time.monotonic()
+            done.append(job)
+        return done
+
+    # ----------------------------------------------------------- telemetry
+
+    def summary(self, include_records: bool = False) -> Dict:
+        """Aggregate telemetry: counts, cache stats, latency percentiles."""
+        pool_stats = (
+            self._pool.stats()
+            if self._pool is not None
+            else {"count": 0 if self.inline else self.pool_config.num_workers,
+                  "restarts": 0}
+        )
+        return self.telemetry.summary(
+            cache_stats=self.cache.stats(),
+            pool_stats=pool_stats,
+            include_records=include_records,
+        )
+
+
+def build_requests(
+    robot: str = "mobile2d",
+    obstacles: int = 8,
+    jobs: int = 8,
+    seed: int = 0,
+    variant: str = "full",
+    samples: int = 500,
+    goal_bias: float = 0.1,
+    lanes: int = 1,
+    smooth: bool = False,
+    timeout_s: Optional[float] = None,
+    duplicate: int = 1,
+    inject: Optional[str] = None,
+    tasks: Optional[Sequence[PlanningTask]] = None,
+) -> List[PlanRequest]:
+    """Seeded request batch for the CLIs and tests.
+
+    Without ``tasks``, generates ``jobs`` tasks with seeds ``seed .. seed +
+    jobs - 1`` (each task's planner config uses the matching seed, so the
+    whole request is deterministic).  ``duplicate=k`` repeats the batch k
+    times — duplicates coalesce or hit the cache, which is how the CLIs
+    demonstrate a non-zero hit rate.  ``inject="kind"`` or ``"kind:index"``
+    arms the fault hook on one request (default index 0); ``kind`` is
+    ``hang`` / ``crash`` / ``error``.
+    """
+    if jobs < 1 and tasks is None:
+        raise ValueError("jobs must be >= 1")
+    if duplicate < 1:
+        raise ValueError("duplicate must be >= 1")
+    base: List[PlanRequest] = []
+    if tasks is not None:
+        source = [(t, seed) for t in tasks]
+    else:
+        from repro.workloads import random_task
+
+        source = [
+            (random_task(robot, obstacles, seed=seed + i, task_id=i), seed + i)
+            for i in range(jobs)
+        ]
+    for i, (task, task_seed) in enumerate(source):
+        config = config_for_variant(
+            variant, max_samples=samples, seed=task_seed, goal_bias=goal_bias
+        )
+        base.append(
+            PlanRequest(
+                task=task,
+                config=config,
+                lanes=lanes,
+                smooth=smooth,
+                timeout_s=timeout_s,
+                request_id=f"job-{i:03d}",
+            )
+        )
+    requests: List[PlanRequest] = []
+    for k in range(duplicate):
+        for req in base:
+            rid = req.request_id if k == 0 else f"{req.request_id}-dup{k}"
+            requests.append(replace(req, request_id=rid))
+    if inject:
+        kind, _, index_str = inject.partition(":")
+        index = int(index_str) if index_str else 0
+        if not 0 <= index < len(requests):
+            raise ValueError(f"inject index {index} out of range")
+        requests[index] = replace(requests[index], fault=kind)
+    return requests

@@ -1,0 +1,194 @@
+"""Structured per-job telemetry and aggregate summaries.
+
+Each finished job becomes one :class:`JobRecord` — flat, JSON-ready, with
+the scheduling timings (queue wait, plan latency, wall time), the planning
+outcome, and the operation-cost counters pulled from the worker's
+:class:`~repro.core.counters.OpCounter` snapshot (collision-check and
+neighbor-search MACs, sample count).  The :class:`TelemetrySink` collects
+records and reduces them to the summary the CLIs print: status counts,
+cache hit-rate, and p50/p95/mean/max percentiles for the latency axes.
+
+Percentiles use linear interpolation between order statistics (the numpy
+default), implemented locally so telemetry has no array dependency and the
+records stay plain Python.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.service.jobs import Job
+from repro.service.request import PlanResponse
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """q-th percentile (0..100) with linear interpolation; None when empty."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if not values:
+        return None
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def _axis_summary(values: List[float]) -> Dict[str, Optional[float]]:
+    """p50/p95/mean/max block for one latency axis."""
+    if not values:
+        return {"p50": None, "p95": None, "mean": None, "max": None}
+    return {
+        "p50": round(percentile(values, 50.0), 6),
+        "p95": round(percentile(values, 95.0), 6),
+        "mean": round(sum(values) / len(values), 6),
+        "max": round(max(values), 6),
+    }
+
+
+@dataclass
+class JobRecord:
+    """One job's flattened telemetry row."""
+
+    job_id: int
+    request_id: str
+    status: str
+    cache_hit: bool
+    attempts: int
+    worker_id: Optional[int]
+    queue_wait_s: float
+    plan_seconds: float
+    wall_seconds: float
+    success: bool
+    path_cost: Optional[float]
+    iterations: int
+    num_nodes: int
+    total_macs: float
+    collision_check_macs: float
+    neighbor_search_macs: float
+    samples: int
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+def record_from_job(job: Job) -> JobRecord:
+    """Telemetry row for a pool-executed job (response must be set)."""
+    assert job.response is not None
+    return record_from_response(
+        job.response,
+        job_id=job.job_id,
+        queue_wait_s=job.queue_wait_s,
+        wall_seconds=job.wall_seconds,
+    )
+
+
+def record_from_response(
+    response: PlanResponse,
+    job_id: int = -1,
+    queue_wait_s: float = 0.0,
+    wall_seconds: float = 0.0,
+) -> JobRecord:
+    """Telemetry row straight from a response (cache hits never queue)."""
+    categories = response.macs_by_category()
+    return JobRecord(
+        job_id=job_id,
+        request_id=response.request_id,
+        status=response.status,
+        cache_hit=response.cache_hit,
+        attempts=response.attempts,
+        worker_id=response.worker_id,
+        queue_wait_s=round(queue_wait_s, 6),
+        plan_seconds=round(response.plan_seconds, 6),
+        wall_seconds=round(wall_seconds, 6),
+        success=response.success,
+        path_cost=response.path_cost,
+        iterations=response.iterations,
+        num_nodes=response.num_nodes,
+        total_macs=response.total_macs,
+        collision_check_macs=categories.get("collision_check", 0.0),
+        neighbor_search_macs=categories.get("neighbor_search", 0.0),
+        samples=response.op_events.get("sample", 0),
+        error=response.error,
+    )
+
+
+class TelemetrySink:
+    """Accumulates job records and reduces them to the service summary."""
+
+    def __init__(self) -> None:
+        self.records: List[JobRecord] = []
+
+    def record(self, record: JobRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def summary(
+        self,
+        cache_stats: Optional[Dict] = None,
+        pool_stats: Optional[Dict] = None,
+        include_records: bool = False,
+    ) -> Dict:
+        """Aggregate view: status counts, latency percentiles, op totals.
+
+        Cache hits are excluded from the ``plan`` latency axis (they would
+        report the *original* run's latency again) but included in job
+        counts and the op totals count real work only once because hits
+        carry the cached counters — so ``ops`` reports *served* work, and
+        ``ops_executed`` the subset actually planned.
+        """
+        rows = self.records
+        executed = [r for r in rows if not r.cache_hit]
+        ok = [r for r in rows if r.status == "ok"]
+        failures: Dict[str, int] = {}
+        for r in rows:
+            if r.status != "ok":
+                failures[r.status] = failures.get(r.status, 0) + 1
+        out: Dict[str, object] = {
+            "jobs": len(rows),
+            "ok": len(ok),
+            "failed": failures,
+            "planning_success_rate": round(
+                sum(1 for r in ok if r.success) / len(ok), 4
+            ) if ok else None,
+            "attempts": sum(r.attempts for r in rows),
+            "latency_s": {
+                "plan": _axis_summary(
+                    [r.plan_seconds for r in executed if r.status == "ok"]
+                ),
+                "queue_wait": _axis_summary([r.queue_wait_s for r in executed]),
+                "wall": _axis_summary([r.wall_seconds for r in executed]),
+            },
+            "ops": {
+                "total_macs": sum(r.total_macs for r in rows),
+                "collision_check_macs": sum(r.collision_check_macs for r in rows),
+                "neighbor_search_macs": sum(r.neighbor_search_macs for r in rows),
+                "samples": sum(r.samples for r in rows),
+            },
+            "ops_executed": {
+                "total_macs": sum(r.total_macs for r in executed),
+                "samples": sum(r.samples for r in executed),
+            },
+        }
+        if cache_stats is not None:
+            out["cache"] = cache_stats
+        if pool_stats is not None:
+            out["workers"] = pool_stats
+        if include_records:
+            out["records"] = [r.to_dict() for r in rows]
+        return out
+
+    def dump(self, path, **summary_kwargs) -> None:
+        """Write the summary (plus records) to a JSON file."""
+        summary_kwargs.setdefault("include_records", True)
+        payload = self.summary(**summary_kwargs)
+        pathlib.Path(path).write_text(json.dumps(payload, indent=2))

@@ -1,0 +1,139 @@
+"""Worker-side job execution: runs in the pool's child processes.
+
+Everything here must be importable and picklable from a fresh interpreter
+(``spawn`` start method) — no closures, no references to supervisor state.
+The worker loop is deliberately dumb: pull ``(job_id, request)`` pairs off
+the inbox, plan, push ``(worker_id, job_id, response)`` onto the shared
+result queue.  All scheduling intelligence (timeouts, retries, respawn)
+lives in :mod:`repro.service.pool` on the supervisor side, which is what
+lets a hung or crashed worker be killed without losing the service.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from typing import Optional
+
+from repro.core.metrics import PlanResult
+from repro.service.request import PlanRequest, PlanResponse
+
+#: Exit code a deliberately crashed worker dies with (tests assert on the
+#: *structured* response, but the code makes post-mortems unambiguous).
+CRASH_EXIT_CODE = 87
+
+#: How long the "hang" fault sleeps — effectively forever next to any
+#: realistic per-job timeout.
+_HANG_SECONDS = 3600.0
+
+
+def apply_fault(fault: Optional[str]) -> None:
+    """Honour a request's chaos hook (see :class:`PlanRequest.fault`)."""
+    if not fault:
+        return
+    if fault == "hang":
+        time.sleep(_HANG_SECONDS)
+    elif fault == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    elif fault == "error":
+        raise RuntimeError("injected worker error")
+    elif fault.startswith("flaky:"):
+        flag = fault.split(":", 1)[1]
+        if os.path.exists(flag):
+            # Consume the flag first so the retry takes the healthy path.
+            os.unlink(flag)
+            os._exit(CRASH_EXIT_CODE)
+    else:
+        raise ValueError(f"unknown fault spec {fault!r}")
+
+
+def response_from_result(
+    request: PlanRequest, result: PlanResult, plan_seconds: float
+) -> PlanResponse:
+    """Flatten a :class:`PlanResult` into the plain-data wire response."""
+    brief = result.brief()
+    return PlanResponse(
+        request_id=request.request_id,
+        status="ok",
+        success=brief["success"],
+        path_cost=brief["path_cost"],
+        num_nodes=brief["num_nodes"],
+        iterations=brief["iterations"],
+        first_solution_iteration=brief["first_solution_iteration"],
+        path=[p.tolist() for p in result.path],
+        op_events=dict(result.counter.events),
+        op_macs=dict(result.counter.macs),
+        plan_seconds=plan_seconds,
+    )
+
+
+def execute_request(request: PlanRequest) -> PlanResponse:
+    """Plan one request to completion (the body of a worker job).
+
+    Also usable inline (no pool) — :class:`PlanningService` falls back to
+    this for ``num_workers == 0``, and tests exercise planner behaviour
+    through it without multiprocessing.
+    """
+    from repro.core.robots import get_robot
+    from repro.core.rrtstar import RRTStarPlanner
+
+    apply_fault(request.fault)
+    robot = get_robot(request.task.robot_name)
+    start = time.perf_counter()
+    if request.lanes > 1:
+        from repro.core.batch import BatchRRTStarPlanner
+
+        planner = BatchRRTStarPlanner(
+            robot, request.task, request.config, batch_size=request.lanes
+        )
+    else:
+        planner = RRTStarPlanner(robot, request.task, request.config)
+    result = planner.plan()
+
+    if request.smooth and result.success:
+        from repro.core.collision import BruteOBBChecker
+        from repro.core.smoothing import shortcut_smooth
+
+        checker = BruteOBBChecker(
+            robot, request.task.environment,
+            motion_resolution=robot.step_size / 4.0,
+        )
+        smoothed, cost = shortcut_smooth(
+            result.path, checker, iterations=150, seed=request.config.seed
+        )
+        result.path = smoothed
+        result.path_cost = cost
+
+    return response_from_result(request, result, time.perf_counter() - start)
+
+
+def worker_main(worker_id: int, conn) -> None:
+    """Child-process loop: serve jobs over the private duplex pipe.
+
+    Runs until the ``None`` sentinel arrives or the supervisor end of the
+    pipe disappears.  ``worker_id`` only labels the process; the pipe
+    itself identifies the worker to the supervisor.
+    """
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return  # supervisor went away
+        if item is None:
+            return
+        job_id, request = item
+        try:
+            response = execute_request(request)
+        except Exception as exc:  # structured, never fatal to the loop
+            response = PlanResponse(
+                request_id=request.request_id,
+                status="error",
+                error="".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip(),
+            )
+        try:
+            conn.send((job_id, response))
+        except (BrokenPipeError, OSError):
+            return

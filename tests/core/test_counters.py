@@ -67,6 +67,35 @@ class TestOpCounter:
         assert a.events["dist"] == 3
         assert a.events["sample"] == 1
 
+    def test_to_dict_round_trip(self):
+        counter = OpCounter()
+        counter.record("dist", dim=3, n=7)
+        counter.record("sat_obb_obb", dim=3, n=2)
+        clone = OpCounter.from_dict(counter.to_dict())
+        assert clone.events == counter.events
+        assert clone.macs == counter.macs
+        assert clone.total_macs() == pytest.approx(counter.total_macs())
+
+    def test_to_dict_is_json_safe_snapshot(self):
+        import json
+
+        counter = OpCounter()
+        counter.record("sample", dim=2)
+        payload = counter.to_dict()
+        counter.record("sample", dim=2)  # later work must not leak in
+        restored = OpCounter.from_dict(json.loads(json.dumps(payload)))
+        assert restored.events["sample"] == 1
+
+    def test_from_dict_merges_across_process_shape(self):
+        # The service-worker flow: ship dicts, rebuild, merge into a master.
+        a, b = OpCounter(), OpCounter()
+        a.record("dist", dim=2, n=3)
+        b.record("dist", dim=2, n=2)
+        master = OpCounter()
+        for shipped in (a.to_dict(), b.to_dict()):
+            master.merge(OpCounter.from_dict(shipped))
+        assert master.events["dist"] == 5
+
     def test_snapshot_is_independent(self):
         counter = OpCounter()
         counter.record("dist", dim=3)

@@ -1,0 +1,67 @@
+"""Unit tests for the LRU plan cache."""
+
+import pytest
+
+from repro.service.cache import PlanCache
+from repro.service.request import PlanResponse
+
+
+def response(rid="r", cost=1.0):
+    return PlanResponse(request_id=rid, status="ok", success=True, path_cost=cost)
+
+
+class TestPlanCache:
+    def test_miss_then_hit(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get("k", "a") is None
+        cache.put("k", response())
+        hit = cache.get("k", "b")
+        assert hit is not None and hit.cache_hit and hit.request_id == "b"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_hit_is_a_copy(self):
+        cache = PlanCache(capacity=4)
+        cache.put("k", response())
+        first = cache.get("k", "a")
+        first.path_cost = 999.0
+        assert cache.get("k", "b").path_cost == pytest.approx(1.0)
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", response(cost=1.0))
+        cache.put("b", response(cost=2.0))
+        cache.get("a", "r")  # refresh a; b becomes LRU
+        cache.put("c", response(cost=3.0))
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", response(cost=1.0))
+        cache.put("b", response(cost=2.0))
+        cache.put("a", response(cost=9.0))  # refresh, not duplicate
+        cache.put("c", response(cost=3.0))
+        assert "a" in cache and cache.get("a", "r").path_cost == pytest.approx(9.0)
+        assert "b" not in cache
+
+    def test_zero_capacity_never_stores(self):
+        cache = PlanCache(capacity=0)
+        cache.put("a", response())
+        assert len(cache) == 0 and cache.get("a", "r") is None
+
+    def test_stats_shape(self):
+        cache = PlanCache(capacity=3)
+        cache.get("missing", "r")
+        stats = cache.stats()
+        assert stats == {
+            "hits": 0, "misses": 1, "hit_rate": 0.0,
+            "size": 0, "capacity": 3, "evictions": 0,
+        }
+
+    def test_clear_keeps_counters(self):
+        cache = PlanCache(capacity=3)
+        cache.put("a", response())
+        cache.get("a", "r")
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 1

@@ -1,0 +1,58 @@
+"""Unit tests for job lifecycle bookkeeping and the eligibility queue."""
+
+import pytest
+
+from repro.service.jobs import PENDING, Job, JobQueue
+from tests.service.test_request import make_request
+
+
+class TestJobQueue:
+    def test_fifo_among_eligible(self):
+        queue = JobQueue()
+        a = queue.submit(make_request(seed=0), now=10.0)
+        b = queue.submit(make_request(seed=1), now=10.0)
+        assert queue.pop_ready(10.0) is a
+        assert queue.pop_ready(10.0) is b
+        assert queue.pop_ready(10.0) is None
+
+    def test_backoff_delays_eligibility(self):
+        queue = JobQueue()
+        job = queue.submit(make_request(seed=0), now=10.0)
+        queue.pop_ready(10.0)
+        queue.requeue(job, delay=0.5, now=10.0)
+        assert job.state == PENDING
+        assert queue.pop_ready(10.2) is None  # still backing off
+        assert queue.next_eligible_in(10.2) == pytest.approx(0.3)
+        assert queue.pop_ready(10.6) is job
+
+    def test_delayed_job_yields_to_fresh_work(self):
+        queue = JobQueue()
+        delayed = queue.submit(make_request(seed=0), now=10.0)
+        queue.pop_ready(10.0)
+        queue.requeue(delayed, delay=1.0, now=10.0)
+        fresh = queue.submit(make_request(seed=1), now=10.1)
+        assert queue.pop_ready(10.2) is fresh
+        assert queue.pop_ready(12.0) is delayed
+
+    def test_len_counts_pending_only(self):
+        queue = JobQueue()
+        queue.submit(make_request(seed=0), now=0.0)
+        job = queue.submit(make_request(seed=1), now=0.0)
+        assert len(queue) == 2
+        queue.pop_ready(0.0)
+        assert len(queue) == 1
+        queue.requeue(job, delay=5.0, now=0.0)
+        assert len(queue) == 2  # delayed jobs still count as pending
+
+    def test_next_eligible_empty(self):
+        assert JobQueue().next_eligible_in(0.0) is None
+
+
+class TestJobTimings:
+    def test_queue_wait_and_wall(self):
+        job = Job(job_id=0, request=make_request(), submitted_at=5.0)
+        assert job.queue_wait_s == 0.0 and job.wall_seconds == 0.0
+        job.dispatched_at = 5.25
+        job.finished_at = 6.0
+        assert job.queue_wait_s == pytest.approx(0.25)
+        assert job.wall_seconds == pytest.approx(1.0)
