@@ -83,7 +83,7 @@ def main(argv=None) -> int:
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(exist_ok=True)
     for name in selected:
-        started = time.time()
+        started = time.perf_counter()
         result = RUNNERS[name](scale)
         table = format_table(result.headers, result.rows, title=result.title)
         body = (
@@ -91,7 +91,8 @@ def main(argv=None) -> int:
             + (f"notes: {result.notes}\n" if result.notes else "")
         )
         (out_dir / f"{result.figure}.txt").write_text(body)
-        print(f"\n{body}\n[{name} done in {time.time() - started:.1f}s]")
+        print(f"\n{body}\n[{name} done in "
+              f"{time.perf_counter() - started:.1f}s]")
     return 0
 
 

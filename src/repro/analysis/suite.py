@@ -19,6 +19,7 @@ from repro.core.metrics import PlanResult
 from repro.core.robots import get_robot
 from repro.core.rrtstar import RRTStarPlanner
 from repro.core.world import PlanningTask
+from repro.obs.stats import percentile
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,8 @@ def evaluate_suite(
         mean_path_cost=float(np.mean(costs)) if costs else float("nan"),
         median_path_cost=float(np.median(costs)) if costs else float("nan"),
         mean_macs=float(np.mean(macs)),
-        p95_macs=float(np.percentile(macs, 95)),
+        # Shared implementation (repro.obs.stats) so suite aggregates and
+        # service telemetry report identical percentile semantics.
+        p95_macs=float(percentile(macs, 95)),
         mean_nodes=float(np.mean(nodes)),
     )

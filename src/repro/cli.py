@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli --robot mobile2d --variant baseline --render
     python -m repro.cli --task task.json --out result.json
     python -m repro.cli --jobs 8 --workers 4 --samples 400
+    python -m repro.cli --trace trace.json --metrics metrics.prom
 
 Plans one task (randomly generated from a seed, or loaded from JSON),
 prints the outcome, optionally smooths / time-parameterizes the path,
@@ -62,7 +63,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="submit the --jobs batch N times (cache demo)")
     batch.add_argument("--inject", default=None, metavar="KIND[:INDEX]",
                        help="fault-inject one batch job: hang|crash|error")
+    obs_group = parser.add_argument_group("observability (repro.obs)")
+    obs_group.add_argument("--trace", default=None, metavar="PATH",
+                           help="record phase spans; write a Chrome trace_event "
+                                "JSON here (open in Perfetto)")
+    obs_group.add_argument("--metrics", default=None, metavar="PATH",
+                           help="record planner metrics; write Prometheus text "
+                                "(or JSON if PATH ends in .json) here")
     return parser
+
+
+def configure_observability(args) -> bool:
+    """Enable the global instruments per ``--trace``/``--metrics``."""
+    if not (args.trace or args.metrics):
+        return False
+    from repro import obs
+
+    obs.configure(trace=args.trace is not None, metrics=args.metrics is not None)
+    return True
+
+
+def export_observability(args) -> None:
+    """Write the files the observability flags asked for."""
+    from repro import obs
+
+    if args.trace:
+        obs.get_tracer().export_chrome(args.trace)
+        print(f"trace written to {args.trace} (load in Perfetto or "
+              f"chrome://tracing; report: python -m repro.obs report "
+              f"--trace {args.trace})")
+    if args.metrics:
+        obs.get_registry().export(args.metrics)
+        print(f"metrics written to {args.metrics}")
 
 
 def run_batch(args) -> int:
@@ -72,6 +104,7 @@ def run_batch(args) -> int:
     from repro.service import PlanningService, build_requests
     from repro.service.pool import PoolConfig
 
+    observing = configure_observability(args)
     requests = build_requests(
         robot=args.robot,
         obstacles=args.obstacles,
@@ -84,6 +117,7 @@ def run_batch(args) -> int:
         timeout_s=args.job_timeout,
         duplicate=args.duplicate,
         inject=args.inject,
+        trace=observing,
     )
     pool_config = None
     if args.workers > 0:
@@ -107,6 +141,8 @@ def run_batch(args) -> int:
         summary["responses"] = [r.to_dict(include_path=False) for r in responses]
         pathlib.Path(args.out).write_text(json.dumps(summary, indent=2))
         print(f"telemetry written to {args.out}")
+    if observing:
+        export_observability(args)
     return 0 if all(r.status == "ok" for r in responses) else 1
 
 
@@ -125,6 +161,7 @@ def main(argv: Optional[list] = None) -> int:
 
         task = random_task(args.robot, args.obstacles, seed=args.seed)
 
+    observing = configure_observability(args)
     robot = get_robot(task.robot_name)
     config = config_for_variant(
         args.variant,
@@ -133,6 +170,8 @@ def main(argv: Optional[list] = None) -> int:
         goal_bias=args.goal_bias,
     )
     result = RRTStarPlanner(robot, task, config).plan()
+    if observing:
+        export_observability(args)
     print(f"robot={robot.label} obstacles={task.environment.num_obstacles} "
           f"variant={args.variant} samples={args.samples}")
     print(result.summary())

@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.robots import RobotModel
 from repro.core.world import Environment
 from repro.geometry.motion import interpolate_configs
+from repro.obs import bump
 from repro.geometry.obb import OBB
 from repro.geometry.sat import aabb_intersects_obb, obb_intersects_obb
 
@@ -64,6 +65,8 @@ class CollisionChecker:
         and each configuration checked from the ``start`` side, stopping at
         the first collision.
         """
+        bump("repro_cc_motion_checks_total",
+             help="Motion (edge) collision queries issued")
         for config in interpolate_configs(start, end, self.motion_resolution):
             if self.config_in_collision(config, counter=counter):
                 return True
@@ -133,6 +136,13 @@ class TwoStageChecker(CollisionChecker):
             candidates = self._rtree.query_obb(
                 body, counter=counter, prefilter_aabb=body.to_aabb()
             )
+            # Filter-efficiency metrics: how many obstacles survive the
+            # cheap first stage and reach the exact OBB-OBB second stage.
+            bump("repro_cc_stage1_queries_total",
+                 help="Two-stage first-stage (R-tree AABB filter) queries")
+            if candidates:
+                bump("repro_cc_stage1_survivors_total", len(candidates),
+                     help="Obstacles surviving the first-stage AABB filter")
             if not self.fine_stage:
                 if candidates:
                     return True
@@ -140,6 +150,8 @@ class TwoStageChecker(CollisionChecker):
             for idx in candidates:
                 if counter is not None:
                     counter.record("sat_obb_obb", dim=dim)
+                bump("repro_cc_stage2_checks_total",
+                     help="Exact OBB-OBB checks run in the second stage")
                 if obb_intersects_obb(body, self.environment.obstacles[idx]):
                     return True
         return False

@@ -84,8 +84,14 @@ class MopedEngine:
 
     def plan_task(self, task: PlanningTask) -> PlanResult:
         """Plan a pre-built :class:`~repro.core.world.PlanningTask`."""
+        from repro.obs import get_tracer
+
         planner = RRTStarPlanner(self.robot, task, self.config)
-        return planner.plan()
+        with get_tracer().span(
+            "engine.plan", variant=self.variant, robot=self.robot.name,
+            task_id=task.task_id,
+        ):
+            return planner.plan()
 
     def with_config(self, **overrides) -> "MopedEngine":
         """A copy of this engine with configuration fields replaced."""

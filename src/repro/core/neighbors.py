@@ -22,11 +22,18 @@ from typing import Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import bump
 from repro.spatial.brute import BruteForceIndex
 from repro.spatial.kdtree import KDTree
 from repro.spatial.simbr import SIMBRTree
 
 Neighbor = Tuple[Hashable, np.ndarray, float]
+
+
+def _count_query(kind: str, strategy: str) -> None:
+    """Metrics hook: one neighbor-search query of ``kind`` was issued."""
+    bump("repro_ns_queries_total", kind=kind, strategy=strategy,
+         help="Neighbor-search queries by kind and index strategy")
 
 
 class NeighborStrategy:
@@ -80,9 +87,11 @@ class BruteStrategy(NeighborStrategy):
         self._index.insert(key, point, counter=counter)
 
     def nearest(self, query, counter=None, exclude=None):
+        _count_query("nearest", "brute")
         return self._index.nearest(query, counter=counter, exclude=exclude)
 
     def neighborhood(self, query, radius, nearest_key=None, counter=None):
+        _count_query("neighborhood", "brute")
         return self._index.neighbors_within(query, radius, counter=counter)
 
 
@@ -113,9 +122,11 @@ class KDTreeStrategy(NeighborStrategy):
             self._since_rebuild = 0
 
     def nearest(self, query, counter=None, exclude=None):
+        _count_query("nearest", "kd")
         return self._tree.nearest(query, counter=counter, exclude=exclude)
 
     def neighborhood(self, query, radius, nearest_key=None, counter=None):
+        _count_query("neighborhood", "kd")
         return self._tree.neighbors_within(query, radius, counter=counter)
 
 
@@ -162,11 +173,14 @@ class SIMBRStrategy(NeighborStrategy):
         self._tree.insert(key, point, sibling_of=sibling, counter=counter)
 
     def nearest(self, query, counter=None, exclude=None):
+        _count_query("nearest", "simbr")
         return self._tree.nearest(query, counter=counter, exclude=exclude)
 
     def neighborhood(self, query, radius, nearest_key=None, counter=None):
         if not self.approx_neighborhood or nearest_key is None:
+            _count_query("neighborhood", "simbr")
             return self._tree.neighbors_within(query, radius, counter=counter)
+        _count_query("neighborhood_approx", "simbr")
         # SIAS: the stored grouping around x_nearest approximates the
         # radius search around x_new.  Entries beyond the RRT* neighborhood
         # radius are dropped so choose-parent/rewire sees the same scope

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.collision import make_checker
 from repro.core.config import PlannerConfig
 from repro.core.counters import OpCounter
+from repro.obs import PhaseRecorder
 from repro.core.informed import InformedSampler
 from repro.core.metrics import PlanResult, RoundRecord
 from repro.core.neighbors import make_strategy
@@ -100,58 +101,101 @@ class RRTStarPlanner:
         # (round index, node id) pairs still "in flight" for speculation.
         pending: Deque[Tuple[int, int]] = deque()
 
-        for iteration in range(config.max_samples):
-            snapshot = counter.snapshot()
-            x_rand = self.sampler.sample_biased(task.goal, config.goal_bias, counter=counter)
+        # Observability front end: with tracing/metrics off this binds the
+        # dormant globals and every obs.phase() below is one attribute check.
+        obs = PhaseRecorder()
+        plan_started = obs.tracer.now()
+        plan_span = obs.tracer.span(
+            "plan",
+            robot=robot.name,
+            dof=dim,
+            checker=config.checker,
+            strategy=config.neighbor_strategy,
+            max_samples=config.max_samples,
+        )
 
-            nearest_key, nearest_point, nearest_dist, missing_used, repaired = (
-                self._nearest_with_repair(tree, x_rand, pending, counter)
-            )
-
-            accepted = False
-            node_id: Optional[int] = None
-            if nearest_dist > 1e-12:
-                counter.record("steer", dim=dim)
-                x_new = self._steer(nearest_point, x_rand, nearest_dist)
-                if not self.checker.motion_in_collision(nearest_point, x_new, counter=counter):
-                    node_id = self._extend(
-                        tree, x_new, nearest_key, nearest_point, counter
+        with plan_span:
+            for iteration in range(config.max_samples):
+                snapshot = counter.snapshot()
+                with obs.phase("sample", counter):
+                    x_rand = self.sampler.sample_biased(
+                        task.goal, config.goal_bias, counter=counter
                     )
-                    accepted = True
-                    if float(np.linalg.norm(x_new - task.goal)) <= self.goal_tolerance:
-                        goal_nodes.append(node_id)
-                        if first_solution is None:
-                            first_solution = iteration
-                    if goal_nodes:
-                        best = min(
-                            tree.cost(n)
-                            + float(np.linalg.norm(tree.point(n) - task.goal))
-                            for n in goal_nodes
+
+                nearest_key, nearest_point, nearest_dist, missing_used, repaired = (
+                    self._nearest_with_repair(tree, x_rand, pending, counter, obs)
+                )
+
+                accepted = False
+                node_id: Optional[int] = None
+                if nearest_dist > 1e-12:
+                    with obs.phase("steer", counter):
+                        counter.record("steer", dim=dim)
+                        x_new = self._steer(nearest_point, x_rand, nearest_dist)
+                    with obs.phase("collision", counter):
+                        blocked = self.checker.motion_in_collision(
+                            nearest_point, x_new, counter=counter
                         )
-                        if best < best_known - 1e-9:
-                            best_known = best
-                            cost_history.append((iteration, best))
-                        if isinstance(self.sampler, InformedSampler):
-                            self.sampler.update_best_cost(best)
+                    if not blocked:
+                        with obs.phase("rewire", counter):
+                            node_id = self._extend(
+                                tree, x_new, nearest_key, nearest_point, counter
+                            )
+                        accepted = True
+                        if float(np.linalg.norm(x_new - task.goal)) <= self.goal_tolerance:
+                            goal_nodes.append(node_id)
+                            if first_solution is None:
+                                first_solution = iteration
+                        if goal_nodes:
+                            best = min(
+                                tree.cost(n)
+                                + float(np.linalg.norm(tree.point(n) - task.goal))
+                                for n in goal_nodes
+                            )
+                            if best < best_known - 1e-9:
+                                best_known = best
+                                cost_history.append((iteration, best))
+                            if isinstance(self.sampler, InformedSampler):
+                                self.sampler.update_best_cost(best)
 
-            rounds.append(
-                self._round_record(counter.diff(snapshot), accepted, missing_used, repaired)
-            )
+                rounds.append(
+                    self._round_record(counter.diff(snapshot), accepted, missing_used, repaired)
+                )
 
-            if accepted and config.speculation_depth > 0:
-                pending.append((iteration, node_id))
-            while pending and pending[0][0] <= iteration - config.speculation_depth:
-                pending.popleft()
+                if accepted and config.speculation_depth > 0:
+                    pending.append((iteration, node_id))
+                while pending and pending[0][0] <= iteration - config.speculation_depth:
+                    pending.popleft()
 
-            if config.stop_on_goal and first_solution is not None:
-                break
+                if config.stop_on_goal and first_solution is not None:
+                    break
 
         self._cost_history = cost_history
-        return self._result(tree, goal_nodes, first_solution, counter, rounds, len(rounds))
+        result = self._result(tree, goal_nodes, first_solution, counter, rounds, len(rounds))
+        if obs.registry.enabled:
+            self._record_run_metrics(obs, result, counter, obs.tracer.now() - plan_started)
+        return result
+
+    def _record_run_metrics(self, obs, result, counter, elapsed_s: float) -> None:
+        """Run-level metrics: plan count/latency and Fig-3 MAC categories."""
+        registry = obs.registry
+        registry.counter("repro_plans_total", "Completed planning runs").inc(
+            outcome="success" if result.success else "failure"
+        )
+        registry.counter("repro_plan_rounds_total", "Sampling rounds executed").inc(
+            result.iterations
+        )
+        registry.histogram(
+            "repro_plan_seconds", "End-to-end planner wall time"
+        ).observe(elapsed_s)
+        for category, macs in counter.macs_by_category().items():
+            registry.counter(
+                "repro_macs_total", "MAC-equivalents by cost-model category"
+            ).inc(macs, category=category)
 
     # -------------------------------------------------------------- internals
 
-    def _nearest_with_repair(self, tree, x_rand, pending, counter):
+    def _nearest_with_repair(self, tree, x_rand, pending, counter, obs=None):
         """Speculated nearest-neighbor search plus the repair step.
 
         Without speculation this is a plain exact search.  With speculation,
@@ -159,22 +203,27 @@ class RRTStarPlanner:
         repair step then reads each pending node from the Missing Neighbors
         Buffer and keeps whichever candidate is truly nearest.
         """
+        if obs is None:
+            obs = PhaseRecorder()
         dim = self.robot.dof
         exclude = {key for _, key in pending} if pending else None
-        found = self.strategy.nearest(x_rand, counter=counter, exclude=exclude)
+        with obs.phase("nearest", counter):
+            found = self.strategy.nearest(x_rand, counter=counter, exclude=exclude)
         assert found is not None, "tree root can never be excluded"
         nearest_key, nearest_point, nearest_dist = found
         missing_used = 0
         repaired = False
-        for _, key in pending:
-            missing_used += 1
-            counter.record("buffer_read", dim=dim)
-            counter.record("dist", dim=dim)
-            point = tree.point(key)
-            dist = float(np.linalg.norm(point - x_rand))
-            if dist < nearest_dist:
-                nearest_key, nearest_point, nearest_dist = key, point, dist
-                repaired = True
+        if pending:
+            with obs.phase("repair", counter, entries=len(pending)):
+                for _, key in pending:
+                    missing_used += 1
+                    counter.record("buffer_read", dim=dim)
+                    counter.record("dist", dim=dim)
+                    point = tree.point(key)
+                    dist = float(np.linalg.norm(point - x_rand))
+                    if dist < nearest_dist:
+                        nearest_key, nearest_point, nearest_dist = key, point, dist
+                        repaired = True
         return nearest_key, nearest_point, nearest_dist, missing_used, repaired
 
     def _steer(self, origin: np.ndarray, target: np.ndarray, dist: float) -> np.ndarray:

@@ -25,6 +25,7 @@ from typing import List, Sequence
 
 from repro.core.metrics import RoundRecord
 from repro.hardware.params import MopedHardwareParams
+from repro.obs import get_registry, get_tracer
 
 
 @dataclass(frozen=True)
@@ -93,6 +94,30 @@ def snr_latency_cycles(
     CC completion; speculative searches overlapping that window must repair
     against those pending nodes.
     """
+    with get_tracer().span("pipeline.replay", rounds=len(rounds)):
+        report = _replay_snr(rounds, params, repair_cycles_per_entry)
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(
+            "repro_pipeline_replays_total", "Pipeline schedule replays"
+        ).inc()
+        registry.gauge(
+            "repro_pipeline_fifo_peak", "Peak CC-pending FIFO occupancy"
+        ).set(report.max_fifo_occupancy)
+        registry.gauge(
+            "repro_pipeline_missing_peak", "Peak missing-neighbors in flight"
+        ).set(report.max_missing_neighbors)
+        registry.counter(
+            "repro_pipeline_stall_cycles_total", "Cycles lost to FIFO back-pressure"
+        ).inc(report.fifo_stall_cycles)
+    return report
+
+
+def _replay_snr(
+    rounds: Sequence[RoundRecord],
+    params: MopedHardwareParams,
+    repair_cycles_per_entry: float,
+) -> PipelineReport:
     serial = serialized_latency_cycles(rounds, params)
     ns_free = 0.0  # when the NS pipeline can accept the next round
     cc_free = 0.0  # when the collision checker frees up

@@ -1,0 +1,63 @@
+"""Observability CLI: render run profiles from exported artifacts.
+
+Usage::
+
+    python -m repro.obs report --trace /tmp/t.json --metrics /tmp/m.prom
+    python -m repro.obs report --metrics /tmp/m.prom --events /tmp/e.jsonl
+    python -m repro.obs report --trace /tmp/t.json --json
+
+``report`` merges the files a traced run exported (``repro.cli --trace
+--metrics`` or ``repro.service --trace --metrics --events``) into the
+per-phase time/MAC breakdown table; ``--json`` emits the merged structure
+machine-readably instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.obs.report import render_report, report_from_files
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="merge trace/metrics/events files into a run profile"
+    )
+    report.add_argument("--trace", default=None,
+                        help="Chrome trace_event JSON from a traced run")
+    report.add_argument("--metrics", default=None,
+                        help="Prometheus .prom (or registry .json) export")
+    report.add_argument("--events", default=None,
+                        help="JSONL event log from a service run")
+    report.add_argument("--json", action="store_true",
+                        help="print the merged report as JSON")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "report":
+        if args.trace is None and args.metrics is None and args.events is None:
+            print("repro.obs report: need --trace, --metrics, and/or --events",
+                  file=sys.stderr)
+            return 2
+        report = report_from_files(
+            trace=args.trace, metrics=args.metrics, events=args.events
+        )
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(render_report(report))
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

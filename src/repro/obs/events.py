@@ -1,0 +1,76 @@
+"""Structured JSONL event log with run/job correlation ids.
+
+Where spans answer "how long did this take" and metrics answer "how much of
+this happened", the event log answers "what happened, in order": one JSON
+object per line, each stamped with a wall-clock timestamp, a monotonically
+increasing sequence number, and the ``run_id`` that ties every event of one
+service run together.  Job-scoped events add ``job_id`` / ``request_id``
+fields, which is what lets ``repro.obs report`` (and plain ``grep``)
+correlate a trace span, a telemetry record, and the event stream of the
+same job.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+import uuid
+from typing import Dict, Iterator, List, Optional
+
+
+def new_run_id() -> str:
+    """Fresh 12-hex-char correlation id for one service run."""
+    return uuid.uuid4().hex[:12]
+
+
+class EventLog:
+    """In-memory JSONL event buffer bound to one ``run_id``.
+
+    Events are plain dicts; :meth:`emit` stamps ``ts`` (wall clock, so logs
+    from different machines interleave sensibly), ``seq``, ``run_id``, and
+    the event name.  The buffer serialises with :meth:`to_jsonl` /
+    :meth:`dump` and is cheap enough to keep always-on — one dict append
+    per event.
+    """
+
+    def __init__(self, run_id: Optional[str] = None):
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self.records: List[Dict] = []
+        self._seq = 0
+
+    def emit(self, event: str, **fields) -> Dict:
+        """Append one event; returns the stored record."""
+        record = {
+            "ts": round(time.time(), 6),
+            "seq": self._seq,
+            "run_id": self.run_id,
+            "event": event,
+        }
+        record.update(fields)
+        self._seq += 1
+        self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Dict]:
+        return iter(self.records)
+
+    def to_jsonl(self) -> str:
+        return "".join(json.dumps(r, sort_keys=True) + "\n" for r in self.records)
+
+    def dump(self, path) -> None:
+        """Write the buffer as JSON Lines."""
+        pathlib.Path(path).write_text(self.to_jsonl())
+
+
+def read_events(path) -> List[Dict]:
+    """Load a JSONL event file back into a list of dicts."""
+    out = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out

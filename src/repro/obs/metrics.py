@@ -1,0 +1,337 @@
+"""Counters, gauges, and fixed-bucket histograms with Prometheus export.
+
+A :class:`MetricsRegistry` holds named metrics, each of which owns one time
+series per label combination.  The design is a deliberately small subset of
+the Prometheus client model:
+
+* :class:`Counter` — monotonically-increasing float (``inc``).
+* :class:`Gauge` — last-written value (``set`` / ``inc`` / ``dec``).
+* :class:`Histogram` — fixed upper-bound buckets with Prometheus ``le``
+  semantics (a value equal to a bound lands in that bound's bucket), plus
+  running sum and count.
+
+Registries export to Prometheus text format (:meth:`MetricsRegistry.
+to_prometheus`) and to JSON (:meth:`MetricsRegistry.to_dict`), and merge
+(:meth:`MetricsRegistry.merge_dict`), which is how service workers ship
+metric deltas back to the supervisor: the worker serialises its private
+registry with ``to_dict`` and the supervisor folds it in — counters and
+histogram buckets add, gauges take the incoming value.
+
+Everything is plain Python; label values are stringified at record time so
+a registry is always JSON-serialisable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default latency buckets (seconds) — sub-millisecond planner phases up to
+#: multi-second whole plans.
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _labelkey(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class Metric:
+    """Base: one named metric owning one series per label combination."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.series: Dict[LabelKey, object] = {}
+
+    def labelsets(self) -> List[Dict[str, str]]:
+        """The label combinations this metric has seen, as dicts."""
+        return [dict(key) for key in sorted(self.series)]
+
+
+class Counter(Metric):
+    """Monotonically increasing value."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = _labelkey(labels)
+        self.series[key] = self.series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return float(self.series.get(_labelkey(labels), 0.0))
+
+
+class Gauge(Metric):
+    """Last-written value (may go down)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self.series[_labelkey(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _labelkey(labels)
+        self.series[key] = self.series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        return float(self.series.get(_labelkey(labels), 0.0))
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram with Prometheus ``le`` (<=) semantics."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be distinct")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels) -> None:
+        key = _labelkey(labels)
+        state = self.series.get(key)
+        if state is None:
+            # counts has one extra slot for the implicit +Inf bucket.
+            state = {"counts": [0] * (len(self.buckets) + 1), "sum": 0.0, "count": 0}
+            self.series[key] = state
+        state["counts"][bisect_left(self.buckets, value)] += 1
+        state["sum"] += value
+        state["count"] += 1
+
+    def snapshot(self, **labels) -> Optional[Dict]:
+        """``{counts, sum, count}`` for one label set (raw, non-cumulative)."""
+        state = self.series.get(_labelkey(labels))
+        if state is None:
+            return None
+        return {"counts": list(state["counts"]), "sum": state["sum"], "count": state["count"]}
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create registration.
+
+    ``enabled`` is advisory: instrumentation sites (and :func:`bump`) check
+    it before recording, so the global registry can sit dormant at zero cost
+    while privately-constructed registries (workers, tests) default to on.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: Dict[str, Metric] = {}
+
+    # --------------------------------------------------------- registration
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    # --------------------------------------------------------------- export
+
+    def to_dict(self) -> Dict:
+        """JSON-safe snapshot; :meth:`merge_dict` consumes this format."""
+        out = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            entry: Dict[str, object] = {
+                "name": name,
+                "type": metric.kind,
+                "help": metric.help,
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["series"] = [
+                    {"labels": dict(key), **state}  # counts/sum/count
+                    for key, state in sorted(metric.series.items())
+                ]
+            else:
+                entry["series"] = [
+                    {"labels": dict(key), "value": value}
+                    for key, value in sorted(metric.series.items())
+                ]
+            out.append(entry)
+        return {"metrics": out}
+
+    def merge_dict(self, data: Dict) -> None:
+        """Fold a :meth:`to_dict` snapshot in (counters/histograms add)."""
+        for entry in data.get("metrics", []):
+            name, kind, help = entry["name"], entry["type"], entry.get("help", "")
+            if kind == "counter":
+                metric = self.counter(name, help)
+                for row in entry["series"]:
+                    metric.inc(row["value"], **row["labels"])
+            elif kind == "gauge":
+                metric = self.gauge(name, help)
+                for row in entry["series"]:
+                    metric.set(row["value"], **row["labels"])
+            elif kind == "histogram":
+                metric = self.histogram(name, help, buckets=entry["buckets"])
+                if tuple(entry["buckets"]) != metric.buckets:
+                    raise ValueError(f"bucket mismatch merging histogram {name!r}")
+                for row in entry["series"]:
+                    key = _labelkey(row["labels"])
+                    state = metric.series.get(key)
+                    if state is None:
+                        state = {"counts": [0] * (len(metric.buckets) + 1),
+                                 "sum": 0.0, "count": 0}
+                        metric.series[key] = state
+                    for i, n in enumerate(row["counts"]):
+                        state["counts"][i] += n
+                    state["sum"] += row["sum"]
+                    state["count"] += row["count"]
+            else:
+                raise ValueError(f"unknown metric type {kind!r}")
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (one block per metric)."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for key, state in sorted(metric.series.items()):
+                    cumulative = 0
+                    for bound, count in zip(metric.buckets, state["counts"]):
+                        cumulative += count
+                        bucket_key = key + (("le", _format_value(bound)),)
+                        lines.append(
+                            f"{name}_bucket{_format_labels(bucket_key)} {cumulative}"
+                        )
+                    cumulative += state["counts"][-1]
+                    inf_key = key + (("le", "+Inf"),)
+                    lines.append(f"{name}_bucket{_format_labels(inf_key)} {cumulative}")
+                    lines.append(
+                        f"{name}_sum{_format_labels(key)} {_format_value(state['sum'])}"
+                    )
+                    lines.append(f"{name}_count{_format_labels(key)} {state['count']}")
+            else:
+                for key, value in sorted(metric.series.items()):
+                    lines.append(f"{name}{_format_labels(key)} {_format_value(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def export(self, path) -> None:
+        """Write the registry to ``path`` (.json → JSON, else Prometheus)."""
+        path = pathlib.Path(path)
+        if path.suffix == ".json":
+            path.write_text(json.dumps(self.to_dict(), indent=2))
+        else:
+            path.write_text(self.to_prometheus())
+
+
+def parse_prometheus(text: str) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
+    """Parse Prometheus text format into ``{name: [(labels, value), ...]}``.
+
+    Supports the subset :meth:`MetricsRegistry.to_prometheus` emits — enough
+    for ``repro.obs report`` to read back its own metric files.
+    """
+    out: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, _, value_str = line.rpartition(" ")
+        if not head:
+            continue
+        labels: Dict[str, str] = {}
+        if "{" in head:
+            name, _, rest = head.partition("{")
+            body = rest.rstrip("}")
+            for item in filter(None, body.split(",")):
+                k, _, v = item.partition("=")
+                labels[k.strip()] = v.strip().strip('"')
+        else:
+            name = head
+        try:
+            value = float(value_str)
+        except ValueError:
+            continue
+        out.setdefault(name, []).append((labels, value))
+    return out
+
+
+#: Process-global registry, dormant until ``repro.obs.configure`` enables it.
+_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process global; returns the previous one."""
+    global _REGISTRY
+    previous, _REGISTRY = _REGISTRY, registry
+    return previous
+
+
+def bump(name: str, amount: float = 1.0, help: str = "", **labels) -> None:
+    """One-line counter increment against the global registry (if enabled).
+
+    The guard lives here so instrumentation sites stay a single call that
+    costs one attribute check when metrics are off.
+    """
+    registry = _REGISTRY
+    if registry.enabled:
+        registry.counter(name, help).inc(amount, **labels)

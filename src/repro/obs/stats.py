@@ -1,0 +1,41 @@
+"""Shared descriptive-statistics helpers for the observability layer.
+
+One :func:`percentile` implementation serves every consumer — the service
+telemetry axes, the analysis suites, and the ``repro.obs`` report — so the
+repo has exactly one definition of "p95".  The interpolation matches the
+numpy default (linear between order statistics), but the implementation is
+pure Python so the observability layer stays dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """q-th percentile (0..100) with linear interpolation; None when empty."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if not values:
+        return None
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def axis_summary(values: Sequence[float], digits: int = 6) -> Dict[str, Optional[float]]:
+    """p50/p95/mean/max block for one telemetry axis (None-filled when empty)."""
+    values = list(values)
+    if not values:
+        return {"p50": None, "p95": None, "mean": None, "max": None}
+    return {
+        "p50": round(percentile(values, 50.0), digits),
+        "p95": round(percentile(values, 95.0), digits),
+        "mean": round(sum(values) / len(values), digits),
+        "max": round(max(values), digits),
+    }

@@ -6,6 +6,7 @@ Usage::
     python -m repro.service --jobs 8 --duplicate 2          # show cache hits
     python -m repro.service --jobs 8 --inject hang:2 --timeout 1.0
     python -m repro.service --tasks suite.json --out telemetry.json
+    python -m repro.service --jobs 4 --trace trace.json --metrics m.prom
 
 Generates ``--jobs`` seeded tasks (or loads a suite from ``--tasks``), runs
 them through :class:`~repro.service.runner.PlanningService`, and prints the
@@ -62,11 +63,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="include per-job records in the printed summary")
     parser.add_argument("--out", default=None,
                         help="also write the summary (with records) here")
+    obs_group = parser.add_argument_group("observability (repro.obs)")
+    obs_group.add_argument("--trace", default=None, metavar="PATH",
+                           help="trace every job; workers ship span buffers "
+                                "back and the merged Chrome trace_event JSON "
+                                "is written here (open in Perfetto)")
+    obs_group.add_argument("--metrics", default=None, metavar="PATH",
+                           help="collect planner metrics across workers; "
+                                "write Prometheus text (or JSON if PATH ends "
+                                "in .json) here")
+    obs_group.add_argument("--events", default=None, metavar="PATH",
+                           help="write the service's structured JSONL event "
+                                "log here")
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
+
+    observing = bool(args.trace or args.metrics)
+    if observing:
+        from repro import obs
+
+        obs.configure(trace=args.trace is not None,
+                      metrics=args.metrics is not None)
 
     tasks = None
     if args.tasks is not None:
@@ -88,6 +108,7 @@ def main(argv: Optional[list] = None) -> int:
         duplicate=args.duplicate,
         inject=args.inject,
         tasks=tasks,
+        trace=observing,
     )
 
     pool_config = None
@@ -109,6 +130,16 @@ def main(argv: Optional[list] = None) -> int:
                 args.out,
                 cache_stats=service.cache.stats(),
             )
+        if args.events is not None:
+            service.events.dump(args.events)
+
+    if observing:
+        from repro import obs
+
+        if args.trace:
+            obs.get_tracer().export_chrome(args.trace)
+        if args.metrics:
+            obs.get_registry().export(args.metrics)
 
     print(json.dumps(summary, indent=2))
     return 0 if all(r.status == "ok" for r in responses) else 2

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import get_tracer
 from repro.service.jobs import DONE, FAILED, RUNNING, Job, JobQueue
 from repro.service.request import PlanResponse, failure_response
 from repro.service.worker import worker_main
@@ -103,6 +104,11 @@ class WorkerPool:
         ]
         self.restarts = 0
         self._closed = False
+        #: Tracer timestamp of each in-flight job's first dispatch, so the
+        #: supervisor can emit a ``service.job`` span (dispatch -> settle)
+        #: tagged with the job id.  Keyed by job_id; only populated while
+        #: the ambient tracer is enabled.
+        self._span_starts: Dict[int, float] = {}
 
     # ------------------------------------------------------------ lifecycle
 
@@ -164,6 +170,9 @@ class WorkerPool:
         job.attempts += 1
         if job.dispatched_at is None:
             job.dispatched_at = now
+            tracer = get_tracer()
+            if tracer.enabled:
+                self._span_starts[job.job_id] = tracer.now()
         timeout = (
             job.request.timeout_s
             if job.request.timeout_s is not None
@@ -205,6 +214,18 @@ class WorkerPool:
         job.state = DONE if response.status == "ok" else FAILED
         job.finished_at = now
         done.append(job)
+        start = self._span_starts.pop(job.job_id, None)
+        if start is not None:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.span_at(
+                    "service.job", start, tracer.now(),
+                    job_id=job.job_id,
+                    request_id=job.request.request_id,
+                    status=response.status,
+                    worker_id=response.worker_id,
+                    attempts=job.attempts,
+                )
 
     def run(self, queue: JobQueue) -> List[Job]:
         """Drive every job in ``queue`` to a terminal state.

@@ -74,6 +74,12 @@ class PlanRequest:
             worker process, ``"error"`` raises, ``"flaky:<path>"`` crashes
             once while ``<path>`` exists (the worker deletes it first, so
             the retry succeeds).  Faulted requests bypass the cache.
+        trace: run the job under the observability layer — the worker plans
+            with a private span tracer and metrics registry and ships the
+            drained buffers back in the response (``trace_spans`` /
+            ``metric_deltas``).  Traced requests always execute (they bypass
+            the cache): an observability run wants fresh measurements, not a
+            replayed result.
     """
 
     task: PlanningTask
@@ -83,6 +89,7 @@ class PlanRequest:
     timeout_s: Optional[float] = None
     request_id: str = ""
     fault: Optional[str] = None
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.lanes < 1:
@@ -137,6 +144,12 @@ class PlanResponse:
     cache_hit: bool = False
     worker_id: Optional[int] = None
     attempts: int = 1
+    #: Observability payloads (populated only for traced requests): the
+    #: worker-side span buffer, the worker registry snapshot, and the
+    #: per-phase wall-time aggregate the telemetry axes consume.
+    trace_spans: List[Dict] = field(default_factory=list)
+    metric_deltas: Dict = field(default_factory=dict)
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def counter(self) -> OpCounter:
         """Rebuild an :class:`OpCounter` from the shipped dicts."""
@@ -173,6 +186,7 @@ class PlanResponse:
             "cache_hit": self.cache_hit,
             "worker_id": self.worker_id,
             "attempts": self.attempts,
+            "phase_seconds": dict(self.phase_seconds),
         }
         if include_path:
             out["path"] = [list(p) for p in self.path]
@@ -197,6 +211,7 @@ class PlanResponse:
             cache_hit=bool(data.get("cache_hit", False)),
             worker_id=data.get("worker_id"),
             attempts=int(data.get("attempts", 1)),
+            phase_seconds=dict(data.get("phase_seconds", {})),
         )
 
 

@@ -12,7 +12,10 @@ request, in order, after routing each through:
 3. **The worker pool** — misses fan out across processes with timeouts,
    retries, and crash isolation (:mod:`repro.service.pool`).
 4. **Telemetry** — every response (hit, miss, or structured failure)
-   becomes a :class:`~repro.service.telemetry.JobRecord`.
+   becomes a :class:`~repro.service.telemetry.JobRecord`, is appended to
+   the service's JSONL :class:`~repro.obs.EventLog`, and — for traced
+   requests — has its worker-side span buffer and metric deltas absorbed
+   into the ambient ``repro.obs`` tracer/registry, tagged with the job id.
 
 The pool is created lazily and reused across batches, so worker start-up
 cost is amortised over the service lifetime — the request-level analogue of
@@ -29,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.moped import config_for_variant
 from repro.core.world import PlanningTask
+from repro.obs import EventLog, get_registry, get_tracer
 from repro.service.cache import PlanCache
 from repro.service.jobs import DONE, FAILED, Job, JobQueue
 from repro.service.pool import PoolConfig, WorkerPool
@@ -61,6 +65,10 @@ class PlanningService:
         )
         self.cache = PlanCache(cache_capacity)
         self.telemetry = telemetry if telemetry is not None else TelemetrySink()
+        #: Structured JSONL event log; every event carries this service
+        #: instance's ``run_id`` so traces, telemetry records, and events
+        #: from one run correlate.
+        self.events = EventLog()
         self._pool: Optional[WorkerPool] = None
         self._pending: List[PlanRequest] = []
 
@@ -97,6 +105,20 @@ class PlanningService:
 
     def run_batch(self, requests: Sequence[PlanRequest]) -> List[PlanResponse]:
         """Plan a batch; one response per request, original order."""
+        tracer = get_tracer()
+        with tracer.span(
+            "service.batch", run_id=self.events.run_id, requests=len(requests)
+        ):
+            self.events.emit("batch.start", requests=len(requests))
+            responses = self._run_batch_inner(requests)
+            self.events.emit(
+                "batch.end",
+                requests=len(requests),
+                ok=sum(1 for r in responses if r.status == "ok"),
+            )
+        return responses
+
+    def _run_batch_inner(self, requests: Sequence[PlanRequest]) -> List[PlanResponse]:
         responses: List[Optional[PlanResponse]] = [None] * len(requests)
         queue = JobQueue()
         job_index: Dict[int, Tuple[int, Optional[str]]] = {}
@@ -104,7 +126,9 @@ class PlanningService:
         followers: Dict[str, List[int]] = {}
 
         for i, request in enumerate(requests):
-            key = None if request.fault else request.cache_key()
+            # Faulted and traced requests always execute (chaos hooks and
+            # observability runs both want a real execution, not a replay).
+            key = None if (request.fault or request.trace) else request.cache_key()
             if key is not None:
                 if key in leaders:  # coalesce before a (miss-counting) lookup
                     followers.setdefault(key, []).append(i)
@@ -112,7 +136,7 @@ class PlanningService:
                 cached = self.cache.get(key, request.request_id)
                 if cached is not None:
                     responses[i] = cached
-                    self.telemetry.record(record_from_response(cached))
+                    self._observe_response(cached, job_id=None)
                     continue
             job = queue.submit(request, time.monotonic())
             job_index[job.job_id] = (i, key)
@@ -126,7 +150,18 @@ class PlanningService:
             response = job.response
             assert response is not None
             responses[i] = response
-            self.telemetry.record(record_from_job(job))
+            self._absorb_job_obs(job.job_id, response)
+            self.telemetry.record(record_from_job(job), counter=response.counter())
+            self.events.emit(
+                "job.done",
+                job_id=job.job_id,
+                request_id=response.request_id,
+                status=response.status,
+                cache_hit=False,
+                worker_id=response.worker_id,
+                attempts=job.attempts,
+                plan_seconds=response.plan_seconds,
+            )
             if key is not None and response.status == "ok":
                 self.cache.put(key, replace(response))
 
@@ -139,10 +174,42 @@ class PlanningService:
                 if hit is None:  # leader failed; echo its failure (miss counted)
                     hit = replace(leader, request_id=requests[i].request_id)
                 responses[i] = hit
-                self.telemetry.record(record_from_response(hit))
+                self._observe_response(hit, job_id=None)
 
         assert all(r is not None for r in responses)
         return responses  # type: ignore[return-value]
+
+    def _observe_response(self, response: PlanResponse, job_id: Optional[int]) -> None:
+        """Telemetry + event for a response that did not run through a job."""
+        self.telemetry.record(
+            record_from_response(response), counter=response.counter()
+        )
+        self.events.emit(
+            "job.done",
+            job_id=job_id,
+            request_id=response.request_id,
+            status=response.status,
+            cache_hit=response.cache_hit,
+            worker_id=response.worker_id,
+            attempts=response.attempts,
+            plan_seconds=response.plan_seconds,
+        )
+
+    def _absorb_job_obs(self, job_id: int, response: PlanResponse) -> None:
+        """Fold a traced job's shipped-back buffers into the ambient
+        tracer/registry, tagging every span with the job's identity."""
+        if response.trace_spans:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.absorb(
+                    response.trace_spans,
+                    job_id=job_id,
+                    request_id=response.request_id,
+                )
+        if response.metric_deltas:
+            registry = get_registry()
+            if registry.enabled:
+                registry.merge_dict(response.metric_deltas)
 
     def _run_inline(self, queue: JobQueue) -> List[Job]:
         """Sequential in-process execution (no pool, no timeouts)."""
@@ -198,6 +265,7 @@ def build_requests(
     duplicate: int = 1,
     inject: Optional[str] = None,
     tasks: Optional[Sequence[PlanningTask]] = None,
+    trace: bool = False,
 ) -> List[PlanRequest]:
     """Seeded request batch for the CLIs and tests.
 
@@ -207,7 +275,8 @@ def build_requests(
     times — duplicates coalesce or hit the cache, which is how the CLIs
     demonstrate a non-zero hit rate.  ``inject="kind"`` or ``"kind:index"``
     arms the fault hook on one request (default index 0); ``kind`` is
-    ``hang`` / ``crash`` / ``error``.
+    ``hang`` / ``crash`` / ``error``.  ``trace=True`` marks every request
+    for the observability layer (workers ship spans/metrics back).
     """
     if jobs < 1 and tasks is None:
         raise ValueError("jobs must be >= 1")
@@ -235,6 +304,7 @@ def build_requests(
                 smooth=smooth,
                 timeout_s=timeout_s,
                 request_id=f"job-{i:03d}",
+                trace=trace,
             )
         )
     requests: List[PlanRequest] = []

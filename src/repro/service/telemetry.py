@@ -8,48 +8,35 @@ neighbor-search MACs, sample count).  The :class:`TelemetrySink` collects
 records and reduces them to the summary the CLIs print: status counts,
 cache hit-rate, and p50/p95/mean/max percentiles for the latency axes.
 
-Percentiles use linear interpolation between order statistics (the numpy
-default), implemented locally so telemetry has no array dependency and the
-records stay plain Python.
+Percentiles come from :mod:`repro.obs.stats` — one shared implementation
+(linear interpolation between order statistics, the numpy default) serves
+the service axes, the analysis suites, and the observability reports, and
+keeps the records plain Python.  When jobs ran traced, each record also
+carries the per-phase wall-time split the worker's span buffer produced,
+and the sink folds every job's :class:`~repro.core.counters.OpCounter` into
+one run-level counter via :meth:`OpCounter.merge`.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
 
+from repro.core.counters import OpCounter
+from repro.obs.stats import axis_summary as _axis_summary
+from repro.obs.stats import percentile  # re-export: the one shared impl
 from repro.service.jobs import Job
 from repro.service.request import PlanResponse
 
-
-def percentile(values: Sequence[float], q: float) -> Optional[float]:
-    """q-th percentile (0..100) with linear interpolation; None when empty."""
-    if not 0.0 <= q <= 100.0:
-        raise ValueError("q must be in [0, 100]")
-    if not values:
-        return None
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return float(ordered[0])
-    rank = (q / 100.0) * (len(ordered) - 1)
-    lo = int(rank)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = rank - lo
-    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
-
-
-def _axis_summary(values: List[float]) -> Dict[str, Optional[float]]:
-    """p50/p95/mean/max block for one latency axis."""
-    if not values:
-        return {"p50": None, "p95": None, "mean": None, "max": None}
-    return {
-        "p50": round(percentile(values, 50.0), 6),
-        "p95": round(percentile(values, 95.0), 6),
-        "mean": round(sum(values) / len(values), 6),
-        "max": round(max(values), 6),
-    }
+__all__ = [
+    "JobRecord",
+    "TelemetrySink",
+    "percentile",
+    "record_from_job",
+    "record_from_response",
+]
 
 
 @dataclass
@@ -74,6 +61,9 @@ class JobRecord:
     neighbor_search_macs: float
     samples: int
     error: Optional[str] = None
+    #: Per-phase wall seconds (sample/nearest/...) for traced jobs; empty
+    #: otherwise.  Feeds the summary's per-phase latency axes.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -117,6 +107,7 @@ def record_from_response(
         neighbor_search_macs=categories.get("neighbor_search", 0.0),
         samples=response.op_events.get("sample", 0),
         error=response.error,
+        phase_seconds=dict(response.phase_seconds),
     )
 
 
@@ -125,9 +116,14 @@ class TelemetrySink:
 
     def __init__(self) -> None:
         self.records: List[JobRecord] = []
+        #: Run-level operation counter: every job's shipped-back OpCounter
+        #: folded in-place (no dict round trips) via :meth:`OpCounter.merge`.
+        self.op_totals = OpCounter()
 
-    def record(self, record: JobRecord) -> None:
+    def record(self, record: JobRecord, counter: Optional[OpCounter] = None) -> None:
         self.records.append(record)
+        if counter is not None:
+            self.op_totals.merge(counter)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -167,12 +163,14 @@ class TelemetrySink:
                 ),
                 "queue_wait": _axis_summary([r.queue_wait_s for r in executed]),
                 "wall": _axis_summary([r.wall_seconds for r in executed]),
+                "phases": self._phase_axes(executed),
             },
             "ops": {
                 "total_macs": sum(r.total_macs for r in rows),
                 "collision_check_macs": sum(r.collision_check_macs for r in rows),
                 "neighbor_search_macs": sum(r.neighbor_search_macs for r in rows),
                 "samples": sum(r.samples for r in rows),
+                "by_kind_macs": dict(self.op_totals.macs),
             },
             "ops_executed": {
                 "total_macs": sum(r.total_macs for r in executed),
@@ -186,6 +184,21 @@ class TelemetrySink:
         if include_records:
             out["records"] = [r.to_dict() for r in rows]
         return out
+
+    @staticmethod
+    def _phase_axes(records: List[JobRecord]) -> Dict[str, Dict[str, Optional[float]]]:
+        """Per-phase latency axes over the jobs that ran traced."""
+        names: List[str] = []
+        for record in records:
+            for name in record.phase_seconds:
+                if name not in names:
+                    names.append(name)
+        return {
+            name: _axis_summary(
+                [r.phase_seconds[name] for r in records if name in r.phase_seconds]
+            )
+            for name in names
+        }
 
     def dump(self, path, **summary_kwargs) -> None:
         """Write the summary (plus records) to a JSON file."""

@@ -74,38 +74,69 @@ def execute_request(request: PlanRequest) -> PlanResponse:
     Also usable inline (no pool) — :class:`PlanningService` falls back to
     this for ``num_workers == 0``, and tests exercise planner behaviour
     through it without multiprocessing.
+
+    Traced requests (``request.trace``) run under a *private* tracer and
+    metrics registry installed as the process globals for the duration of
+    the job; the drained span buffer and registry snapshot ship back in the
+    response as plain data, ready to cross the pool pipe.  The supervisor
+    absorbs them tagged with the job id (:mod:`repro.service.runner`).
     """
+    from repro import obs
     from repro.core.robots import get_robot
     from repro.core.rrtstar import RRTStarPlanner
 
     apply_fault(request.fault)
     robot = get_robot(request.task.robot_name)
-    start = time.perf_counter()
-    if request.lanes > 1:
-        from repro.core.batch import BatchRRTStarPlanner
 
-        planner = BatchRRTStarPlanner(
-            robot, request.task, request.config, batch_size=request.lanes
-        )
-    else:
-        planner = RRTStarPlanner(robot, request.task, request.config)
-    result = planner.plan()
+    observing = bool(request.trace)
+    if observing:
+        tracer = obs.Tracer(enabled=True)
+        registry = obs.MetricsRegistry(enabled=True)
+        previous = obs.install(tracer, registry)
+    try:
+        start = time.perf_counter()
+        with obs.get_tracer().span(
+            "job", request_id=request.request_id, lanes=request.lanes
+        ):
+            if request.lanes > 1:
+                from repro.core.batch import BatchRRTStarPlanner
 
-    if request.smooth and result.success:
-        from repro.core.collision import BruteOBBChecker
-        from repro.core.smoothing import shortcut_smooth
+                planner = BatchRRTStarPlanner(
+                    robot, request.task, request.config, batch_size=request.lanes
+                )
+            else:
+                planner = RRTStarPlanner(robot, request.task, request.config)
+            result = planner.plan()
 
-        checker = BruteOBBChecker(
-            robot, request.task.environment,
-            motion_resolution=robot.step_size / 4.0,
-        )
-        smoothed, cost = shortcut_smooth(
-            result.path, checker, iterations=150, seed=request.config.seed
-        )
-        result.path = smoothed
-        result.path_cost = cost
+            if request.smooth and result.success:
+                from repro.core.collision import BruteOBBChecker
+                from repro.core.smoothing import shortcut_smooth
 
-    return response_from_result(request, result, time.perf_counter() - start)
+                checker = BruteOBBChecker(
+                    robot, request.task.environment,
+                    motion_resolution=robot.step_size / 4.0,
+                )
+                smoothed, cost = shortcut_smooth(
+                    result.path, checker, iterations=150, seed=request.config.seed
+                )
+                result.path = smoothed
+                result.path_cost = cost
+        elapsed = time.perf_counter() - start
+    finally:
+        if observing:
+            obs.restore(previous)
+
+    response = response_from_result(request, result, elapsed)
+    if observing:
+        response.trace_spans = tracer.drain()
+        response.metric_deltas = registry.to_dict()
+        response.phase_seconds = {
+            name: round(entry["total_s"], 9)
+            for name, entry in obs.aggregate_spans(
+                response.trace_spans, names=obs.PHASES
+            ).items()
+        }
+    return response
 
 
 def worker_main(worker_id: int, conn) -> None:

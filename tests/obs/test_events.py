@@ -1,0 +1,53 @@
+"""Structured JSONL event log: correlation ids, ordering, round trip."""
+
+from repro.obs.events import EventLog, new_run_id, read_events
+from repro.obs.stats import axis_summary, percentile
+
+
+class TestEventLog:
+    def test_run_id_is_short_hex(self):
+        rid = new_run_id()
+        assert len(rid) == 12
+        int(rid, 16)  # parses as hex
+
+    def test_events_carry_run_id_and_sequence(self):
+        log = EventLog(run_id="abc123abc123")
+        log.emit("batch.start", requests=3)
+        log.emit("job.done", job_id=0, status="ok")
+        first, second = list(log)
+        assert first["run_id"] == second["run_id"] == "abc123abc123"
+        assert (first["seq"], second["seq"]) == (0, 1)
+        assert first["event"] == "batch.start" and first["requests"] == 3
+        assert "ts" in first
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = EventLog()
+        log.emit("a", x=1)
+        log.emit("b", y=[1, 2])
+        path = tmp_path / "events.jsonl"
+        log.dump(path)
+        events = read_events(path)
+        assert len(events) == len(log) == 2
+        assert events[1]["y"] == [1, 2]
+
+
+class TestSharedStats:
+    def test_percentile_matches_linear_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == 2.5
+        assert percentile([], 50) is None
+
+    def test_percentile_is_the_single_shared_impl(self):
+        from repro.analysis import suite
+        from repro.obs import stats
+        from repro.service import telemetry
+
+        assert telemetry.percentile is stats.percentile
+        assert suite.percentile is stats.percentile
+
+    def test_axis_summary_shape(self):
+        summary = axis_summary([1.0, 2.0, 3.0])
+        assert set(summary) == {"p50", "p95", "mean", "max"}
+        assert summary["max"] == 3.0

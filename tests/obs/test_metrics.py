@@ -1,0 +1,174 @@
+"""Metrics registry: kinds, bucket edges, exports, cross-process merge."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    bump,
+    get_registry,
+    parse_prometheus,
+    set_registry,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates_per_labelset(self):
+        c = Counter("x_total")
+        c.inc(2, phase="sample")
+        c.inc(phase="sample")
+        c.inc(5, phase="steer")
+        assert c.value(phase="sample") == 3
+        assert c.value(phase="steer") == 5
+        assert c.value(phase="missing") == 0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x_total").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(10)
+        g.dec(3)
+        g.inc(1)
+        assert g.value() == 8
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+
+class TestHistogramBucketEdges:
+    def test_value_equal_to_bound_lands_in_that_bucket(self):
+        h = Histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.1)  # le semantics: == bound -> that bucket
+        assert h.snapshot()["counts"] == [1, 0, 0]
+
+    def test_value_just_above_bound_spills_to_next(self):
+        h = Histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.1000001)
+        assert h.snapshot()["counts"] == [0, 1, 0]
+
+    def test_value_above_top_bound_lands_in_inf(self):
+        h = Histogram("lat", buckets=(0.1, 1.0))
+        h.observe(99.0)
+        assert h.snapshot()["counts"] == [0, 0, 1]
+
+    def test_sum_and_count_track_observations(self):
+        h = Histogram("lat", buckets=(0.5,))
+        h.observe(0.25)
+        h.observe(0.75)
+        snap = h.snapshot()
+        assert snap["sum"] == pytest.approx(1.0) and snap["count"] == 2
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(0.1, 0.1))
+
+
+def golden_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("repro_x_total", "Things done")
+    c.inc(2, phase="sample")
+    c.inc(1, phase="steer")
+    reg.gauge("repro_depth").set(3)
+    h = reg.histogram("repro_lat_seconds", "Latency", buckets=(0.5, 2.0))
+    h.observe(0.25)
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg
+
+
+GOLDEN_PROM = """\
+# TYPE repro_depth gauge
+repro_depth 3
+# HELP repro_lat_seconds Latency
+# TYPE repro_lat_seconds histogram
+repro_lat_seconds_bucket{le="0.5"} 2
+repro_lat_seconds_bucket{le="2"} 2
+repro_lat_seconds_bucket{le="+Inf"} 3
+repro_lat_seconds_sum 5.75
+repro_lat_seconds_count 3
+# HELP repro_x_total Things done
+# TYPE repro_x_total counter
+repro_x_total{phase="sample"} 2
+repro_x_total{phase="steer"} 1
+"""
+
+
+class TestExports:
+    def test_golden_prometheus_text(self):
+        assert golden_registry().to_prometheus() == GOLDEN_PROM
+
+    def test_parse_prometheus_round_trip(self):
+        parsed = parse_prometheus(GOLDEN_PROM)
+        assert parsed["repro_x_total"] == [
+            ({"phase": "sample"}, 2.0),
+            ({"phase": "steer"}, 1.0),
+        ]
+        assert parsed["repro_depth"] == [({}, 3.0)]
+        # Histogram buckets come back cumulative, keyed by le.
+        assert ({"le": "+Inf"}, 3.0) in parsed["repro_lat_seconds_bucket"]
+        assert parsed["repro_lat_seconds_sum"] == [({}, 5.75)]
+
+    def test_export_picks_format_by_suffix(self, tmp_path):
+        reg = golden_registry()
+        prom, js = tmp_path / "m.prom", tmp_path / "m.json"
+        reg.export(prom)
+        reg.export(js)
+        assert prom.read_text() == GOLDEN_PROM
+        names = [m["name"] for m in json.loads(js.read_text())["metrics"]]
+        assert names == ["repro_depth", "repro_lat_seconds", "repro_x_total"]
+
+
+class TestMerge:
+    def test_merge_adds_counters_sets_gauges_adds_histograms(self):
+        a, b = golden_registry(), golden_registry()
+        b.gauge("repro_depth").set(7)
+        a.merge_dict(b.to_dict())
+        assert a.get("repro_x_total").value(phase="sample") == 4
+        assert a.get("repro_depth").value() == 7  # gauge: last write wins
+        snap = a.get("repro_lat_seconds").snapshot()
+        assert snap["count"] == 6 and snap["sum"] == pytest.approx(11.5)
+
+    def test_merge_into_empty_registry_recreates_metrics(self):
+        fresh = MetricsRegistry()
+        fresh.merge_dict(golden_registry().to_dict())
+        assert fresh.to_prometheus() == GOLDEN_PROM
+
+    def test_histogram_bucket_mismatch_raises(self):
+        a = MetricsRegistry()
+        a.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        snapshot = a.to_dict()
+        b = MetricsRegistry()
+        b.histogram("lat", buckets=(0.5,))
+        with pytest.raises(ValueError):
+            b.merge_dict(snapshot)
+
+
+class TestGlobals:
+    def test_global_registry_starts_disabled_and_bump_is_noop(self):
+        assert get_registry().enabled is False
+        bump("repro_test_noop_total")
+        assert get_registry().get("repro_test_noop_total") is None
+
+    def test_bump_records_against_enabled_registry(self):
+        previous = set_registry(MetricsRegistry(enabled=True))
+        try:
+            bump("repro_test_total", 2, kind="unit")
+            bump("repro_test_total", kind="unit")
+            assert get_registry().get("repro_test_total").value(kind="unit") == 3
+        finally:
+            set_registry(previous)

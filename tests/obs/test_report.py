@@ -1,0 +1,102 @@
+"""The ``python -m repro.obs report`` profile builder and CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main as obs_main
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import build_report, report_from_files
+from repro.obs.trace import Tracer
+from tests.obs.test_trace import FakeClock
+
+
+def synthetic_artifacts(tmp_path):
+    """One deterministic traced 'run': 2 sample + 1 collision phases."""
+    clock = FakeClock()
+    tracer = Tracer(enabled=True, clock=clock, pid=7, process_name="test")
+    for _ in range(2):
+        with tracer.span("sample"):
+            clock.tick(0.001)
+    with tracer.span("collision"):
+        clock.tick(0.003)
+    with tracer.span("plan"):  # not a phase: lands in other_spans
+        clock.tick(0.010)
+    trace_path = tmp_path / "t.json"
+    tracer.export_chrome(trace_path)
+
+    reg = MetricsRegistry()
+    macs = reg.counter("repro_phase_macs_total")
+    macs.inc(100, phase="sample")
+    macs.inc(900, phase="collision")
+    reg.counter("repro_macs_total").inc(1000, category="collision_check")
+    metrics_path = tmp_path / "m.prom"
+    reg.export(metrics_path)
+    return trace_path, metrics_path
+
+
+class TestBuildReport:
+    def test_merges_trace_time_with_metric_macs(self, tmp_path):
+        trace, metrics = synthetic_artifacts(tmp_path)
+        report = report_from_files(trace=str(trace), metrics=str(metrics))
+        rows = {p["phase"]: p for p in report["phases"]}
+        assert list(rows) == ["sample", "collision"]  # canonical phase order
+        assert rows["sample"]["calls"] == 2
+        assert rows["sample"]["total_ms"] == pytest.approx(2.0)
+        assert rows["sample"]["mean_us"] == pytest.approx(1000.0)
+        assert rows["collision"]["time_pct"] == pytest.approx(60.0)
+        assert rows["collision"]["mac_pct"] == pytest.approx(90.0)
+        assert report["other_spans"]["plan"]["calls"] == 1
+        assert report["categories"] == {"collision_check": 1000.0}
+
+    def test_metrics_alone_provide_phase_times(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("repro_phase_seconds_total").inc(0.5, phase="sample")
+        reg.counter("repro_phase_calls_total").inc(5, phase="sample")
+        path = tmp_path / "m.prom"
+        reg.export(path)
+        report = report_from_files(metrics=str(path))
+        (row,) = report["phases"]
+        assert row["phase"] == "sample"
+        assert row["total_ms"] == pytest.approx(500.0)
+        assert row["calls"] == 5
+
+    def test_json_registry_export_is_accepted(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("repro_phase_macs_total").inc(10, phase="rewire")
+        reg.histogram("repro_plan_seconds", buckets=(1.0,)).observe(0.5)
+        path = tmp_path / "m.json"
+        reg.export(path)
+        report = report_from_files(metrics=str(path))
+        assert report["phases"][0]["phase"] == "rewire"
+
+    def test_events_digest(self):
+        events = [
+            {"event": "batch.start", "run_id": "r1", "ts": 10.0},
+            {"event": "job.done", "run_id": "r1", "ts": 11.5},
+        ]
+        report = build_report(events=events)
+        assert report["events"]["count"] == 2
+        assert report["events"]["run_ids"] == ["r1"]
+        assert report["events"]["span_s"] == pytest.approx(1.5)
+        assert report["events"]["by_kind"] == {"batch.start": 1, "job.done": 1}
+
+
+class TestCli:
+    def test_report_renders_table(self, tmp_path, capsys):
+        trace, metrics = synthetic_artifacts(tmp_path)
+        assert obs_main(["report", "--trace", str(trace),
+                         "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase breakdown" in out
+        assert "collision" in out and "MACs by category" in out
+
+    def test_report_json_output(self, tmp_path, capsys):
+        trace, metrics = synthetic_artifacts(tmp_path)
+        assert obs_main(["report", "--trace", str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert {p["phase"] for p in doc["phases"]} == {"sample", "collision"}
+
+    def test_report_without_inputs_fails(self, capsys):
+        assert obs_main(["report"]) == 2
+        assert "need --trace" in capsys.readouterr().err
