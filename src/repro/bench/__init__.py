@@ -1,0 +1,286 @@
+"""``repro.bench``: kernel and end-to-end benchmark harness.
+
+Times the vectorized kernels of :mod:`repro.kernels.batch` against the
+scalar golden implementations of :mod:`repro.kernels.reference`, and whole
+planner runs with ``kernels="batch"`` against ``kernels="reference"``,
+asserting bit-identical results while measuring the speedup.
+
+Run it as ``python -m repro.bench``; results land in ``BENCH_kernels.json``
+(a stable, CI-diffable schema).  ``--check`` compares against a committed
+baseline (``benchmarks/BENCH_baseline.json``) and exits non-zero when any
+kernel's batch time regresses by more than the allowed factor, which is how
+CI guards the hot paths.  See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import moped_config
+from repro.core.robots import get_robot
+from repro.core.rrtstar import plan
+from repro.geometry.rotations import random_rotation_2d, random_rotation_3d
+from repro.kernels import batch, reference
+from repro.workloads.generator import random_task
+
+SCHEMA_VERSION = 1
+
+#: Default regression gate: fail when a kernel's batch time exceeds
+#: ``REGRESSION_FACTOR`` times its committed baseline time.
+REGRESSION_FACTOR = 2.0
+
+
+# --------------------------------------------------------------------- timing
+
+
+def _time(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _random_boxes(rng: np.random.Generator, n: int, dim: int):
+    lo = rng.uniform(0.0, 90.0, size=(n, dim))
+    hi = lo + rng.uniform(0.5, 10.0, size=(n, dim))
+    return lo, hi
+
+
+def _random_obbs(rng: np.random.Generator, n: int, dim: int):
+    centers = rng.uniform(0.0, 100.0, size=(n, dim))
+    halves = rng.uniform(0.5, 6.0, size=(n, dim))
+    make = random_rotation_2d if dim == 2 else random_rotation_3d
+    rotations = np.stack([make(rng) for _ in range(n)])
+    return centers, halves, rotations
+
+
+# -------------------------------------------------------------- kernel sweeps
+
+
+def _kernel_cases(quick: bool, rng: np.random.Generator) -> List[dict]:
+    """One entry per (kernel, dim, size) point of the sweep."""
+    grid_sizes = [(18, 32)] if quick else [(18, 8), (18, 32), (36, 48)]
+    pair_sizes = [256] if quick else [64, 256, 1024]
+    point_sizes = [1000] if quick else [1000, 5000]
+    cases: List[dict] = []
+
+    for dim in (2, 3):
+        for rows, cols in grid_sizes:
+            a_lo, a_hi = _random_boxes(rng, rows, dim)
+            b_lo, b_hi = _random_boxes(rng, cols, dim)
+            cases.append(
+                dict(kernel="aabb_aabb_grid", dim=dim, size=f"{rows}x{cols}",
+                     args=(a_lo, a_hi, b_lo, b_hi))
+            )
+            obs = _random_obbs(rng, cols, dim)
+            cases.append(
+                dict(kernel="aabb_obb_grid", dim=dim, size=f"{rows}x{cols}",
+                     args=(a_lo, a_hi) + obs)
+            )
+            bodies = _random_obbs(rng, rows, dim)
+            cases.append(
+                dict(kernel="obb_obb_grid", dim=dim, size=f"{rows}x{cols}",
+                     args=bodies + obs)
+            )
+        for pairs in pair_sizes:
+            a = _random_obbs(rng, pairs, dim)
+            b = _random_obbs(rng, pairs, dim)
+            cases.append(
+                dict(kernel="obb_obb_pairs", dim=dim, size=str(pairs), args=a + b)
+            )
+            lo, hi = _random_boxes(rng, pairs, dim)
+            cases.append(
+                dict(kernel="aabb_obb_pairs", dim=dim, size=str(pairs),
+                     args=(lo, hi) + b)
+            )
+
+    for dim in (3, 6):
+        for n in point_sizes:
+            points = rng.uniform(-3.0, 3.0, size=(n, dim))
+            query = rng.uniform(-3.0, 3.0, size=dim)
+            cases.append(
+                dict(kernel="nearest_index", dim=dim, size=str(n),
+                     args=(points, query))
+            )
+            cases.append(
+                dict(kernel="radius_mask", dim=dim, size=str(n),
+                     args=(points, query, 1.5))
+            )
+    return cases
+
+
+def _results_equal(a, b) -> bool:
+    """Golden check: exact for booleans/indices, ULP-tolerant for distances.
+
+    The SAT kernels' boolean verdicts are bit-exact by contract; the distance
+    kernels return raw floats whose vectorized accumulation order may differ
+    from the scalar loop by a few ULPs, so those compare with a tolerance.
+    """
+    if isinstance(a, tuple):
+        return len(a) == len(b) and all(_results_equal(x, y) for x, y in zip(a, b))
+    a, b = np.asarray(a), np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    if a.dtype == bool or np.issubdtype(a.dtype, np.integer):
+        return bool(np.array_equal(a, b))
+    return bool(np.allclose(a, b, rtol=1e-12, atol=1e-12))
+
+
+def bench_kernels(quick: bool = False, seed: int = 0) -> List[Dict]:
+    """Time every batch kernel against its scalar golden twin.
+
+    Each case first asserts the two backends return identical values, then
+    reports best-of-N wall times and the speedup.
+    """
+    rng = np.random.default_rng(seed)
+    repeats = 3 if quick else 7
+    records: List[Dict] = []
+    for case in _kernel_cases(quick, rng):
+        fast = getattr(batch, case["kernel"])
+        gold = getattr(reference, case["kernel"])
+        args = case["args"]
+        if not _results_equal(fast(*args), gold(*args)):
+            raise AssertionError(
+                f"batch kernel {case['kernel']} (dim={case['dim']}, "
+                f"size={case['size']}) disagrees with the scalar reference"
+            )
+        batch_s = _time(lambda: fast(*args), repeats)
+        reference_s = _time(lambda: gold(*args), repeats)
+        records.append(
+            {
+                "kernel": case["kernel"],
+                "dim": case["dim"],
+                "size": case["size"],
+                "batch_s": batch_s,
+                "reference_s": reference_s,
+                "speedup": reference_s / batch_s if batch_s > 0 else float("inf"),
+            }
+        )
+    return records
+
+
+# --------------------------------------------------------------- end to end
+
+
+#: End-to-end suite points: (label, robot, obstacles, variant).  The first
+#: entry is the paper-suite configuration the acceptance gate tracks
+#: (6-DoF rozum arm, 32 obstacles, full MOPED).
+E2E_SUITE = (
+    ("rozum/32obs/v4", "rozum", 32, "v4"),
+    ("rozum/32obs/v1", "rozum", 32, "v1"),
+    ("xarm7/32obs/v4", "xarm7", 32, "v4"),
+    ("mobile2d/16obs/v4", "mobile2d", 16, "v4"),
+)
+
+
+def bench_end_to_end(quick: bool = False, seed: int = 3) -> List[Dict]:
+    """Time full planner runs under both kernel backends.
+
+    Asserts the two backends produce bit-identical paths, costs, and
+    operation-counter totals before reporting wall times — a perf number for
+    a run that diverged would be meaningless.
+    """
+    suite = E2E_SUITE[:1] if quick else E2E_SUITE
+    samples = 200 if quick else 600
+    records: List[Dict] = []
+    for label, robot_name, num_obstacles, variant in suite:
+        task = random_task(robot_name, num_obstacles, seed=seed)
+        robot = get_robot(robot_name)
+        results, times = {}, {}
+        for backend in ("batch", "reference"):
+            config = moped_config(variant, kernels=backend, max_samples=samples, seed=5)
+            t0 = time.perf_counter()
+            results[backend] = plan(robot, task, config)
+            times[backend] = time.perf_counter() - t0
+        fast, gold = results["batch"], results["reference"]
+        same_path = len(fast.path) == len(gold.path) and all(
+            np.array_equal(a, b) for a, b in zip(fast.path, gold.path)
+        )
+        if not same_path or fast.path_cost != gold.path_cost:
+            raise AssertionError(f"{label}: batch and reference plans diverged")
+        if fast.counter.to_dict() != gold.counter.to_dict():
+            raise AssertionError(f"{label}: operation counters diverged")
+        records.append(
+            {
+                "case": label,
+                "robot": robot_name,
+                "obstacles": num_obstacles,
+                "variant": variant,
+                "max_samples": samples,
+                "batch_s": times["batch"],
+                "reference_s": times["reference"],
+                "speedup": times["reference"] / times["batch"],
+                "path_cost": fast.path_cost,
+                "num_nodes": fast.num_nodes,
+                "equivalent": True,
+            }
+        )
+    return records
+
+
+# ------------------------------------------------------------------- report
+
+
+def run_benchmarks(quick: bool = False, skip_e2e: bool = False, seed: int = 0) -> Dict:
+    """Full harness: kernel sweeps plus end-to-end planner runs."""
+    report = {
+        "schema": SCHEMA_VERSION,
+        "mode": "quick" if quick else "full",
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "kernels": bench_kernels(quick=quick, seed=seed),
+        "end_to_end": [] if skip_e2e else bench_end_to_end(quick=quick),
+    }
+    return report
+
+
+def save_report(report: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_to_baseline(
+    report: Dict,
+    baseline: Dict,
+    factor: float = REGRESSION_FACTOR,
+) -> List[str]:
+    """Regression check: returns one message per kernel slower than allowed.
+
+    A kernel regresses when its batch time exceeds ``factor`` times the
+    committed baseline's batch time for the same (kernel, dim, size) point.
+    Points missing from either report are skipped — the gate only compares
+    what both runs measured.
+    """
+    def key(entry: Dict):
+        return (entry["kernel"], entry["dim"], entry["size"])
+
+    base_index = {key(entry): entry for entry in baseline.get("kernels", [])}
+    failures: List[str] = []
+    for entry in report.get("kernels", []):
+        base = base_index.get(key(entry))
+        if base is None:
+            continue
+        if entry["batch_s"] > factor * base["batch_s"]:
+            failures.append(
+                f"{entry['kernel']} dim={entry['dim']} size={entry['size']}: "
+                f"{entry['batch_s']:.6f}s vs baseline {base['batch_s']:.6f}s "
+                f"(> {factor:.1f}x)"
+            )
+    return failures

@@ -1,0 +1,89 @@
+"""CLI for the benchmark harness: ``python -m repro.bench``.
+
+Writes ``BENCH_kernels.json`` (see :mod:`repro.bench` for the schema) and,
+with ``--check``, gates against the committed baseline so CI fails when a
+kernel's batch time regresses beyond the allowed factor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import (
+    REGRESSION_FACTOR,
+    compare_to_baseline,
+    load_report,
+    run_benchmarks,
+    save_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark batch kernels and planner runs against the scalar reference.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sweep + single end-to-end case (the CI smoke mode)",
+    )
+    parser.add_argument(
+        "--skip-e2e", action="store_true",
+        help="kernel microbenchmarks only, no full planner runs",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_kernels.json",
+        help="where to write the JSON report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against --baseline and exit 1 on kernel regressions",
+    )
+    parser.add_argument(
+        "--baseline", default="benchmarks/BENCH_baseline.json",
+        help="committed baseline report for --check (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=REGRESSION_FACTOR,
+        help="allowed slowdown factor vs baseline (default: %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="data-generation seed")
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(quick=args.quick, skip_e2e=args.skip_e2e, seed=args.seed)
+    save_report(report, args.output)
+
+    print(f"wrote {args.output} ({report['mode']} mode)")
+    for entry in report["kernels"]:
+        print(
+            f"  kernel {entry['kernel']:16s} dim={entry['dim']} "
+            f"size={entry['size']:>9s}  batch={entry['batch_s'] * 1e6:9.1f}us "
+            f"reference={entry['reference_s'] * 1e6:10.1f}us  "
+            f"speedup={entry['speedup']:6.1f}x"
+        )
+    for entry in report["end_to_end"]:
+        print(
+            f"  e2e    {entry['case']:22s} batch={entry['batch_s']:.2f}s "
+            f"reference={entry['reference_s']:.2f}s  "
+            f"speedup={entry['speedup']:.2f}x  (bit-identical: {entry['equivalent']})"
+        )
+
+    if args.check:
+        try:
+            baseline = load_report(args.baseline)
+        except FileNotFoundError:
+            print(f"baseline {args.baseline} not found; cannot --check", file=sys.stderr)
+            return 2
+        failures = compare_to_baseline(report, baseline, factor=args.factor)
+        if failures:
+            print("kernel perf regressions detected:", file=sys.stderr)
+            for message in failures:
+                print(f"  {message}", file=sys.stderr)
+            return 1
+        print(f"perf check passed (no kernel > {args.factor:.1f}x slower than baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,6 +44,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--variant", default="full", choices=VARIANTS,
                         help="MOPED ablation variant or 'baseline'")
     parser.add_argument("--goal-bias", type=float, default=0.1)
+    parser.add_argument("--kernels", default="batch", choices=("batch", "reference"),
+                        help="collision kernel backend: vectorized 'batch' "
+                             "(default) or the scalar 'reference' baseline; "
+                             "both give bit-identical plans")
     parser.add_argument("--task", default=None, help="plan a task from this JSON file")
     parser.add_argument("--out", default=None, help="write the result JSON here")
     parser.add_argument("--smooth", action="store_true",
@@ -168,6 +172,7 @@ def main(argv: Optional[list] = None) -> int:
         max_samples=args.samples,
         seed=args.seed,
         goal_bias=args.goal_bias,
+        kernels=args.kernels,
     )
     result = RRTStarPlanner(robot, task, config).plan()
     if observing:

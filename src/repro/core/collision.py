@@ -22,27 +22,66 @@ All checkers share one interface: ``config_in_collision`` for a single
 configuration and ``motion_in_collision`` for a movement, which walks the
 interpolated configurations from the tree side so collisions are found with
 the fewest checks.
+
+Kernel backends
+---------------
+
+Each checker runs on one of two interchangeable backends
+(:data:`repro.kernels.KERNEL_BACKENDS`):
+
+* ``"reference"`` — the original scalar code path: one Python-level SAT
+  call per (configuration, body, obstacle), early-exiting exactly where the
+  hardware would.
+* ``"batch"`` (default) — the geometry for a whole movement (every
+  interpolated waypoint x every body x every obstacle) is evaluated in a
+  few stacked ndarray passes (:mod:`repro.kernels.batch`), and the scalar
+  control flow is then *replayed* over the precomputed boolean masks.  The
+  replay visits checks in the scalar order and stops at the scalar early
+  exits, recording aggregated :class:`~repro.core.counters.OpCounter`
+  events — so decisions *and* operation counts are bit-identical to the
+  reference backend while the arithmetic runs at ndarray speed.
+
+The occupancy-grid checker's inner loop is already an ndarray pass per
+body, so it has no separate batch path.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.robots import RobotModel
 from repro.core.world import Environment
 from repro.geometry.motion import interpolate_configs
+from repro.kernels import KERNEL_BACKENDS, batch as kernels_batch
+from repro.kernels.tensors import BodyBatch
 from repro.obs import bump
 from repro.geometry.obb import OBB
 from repro.geometry.sat import aabb_intersects_obb, obb_intersects_obb
 
 
 class CollisionChecker:
-    """Base class wiring a robot model to an environment."""
+    """Base class wiring a robot model to an environment.
 
-    def __init__(self, robot: RobotModel, environment: Environment, motion_resolution: float):
+    Args:
+        kernels: ``"batch"`` evaluates movement checks through the
+            vectorized kernels with exact count replay; ``"reference"``
+            keeps the original scalar per-object loops.
+    """
+
+    #: Subclasses with a vectorized movement check set this True; others
+    #: (the grid checker) always run the scalar per-configuration loop.
+    _has_batch_kernels = False
+
+    def __init__(
+        self,
+        robot: RobotModel,
+        environment: Environment,
+        motion_resolution: float,
+        kernels: str = "batch",
+    ):
         if robot.workspace_dim != environment.workspace_dim:
             raise ValueError(
                 f"robot workspace dim {robot.workspace_dim} != "
@@ -50,13 +89,19 @@ class CollisionChecker:
             )
         if motion_resolution <= 0:
             raise ValueError("motion_resolution must be positive")
+        if kernels not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend {kernels!r}; available: {KERNEL_BACKENDS}"
+            )
         self.robot = robot
         self.environment = environment
         self.motion_resolution = motion_resolution
+        self.kernels = kernels
 
     def config_in_collision(self, config: np.ndarray, counter=None) -> bool:
         """True when the robot at ``config`` intersects any obstacle."""
-        raise NotImplementedError
+        config = np.asarray(config, dtype=float)
+        return self._check_configs(config[None, :], counter)
 
     def motion_in_collision(self, start: np.ndarray, end: np.ndarray, counter=None) -> bool:
         """True when the movement from ``start`` to ``end`` hits an obstacle.
@@ -67,16 +112,63 @@ class CollisionChecker:
         """
         bump("repro_cc_motion_checks_total",
              help="Motion (edge) collision queries issued")
-        for config in interpolate_configs(start, end, self.motion_resolution):
-            if self.config_in_collision(config, counter=counter):
+        configs = interpolate_configs(start, end, self.motion_resolution)
+        return self._check_configs(configs, counter)
+
+    # ----------------------------------------------------------- dispatch
+
+    def _check_configs(self, configs: np.ndarray, counter) -> bool:
+        """Collision verdict over ordered configurations (first hit wins).
+
+        The batch path computes every waypoint's geometry wholesale, then
+        replays the scalar waypoint/body/obstacle iteration over the masks;
+        configurations past the first colliding one therefore contribute no
+        counter events, exactly like the scalar early exit.
+        """
+        if (
+            self.kernels == "batch"
+            and self._has_batch_kernels
+            and self.environment.num_obstacles
+        ):
+            bodies = BodyBatch.from_frames(*self.robot.body_frames_batch(configs))
+            return self._batch_check(bodies, counter)
+        for config in configs:
+            if self._config_scalar(config, counter):
                 return True
         return False
+
+    def _config_scalar(self, config: np.ndarray, counter) -> bool:
+        """Scalar single-configuration check (the reference code path)."""
+        raise NotImplementedError
+
+    def _batch_check(self, bodies: BodyBatch, counter) -> bool:
+        """Vectorized check over a :class:`BodyBatch` of waypoint rows."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _replay_flat(mask: np.ndarray, kind: str, dim: int, counter) -> bool:
+        """Replay a scalar early-exit scan over a flattened boolean mask.
+
+        ``mask`` rows follow the scalar iteration order (row-major over the
+        (configuration, body, obstacle) nest).  The scalar loop records one
+        ``kind`` event per test and returns at the first hit; the replay
+        records the same number of events in one aggregated call.
+        """
+        flat = mask.ravel()
+        hit = bool(flat.any())
+        if counter is not None:
+            n = int(np.argmax(flat)) + 1 if hit else flat.size
+            if n:
+                counter.record(kind, dim=dim, n=n)
+        return hit
 
 
 class BruteOBBChecker(CollisionChecker):
     """Exhaustive OBB-OBB checking (vanilla RRT\\*)."""
 
-    def config_in_collision(self, config: np.ndarray, counter=None) -> bool:
+    _has_batch_kernels = True
+
+    def _config_scalar(self, config: np.ndarray, counter) -> bool:
         dim = self.environment.workspace_dim
         for body in self.robot.body_obbs(config):
             for obstacle in self.environment.obstacles:
@@ -86,6 +178,16 @@ class BruteOBBChecker(CollisionChecker):
                     return True
         return False
 
+    def _batch_check(self, bodies: BodyBatch, counter) -> bool:
+        obs = self.environment.obstacle_tensors
+        mask = kernels_batch.obb_obb_grid(
+            bodies.centers, bodies.half_extents, bodies.rotations,
+            obs.centers, obs.half_extents, obs.rotations,
+        )
+        # The scalar nest iterates waypoint-major, body-minor, obstacle-
+        # innermost: exactly the row-major flattening of ``mask``.
+        return self._replay_flat(mask, "sat_obb_obb", obs.dim, counter)
+
 
 class BruteAABBChecker(CollisionChecker):
     """Exhaustive AABB-OBB checking with AABB-represented obstacles.
@@ -94,7 +196,9 @@ class BruteAABBChecker(CollisionChecker):
     obstacles, so it may flag collision-free movements as colliding.
     """
 
-    def config_in_collision(self, config: np.ndarray, counter=None) -> bool:
+    _has_batch_kernels = True
+
+    def _config_scalar(self, config: np.ndarray, counter) -> bool:
         dim = self.environment.workspace_dim
         for body in self.robot.body_obbs(config):
             for box in self.environment.obstacle_aabbs:
@@ -103,6 +207,14 @@ class BruteAABBChecker(CollisionChecker):
                 if aabb_intersects_obb(box, body):
                     return True
         return False
+
+    def _batch_check(self, bodies: BodyBatch, counter) -> bool:
+        obs = self.environment.obstacle_tensors
+        mask = kernels_batch.aabb_obb_grid(
+            obs.aabb_lo, obs.aabb_hi,
+            bodies.centers, bodies.half_extents, bodies.rotations,
+        )
+        return self._replay_flat(mask, "sat_aabb_obb", obs.dim, counter)
 
 
 class TwoStageChecker(CollisionChecker):
@@ -115,7 +227,15 @@ class TwoStageChecker(CollisionChecker):
     With ``fine_stage=False`` the checker stops after the first stage and
     treats every surviving candidate as a collision — the AABB-only MOPED
     variant of Fig 18 (right).
+
+    The batch backend keeps the funnel: stage-1 masks are computed for
+    every (waypoint row, R-tree unit) pair in two stacked passes, but the
+    exact OBB-OBB SAT is evaluated *only* for the (row, obstacle) pairs
+    whose leaf entry passes both stage-1 masks — the same pairs the scalar
+    traversal would forward to the second stage.
     """
+
+    _has_batch_kernels = True
 
     def __init__(
         self,
@@ -123,12 +243,13 @@ class TwoStageChecker(CollisionChecker):
         environment: Environment,
         motion_resolution: float,
         fine_stage: bool = True,
+        kernels: str = "batch",
     ):
-        super().__init__(robot, environment, motion_resolution)
+        super().__init__(robot, environment, motion_resolution, kernels=kernels)
         self.fine_stage = fine_stage
         self._rtree = environment.rtree
 
-    def config_in_collision(self, config: np.ndarray, counter=None) -> bool:
+    def _config_scalar(self, config: np.ndarray, counter) -> bool:
         dim = self.environment.workspace_dim
         for body in self.robot.body_obbs(config):
             if counter is not None:
@@ -156,6 +277,97 @@ class TwoStageChecker(CollisionChecker):
                     return True
         return False
 
+    def _stage2_hits(self, bodies: BodyBatch, entry_pass: np.ndarray) -> np.ndarray:
+        """Exact OBB-OBB verdicts for the stage-1 surviving (row, obstacle)
+        pairs, scattered back into an ``(R, M)`` boolean matrix."""
+        obs = self.environment.obstacle_tensors
+        hits = np.zeros(entry_pass.shape, dtype=bool)
+        rows, cols = np.nonzero(entry_pass)
+        if rows.size:
+            hits[rows, cols] = kernels_batch.obb_obb_pairs(
+                bodies.centers[rows], bodies.half_extents[rows],
+                bodies.rotations[rows],
+                obs.centers[cols], obs.half_extents[cols], obs.rotations[cols],
+            )
+        return hits
+
+    def _batch_check(self, bodies: BodyBatch, counter) -> bool:
+        env = self.environment
+        ftree = env.flat_rtree
+        dim = env.workspace_dim
+        lo, hi = bodies.aabb_corners()
+        # Stage-1 masks against every traversal unit (node MBRs, then leaf
+        # entry boxes) in two stacked passes, then the per-row traversal
+        # statistics via ndarray reductions over the static tree structure.
+        aabb_mask = kernels_batch.aabb_aabb_grid(lo, hi, ftree.unit_lo, ftree.unit_hi)
+        obb_mask = kernels_batch.aabb_obb_grid(
+            ftree.unit_lo, ftree.unit_hi,
+            bodies.centers, bodies.half_extents, bodies.rotations,
+        )
+        split = ftree.num_nodes
+        n_aabb, n_obb, candidates = ftree.batch_query_counts(
+            aabb_mask[:, :split], obb_mask[:, :split],
+            aabb_mask[:, split:], obb_mask[:, split:],
+        )
+        survivors = candidates.sum(axis=1)
+
+        if not self.fine_stage:
+            # A row with any surviving candidate is a collision; rows after
+            # the first such row are never reached by the scalar loop.
+            hit_rows = survivors > 0
+            hit = bool(hit_rows.any())
+            done = int(np.argmax(hit_rows)) + 1 if hit else bodies.rows
+            self._record_stage1(counter, dim, done, n_aabb, n_obb, survivors)
+            return hit
+
+        # Second stage, funnelled: the exact SAT runs only on the candidate
+        # pairs.  Columns are then permuted into the traversal's static
+        # visit order so per-row early-exit counts are cumulative sums.
+        stage2 = self._stage2_hits(bodies, candidates)
+        order = ftree.entry_order
+        cand_ord = candidates[:, order]
+        hits_ord = stage2[:, order]
+        row_hit = hits_ord.any(axis=1)
+        hit = bool(row_hit.any())
+        if hit:
+            row = int(np.argmax(row_hit))
+            done = row + 1
+            # Checks in the hitting row stop at the hitting candidate; the
+            # candidate's position in visit order is its cumulative count.
+            first = int(np.argmax(hits_ord[row]))
+            checks = int(survivors[:row].sum()) + int(
+                np.count_nonzero(cand_ord[row, : first + 1])
+            )
+        else:
+            done = bodies.rows
+            checks = int(survivors.sum())
+        self._record_stage1(counter, dim, done, n_aabb, n_obb, survivors)
+        if checks:
+            if counter is not None:
+                counter.record("sat_obb_obb", dim=dim, n=checks)
+            bump("repro_cc_stage2_checks_total", checks,
+                 help="Exact OBB-OBB checks run in the second stage")
+        return hit
+
+    @staticmethod
+    def _record_stage1(counter, dim: int, done: int, n_aabb, n_obb, survivors) -> None:
+        """Record the stage-1 work of the first ``done`` rows (the rows the
+        scalar loop processes before returning)."""
+        if counter is not None:
+            counter.record("aabb_derive", dim=dim, n=done)
+            total_aabb = int(n_aabb[:done].sum())
+            if total_aabb:
+                counter.record("sat_aabb_aabb", dim=dim, n=total_aabb)
+            total_obb = int(n_obb[:done].sum())
+            if total_obb:
+                counter.record("sat_aabb_obb", dim=dim, n=total_obb)
+        bump("repro_cc_stage1_queries_total", done,
+             help="Two-stage first-stage (R-tree AABB filter) queries")
+        total_survivors = int(survivors[:done].sum())
+        if total_survivors:
+            bump("repro_cc_stage1_survivors_total", total_survivors,
+                 help="Obstacles surviving the first-stage AABB filter")
+
 
 class OccupancyGridChecker(CollisionChecker):
     """CODAcc-style occupancy-grid checking (baseline of Section V-B).
@@ -179,12 +391,17 @@ class OccupancyGridChecker(CollisionChecker):
         environment: Environment,
         motion_resolution: float,
         resolution: float = 1.0,
+        kernels: str = "batch",
     ):
-        super().__init__(robot, environment, motion_resolution)
+        super().__init__(robot, environment, motion_resolution, kernels=kernels)
         if resolution <= 0:
             raise ValueError("resolution must be positive")
         self.resolution = resolution
         self._cells = int(math.ceil(environment.size / resolution))
+        # Cell-centre coordinates per axis, computed once for the whole
+        # obstacle batch (and reused by every query); rasterisation slices
+        # this instead of rebuilding per-obstacle centre grids.
+        self._axis_centers = (np.arange(self._cells) + 0.5) * resolution
         shape = (self._cells,) * environment.workspace_dim
         self.grid = np.zeros(shape, dtype=bool)
         for obstacle in environment.obstacles:
@@ -195,26 +412,24 @@ class OccupancyGridChecker(CollisionChecker):
         """Grid storage at one bit per cell."""
         return int(math.ceil(self.grid.size / 8))
 
-    def _cell_centers(self, box) -> Optional[List[np.ndarray]]:
-        """Integer cell index ranges covering an AABB, clipped to the grid."""
-        lo_idx = np.floor(box.lo / self.resolution).astype(int)
-        hi_idx = np.ceil(box.hi / self.resolution).astype(int)
-        lo_idx = np.clip(lo_idx, 0, self._cells)
-        hi_idx = np.clip(hi_idx, 0, self._cells)
+    def _index_range(self, box) -> Optional[Tuple[slice, ...]]:
+        """Grid index slices covering an AABB, clipped to the workspace."""
+        lo_idx = np.clip(np.floor(box.lo / self.resolution).astype(int), 0, self._cells)
+        hi_idx = np.clip(np.ceil(box.hi / self.resolution).astype(int), 0, self._cells)
         if np.any(lo_idx >= hi_idx):
             return None
-        axes = [np.arange(lo_idx[d], hi_idx[d]) for d in range(box.dim)]
-        return axes
+        return tuple(slice(int(lo_idx[d]), int(hi_idx[d])) for d in range(box.dim))
 
-    def _covered_cells(self, obb: OBB):
-        """Indices and centre points of grid cells inside the OBB's AABB."""
-        axes = self._cell_centers(obb.to_aabb())
-        if axes is None:
-            return None, None
-        mesh = np.meshgrid(*axes, indexing="ij")
-        idx = np.stack([m.ravel() for m in mesh], axis=1)
-        centers = (idx + 0.5) * self.resolution
-        return idx, centers
+    def _region_inside(self, region: Tuple[slice, ...], obb: OBB, pad: float = 0.0):
+        """Mask of region cells whose centres fall inside the (padded) OBB.
+
+        Returned flat (C-order raveled over the region), matching how
+        ``grid[region]`` ravels.
+        """
+        mesh = np.meshgrid(*(self._axis_centers[s] for s in region), indexing="ij")
+        centers = np.stack([m.ravel() for m in mesh], axis=1)
+        local = (centers - obb.center) @ obb.rotation
+        return np.all(np.abs(local) <= obb.half_extents + pad, axis=1)
 
     def _rasterise(self, obstacle: OBB) -> None:
         """Mark every cell whose centre region intersects ``obstacle``.
@@ -222,27 +437,25 @@ class OccupancyGridChecker(CollisionChecker):
         Cells are tested at their centres with the obstacle's half-extents
         padded by half a cell diagonal, a conservative cover.
         """
-        idx, centers = self._covered_cells(obstacle)
-        if idx is None:
+        region = self._index_range(obstacle.to_aabb())
+        if region is None:
             return
         pad = 0.5 * self.resolution * math.sqrt(obstacle.dim)
-        local = (centers - obstacle.center) @ obstacle.rotation
-        inside = np.all(np.abs(local) <= obstacle.half_extents + pad, axis=1)
-        occupied = idx[inside]
-        if occupied.size:
-            self.grid[tuple(occupied.T)] = True
+        inside = self._region_inside(region, obstacle, pad=pad)
+        self.grid[region] |= inside.reshape(self.grid[region].shape)
 
-    def config_in_collision(self, config: np.ndarray, counter=None) -> bool:
+    def _config_scalar(self, config: np.ndarray, counter) -> bool:
         for body in self.robot.body_obbs(config):
-            idx, centers = self._covered_cells(body)
-            if idx is None:
+            region = self._index_range(body.to_aabb())
+            if region is None:
                 continue
-            local = (centers - body.center) @ body.rotation
-            inside = np.all(np.abs(local) <= body.half_extents, axis=1)
-            probes = idx[inside]
-            if counter is not None and len(probes):
-                counter.record("grid_lookup", dim=self.environment.workspace_dim, n=len(probes))
-            if len(probes) and bool(np.any(self.grid[tuple(probes.T)])):
+            inside = self._region_inside(region, body)
+            probes = int(np.count_nonzero(inside))
+            if counter is not None and probes:
+                counter.record(
+                    "grid_lookup", dim=self.environment.workspace_dim, n=probes
+                )
+            if probes and bool(np.any(self.grid[region].reshape(-1)[inside])):
                 return True
         return False
 

@@ -36,6 +36,11 @@ class PlannerConfig:
             False degrades RRT\\* to plain RRT — the paper notes MOPED's
             optimisations apply to the whole RRT family (Section VI).
         checker: ``"obb"`` | ``"aabb"`` | ``"two_stage"`` | ``"grid"``.
+        kernels: collision kernel backend — ``"batch"`` (vectorized ndarray
+            kernels with bit-exact count replay, the default) or
+            ``"reference"`` (the original scalar per-object loops).  Both
+            produce identical plans and identical operation counts; the
+            reference backend exists as the equivalence/benchmark baseline.
         fine_stage: second-stage OBB-OBB refinement for the two-stage
             checker (off = the AABB-only MOPED of Fig 18 right).
         neighbor_strategy: ``"brute"`` | ``"kd"`` | ``"simbr"``.
@@ -69,6 +74,7 @@ class PlannerConfig:
     neighbor_radius_factor: float = 2.0
     rewire: bool = True
     checker: str = "obb"
+    kernels: str = "batch"
     fine_stage: bool = True
     neighbor_strategy: str = "brute"
     approx_neighborhood: bool = False
@@ -91,6 +97,10 @@ class PlannerConfig:
             raise ValueError("neighbor_radius_factor must be positive")
         if self.speculation_depth < 0:
             raise ValueError("speculation_depth must be >= 0")
+        if self.kernels not in ("batch", "reference"):
+            raise ValueError(
+                f"kernels must be 'batch' or 'reference', got {self.kernels!r}"
+            )
 
     def resolved_step(self, robot_step: float) -> float:
         """Steering step after applying the robot default."""

@@ -194,9 +194,9 @@ class SIMBRStrategy(NeighborStrategy):
             query=query,
             radius=radius,
         )
+        if counter is not None and siblings:
+            counter.record("dist", dim=self._tree.dim, n=len(siblings))
         for key, point in siblings:
-            if counter is not None:
-                counter.record("dist", dim=self._tree.dim)
             dist = float(np.linalg.norm(point - query))
             if dist <= radius:
                 out.append((key, point, dist))

@@ -24,7 +24,14 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.geometry.obb import OBB
-from repro.geometry.rotations import rotation_2d, rotation_about_axis, rotation_from_euler
+from repro.geometry.rotations import (
+    rotation_2d,
+    rotation_about_axis,
+    rotation_from_euler,
+    rotations_2d_batch,
+    rotations_about_axes_batch,
+    rotations_from_euler_batch,
+)
 
 WORKSPACE_SIZE = 300.0  # Section V: 300x300(x300) workspace.
 
@@ -70,6 +77,7 @@ class RobotModel:
     step_size: float
     body_fn: Callable[[np.ndarray], List[OBB]]
     num_body_obbs: int
+    batch_body_fn: Optional[Callable[[np.ndarray], tuple]] = None
 
     def body_obbs(self, config: np.ndarray) -> List[OBB]:
         """Workspace OBBs of the robot body at ``config``."""
@@ -77,6 +85,35 @@ class RobotModel:
         if config.shape != (self.dof,):
             raise ValueError(f"{self.name} expects {self.dof}-dim configs, got {config.shape}")
         return self.body_fn(config)
+
+    def body_frames_batch(self, configs: np.ndarray) -> tuple:
+        """Body OBB frames for a whole batch of configurations at once.
+
+        Returns ``(centers, half_extents, rotations)`` with shapes
+        ``(k, B, wd)``, ``(k, B, wd)``, ``(k, B, wd, wd)`` for ``k`` input
+        configurations and ``B = num_body_obbs`` bodies — the tensor form
+        the batch collision kernels consume.  Robots with a vectorized
+        forward-kinematics implementation (``batch_body_fn``) evaluate every
+        configuration in one ndarray pass; the generic fallback stacks
+        per-configuration :meth:`body_obbs` results.
+        """
+        configs = np.asarray(configs, dtype=float)
+        if configs.ndim != 2 or configs.shape[1] != self.dof:
+            raise ValueError(
+                f"{self.name} expects (k, {self.dof}) config batches, got {configs.shape}"
+            )
+        if self.batch_body_fn is not None:
+            return self.batch_body_fn(configs)
+        k, b, d = configs.shape[0], self.num_body_obbs, self.workspace_dim
+        centers = np.empty((k, b, d))
+        halves = np.empty((k, b, d))
+        rotations = np.empty((k, b, d, d))
+        for i in range(k):
+            for j, obb in enumerate(self.body_fn(configs[i])):
+                centers[i, j] = obb.center
+                halves[i, j] = obb.half_extents
+                rotations[i, j] = obb.rotation
+        return centers, halves, rotations
 
     def clip(self, config: np.ndarray) -> np.ndarray:
         """Clamp a configuration into the sampling bounds."""
@@ -86,9 +123,20 @@ class RobotModel:
 # --------------------------------------------------------------------- mobile
 
 
+_MOBILE2D_HALF = np.array([8.0, 5.0])
+
+
 def _mobile2d_body(config: np.ndarray) -> List[OBB]:
     x, y, theta = config
-    return [OBB(np.array([x, y]), np.array([8.0, 5.0]), rotation_2d(theta))]
+    return [OBB(np.array([x, y]), _MOBILE2D_HALF.copy(), rotation_2d(theta))]
+
+
+def _mobile2d_body_batch(configs: np.ndarray) -> tuple:
+    k = configs.shape[0]
+    centers = configs[:, None, :2].copy()
+    halves = np.broadcast_to(_MOBILE2D_HALF, (k, 1, 2))
+    rotations = rotations_2d_batch(configs[:, 2])[:, None]
+    return centers, halves, rotations
 
 
 def make_mobile2d() -> RobotModel:
@@ -103,16 +151,30 @@ def make_mobile2d() -> RobotModel:
         step_size=15.0,
         body_fn=_mobile2d_body,
         num_body_obbs=1,
+        batch_body_fn=_mobile2d_body_batch,
     )
 
 
 # ---------------------------------------------------------------------- drone
 
 
+_DRONE3D_HALF = np.array([7.0, 7.0, 2.5])
+
+
 def _drone3d_body(config: np.ndarray) -> List[OBB]:
     x, y, z, yaw, pitch, roll = config
     rot = rotation_from_euler(yaw, pitch, roll)
-    return [OBB(np.array([x, y, z]), np.array([7.0, 7.0, 2.5]), rot)]
+    return [OBB(np.array([x, y, z]), _DRONE3D_HALF.copy(), rot)]
+
+
+def _drone3d_body_batch(configs: np.ndarray) -> tuple:
+    k = configs.shape[0]
+    centers = configs[:, None, :3].copy()
+    halves = np.broadcast_to(_DRONE3D_HALF, (k, 1, 3))
+    rotations = rotations_from_euler_batch(
+        configs[:, 3], configs[:, 4], configs[:, 5]
+    )[:, None]
+    return centers, halves, rotations
 
 
 def make_drone3d() -> RobotModel:
@@ -128,6 +190,7 @@ def make_drone3d() -> RobotModel:
         step_size=15.0,
         body_fn=_drone3d_body,
         num_body_obbs=1,
+        batch_body_fn=_drone3d_body_batch,
     )
 
 
@@ -167,6 +230,52 @@ def _arm_body_fn(
     return body
 
 
+def _arm_batch_body_fn(
+    links: Sequence[LinkSpec], base: np.ndarray
+) -> Callable[[np.ndarray], tuple]:
+    """Vectorized forward kinematics over a batch of configurations.
+
+    Same frame recursion as :func:`_arm_body_fn`, evaluated for all ``k``
+    configurations at once: per link, the ``k`` joint rotations come from
+    one Rodrigues pass and compose via a batched matrix product; the link
+    direction is ``length`` times the composed frame's first column (the
+    scalar path's ``R @ [length, 0, 0]``).
+    """
+    half_rows = [
+        np.array([link.length / 2.0, link.half_width, link.half_width])
+        for link in links
+        if link.half_width is not None
+    ]
+    halves_matrix = np.stack(half_rows)
+    axes_matrix = np.stack([link.axis for link in links])
+
+    def body(configs: np.ndarray) -> tuple:
+        k = configs.shape[0]
+        rotation = np.broadcast_to(np.eye(3), (k, 3, 3))
+        position = np.broadcast_to(base, (k, 3))
+        centers, rotations = [], []
+        # One Rodrigues pass builds every joint step for every config; the
+        # frame chain itself stays a serial product over links.
+        steps = rotations_about_axes_batch(axes_matrix, configs)
+        for i, link in enumerate(links):
+            # Stacked matmul runs the same per-slice kernel as the scalar
+            # path's ``rotation @ step``, keeping the frames bit-identical.
+            rotation = rotation @ steps[:, i]
+            direction = rotation[:, :, 0] * link.length
+            midpoint = position + 0.5 * direction
+            if link.half_width is not None:
+                centers.append(midpoint)
+                rotations.append(rotation)
+            position = position + direction
+        return (
+            np.stack(centers, axis=1),
+            np.broadcast_to(halves_matrix, (k,) + halves_matrix.shape),
+            np.stack(rotations, axis=1),
+        )
+
+    return body
+
+
 _ARM_BASE = np.array([WORKSPACE_SIZE / 2, WORKSPACE_SIZE / 2, 20.0])
 _Z = np.array([0.0, 0.0, 1.0])
 _Y = np.array([0.0, 1.0, 0.0])
@@ -192,6 +301,7 @@ def make_viperx300() -> RobotModel:
         config_hi=np.full(5, bound),
         step_size=0.35,
         body_fn=_arm_body_fn(links, _ARM_BASE),
+        batch_body_fn=_arm_batch_body_fn(links, _ARM_BASE),
         num_body_obbs=3,
     )
 
@@ -216,6 +326,7 @@ def make_rozum() -> RobotModel:
         config_hi=np.full(6, bound),
         step_size=0.35,
         body_fn=_arm_body_fn(links, _ARM_BASE),
+        batch_body_fn=_arm_batch_body_fn(links, _ARM_BASE),
         num_body_obbs=4,
     )
 
@@ -241,6 +352,7 @@ def make_xarm7() -> RobotModel:
         config_hi=np.full(7, bound),
         step_size=0.35,
         body_fn=_arm_body_fn(links, _ARM_BASE),
+        batch_body_fn=_arm_batch_body_fn(links, _ARM_BASE),
         num_body_obbs=7,
     )
 

@@ -57,7 +57,7 @@ class RRTStarPlanner:
         self.step = config.resolved_step(robot.step_size)
         self.goal_tolerance = config.resolved_goal_tolerance(robot.step_size)
         resolution = config.resolved_motion_resolution(robot.step_size)
-        checker_kwargs = {}
+        checker_kwargs = {"kernels": config.kernels}
         if config.checker == "two_stage":
             checker_kwargs["fine_stage"] = config.fine_stage
         self.checker = make_checker(

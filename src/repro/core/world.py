@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.geometry.aabb import AABB
 from repro.geometry.obb import OBB
+from repro.kernels.tensors import FlatRTree, ObstacleTensors
 from repro.spatial.rtree import RTree
 
 
@@ -58,6 +59,23 @@ class Environment:
     def rtree(self) -> RTree:
         """STR-packed R-tree over the obstacle AABBs (built offline)."""
         return RTree(self.obstacle_aabbs)
+
+    @cached_property
+    def obstacle_tensors(self) -> ObstacleTensors:
+        """Obstacles stacked into the batch-kernel tensor form.
+
+        Built once per environment (like :attr:`rtree`) so every motion
+        check reads the same contiguous arrays; the AABB rows reuse
+        :attr:`obstacle_aabbs` verbatim.
+        """
+        return ObstacleTensors.from_obbs(
+            self.obstacles, aabbs=self.obstacle_aabbs, dim=self.workspace_dim
+        )
+
+    @cached_property
+    def flat_rtree(self) -> FlatRTree:
+        """Index-addressed export of :attr:`rtree` for the batch checker."""
+        return FlatRTree.from_rtree(self.rtree)
 
     @property
     def num_obstacles(self) -> int:

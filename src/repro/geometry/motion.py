@@ -5,11 +5,19 @@ entire movement course* (Section II-C), not just at its endpoints.  Like the
 paper's checker, we discretise the configuration-space segment between two
 configurations at a fixed resolution and check the robot's body boxes at
 every intermediate configuration.
+
+The planner issues one motion check per sampling round (plus one per
+choose-parent / rewire candidate), and the steering step bounds segment
+lengths, so the same waypoint counts recur constantly.  The interpolation
+parameters for a given step count are therefore computed once and cached
+(:func:`unit_fractions`); the arrays are marked read-only so a cached row
+can never be corrupted by a caller.
 """
 
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 import numpy as np
 
@@ -28,6 +36,17 @@ def motion_steps(start: np.ndarray, end: np.ndarray, resolution: float) -> int:
     return max(1, int(math.ceil(dist / resolution)))
 
 
+@lru_cache(maxsize=512)
+def unit_fractions(steps: int) -> np.ndarray:
+    """Cached ``linspace(0, 1, steps + 1)`` for a movement of ``steps`` steps.
+
+    Returned arrays are shared across calls and frozen read-only.
+    """
+    fractions = np.linspace(0.0, 1.0, steps + 1)
+    fractions.flags.writeable = False
+    return fractions
+
+
 def interpolate_configs(start: np.ndarray, end: np.ndarray, resolution: float) -> np.ndarray:
     """Configurations along the straight C-space segment from start to end.
 
@@ -40,5 +59,5 @@ def interpolate_configs(start: np.ndarray, end: np.ndarray, resolution: float) -
     if start.shape != end.shape:
         raise ValueError("configuration shapes must match")
     steps = motion_steps(start, end, resolution)
-    fractions = np.linspace(0.0, 1.0, steps + 1)
+    fractions = unit_fractions(steps)
     return start[None, :] + fractions[:, None] * (end - start)[None, :]

@@ -59,6 +59,108 @@ def rotation_about_axis(axis: np.ndarray, angle: float) -> np.ndarray:
     )
 
 
+def rotations_2d_batch(thetas: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`rotation_2d`: ``(k,)`` angles to ``(k, 2, 2)``."""
+    thetas = np.asarray(thetas, dtype=float)
+    c, s = np.cos(thetas), np.sin(thetas)
+    out = np.empty(thetas.shape + (2, 2))
+    out[..., 0, 0] = c
+    out[..., 0, 1] = -s
+    out[..., 1, 0] = s
+    out[..., 1, 1] = c
+    return out
+
+
+def rotations_from_euler_batch(yaw: np.ndarray, pitch: np.ndarray,
+                               roll: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`rotation_from_euler`: ``(k,)`` angle triples to
+    ``(k, 3, 3)`` via the same ``Rz @ Ry @ Rx`` product."""
+    yaw = np.asarray(yaw, dtype=float)
+    k = yaw.shape
+    cy, sy = np.cos(yaw), np.sin(yaw)
+    cp, sp = np.cos(np.asarray(pitch, dtype=float)), np.sin(np.asarray(pitch, dtype=float))
+    cr, sr = np.cos(np.asarray(roll, dtype=float)), np.sin(np.asarray(roll, dtype=float))
+    rz = np.zeros(k + (3, 3))
+    rz[..., 0, 0], rz[..., 0, 1] = cy, -sy
+    rz[..., 1, 0], rz[..., 1, 1] = sy, cy
+    rz[..., 2, 2] = 1.0
+    ry = np.zeros(k + (3, 3))
+    ry[..., 0, 0], ry[..., 0, 2] = cp, sp
+    ry[..., 1, 1] = 1.0
+    ry[..., 2, 0], ry[..., 2, 2] = -sp, cp
+    rx = np.zeros(k + (3, 3))
+    rx[..., 0, 0] = 1.0
+    rx[..., 1, 1], rx[..., 1, 2] = cr, -sr
+    rx[..., 2, 1], rx[..., 2, 2] = sr, cr
+    # Stacked ``matmul`` runs the same per-slice kernel as the scalar
+    # ``rz @ ry @ rx``, so each slice is bit-identical to rotation_from_euler.
+    return rz @ ry @ rx
+
+
+def rotations_about_axis_batch(axis: np.ndarray, angles: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`rotation_about_axis`: one axis, ``(k,)`` angles.
+
+    Uses the identical Rodrigues entries so each ``(3, 3)`` slice matches the
+    scalar builder's values; used by the batch forward kinematics.
+    """
+    axis = np.asarray(axis, dtype=float)
+    norm = np.linalg.norm(axis)
+    if norm == 0.0:
+        raise ValueError("rotation axis must be non-zero")
+    x, y, z = axis / norm
+    angles = np.asarray(angles, dtype=float)
+    c, s = np.cos(angles), np.sin(angles)
+    t = 1.0 - c
+    out = np.empty(angles.shape + (3, 3))
+    out[..., 0, 0] = t * x * x + c
+    out[..., 0, 1] = t * x * y - s * z
+    out[..., 0, 2] = t * x * z + s * y
+    out[..., 1, 0] = t * x * y + s * z
+    out[..., 1, 1] = t * y * y + c
+    out[..., 1, 2] = t * y * z - s * x
+    out[..., 2, 0] = t * x * z - s * y
+    out[..., 2, 1] = t * y * z + s * x
+    out[..., 2, 2] = t * z * z + c
+    return out
+
+
+def rotations_about_axes_batch(axes: np.ndarray, angles: np.ndarray) -> np.ndarray:
+    """Vectorized Rodrigues over many axes at once.
+
+    Args:
+        axes: ``(L, 3)`` rotation axes (need not be normalised).
+        angles: ``(..., L)`` angles, one column per axis.
+
+    Returns:
+        ``(..., L, 3, 3)`` rotation matrices; slice ``[..., i, :, :]`` is
+        bit-identical to ``rotation_about_axis(axes[i], angles[..., i])``
+        because the entries use the same Rodrigues expressions (each axis is
+        normalised with the scalar builder's ``axis / norm``).
+    """
+    axes = np.asarray(axes, dtype=float)
+    unit = np.empty_like(axes)
+    for i, axis in enumerate(axes):
+        norm = np.linalg.norm(axis)
+        if norm == 0.0:
+            raise ValueError("rotation axis must be non-zero")
+        unit[i] = axis / norm
+    x, y, z = unit[:, 0], unit[:, 1], unit[:, 2]
+    angles = np.asarray(angles, dtype=float)
+    c, s = np.cos(angles), np.sin(angles)
+    t = 1.0 - c
+    out = np.empty(angles.shape + (3, 3))
+    out[..., 0, 0] = t * x * x + c
+    out[..., 0, 1] = t * x * y - s * z
+    out[..., 0, 2] = t * x * z + s * y
+    out[..., 1, 0] = t * x * y + s * z
+    out[..., 1, 1] = t * y * y + c
+    out[..., 1, 2] = t * y * z - s * x
+    out[..., 2, 0] = t * x * z - s * y
+    out[..., 2, 1] = t * y * z + s * x
+    out[..., 2, 2] = t * z * z + c
+    return out
+
+
 def random_rotation_2d(rng: Optional[np.random.Generator] = None) -> np.ndarray:
     """Sample a uniformly random 2D rotation matrix."""
     rng = rng if rng is not None else np.random.default_rng()

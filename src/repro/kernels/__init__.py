@@ -1,0 +1,56 @@
+"""``repro.kernels``: batch geometry / distance kernels for the hot paths.
+
+MOPED's algorithmic contributions (two-stage collision, approximated
+neighborhoods, O(1) insertion) decide *which* geometric tests run; this
+package decides *how fast* they run.  Following the VAMP / pRRTC insight —
+batch the geometry across obstacles, waypoints, and nodes without changing
+the algorithm — it provides:
+
+* :mod:`repro.kernels.batch` — vectorized SAT and distance kernels that
+  evaluate one configuration (or a whole motion's waypoints) against every
+  obstacle in a single stacked-ndarray pass.
+* :mod:`repro.kernels.reference` — the scalar per-row golden
+  implementations, kept for equivalence tests and benchmarking.
+* :mod:`repro.kernels.tensors` — the stacked containers
+  (:class:`ObstacleTensors`, :class:`BodyBatch`, :class:`FlatRTree`) the
+  kernels consume, precomputed once per environment.
+
+The collision checkers select a backend by name (``"batch"`` is the
+default; ``"reference"`` routes through the original per-object scalar
+code).  Both produce bit-identical planning decisions *and* bit-identical
+:class:`~repro.core.counters.OpCounter` totals: the batch path computes its
+masks wholesale, then *replays* the scalar control flow over the booleans
+so every early exit charges exactly the operations the hardware cost model
+expects.  ``python -m repro.bench`` measures the speedup and records it in
+``BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+from repro.kernels import batch, reference
+from repro.kernels.tensors import BodyBatch, FlatRTree, ObstacleTensors
+
+#: Kernel backends selectable by :class:`~repro.core.config.PlannerConfig`.
+#: ``"batch"`` uses the vectorized kernels; ``"reference"`` keeps the
+#: original scalar per-object code paths (the equivalence baseline).
+KERNEL_BACKENDS = ("batch", "reference")
+
+
+def get_backend(name: str):
+    """Kernel function namespace for ``name`` (``"batch"`` | ``"reference"``)."""
+    if name == "batch":
+        return batch
+    if name == "reference":
+        return reference
+    raise KeyError(f"unknown kernel backend {name!r}; available: {KERNEL_BACKENDS}")
+
+
+__all__ = [
+    "BodyBatch",
+    "FlatRTree",
+    "KERNEL_BACKENDS",
+    "ObstacleTensors",
+    "batch",
+    "get_backend",
+    "reference",
+]

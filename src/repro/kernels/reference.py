@@ -1,0 +1,109 @@
+"""Scalar reference implementations of the batch kernel API.
+
+Every function here has the same signature and return type as its
+counterpart in :mod:`repro.kernels.batch` but is implemented as a per-row
+Python loop over the original scalar routines in :mod:`repro.geometry.sat`.
+They are the *golden* implementations: the property-based equivalence tests
+assert that the batch kernels reproduce these booleans exactly, and the
+:mod:`repro.bench` harness times batch against them to quantify the win.
+
+They are deliberately not fast — they exist to be trusted and to be beaten.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.geometry.obb import OBB
+from repro.geometry.sat import aabb_intersects_obb, obb_intersects_obb
+
+__all__ = [
+    "aabb_aabb_grid",
+    "aabb_obb_grid",
+    "aabb_obb_pairs",
+    "obb_obb_grid",
+    "obb_obb_pairs",
+    "nearest_index",
+    "radius_mask",
+]
+
+
+def aabb_aabb_grid(a_lo, a_hi, b_lo, b_hi) -> np.ndarray:
+    """Interval-overlap SAT of ``R`` boxes against ``M`` boxes: ``(R, M)``."""
+    rows = [AABB(lo, hi) for lo, hi in zip(np.asarray(a_lo, dtype=float),
+                                           np.asarray(a_hi, dtype=float))]
+    cols = [AABB(lo, hi) for lo, hi in zip(np.asarray(b_lo, dtype=float),
+                                           np.asarray(b_hi, dtype=float))]
+    out = np.empty((len(rows), len(cols)), dtype=bool)
+    for i, a in enumerate(rows):
+        for j, b in enumerate(cols):
+            out[i, j] = a.intersects(b)
+    return out
+
+
+def obb_obb_grid(a_c, a_h, a_r, b_c, b_h, b_r) -> np.ndarray:
+    """Exact OBB-OBB SAT of ``R`` boxes against ``M`` boxes: ``(R, M)``."""
+    rows = [OBB(c, h, r) for c, h, r in zip(a_c, a_h, a_r)]
+    cols = [OBB(c, h, r) for c, h, r in zip(b_c, b_h, b_r)]
+    out = np.empty((len(rows), len(cols)), dtype=bool)
+    for i, a in enumerate(rows):
+        for j, b in enumerate(cols):
+            out[i, j] = obb_intersects_obb(a, b)
+    return out
+
+
+def obb_obb_pairs(a_c, a_h, a_r, b_c, b_h, b_r) -> np.ndarray:
+    """Exact OBB-OBB SAT of ``P`` matched pairs: ``(P,)``."""
+    out = np.empty(len(a_c), dtype=bool)
+    for p in range(len(a_c)):
+        out[p] = obb_intersects_obb(
+            OBB(a_c[p], a_h[p], a_r[p]), OBB(b_c[p], b_h[p], b_r[p])
+        )
+    return out
+
+
+def aabb_obb_grid(box_lo, box_hi, b_c, b_h, b_r) -> np.ndarray:
+    """First-stage AABB-OBB SAT: ``M`` boxes against ``R`` OBBs: ``(R, M)``."""
+    boxes = [AABB(lo, hi) for lo, hi in zip(np.asarray(box_lo, dtype=float),
+                                            np.asarray(box_hi, dtype=float))]
+    obbs = [OBB(c, h, r) for c, h, r in zip(b_c, b_h, b_r)]
+    out = np.empty((len(obbs), len(boxes)), dtype=bool)
+    for i, obb in enumerate(obbs):
+        for j, box in enumerate(boxes):
+            out[i, j] = aabb_intersects_obb(box, obb)
+    return out
+
+
+def aabb_obb_pairs(box_lo, box_hi, b_c, b_h, b_r) -> np.ndarray:
+    """First-stage AABB-OBB SAT over ``P`` matched pairs: ``(P,)``."""
+    out = np.empty(len(b_c), dtype=bool)
+    for p in range(len(b_c)):
+        out[p] = aabb_intersects_obb(
+            AABB(box_lo[p], box_hi[p]), OBB(b_c[p], b_h[p], b_r[p])
+        )
+    return out
+
+
+def nearest_index(points: np.ndarray, query: np.ndarray):
+    """Per-node Python scan: index and distance of the nearest row."""
+    best, best_sq = 0, float("inf")
+    for i in range(points.shape[0]):
+        diff = points[i] - query
+        d_sq = float(diff @ diff)
+        if d_sq < best_sq:
+            best, best_sq = i, d_sq
+    return best, float(np.sqrt(best_sq))
+
+
+def radius_mask(points: np.ndarray, query: np.ndarray, radius: float):
+    """Per-node Python radius filter with the batch API's return shape."""
+    d_sq = np.empty(points.shape[0])
+    hits = []
+    r_sq = radius * radius
+    for i in range(points.shape[0]):
+        diff = points[i] - query
+        d_sq[i] = float(diff @ diff)
+        if d_sq[i] <= r_sq:
+            hits.append(i)
+    return d_sq, np.asarray(hits, dtype=int)

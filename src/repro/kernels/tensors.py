@@ -1,0 +1,320 @@
+"""Stacked-ndarray views of the planner's geometric state.
+
+The batch kernels in :mod:`repro.kernels.batch` operate on contiguous
+structure-of-arrays tensors rather than per-object Python dataclasses.  This
+module defines those containers and the conversions from the object world:
+
+* :class:`ObstacleTensors` — every obstacle of an
+  :class:`~repro.core.world.Environment` stacked into ``(M, d)`` centre /
+  half-extent matrices, ``(M, d, d)`` rotation tensors, and the derived
+  ``(M, d)`` AABB corner matrices (the AABB SRAM contents, Section IV-A).
+* :class:`BodyBatch` — the robot body OBBs of one *or many* configurations
+  flattened to ``(R, ...)`` rows (``R = num_configs * bodies_per_config``),
+  the unit of work of the batch collision funnel.
+* :class:`FlatRTree` — the obstacle R-tree's nodes exported to index-
+  addressed arrays so a whole traversal's SAT tests can be evaluated in one
+  stacked pass and then *replayed* exactly (same visit order, same
+  early-exit points, hence bit-identical operation counts).
+
+Everything here is precomputed once per environment / per motion check; the
+hot loop only reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.geometry.obb import OBB
+from repro.spatial.rtree import RTree
+
+
+@dataclass(frozen=True)
+class ObstacleTensors:
+    """All obstacles of an environment as stacked ndarrays.
+
+    Attributes:
+        centers: ``(M, d)`` obstacle OBB centres.
+        half_extents: ``(M, d)`` obstacle OBB half extents.
+        rotations: ``(M, d, d)`` obstacle OBB rotation matrices.
+        aabb_lo / aabb_hi: ``(M, d)`` corners of the derived obstacle AABBs
+            (identical values to ``Environment.obstacle_aabbs``).
+    """
+
+    centers: np.ndarray
+    half_extents: np.ndarray
+    rotations: np.ndarray
+    aabb_lo: np.ndarray
+    aabb_hi: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return self.centers.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.centers.shape[1]
+
+    @staticmethod
+    def from_obbs(obstacles: Sequence[OBB], aabbs: Optional[Sequence[AABB]] = None,
+                  dim: Optional[int] = None) -> "ObstacleTensors":
+        """Stack obstacle OBBs (and their derived AABBs) into tensors.
+
+        Args:
+            obstacles: the environment's obstacle OBBs.
+            aabbs: the already-derived AABBs; passed through verbatim so the
+                tensor values match ``Environment.obstacle_aabbs`` exactly.
+                Derived from the OBBs when omitted.
+            dim: workspace dimension, required when ``obstacles`` is empty.
+        """
+        if not obstacles:
+            if dim is None:
+                raise ValueError("dim is required for an empty obstacle set")
+            empty = np.empty((0, dim))
+            return ObstacleTensors(
+                centers=empty,
+                half_extents=empty.copy(),
+                rotations=np.empty((0, dim, dim)),
+                aabb_lo=empty.copy(),
+                aabb_hi=empty.copy(),
+            )
+        if aabbs is None:
+            aabbs = [obb.to_aabb() for obb in obstacles]
+        return ObstacleTensors(
+            centers=np.stack([obb.center for obb in obstacles]),
+            half_extents=np.stack([obb.half_extents for obb in obstacles]),
+            rotations=np.stack([obb.rotation for obb in obstacles]),
+            aabb_lo=np.stack([box.lo for box in aabbs]),
+            aabb_hi=np.stack([box.hi for box in aabbs]),
+        )
+
+
+@dataclass(frozen=True)
+class BodyBatch:
+    """Robot body OBBs for a batch of configurations, flattened to rows.
+
+    Row ``r`` holds body ``r % bodies_per_config`` of configuration
+    ``r // bodies_per_config`` — the same (config, body) iteration order as
+    the scalar checker's nested loops, which is what lets the replay step
+    reproduce its operation counts exactly.
+    """
+
+    centers: np.ndarray        # (R, d)
+    half_extents: np.ndarray   # (R, d)
+    rotations: np.ndarray      # (R, d, d)
+    num_configs: int
+    bodies_per_config: int
+    # Derived world AABBs (|R| @ e around the centre), filled lazily.
+    _aabb: List[Optional[np.ndarray]] = field(default_factory=lambda: [None, None])
+
+    @property
+    def rows(self) -> int:
+        return self.centers.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.centers.shape[1]
+
+    def aabb_corners(self):
+        """World AABB corners ``(lo, hi)`` of every row, derived once.
+
+        Uses the same arithmetic as :meth:`repro.geometry.obb.OBB.to_aabb`
+        (``world_half_i = sum_j |R[i, j]| e_j``) so corner values are
+        identical to the scalar path's.
+        """
+        if self._aabb[0] is None:
+            # Stacked matmul runs the scalar path's ``|R| @ e`` kernel per
+            # slice, so the corner values are bit-identical to ``to_aabb``.
+            world_half = (np.abs(self.rotations) @ self.half_extents[..., None])[..., 0]
+            self._aabb[0] = self.centers - world_half
+            self._aabb[1] = self.centers + world_half
+        return self._aabb[0], self._aabb[1]
+
+    def row_obb(self, row: int) -> OBB:
+        """Materialise one row back into an :class:`OBB` (diagnostics)."""
+        return OBB(self.centers[row], self.half_extents[row], self.rotations[row])
+
+    @staticmethod
+    def from_obbs(obbs: Sequence[OBB], num_configs: int = 1) -> "BodyBatch":
+        """Stack a flat list of OBBs (row-major in (config, body) order)."""
+        if not obbs:
+            raise ValueError("need at least one body OBB")
+        if len(obbs) % num_configs:
+            raise ValueError("len(obbs) must be a multiple of num_configs")
+        return BodyBatch(
+            centers=np.stack([o.center for o in obbs]),
+            half_extents=np.stack([o.half_extents for o in obbs]),
+            rotations=np.stack([o.rotation for o in obbs]),
+            num_configs=num_configs,
+            bodies_per_config=len(obbs) // num_configs,
+        )
+
+    @staticmethod
+    def from_frames(centers: np.ndarray, half_extents: np.ndarray,
+                    rotations: np.ndarray) -> "BodyBatch":
+        """Build from ``(k, B, ...)`` frame tensors (batch forward kinematics)."""
+        k, b, d = centers.shape
+        return BodyBatch(
+            centers=np.ascontiguousarray(centers.reshape(k * b, d)),
+            half_extents=np.ascontiguousarray(half_extents.reshape(k * b, d)),
+            rotations=np.ascontiguousarray(rotations.reshape(k * b, d, d)),
+            num_configs=k,
+            bodies_per_config=b,
+        )
+
+
+@dataclass(frozen=True)
+class FlatRTree:
+    """Index-addressed export of a static :class:`~repro.spatial.rtree.RTree`.
+
+    The traversal *units* a query touches are the node MBRs followed by the
+    leaf entry boxes: unit ``u < num_nodes`` is node ``u`` (root is unit 0),
+    unit ``num_nodes + i`` is obstacle ``i``'s AABB.  ``unit_lo`` /
+    ``unit_hi`` stack all of them so one kernel call covers every box the
+    scalar traversal could possibly test; :meth:`replay` walks the same
+    stack discipline as ``RTree.query_obb`` over precomputed masks.
+    """
+
+    unit_lo: np.ndarray            # (U, d) = nodes then entry boxes
+    unit_hi: np.ndarray            # (U, d)
+    children: tuple                # children[n] = tuple of child node ids
+    entries: tuple                 # entries[n] = tuple of obstacle indices
+    num_nodes: int
+    # Static traversal structure, precomputed so a whole batch of queries
+    # can replay counts with ndarray reductions instead of per-row walks:
+    parents: np.ndarray            # (N,) parent node id, -1 for the root
+    entry_leaf: np.ndarray         # (M,) leaf node id holding each obstacle
+    entry_order: np.ndarray        # (M,) obstacle ids in full-traversal order
+
+    @property
+    def num_units(self) -> int:
+        return self.unit_lo.shape[0]
+
+    def entry_unit(self, obstacle_index: int) -> int:
+        """Unit index of obstacle ``obstacle_index``'s AABB."""
+        return self.num_nodes + obstacle_index
+
+    @staticmethod
+    def from_rtree(rtree: RTree) -> "FlatRTree":
+        """Export an R-tree's nodes and leaf entry boxes."""
+        lo_rows, hi_rows, children, entries = rtree.export_nodes()
+        num_nodes = len(children)
+        num_entries = sum(len(e) for e in entries)
+        parents = np.full(num_nodes, -1, dtype=np.intp)
+        entry_leaf = np.zeros(num_entries, dtype=np.intp)
+        for node, kids in enumerate(children):
+            for kid in kids:
+                parents[kid] = node
+        for node, node_entries in enumerate(entries):
+            for idx in node_entries:
+                entry_leaf[idx] = node
+        # Obstacle visit order of a prune-free query_obb traversal.  Masks
+        # only remove visits, never reorder them, so every query's candidate
+        # order is this sequence filtered by the candidate mask.
+        order: List[int] = []
+        stack = [0] if num_nodes else []
+        while stack:
+            node = stack.pop()
+            kids = children[node]
+            if kids:
+                stack.extend(kids)
+            else:
+                order.extend(entries[node])
+        return FlatRTree(
+            unit_lo=np.asarray(lo_rows, dtype=float),
+            unit_hi=np.asarray(hi_rows, dtype=float),
+            children=tuple(tuple(c) for c in children),
+            entries=tuple(tuple(e) for e in entries),
+            num_nodes=num_nodes,
+            parents=parents,
+            entry_leaf=entry_leaf,
+            entry_order=np.asarray(order, dtype=np.intp),
+        )
+
+    def batch_query_counts(self, node_aabb: np.ndarray, node_obb: np.ndarray,
+                           entry_aabb: np.ndarray, entry_obb: np.ndarray):
+        """Traversal statistics for a whole batch of queries at once.
+
+        Args:
+            node_aabb / node_obb: ``(R, N)`` stage-1 masks of every query row
+                against every node MBR (AABB-AABB prefilter, AABB-OBB SAT).
+            entry_aabb / entry_obb: ``(R, M)`` same masks against the leaf
+                entry boxes, indexed by obstacle id.
+
+        Returns ``(n_aabb, n_obb, candidates)``: per-row counts of the
+        AABB-AABB and AABB-OBB tests a scalar ``query_obb`` traversal would
+        perform, and the ``(R, M)`` candidate mask (entries reaching the
+        second stage).  A node is visited iff its parent is visited and
+        passes both masks (the export is breadth-first, so parents precede
+        children in index order); an entry is considered iff its leaf is
+        visited and passes.
+        """
+        rows = node_aabb.shape[0]
+        visited = np.empty((rows, self.num_nodes), dtype=bool)
+        visited[:, 0] = True
+        node_pass = node_aabb & node_obb
+        for node in range(1, self.num_nodes):
+            parent = self.parents[node]
+            visited[:, node] = visited[:, parent] & node_pass[:, parent]
+        considered = visited[:, self.entry_leaf] & node_pass[:, self.entry_leaf]
+        considered_aabb = considered & entry_aabb
+        candidates = considered_aabb & entry_obb
+        n_aabb = visited.sum(axis=1) + considered.sum(axis=1)
+        n_obb = (visited & node_aabb).sum(axis=1) + considered_aabb.sum(axis=1)
+        return n_aabb, n_obb, candidates
+
+    def replay(self, passes, counter=None, dim: Optional[int] = None,
+               count_aabb_aabb: bool = True) -> List[int]:
+        """Re-run ``RTree.query_obb``'s traversal over a precomputed mask.
+
+        Args:
+            passes: callable ``passes(unit) -> (aabb_ok, obb_ok)`` reading
+                the batch masks; ``obb_ok`` is only consulted when
+                ``aabb_ok`` is True (mirroring the scalar short-circuit).
+            counter: operation counter; receives exactly the events the
+                scalar traversal would record, in aggregate form.
+            dim: workspace dimension for the counter records.
+            count_aabb_aabb: False when the caller had no prefilter AABB
+                (the scalar path then skips the interval test).
+
+        Returns the obstacle indices in the scalar traversal's hit order.
+        """
+        if self.num_nodes == 0:
+            return []
+        hits: List[int] = []
+        n_aabb = 0
+        n_obb = 0
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            aabb_ok, obb_ok = passes(node)
+            if count_aabb_aabb:
+                n_aabb += 1
+            if not aabb_ok:
+                continue
+            n_obb += 1
+            if not obb_ok:
+                continue
+            kids = self.children[node]
+            if kids:
+                stack.extend(kids)
+            else:
+                for idx in self.entries[node]:
+                    unit = self.num_nodes + idx
+                    e_aabb, e_obb = passes(unit)
+                    if count_aabb_aabb:
+                        n_aabb += 1
+                    if not e_aabb:
+                        continue
+                    n_obb += 1
+                    if e_obb:
+                        hits.append(idx)
+        if counter is not None:
+            if count_aabb_aabb and n_aabb:
+                counter.record("sat_aabb_aabb", dim=dim, n=n_aabb)
+            if n_obb:
+                counter.record("sat_aabb_obb", dim=dim, n=n_obb)
+        return hits

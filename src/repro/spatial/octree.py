@@ -183,7 +183,7 @@ def make_octree_checker(robot, environment, motion_resolution: float, max_depth:
                 max_depth=max_depth,
             )
 
-        def config_in_collision(self, config: np.ndarray, counter=None) -> bool:
+        def _config_scalar(self, config: np.ndarray, counter=None) -> bool:
             for body in self.robot.body_obbs(config):
                 if self.octree.query_obb(body, counter=counter):
                     return True

@@ -175,6 +175,28 @@ class RTree:
                 stack.extend(node.children)
         return hits
 
+    # ------------------------------------------------------------------ export
+
+    def export_nodes(self):
+        """Flatten the tree for the batch kernel layer (:mod:`repro.kernels`).
+
+        Returns ``(lo_rows, hi_rows, children, entries)`` where rows
+        ``0..N-1`` are the node MBR corners (root first, then breadth-first)
+        followed by one row per obstacle entry box, ``children[n]`` lists a
+        node's child ids, and ``entries[n]`` lists a leaf's obstacle
+        indices.  The batch checker evaluates SAT against every row in one
+        stacked pass and replays the traversal over the resulting booleans.
+        """
+        nodes: List[_RNode] = [n for level in self.iter_levels() for n in level]
+        ids = {id(node): i for i, node in enumerate(nodes)}
+        lo_rows = [node.mbr.lo for node in nodes]
+        hi_rows = [node.mbr.hi for node in nodes]
+        children = [[ids[id(child)] for child in node.children] for node in nodes]
+        entries = [list(node.entries) for node in nodes]
+        lo_rows.extend(box.lo for box in self._boxes)
+        hi_rows.extend(box.hi for box in self._boxes)
+        return lo_rows, hi_rows, children, entries
+
     # ------------------------------------------------------------- diagnostics
 
     def __len__(self) -> int:

@@ -31,8 +31,18 @@ from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.geometry.mindist import mindist_sq_point_to_rect
 from repro.geometry.aabb import AABB
+
+
+def _mindist_sq(query: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> float:
+    """Squared MINDIST to the rectangle ``[lo, hi]`` without an AABB wrapper.
+
+    Same clamp arithmetic as :func:`repro.geometry.mindist.
+    mindist_sq_point_to_rect`; searches call this on the node's ``lo``/``hi``
+    arrays directly so the hot loop skips AABB construction and validation.
+    """
+    gap = np.maximum(np.maximum(lo - query, query - hi), 0.0)
+    return float(gap @ gap)
 
 
 @dataclass(eq=False)
@@ -278,19 +288,25 @@ class SIMBRTree:
             if self.access_hook is not None:
                 self.access_hook(node.uid, depth)
             if node.is_leaf:
+                if counter is not None:
+                    visited = (
+                        len(node.entries)
+                        if not exclude
+                        else sum(key not in exclude for key, _ in node.entries)
+                    )
+                    if visited:
+                        counter.record("dist", dim=self.dim, n=visited)
                 for key, point in node.entries:
                     if key in exclude:
                         continue
-                    if counter is not None:
-                        counter.record("dist", dim=self.dim)
                     d_sq = float(np.sum((point - query) ** 2))
                     if d_sq < best_sq:
                         best_key, best_point, best_sq = key, point, d_sq
             else:
+                if counter is not None:
+                    counter.record("mindist", dim=self.dim, n=len(node.children))
                 for child in node.children:
-                    if counter is not None:
-                        counter.record("mindist", dim=self.dim)
-                    child_bound = mindist_sq_point_to_rect(query, child.mbr())
+                    child_bound = _mindist_sq(query, child.lo, child.hi)
                     if child_bound < best_sq:
                         heapq.heappush(
                             heap, (child_bound, next(self._tiebreak), child, depth + 1)
@@ -315,17 +331,17 @@ class SIMBRTree:
             if self.access_hook is not None:
                 self.access_hook(node.uid, depth)
             if node.is_leaf:
+                if counter is not None and node.entries:
+                    counter.record("dist", dim=self.dim, n=len(node.entries))
                 for key, point in node.entries:
-                    if counter is not None:
-                        counter.record("dist", dim=self.dim)
                     d_sq = float(np.sum((point - query) ** 2))
                     if d_sq <= radius_sq:
                         out.append((key, point, float(np.sqrt(d_sq))))
             else:
+                if counter is not None:
+                    counter.record("mindist", dim=self.dim, n=len(node.children))
                 for child in node.children:
-                    if counter is not None:
-                        counter.record("mindist", dim=self.dim)
-                    if mindist_sq_point_to_rect(query, child.mbr()) <= radius_sq:
+                    if _mindist_sq(query, child.lo, child.hi) <= radius_sq:
                         stack.append((child, depth + 1))
         out.sort(key=lambda item: item[2])
         return out
@@ -374,7 +390,7 @@ class SIMBRTree:
             if sibling is not leaf and radius_sq is not None and query is not None:
                 if counter is not None:
                     counter.record("mindist", dim=self.dim)
-                if mindist_sq_point_to_rect(query, sibling.mbr()) > radius_sq:
+                if _mindist_sq(query, sibling.lo, sibling.hi) > radius_sq:
                     continue
             out.extend(sibling.entries)
         return out

@@ -166,3 +166,67 @@ def test_tree_invariants_hold_under_random_ops(seed, n_ops):
             edge = float(np.linalg.norm(point - tree.point(parent)))
             tree.add(point, parent, edge)
     tree.validate()
+
+
+class TestSoAStore:
+    """The structure-of-arrays node store behind the public accessors."""
+
+    def build(self, n=200, dim=4, seed=8):
+        rng = np.random.default_rng(seed)
+        tree = ExpTree(np.zeros(dim))
+        for _ in range(n):
+            parent = int(rng.integers(0, len(tree)))
+            point = tree.point(parent) + rng.normal(scale=0.5, size=dim)
+            tree.add(point, parent, float(np.linalg.norm(point - tree.point(parent))))
+        return tree
+
+    def test_points_view_matches_point_accessor(self):
+        tree = self.build()
+        view = tree.points_view()
+        assert view.shape == (len(tree), tree.dim)
+        for node in tree.nodes():
+            assert np.array_equal(view[node], tree.point(node))
+
+    def test_costs_view_matches_cost_accessor(self):
+        tree = self.build()
+        costs = tree.costs_view()
+        assert costs.shape == (len(tree),)
+        for node in tree.nodes():
+            assert tree.cost(node) == costs[node]
+
+    def test_growth_beyond_initial_capacity_preserves_data(self):
+        tree = self.build(n=500, dim=2)
+        assert len(tree) == 501
+        tree.validate()
+
+    def test_point_out_of_range_raises(self):
+        tree = ExpTree(np.zeros(2))
+        with pytest.raises(IndexError):
+            tree.point(5)
+
+    def test_views_are_not_stale_after_growth(self):
+        """Views taken before a reallocation still hold correct values."""
+        tree = ExpTree(np.zeros(2))
+        early = tree.point(0)
+        for i in range(300):
+            tree.add(np.array([float(i + 1), 0.0]), i, 1.0)
+        assert np.array_equal(early, np.zeros(2))
+        assert np.array_equal(tree.point(300), [300.0, 0.0])
+        assert tree.cost(300) == 300.0
+
+    def test_cost_returns_python_float(self):
+        tree = ExpTree(np.zeros(2))
+        node = tree.add(np.ones(2), 0, float(np.sqrt(2.0)))
+        assert type(tree.cost(node)) is float
+
+    def test_vectorized_goal_scan_matches_scalar(self):
+        """points_view/costs_view support one-shot distance reductions."""
+        tree = self.build(n=120, dim=3)
+        goal = np.array([0.5, -0.2, 1.0])
+        diffs = tree.points_view() - goal
+        totals = tree.costs_view() + np.sqrt(np.einsum("nd,nd->n", diffs, diffs))
+        scalar = [
+            tree.cost(n) + float(np.linalg.norm(tree.point(n) - goal))
+            for n in tree.nodes()
+        ]
+        np.testing.assert_allclose(totals, scalar, rtol=1e-12)

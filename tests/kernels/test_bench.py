@@ -1,0 +1,111 @@
+"""Tests for the ``repro.bench`` harness: schema, gate, and CLI smoke."""
+
+import json
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+
+from repro.bench import (
+    bench_kernels,
+    compare_to_baseline,
+    load_report,
+    run_benchmarks,
+    save_report,
+)
+
+
+def make_report(kernels):
+    return {"schema": 1, "kernels": kernels, "end_to_end": []}
+
+
+def entry(kernel="obb_obb_grid", dim=3, size="18x32", batch_s=1e-4, reference_s=1e-2):
+    return {
+        "kernel": kernel,
+        "dim": dim,
+        "size": size,
+        "batch_s": batch_s,
+        "reference_s": reference_s,
+        "speedup": reference_s / batch_s,
+    }
+
+
+class TestRegressionGate:
+    def test_passes_when_fast(self):
+        base = make_report([entry(batch_s=1e-4)])
+        now = make_report([entry(batch_s=1.5e-4)])
+        assert compare_to_baseline(now, base, factor=2.0) == []
+
+    def test_fails_on_regression(self):
+        base = make_report([entry(batch_s=1e-4)])
+        now = make_report([entry(batch_s=3e-4)])
+        failures = compare_to_baseline(now, base, factor=2.0)
+        assert len(failures) == 1
+        assert "obb_obb_grid" in failures[0]
+
+    def test_unmatched_points_are_skipped(self):
+        base = make_report([entry(size="18x8")])
+        now = make_report([entry(size="36x48", batch_s=99.0)])
+        assert compare_to_baseline(now, base) == []
+
+    def test_factor_is_respected(self):
+        base = make_report([entry(batch_s=1e-4)])
+        now = make_report([entry(batch_s=2.5e-4)])
+        assert compare_to_baseline(now, base, factor=3.0) == []
+        assert compare_to_baseline(now, base, factor=2.0)
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def quick_report(self):
+        return run_benchmarks(quick=True, skip_e2e=True, seed=1)
+
+    def test_schema_fields(self, quick_report):
+        assert quick_report["schema"] == 1
+        assert quick_report["mode"] == "quick"
+        assert {"python", "numpy", "machine"} <= set(quick_report["host"])
+        assert quick_report["end_to_end"] == []
+        assert quick_report["kernels"]
+
+    def test_kernel_entries_complete(self, quick_report):
+        for item in quick_report["kernels"]:
+            assert {"kernel", "dim", "size", "batch_s", "reference_s", "speedup"} <= set(item)
+            assert item["batch_s"] > 0 and item["reference_s"] > 0
+
+    def test_covers_all_sat_kernels(self, quick_report):
+        names = {item["kernel"] for item in quick_report["kernels"]}
+        assert {
+            "aabb_aabb_grid", "aabb_obb_grid", "obb_obb_grid",
+            "obb_obb_pairs", "aabb_obb_pairs", "nearest_index", "radius_mask",
+        } <= names
+
+    def test_report_roundtrip(self, quick_report, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(quick_report, str(path))
+        assert load_report(str(path)) == json.loads(path.read_text())
+
+    def test_bench_kernels_rejects_divergence(self, monkeypatch):
+        """The harness refuses to time kernels that disagree with golden."""
+        from repro.kernels import batch as batch_mod
+
+        def broken(*args, **kwargs):
+            import numpy as np
+            return np.zeros((1, 1), dtype=bool)
+
+        monkeypatch.setattr(batch_mod, "aabb_aabb_grid", broken)
+        with pytest.raises(AssertionError):
+            bench_kernels(quick=True, seed=0)
+
+
+class TestBaselineFile:
+    def test_committed_baseline_is_valid(self):
+        report = load_report(str(REPO / "benchmarks" / "BENCH_baseline.json"))
+        assert report["schema"] == 1
+        assert report["kernels"]
+        e2e = {item["case"]: item for item in report["end_to_end"]}
+        # The acceptance configuration is recorded with its measured speedup
+        # and the bit-identical equivalence flag.
+        rozum = e2e["rozum/32obs/v4"]
+        assert rozum["equivalent"] is True
+        assert rozum["speedup"] >= 3.0

@@ -1,0 +1,135 @@
+"""Backend equivalence: ``kernels="batch"`` == ``kernels="reference"``.
+
+The acceptance contract of the vectorized hot paths: switching the kernel
+backend changes wall time and nothing else.  Per-query collision verdicts,
+full plans (paths and costs, bit-for-bit), and every
+:class:`~repro.core.counters.OpCounter` total must be identical, because
+the batch path replays the scalar control flow over its precomputed masks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.collision import make_checker
+from repro.core.config import PlannerConfig, baseline_config, moped_config
+from repro.core.counters import OpCounter
+from repro.core.robots import get_robot
+from repro.core.rrtstar import plan
+from repro.workloads.generator import random_task
+
+CHECKERS = ["obb", "aabb", "two_stage", "grid"]
+
+
+def checker_pair(task, checker, **kwargs):
+    robot = get_robot(task.robot_name)
+    resolution = robot.step_size / 4.0
+    fast = make_checker(
+        checker, robot, task.environment, resolution, kernels="batch", **kwargs
+    )
+    gold = make_checker(
+        checker, robot, task.environment, resolution, kernels="reference", **kwargs
+    )
+    return robot, fast, gold
+
+
+class TestCheckerEquivalence:
+    @pytest.mark.parametrize("checker", CHECKERS)
+    @pytest.mark.parametrize("robot_name", ["mobile2d", "rozum"])
+    def test_config_checks_identical(self, checker, robot_name):
+        task = random_task(robot_name, 24, seed=11)
+        robot, fast, gold = checker_pair(task, checker)
+        rng = np.random.default_rng(2)
+        configs = rng.uniform(robot.config_lo, robot.config_hi, size=(60, robot.dof))
+        for config in configs:
+            c_fast, c_gold = OpCounter(), OpCounter()
+            assert fast.config_in_collision(config, counter=c_fast) == \
+                gold.config_in_collision(config, counter=c_gold)
+            assert c_fast.to_dict() == c_gold.to_dict()
+
+    @pytest.mark.parametrize("checker", CHECKERS)
+    def test_motion_checks_identical(self, checker):
+        task = random_task("rozum", 24, seed=12)
+        robot, fast, gold = checker_pair(task, checker)
+        rng = np.random.default_rng(3)
+        starts = rng.uniform(robot.config_lo, robot.config_hi, size=(20, robot.dof))
+        ends = starts + rng.normal(scale=0.3, size=starts.shape)
+        for a, b in zip(starts, ends):
+            c_fast, c_gold = OpCounter(), OpCounter()
+            assert fast.motion_in_collision(a, b, counter=c_fast) == \
+                gold.motion_in_collision(a, b, counter=c_gold)
+            assert c_fast.to_dict() == c_gold.to_dict()
+
+    def test_two_stage_coarse_only_identical(self):
+        task = random_task("rozum", 24, seed=13)
+        robot, fast, gold = checker_pair(task, "two_stage", fine_stage=False)
+        rng = np.random.default_rng(4)
+        configs = rng.uniform(robot.config_lo, robot.config_hi, size=(40, robot.dof))
+        for config in configs:
+            c_fast, c_gold = OpCounter(), OpCounter()
+            assert fast.config_in_collision(config, counter=c_fast) == \
+                gold.config_in_collision(config, counter=c_gold)
+            assert c_fast.to_dict() == c_gold.to_dict()
+
+    def test_empty_environment_identical(self):
+        task = random_task("mobile2d", 0, seed=1)
+        robot, fast, gold = checker_pair(task, "obb")
+        config = robot.clip(np.zeros(robot.dof))
+        c_fast, c_gold = OpCounter(), OpCounter()
+        assert fast.config_in_collision(config, counter=c_fast) == \
+            gold.config_in_collision(config, counter=c_gold)
+        assert c_fast.to_dict() == c_gold.to_dict()
+
+
+def run_pair(robot_name, num_obstacles, make_config, samples=150):
+    task = random_task(robot_name, num_obstacles, seed=3)
+    robot = get_robot(robot_name)
+    out = {}
+    for backend in ("batch", "reference"):
+        config = make_config(kernels=backend, max_samples=samples, seed=5)
+        out[backend] = plan(robot, task, config)
+    return out["batch"], out["reference"]
+
+
+class TestPlanEquivalence:
+    @pytest.mark.parametrize(
+        "robot_name,variant",
+        [("mobile2d", "v4"), ("rozum", "v1"), ("rozum", "v4"), ("drone3d", "v2")],
+    )
+    def test_moped_plans_bit_identical(self, robot_name, variant):
+        fast, gold = run_pair(
+            robot_name, 20, lambda **kw: moped_config(variant, **kw)
+        )
+        assert fast.success == gold.success
+        assert fast.path_cost == gold.path_cost
+        assert len(fast.path) == len(gold.path)
+        for a, b in zip(fast.path, gold.path):
+            assert np.array_equal(a, b)
+        assert fast.counter.to_dict() == gold.counter.to_dict()
+
+    def test_baseline_plans_bit_identical(self):
+        fast, gold = run_pair("mobile2d", 16, baseline_config)
+        assert fast.path_cost == gold.path_cost
+        assert fast.counter.to_dict() == gold.counter.to_dict()
+
+    def test_node_sequences_identical(self):
+        fast, gold = run_pair("rozum", 20, lambda **kw: moped_config("v4", **kw))
+        assert fast.num_nodes == gold.num_nodes
+        assert fast.iterations == gold.iterations
+        assert fast.first_solution_iteration == gold.first_solution_iteration
+
+
+class TestBackendSelection:
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="kernels"):
+            PlannerConfig(kernels="simd")
+
+    def test_checker_rejects_unknown_backend(self):
+        task = random_task("mobile2d", 4, seed=0)
+        robot = get_robot("mobile2d")
+        with pytest.raises((KeyError, ValueError)):
+            make_checker(
+                "obb", robot, task.environment, robot.step_size / 4.0, kernels="simd"
+            )
+
+    def test_default_backend_is_batch(self):
+        assert PlannerConfig().kernels == "batch"

@@ -1,0 +1,144 @@
+"""Property-based golden tests: batch kernels == scalar reference kernels.
+
+The scalar implementations in :mod:`repro.kernels.reference` wrap the
+original per-object geometry routines and are the trusted baseline; every
+batch kernel must reproduce their boolean verdicts bit-for-bit on random
+inputs (the distance kernels return raw floats whose vectorized
+accumulation may differ by ULPs, so indices are exact and values close).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rotations import random_rotation_2d, random_rotation_3d
+from repro.kernels import batch, reference
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def random_boxes(rng, n, dim, span=40.0):
+    lo = rng.uniform(0.0, span, size=(n, dim))
+    hi = lo + rng.uniform(0.1, span / 3.0, size=(n, dim))
+    return lo, hi
+
+
+def random_obbs(rng, n, dim, span=40.0):
+    centers = rng.uniform(0.0, span, size=(n, dim))
+    halves = rng.uniform(0.1, span / 4.0, size=(n, dim))
+    make = random_rotation_2d if dim == 2 else random_rotation_3d
+    rotations = np.stack([make(rng) for _ in range(n)])
+    return centers, halves, rotations
+
+
+class TestSATGolden:
+    @pytest.mark.parametrize("dim", [2, 3])
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_aabb_aabb_grid(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        a = random_boxes(rng, 7, dim)
+        b = random_boxes(rng, 5, dim)
+        assert np.array_equal(
+            batch.aabb_aabb_grid(*a, *b), reference.aabb_aabb_grid(*a, *b)
+        )
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_aabb_obb_grid(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        lo, hi = random_boxes(rng, 6, dim)
+        obs = random_obbs(rng, 5, dim)
+        assert np.array_equal(
+            batch.aabb_obb_grid(lo, hi, *obs), reference.aabb_obb_grid(lo, hi, *obs)
+        )
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_obb_obb_grid(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        a = random_obbs(rng, 6, dim)
+        b = random_obbs(rng, 5, dim)
+        assert np.array_equal(
+            batch.obb_obb_grid(*a, *b), reference.obb_obb_grid(*a, *b)
+        )
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_obb_obb_pairs(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        a = random_obbs(rng, 16, dim)
+        b = random_obbs(rng, 16, dim)
+        assert np.array_equal(
+            batch.obb_obb_pairs(*a, *b), reference.obb_obb_pairs(*a, *b)
+        )
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_aabb_obb_pairs(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        lo, hi = random_boxes(rng, 16, dim)
+        obs = random_obbs(rng, 16, dim)
+        assert np.array_equal(
+            batch.aabb_obb_pairs(lo, hi, *obs), reference.aabb_obb_pairs(lo, hi, *obs)
+        )
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_touching_boxes_agree(self, dim):
+        """Boundary contact (the `>` vs `>=` separation rule) matches."""
+        lo = np.zeros((1, dim))
+        hi = np.ones((1, dim))
+        touch_lo = np.ones((1, dim))  # shares exactly one corner
+        touch_hi = touch_lo + 1.0
+        assert np.array_equal(
+            batch.aabb_aabb_grid(lo, hi, touch_lo, touch_hi),
+            reference.aabb_aabb_grid(lo, hi, touch_lo, touch_hi),
+        )
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds)
+    def test_nested_and_identical_obbs_collide(self, dim, seed):
+        """Degenerate overlap: an OBB against itself is always a hit."""
+        rng = np.random.default_rng(seed)
+        obs = random_obbs(rng, 4, dim)
+        mask = batch.obb_obb_grid(*obs, *obs)
+        assert np.array_equal(mask, reference.obb_obb_grid(*obs, *obs))
+        assert np.all(np.diag(mask))
+
+
+class TestPointKernelsGolden:
+    @pytest.mark.parametrize("dim", [2, 3, 4, 5, 6, 7])
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_nearest_index(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-5.0, 5.0, size=(rng.integers(1, 200), dim))
+        query = rng.uniform(-5.0, 5.0, size=dim)
+        b_idx, b_dist = batch.nearest_index(points, query)
+        r_idx, r_dist = reference.nearest_index(points, query)
+        assert b_idx == r_idx
+        assert b_dist == pytest.approx(r_dist, rel=1e-12, abs=1e-12)
+
+    @pytest.mark.parametrize("dim", [2, 3, 4, 5, 6, 7])
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_radius_mask(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-5.0, 5.0, size=(rng.integers(1, 200), dim))
+        query = rng.uniform(-5.0, 5.0, size=dim)
+        b_sq, b_hits = batch.radius_mask(points, query, 2.5)
+        r_sq, r_hits = reference.radius_mask(points, query, 2.5)
+        assert np.array_equal(b_hits, r_hits)
+        np.testing.assert_allclose(b_sq, r_sq, rtol=1e-12, atol=1e-12)
+
+    def test_nearest_tie_breaks_to_first(self):
+        points = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        query = np.zeros(2)
+        assert batch.nearest_index(points, query)[0] == 0
+        assert reference.nearest_index(points, query)[0] == 0

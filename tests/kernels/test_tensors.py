@@ -1,0 +1,150 @@
+"""Tests for the stacked kernel containers and the batch forward kinematics.
+
+The tensors must hold *bit-identical* values to their scalar sources: the
+batch collision path builds masks from these arrays and then replays scalar
+control flow, so any ULP drift here would change planning decisions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.robots import ROBOT_FACTORIES, get_robot
+from repro.kernels.tensors import BodyBatch, FlatRTree, ObstacleTensors
+from repro.workloads.generator import random_task
+
+
+@pytest.fixture(scope="module")
+def env24():
+    return random_task("rozum", 24, seed=9).environment
+
+
+class TestBatchForwardKinematics:
+    @pytest.mark.parametrize("robot_name", sorted(ROBOT_FACTORIES))
+    def test_frames_bit_identical_to_scalar(self, robot_name):
+        robot = get_robot(robot_name)
+        rng = np.random.default_rng(17)
+        configs = rng.uniform(robot.config_lo, robot.config_hi, size=(32, robot.dof))
+        centers, halves, rotations = robot.body_frames_batch(configs)
+        assert centers.shape == (32, robot.num_body_obbs, robot.workspace_dim)
+        for i, config in enumerate(configs):
+            for j, obb in enumerate(robot.body_obbs(config)):
+                assert np.array_equal(centers[i, j], obb.center)
+                assert np.array_equal(halves[i, j], obb.half_extents)
+                assert np.array_equal(rotations[i, j], obb.rotation)
+
+    def test_single_config_batch_matches(self):
+        robot = get_robot("rozum")
+        config = robot.clip(np.full(robot.dof, 0.3))
+        centers, halves, rotations = robot.body_frames_batch(config[None, :])
+        for j, obb in enumerate(robot.body_obbs(config)):
+            assert np.array_equal(centers[0, j], obb.center)
+            assert np.array_equal(rotations[0, j], obb.rotation)
+
+
+class TestBodyBatch:
+    def test_aabb_corners_match_scalar_to_aabb(self):
+        robot = get_robot("xarm7")
+        rng = np.random.default_rng(5)
+        configs = rng.uniform(robot.config_lo, robot.config_hi, size=(8, robot.dof))
+        bodies = BodyBatch.from_frames(*robot.body_frames_batch(configs))
+        lo, hi = bodies.aabb_corners()
+        row = 0
+        for config in configs:
+            for obb in robot.body_obbs(config):
+                box = obb.to_aabb()
+                assert np.array_equal(lo[row], box.lo)
+                assert np.array_equal(hi[row], box.hi)
+                row += 1
+
+    def test_row_major_config_body_order(self):
+        robot = get_robot("rozum")
+        rng = np.random.default_rng(6)
+        configs = rng.uniform(robot.config_lo, robot.config_hi, size=(3, robot.dof))
+        bodies = BodyBatch.from_frames(*robot.body_frames_batch(configs))
+        assert bodies.rows == 3 * bodies.bodies_per_config
+        scalar = robot.body_obbs(configs[1])
+        row = 1 * bodies.bodies_per_config
+        assert np.array_equal(bodies.centers[row], scalar[0].center)
+
+    def test_from_obbs_validation(self):
+        with pytest.raises(ValueError):
+            BodyBatch.from_obbs([], num_configs=1)
+
+
+class TestObstacleTensors:
+    def test_values_match_environment(self, env24):
+        tensors = env24.obstacle_tensors
+        assert tensors.count == env24.num_obstacles
+        for i, obb in enumerate(env24.obstacles):
+            assert np.array_equal(tensors.centers[i], obb.center)
+            assert np.array_equal(tensors.half_extents[i], obb.half_extents)
+            assert np.array_equal(tensors.rotations[i], obb.rotation)
+        for i, box in enumerate(env24.obstacle_aabbs):
+            assert np.array_equal(tensors.aabb_lo[i], box.lo)
+            assert np.array_equal(tensors.aabb_hi[i], box.hi)
+
+    def test_empty_environment_requires_dim(self):
+        with pytest.raises(ValueError):
+            ObstacleTensors.from_obbs([])
+        empty = ObstacleTensors.from_obbs([], dim=3)
+        assert empty.count == 0 and empty.dim == 3
+
+    def test_cached_property_is_stable(self, env24):
+        assert env24.obstacle_tensors is env24.obstacle_tensors
+
+
+class TestFlatRTree:
+    def test_structure_consistent(self, env24):
+        flat = env24.flat_rtree
+        assert flat.num_units == flat.num_nodes + env24.num_obstacles
+        # Root is unit 0 and the only node without a parent.
+        assert flat.parents[0] == -1
+        assert np.count_nonzero(flat.parents < 0) == 1
+        # Every non-root node is its parent's child.
+        for node in range(1, flat.num_nodes):
+            assert node in flat.children[flat.parents[node]]
+        # entry_leaf agrees with the entries lists.
+        for node, node_entries in enumerate(flat.entries):
+            for idx in node_entries:
+                assert flat.entry_leaf[idx] == node
+
+    def test_entry_order_is_permutation(self, env24):
+        flat = env24.flat_rtree
+        assert sorted(flat.entry_order) == list(range(env24.num_obstacles))
+
+    def test_unit_boxes_cover_entries(self, env24):
+        flat = env24.flat_rtree
+        for i, box in enumerate(env24.obstacle_aabbs):
+            unit = flat.entry_unit(i)
+            assert np.array_equal(flat.unit_lo[unit], box.lo)
+            assert np.array_equal(flat.unit_hi[unit], box.hi)
+            # The holding leaf's MBR contains the entry box.
+            leaf = int(flat.entry_leaf[i])
+            assert np.all(flat.unit_lo[leaf] <= box.lo + 1e-12)
+            assert np.all(flat.unit_hi[leaf] >= box.hi - 1e-12)
+
+    def test_batch_query_counts_no_pruning(self, env24):
+        """With every mask true, each row visits every unit and keeps all."""
+        flat = env24.flat_rtree
+        rows = 4
+        ones_nodes = np.ones((rows, flat.num_nodes), dtype=bool)
+        ones_entries = np.ones((rows, env24.num_obstacles), dtype=bool)
+        n_aabb, n_obb, candidates = flat.batch_query_counts(
+            ones_nodes, ones_nodes, ones_entries, ones_entries
+        )
+        assert np.all(candidates)
+        assert np.all(n_aabb == flat.num_units)
+        assert np.all(n_obb == flat.num_units)
+
+    def test_batch_query_counts_root_pruned(self, env24):
+        """A root AABB miss stops the traversal after one test."""
+        flat = env24.flat_rtree
+        node_aabb = np.zeros((1, flat.num_nodes), dtype=bool)
+        node_obb = np.ones((1, flat.num_nodes), dtype=bool)
+        entry = np.ones((1, env24.num_obstacles), dtype=bool)
+        n_aabb, n_obb, candidates = flat.batch_query_counts(
+            node_aabb, node_obb, entry, entry
+        )
+        assert n_aabb[0] == 1       # only the root's AABB test ran
+        assert n_obb[0] == 0        # prefilter failed, no OBB test
+        assert not candidates.any()

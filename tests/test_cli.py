@@ -67,3 +67,21 @@ class TestMain:
         main(["--robot", "mobile2d", "--obstacles", "8", "--samples", "100",
               "--seed", "1", "--variant", "baseline"])
         assert "variant=baseline" in capsys.readouterr().out
+
+
+class TestKernelsFlag:
+    def test_default_is_batch(self):
+        assert build_parser().parse_args([]).kernels == "batch"
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--kernels", "simd"])
+
+    def test_backends_agree_end_to_end(self, capsys):
+        argv = ["--robot", "mobile2d", "--obstacles", "8", "--samples", "150",
+                "--seed", "1", "--goal-bias", "0.2"]
+        main(argv + ["--kernels", "batch"])
+        batch_out = capsys.readouterr().out
+        main(argv + ["--kernels", "reference"])
+        reference_out = capsys.readouterr().out
+        assert batch_out == reference_out
