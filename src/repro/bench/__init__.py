@@ -16,14 +16,16 @@ from __future__ import annotations
 
 import json
 import platform
+import statistics
 import time
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.core.config import moped_config
+from repro.core.metrics import wave_occupancy
 from repro.core.robots import get_robot
-from repro.core.rrtstar import plan
+from repro.core.rrtstar import RRTStarPlanner, plan
 from repro.geometry.rotations import random_rotation_2d, random_rotation_3d
 from repro.kernels import batch, reference
 from repro.workloads.generator import random_task
@@ -226,10 +228,142 @@ def bench_end_to_end(quick: bool = False, seed: int = 3) -> List[Dict]:
     return records
 
 
+# ------------------------------------------------------------------- wave
+
+
+#: Wavefront suite points: (label, robot, obstacles, variant, overrides).
+#: The first entry is the showcase configuration of the wave acceptance
+#: gate — a 2D mobile robot among 32 obstacles where per-motion kernel-call
+#: overhead dominates, i.e. the case wavefront batching amortizes best.
+WAVE_SUITE = (
+    ("mobile2d/32obs/v1-norewire", "mobile2d", 32, "v1", {"rewire": False}),
+    ("rozum/32obs/v1", "rozum", 32, "v1", {}),
+)
+
+#: Sampling budget of every wave-bench run.  Fixed (independent of --quick)
+#: so quick CI runs and the committed full baseline share the same
+#: (case, wave_width, max_samples) keys and the regression gate engages.
+WAVE_SAMPLES = 600
+
+
+def _plans_equal(a, b) -> Optional[str]:
+    """Full bit-equality of two plan results; returns a reason on mismatch.
+
+    Compares paths, costs, node counts, the operation-counter totals, and
+    every per-round record including the per-unit (phase) MAC loads and
+    event maps — the equality the speculate-and-repair theorems promise.
+    """
+    if len(a.path) != len(b.path) or not all(
+        np.array_equal(p, q) for p, q in zip(a.path, b.path)
+    ):
+        return "paths differ"
+    if a.path_cost != b.path_cost:
+        return "path costs differ"
+    if a.num_nodes != b.num_nodes:
+        return "node counts differ"
+    if a.counter.to_dict() != b.counter.to_dict():
+        return "operation counters differ"
+    if len(a.rounds) != len(b.rounds):
+        return "round counts differ"
+    for i, (r, s) in enumerate(zip(a.rounds, b.rounds)):
+        if (
+            (r.ns_macs, r.cc_macs, r.maint_macs, r.other_macs) !=
+            (s.ns_macs, s.cc_macs, s.maint_macs, s.other_macs)
+        ):
+            return f"per-phase MAC loads differ at round {i}"
+        if (r.accepted, r.missing_used, r.repaired, r.events) != (
+            s.accepted, s.missing_used, s.repaired, s.events
+        ):
+            return f"round telemetry differs at round {i}"
+    return None
+
+
+def bench_wave(quick: bool = False, seed: int = 3, wave_width: int = 8) -> List[Dict]:
+    """Time the wavefront planner against the scalar loop.
+
+    For every suite case three configurations run: the plain scalar loop
+    (``speculation_depth = 0``, the PR 3 batch-backend semantics), the
+    scalar speculative loop at ``depth = wave_width``, and the wavefront
+    planner at ``wave_width``.  The wave run is asserted bit-identical to
+    the scalar speculative run — paths, costs, operation counters, and
+    per-round phase loads — before any time is reported.  Timings
+    interleave the three configurations across repetitions and report
+    medians, which suppresses machine drift better than best-of-N here
+    (whole planner runs are long enough to be preempted).
+    """
+    suite = WAVE_SUITE[:1] if quick else WAVE_SUITE
+    reps = 3 if quick else 5
+    records: List[Dict] = []
+    for label, robot_name, num_obstacles, variant, overrides in suite:
+        task = random_task(robot_name, num_obstacles, seed=seed)
+        robot = get_robot(robot_name)
+
+        def run(width: int, depth: int):
+            config = moped_config(
+                variant, max_samples=WAVE_SAMPLES, seed=5,
+                wave_width=width, speculation_depth=depth, **overrides
+            )
+            planner = RRTStarPlanner(robot, task, config)
+            t0 = time.perf_counter()
+            result = planner.plan()
+            return time.perf_counter() - t0, result, planner
+
+        # Correctness gate first: a perf number for a diverged run is
+        # meaningless.  This is also the bench's speculation_depth > 0
+        # coverage — the scalar speculative planner runs here every time.
+        _, spec_result, _ = run(1, wave_width)
+        _, wave_result, wave_planner = run(wave_width, 0)
+        reason = _plans_equal(wave_result, spec_result)
+        if reason is not None:
+            raise AssertionError(
+                f"{label}: wave W={wave_width} diverged from scalar "
+                f"speculation_depth={wave_width}: {reason}"
+            )
+
+        times: Dict[str, List[float]] = {"scalar": [], "spec": [], "wave": []}
+        for _ in range(reps):
+            dt, _, _ = run(1, 0)
+            times["scalar"].append(dt)
+            dt, _, _ = run(1, wave_width)
+            times["spec"].append(dt)
+            dt, wave_result, wave_planner = run(wave_width, 0)
+            times["wave"].append(dt)
+        scalar_s = statistics.median(times["scalar"])
+        spec_s = statistics.median(times["spec"])
+        wave_s = statistics.median(times["wave"])
+        records.append(
+            {
+                "case": label,
+                "robot": robot_name,
+                "obstacles": num_obstacles,
+                "variant": variant,
+                "wave_width": wave_width,
+                "max_samples": WAVE_SAMPLES,
+                "scalar_s": scalar_s,
+                "scalar_spec_s": spec_s,
+                "wave_s": wave_s,
+                "speedup_vs_scalar": scalar_s / wave_s,
+                "speedup_vs_spec": spec_s / wave_s,
+                "wave_occupancy": wave_occupancy(wave_result.rounds),
+                "cache": wave_planner.cache_stats(),
+                "path_cost": wave_result.path_cost,
+                "num_nodes": wave_result.num_nodes,
+                "equivalent": True,
+            }
+        )
+    return records
+
+
 # ------------------------------------------------------------------- report
 
 
-def run_benchmarks(quick: bool = False, skip_e2e: bool = False, seed: int = 0) -> Dict:
+def run_benchmarks(
+    quick: bool = False,
+    skip_e2e: bool = False,
+    seed: int = 0,
+    wave: bool = False,
+    wave_width: int = 8,
+) -> Dict:
     """Full harness: kernel sweeps plus end-to-end planner runs."""
     report = {
         "schema": SCHEMA_VERSION,
@@ -241,6 +375,7 @@ def run_benchmarks(quick: bool = False, skip_e2e: bool = False, seed: int = 0) -
         },
         "kernels": bench_kernels(quick=quick, seed=seed),
         "end_to_end": [] if skip_e2e else bench_end_to_end(quick=quick),
+        "wave": bench_wave(quick=quick, wave_width=wave_width) if wave else [],
     }
     return report
 
@@ -264,9 +399,11 @@ def compare_to_baseline(
     """Regression check: returns one message per kernel slower than allowed.
 
     A kernel regresses when its batch time exceeds ``factor`` times the
-    committed baseline's batch time for the same (kernel, dim, size) point.
-    Points missing from either report are skipped — the gate only compares
-    what both runs measured.
+    committed baseline's batch time for the same (kernel, dim, size) point;
+    a wave case regresses when its wave time exceeds ``factor`` times the
+    baseline's wave time for the same (case, wave_width, max_samples)
+    point.  Points missing from either report are skipped — the gate only
+    compares what both runs measured.
     """
     def key(entry: Dict):
         return (entry["kernel"], entry["dim"], entry["size"])
@@ -281,6 +418,21 @@ def compare_to_baseline(
             failures.append(
                 f"{entry['kernel']} dim={entry['dim']} size={entry['size']}: "
                 f"{entry['batch_s']:.6f}s vs baseline {base['batch_s']:.6f}s "
+                f"(> {factor:.1f}x)"
+            )
+
+    def wave_key(entry: Dict):
+        return (entry["case"], entry["wave_width"], entry["max_samples"])
+
+    wave_index = {wave_key(entry): entry for entry in baseline.get("wave", [])}
+    for entry in report.get("wave", []):
+        base = wave_index.get(wave_key(entry))
+        if base is None:
+            continue
+        if entry["wave_s"] > factor * base["wave_s"]:
+            failures.append(
+                f"wave {entry['case']} W={entry['wave_width']}: "
+                f"{entry['wave_s']:.4f}s vs baseline {base['wave_s']:.4f}s "
                 f"(> {factor:.1f}x)"
             )
     return failures

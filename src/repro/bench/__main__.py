@@ -49,9 +49,20 @@ def main(argv=None) -> int:
         help="allowed slowdown factor vs baseline (default: %(default)s)",
     )
     parser.add_argument("--seed", type=int, default=0, help="data-generation seed")
+    parser.add_argument(
+        "--wave", action="store_true",
+        help="also bench the wavefront planner (asserts wave/scalar bit-equality)",
+    )
+    parser.add_argument(
+        "--wave-width", type=int, default=8,
+        help="wave width W for --wave runs (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
-    report = run_benchmarks(quick=args.quick, skip_e2e=args.skip_e2e, seed=args.seed)
+    report = run_benchmarks(
+        quick=args.quick, skip_e2e=args.skip_e2e, seed=args.seed,
+        wave=args.wave, wave_width=args.wave_width,
+    )
     save_report(report, args.output)
 
     print(f"wrote {args.output} ({report['mode']} mode)")
@@ -67,6 +78,19 @@ def main(argv=None) -> int:
             f"  e2e    {entry['case']:22s} batch={entry['batch_s']:.2f}s "
             f"reference={entry['reference_s']:.2f}s  "
             f"speedup={entry['speedup']:.2f}x  (bit-identical: {entry['equivalent']})"
+        )
+    for entry in report["wave"]:
+        caches = entry.get("cache") or {}
+        rates = " ".join(
+            f"{name}={stats.get('hit_rate', 0.0):.2f}"
+            for name, stats in sorted(caches.items())
+        )
+        print(
+            f"  wave   {entry['case']:22s} W={entry['wave_width']:<3d} "
+            f"scalar={entry['scalar_s']:.3f}s wave={entry['wave_s']:.3f}s  "
+            f"speedup={entry['speedup_vs_scalar']:.2f}x  "
+            f"occ={entry['wave_occupancy']:.2f}  "
+            f"cache-hit[{rates}]  (bit-identical: {entry['equivalent']})"
         )
 
     if args.check:

@@ -48,6 +48,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="collision kernel backend: vectorized 'batch' "
                              "(default) or the scalar 'reference' baseline; "
                              "both give bit-identical plans")
+    parser.add_argument("--wave", type=int, default=1, metavar="W",
+                        help="wavefront planner width: evaluate W samples per "
+                             "round through batched kernels; bit-identical to "
+                             "the scalar loop at speculation_depth=W "
+                             "(default: %(default)s = scalar loop)")
     parser.add_argument("--task", default=None, help="plan a task from this JSON file")
     parser.add_argument("--out", default=None, help="write the result JSON here")
     parser.add_argument("--smooth", action="store_true",
@@ -173,13 +178,26 @@ def main(argv: Optional[list] = None) -> int:
         seed=args.seed,
         goal_bias=args.goal_bias,
         kernels=args.kernels,
+        wave_width=args.wave,
     )
-    result = RRTStarPlanner(robot, task, config).plan()
+    planner = RRTStarPlanner(robot, task, config)
+    result = planner.plan()
     if observing:
         export_observability(args)
     print(f"robot={robot.label} obstacles={task.environment.num_obstacles} "
-          f"variant={args.variant} samples={args.samples}")
+          f"variant={args.variant} samples={args.samples}"
+          + (f" wave={args.wave}" if args.wave > 1 else ""))
     print(result.summary())
+    if args.wave > 1:
+        occupancy = result.brief().get("wave_occupancy")
+        caches = planner.cache_stats()
+        rates = " ".join(
+            f"{name}:{stats['hits']}/{stats['hits'] + stats['misses']}"
+            for name, stats in sorted(caches.items())
+        )
+        print(f"wave: width={args.wave} occupancy="
+              f"{occupancy if occupancy is None else round(occupancy, 3)}"
+              + (f" cache-hits {rates}" if rates else ""))
 
     if args.smooth and result.success:
         from repro.core.collision import BruteOBBChecker

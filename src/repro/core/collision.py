@@ -43,6 +43,25 @@ Each checker runs on one of two interchangeable backends
 
 The occupancy-grid checker's inner loop is already an ndarray pass per
 body, so it has no separate batch path.
+
+Collision-result cache
+----------------------
+
+With ``cache_size > 0`` every checker keeps a quantized-configuration LRU
+(:class:`repro.core.lru.LRUMap`, the software rendition of the Section IV-C
+multi-level caching): each configuration's verdict *and* the counter events
+its scalar check records are stored under the configuration's key, and a
+hit replays the stored events instead of recomputing — so cached runs stay
+bit-identical to uncached ones in both decisions and operation counts.
+The cache serves the batched :meth:`CollisionChecker.config_results` entry
+point (the wavefront planner's per-wave collision call); only cache misses
+touch forward kinematics and the SAT kernels (in one batched pass per
+call).  ``cache_quantum = 0``
+(default) keys on exact float bytes; a positive quantum buckets nearby
+configurations together, a documented approximation.  Registry metrics
+(``repro_cc_*``, ``repro_cache_events_total``) count *executed* work, while
+OpCounters always report the modeled hardware cost — the distinction that
+makes the cache observable without perturbing the cost model.
 """
 
 from __future__ import annotations
@@ -52,6 +71,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.counters import OpCounter
+from repro.core.lru import LRUMap
 from repro.core.robots import RobotModel
 from repro.core.world import Environment
 from repro.geometry.motion import interpolate_configs
@@ -69,6 +90,10 @@ class CollisionChecker:
         kernels: ``"batch"`` evaluates movement checks through the
             vectorized kernels with exact count replay; ``"reference"``
             keeps the original scalar per-object loops.
+        cache_size: capacity of the quantized-configuration collision
+            result cache; 0 (default) disables caching.
+        cache_quantum: configuration quantisation step for cache keys;
+            0.0 keys on exact float bytes (bit-identical planning).
     """
 
     #: Subclasses with a vectorized movement check set this True; others
@@ -81,6 +106,8 @@ class CollisionChecker:
         environment: Environment,
         motion_resolution: float,
         kernels: str = "batch",
+        cache_size: int = 0,
+        cache_quantum: float = 0.0,
     ):
         if robot.workspace_dim != environment.workspace_dim:
             raise ValueError(
@@ -93,10 +120,21 @@ class CollisionChecker:
             raise ValueError(
                 f"unknown kernel backend {kernels!r}; available: {KERNEL_BACKENDS}"
             )
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if cache_quantum < 0:
+            raise ValueError("cache_quantum must be >= 0")
         self.robot = robot
         self.environment = environment
         self.motion_resolution = motion_resolution
         self.kernels = kernels
+        self._config_cache = LRUMap(cache_size) if cache_size > 0 else None
+        self._cache_quantum = cache_quantum
+
+    @property
+    def config_cache(self) -> Optional[LRUMap]:
+        """The collision-result cache (None when caching is disabled)."""
+        return self._config_cache
 
     def config_in_collision(self, config: np.ndarray, counter=None) -> bool:
         """True when the robot at ``config`` intersects any obstacle."""
@@ -124,6 +162,14 @@ class CollisionChecker:
         replays the scalar waypoint/body/obstacle iteration over the masks;
         configurations past the first colliding one therefore contribute no
         counter events, exactly like the scalar early exit.
+
+        Note the collision cache is deliberately NOT consulted here: the
+        per-configuration bookkeeping it needs costs more than it saves on
+        a single short movement.  Cached results flow through
+        :meth:`config_results`, where the wavefront planner amortises the
+        bookkeeping over a whole wave of edges; per-configuration event
+        sums equal the aggregate replay (integer cost weights), so both
+        entry points produce identical counters.
         """
         if (
             self.kernels == "batch"
@@ -136,6 +182,120 @@ class CollisionChecker:
             if self._config_scalar(config, counter):
                 return True
         return False
+
+    @staticmethod
+    def _replay_config_results(verdicts, events, counter) -> bool:
+        """Scalar early-exit scan over per-configuration results.
+
+        Merges each configuration's stored counter events in order and stops
+        at the first collision — the exact event stream the scalar loop
+        produces for the same movement.
+        """
+        for verdict, captured in zip(verdicts, events):
+            if counter is not None:
+                counter.merge(captured)
+            if verdict:
+                return True
+        return False
+
+    # --------------------------------------------- per-configuration results
+
+    def _cache_key(self, config: np.ndarray) -> bytes:
+        if self._cache_quantum > 0.0:
+            return np.round(config / self._cache_quantum).astype(np.int64).tobytes()
+        return config.tobytes()
+
+    def config_results(self, configs: np.ndarray):
+        """Per-configuration ``(verdicts, events)`` with cache reuse.
+
+        Returns a boolean verdict and an :class:`OpCounter` of the events the
+        scalar check of that configuration records, for every row of
+        ``configs``.  Cache misses are computed in one batched kernel pass
+        (or the scalar loop on the reference backend) and inserted; hits
+        return the stored pair.  The wavefront planner calls this once per
+        wave with every speculative edge's waypoints concatenated, then
+        replays per-edge slices at commit time.
+        """
+        configs = np.asarray(configs, dtype=float)
+        cache = self._config_cache
+        if cache is None:
+            return self._compute_config_results(configs)
+        count = len(configs)
+        verdicts: List = [None] * count
+        events: List = [None] * count
+        missing: "dict" = {}
+        for i in range(count):
+            key = self._cache_key(configs[i])
+            entry = cache.get(key)
+            if entry is not None:
+                verdicts[i], events[i] = entry
+            else:
+                missing.setdefault(key, []).append(i)
+        hit_count = count - sum(len(rows) for rows in missing.values())
+        evictions_before = cache.evictions
+        if missing:
+            order = list(missing)
+            miss_configs = configs[[missing[key][0] for key in order]]
+            miss_verdicts, miss_events = self._compute_config_results(miss_configs)
+            for key, verdict, captured in zip(order, miss_verdicts, miss_events):
+                cache.put(key, (verdict, captured))
+                for i in missing[key]:
+                    verdicts[i], events[i] = verdict, captured
+        if hit_count:
+            bump("repro_cache_events_total", hit_count, cache="collision",
+                 event="hit", help="Software cache events by cache and outcome")
+        if missing:
+            bump("repro_cache_events_total", len(missing), cache="collision",
+                 event="miss", help="Software cache events by cache and outcome")
+        evicted = cache.evictions - evictions_before
+        if evicted:
+            bump("repro_cache_events_total", evicted, cache="collision",
+                 event="evict", help="Software cache events by cache and outcome")
+        return verdicts, events
+
+    def _compute_config_results(self, configs: np.ndarray):
+        """Uncached per-configuration results (batched when possible)."""
+        if (
+            self.kernels == "batch"
+            and self._has_batch_kernels
+            and self.environment.num_obstacles
+        ):
+            bodies = BodyBatch.from_frames(*self.robot.body_frames_batch(configs))
+            return self._batch_config_results(bodies, len(configs))
+        verdicts, events = [], []
+        for config in configs:
+            captured = OpCounter()
+            verdicts.append(self._config_scalar(config, captured))
+            events.append(captured)
+        return verdicts, events
+
+    def _batch_config_results(self, bodies: BodyBatch, count: int):
+        """Vectorized per-configuration verdicts + events (batch backend)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _per_config_replay(mask: np.ndarray, kind: str, dim: int, count: int):
+        """Per-configuration replay of a flat SAT mask.
+
+        ``mask`` rows follow the scalar order (configuration-major,
+        body-minor, obstacle-innermost); each configuration's block gets its
+        own early-exit event count, so merging the blocks in order
+        reproduces the aggregate :meth:`_replay_flat` totals exactly.
+        """
+        flat = mask.reshape(count, -1)
+        block = flat.shape[1]
+        hit_any = flat.any(axis=1)
+        firsts = np.argmax(flat, axis=1)
+        verdicts, events = [], []
+        for i in range(count):
+            hit = bool(hit_any[i])
+            n = int(firsts[i]) + 1 if hit else block
+            captured = OpCounter()
+            if n:
+                captured.record(kind, dim=dim, n=n)
+            verdicts.append(hit)
+            events.append(captured)
+        return verdicts, events
 
     def _config_scalar(self, config: np.ndarray, counter) -> bool:
         """Scalar single-configuration check (the reference code path)."""
@@ -188,6 +348,14 @@ class BruteOBBChecker(CollisionChecker):
         # innermost: exactly the row-major flattening of ``mask``.
         return self._replay_flat(mask, "sat_obb_obb", obs.dim, counter)
 
+    def _batch_config_results(self, bodies: BodyBatch, count: int):
+        obs = self.environment.obstacle_tensors
+        mask = kernels_batch.obb_obb_grid(
+            bodies.centers, bodies.half_extents, bodies.rotations,
+            obs.centers, obs.half_extents, obs.rotations,
+        )
+        return self._per_config_replay(mask, "sat_obb_obb", obs.dim, count)
+
 
 class BruteAABBChecker(CollisionChecker):
     """Exhaustive AABB-OBB checking with AABB-represented obstacles.
@@ -215,6 +383,14 @@ class BruteAABBChecker(CollisionChecker):
             bodies.centers, bodies.half_extents, bodies.rotations,
         )
         return self._replay_flat(mask, "sat_aabb_obb", obs.dim, counter)
+
+    def _batch_config_results(self, bodies: BodyBatch, count: int):
+        obs = self.environment.obstacle_tensors
+        mask = kernels_batch.aabb_obb_grid(
+            obs.aabb_lo, obs.aabb_hi,
+            bodies.centers, bodies.half_extents, bodies.rotations,
+        )
+        return self._per_config_replay(mask, "sat_aabb_obb", obs.dim, count)
 
 
 class TwoStageChecker(CollisionChecker):
@@ -244,8 +420,13 @@ class TwoStageChecker(CollisionChecker):
         motion_resolution: float,
         fine_stage: bool = True,
         kernels: str = "batch",
+        cache_size: int = 0,
+        cache_quantum: float = 0.0,
     ):
-        super().__init__(robot, environment, motion_resolution, kernels=kernels)
+        super().__init__(
+            robot, environment, motion_resolution, kernels=kernels,
+            cache_size=cache_size, cache_quantum=cache_quantum,
+        )
         self.fine_stage = fine_stage
         self._rtree = environment.rtree
 
@@ -349,6 +530,95 @@ class TwoStageChecker(CollisionChecker):
                  help="Exact OBB-OBB checks run in the second stage")
         return hit
 
+    def _batch_config_results(self, bodies: BodyBatch, count: int):
+        """Per-configuration two-stage results from one stacked kernel pass.
+
+        The stage-1/stage-2 tensors are computed exactly as in
+        :meth:`_batch_check`; each configuration's contiguous block of body
+        rows is then replayed independently, so a block's events equal what
+        the scalar loop records for that configuration alone.
+        """
+        env = self.environment
+        ftree = env.flat_rtree
+        dim = env.workspace_dim
+        lo, hi = bodies.aabb_corners()
+        aabb_mask = kernels_batch.aabb_aabb_grid(lo, hi, ftree.unit_lo, ftree.unit_hi)
+        obb_mask = kernels_batch.aabb_obb_grid(
+            ftree.unit_lo, ftree.unit_hi,
+            bodies.centers, bodies.half_extents, bodies.rotations,
+        )
+        split = ftree.num_nodes
+        n_aabb, n_obb, candidates = ftree.batch_query_counts(
+            aabb_mask[:, :split], obb_mask[:, :split],
+            aabb_mask[:, split:], obb_mask[:, split:],
+        )
+        survivors = candidates.sum(axis=1)
+        bpc = bodies.rows // count
+        rng = np.arange(count)
+        # Per-configuration traversal statistics as (config, body) blocks;
+        # cumulative sums give each block's "first done rows" totals without
+        # per-config slicing.
+        na_cum = n_aabb.reshape(count, bpc).cumsum(axis=1)
+        no_cum = n_obb.reshape(count, bpc).cumsum(axis=1)
+        su_cum = survivors.reshape(count, bpc).cumsum(axis=1)
+
+        if not self.fine_stage:
+            block_hit = survivors.reshape(count, bpc) > 0
+            hit_any = block_hit.any(axis=1)
+            dones = np.where(hit_any, np.argmax(block_hit, axis=1) + 1, bpc)
+            checks_arr = np.zeros(count, dtype=np.int64)
+        else:
+            stage2 = self._stage2_hits(bodies, candidates)
+            order = ftree.entry_order
+            cand_ord = candidates[:, order]
+            hits_ord = stage2[:, order]
+            block_hit = hits_ord.any(axis=1).reshape(count, bpc)
+            hit_any = block_hit.any(axis=1)
+            rels = np.argmax(block_hit, axis=1)
+            dones = np.where(hit_any, rels + 1, bpc)
+            # Misses run the SAT on every surviving candidate; hits stop at
+            # the hitting candidate of the hitting row.
+            checks_arr = su_cum[:, -1].astype(np.int64)
+            for k in np.nonzero(hit_any)[0]:
+                rel = int(rels[k])
+                row = k * bpc + rel
+                first = int(np.argmax(hits_ord[row]))
+                before = int(su_cum[k, rel - 1]) if rel else 0
+                checks_arr[k] = before + int(
+                    np.count_nonzero(cand_ord[row, : first + 1])
+                )
+
+        aabb_tot = na_cum[rng, dones - 1]
+        obb_tot = no_cum[rng, dones - 1]
+        sur_tot = su_cum[rng, dones - 1]
+        # Python lists: the per-config loop below indexes every entry once,
+        # and list indexing is several times cheaper than ndarray scalars.
+        dones_l = dones.tolist()
+        aabb_l = aabb_tot.tolist()
+        obb_l = obb_tot.tolist()
+        checks_l = checks_arr.tolist()
+        verdicts: List[bool] = [bool(h) for h in hit_any.tolist()]
+        events: List[OpCounter] = []
+        for k in range(count):
+            captured = OpCounter()
+            captured.record("aabb_derive", dim=dim, n=dones_l[k])
+            if aabb_l[k]:
+                captured.record("sat_aabb_aabb", dim=dim, n=int(aabb_l[k]))
+            if obb_l[k]:
+                captured.record("sat_aabb_obb", dim=dim, n=int(obb_l[k]))
+            if checks_l[k]:
+                captured.record("sat_obb_obb", dim=dim, n=checks_l[k])
+            events.append(captured)
+        bump("repro_cc_stage1_queries_total", int(dones.sum()),
+             help="Two-stage first-stage (R-tree AABB filter) queries")
+        if int(sur_tot.sum()):
+            bump("repro_cc_stage1_survivors_total", int(sur_tot.sum()),
+                 help="Obstacles surviving the first-stage AABB filter")
+        if int(checks_arr.sum()):
+            bump("repro_cc_stage2_checks_total", int(checks_arr.sum()),
+                 help="Exact OBB-OBB checks run in the second stage")
+        return verdicts, events
+
     @staticmethod
     def _record_stage1(counter, dim: int, done: int, n_aabb, n_obb, survivors) -> None:
         """Record the stage-1 work of the first ``done`` rows (the rows the
@@ -392,8 +662,13 @@ class OccupancyGridChecker(CollisionChecker):
         motion_resolution: float,
         resolution: float = 1.0,
         kernels: str = "batch",
+        cache_size: int = 0,
+        cache_quantum: float = 0.0,
     ):
-        super().__init__(robot, environment, motion_resolution, kernels=kernels)
+        super().__init__(
+            robot, environment, motion_resolution, kernels=kernels,
+            cache_size=cache_size, cache_quantum=cache_quantum,
+        )
         if resolution <= 0:
             raise ValueError("resolution must be positive")
         self.resolution = resolution

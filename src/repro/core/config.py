@@ -56,6 +56,28 @@ class PlannerConfig:
             nearest-neighbor search for round *i* cannot see nodes inserted
             in the last ``depth`` rounds and repairs against the missing-
             neighbors buffer instead (Section IV-B).  0 disables.
+        wave_width: wavefront planner mode — each wave draws ``W`` samples
+            at once and runs speculative nearest/steer/collision for the
+            whole wave as batched kernel calls, then commits the samples in
+            order with the speculate-and-repair semantics of
+            ``speculation_depth = W``.  Plans, costs, and operation counts
+            are bit-identical to the scalar planner at that depth.  1 (the
+            default) keeps the scalar loop; values > 1 require
+            ``speculation_depth == 0`` (the wave implies its own depth) and
+            ``informed = False`` (informed sampling is sequential by
+            construction).
+        collision_cache: capacity of the quantized-configuration collision
+            result cache (Section IV-C multi-level caching, in software).
+            ``None`` (default) auto-enables 4096 entries when
+            ``wave_width > 1`` and disables otherwise; 0 disables.
+        neighborhood_cache: capacity of the reused-neighborhood cache inside
+            the SI-MBR-Tree (leaf-scope ``leaf_siblings`` results).  Same
+            ``None``/0 convention as ``collision_cache`` (auto = 1024).
+        cache_quantum: configuration-space quantisation step for collision
+            cache keys.  0.0 (default) keys on exact float bytes, which
+            preserves bit-identical planning; > 0 trades exactness for a
+            higher hit rate (a documented approximation — keep it 0 for
+            equivalence checks).
         sampler: ``"numpy"`` | ``"lfsr"``.
         informed: wrap the sampler with Informed-RRT\\* prolate-hyperspheroid
             sampling once a first solution is found (the [22] variant the
@@ -83,6 +105,10 @@ class PlannerConfig:
     simbr_capacity: int = 8
     kd_rebuild_every: Optional[int] = None
     speculation_depth: int = 0
+    wave_width: int = 1
+    collision_cache: Optional[int] = None
+    neighborhood_cache: Optional[int] = None
+    cache_quantum: float = 0.0
     sampler: str = "numpy"
     informed: bool = False
     seed: int = 0
@@ -97,6 +123,24 @@ class PlannerConfig:
             raise ValueError("neighbor_radius_factor must be positive")
         if self.speculation_depth < 0:
             raise ValueError("speculation_depth must be >= 0")
+        if self.wave_width < 1:
+            raise ValueError("wave_width must be >= 1")
+        if self.wave_width > 1 and self.speculation_depth != 0:
+            raise ValueError(
+                "wave_width > 1 implies speculation_depth = wave_width; "
+                "set speculation_depth = 0 in wave mode"
+            )
+        if self.wave_width > 1 and self.informed:
+            raise ValueError(
+                "wave_width > 1 is incompatible with informed sampling "
+                "(the wave draws all samples before any commit)"
+            )
+        if self.collision_cache is not None and self.collision_cache < 0:
+            raise ValueError("collision_cache must be >= 0 (or None for auto)")
+        if self.neighborhood_cache is not None and self.neighborhood_cache < 0:
+            raise ValueError("neighborhood_cache must be >= 0 (or None for auto)")
+        if self.cache_quantum < 0:
+            raise ValueError("cache_quantum must be >= 0")
         if self.kernels not in ("batch", "reference"):
             raise ValueError(
                 f"kernels must be 'batch' or 'reference', got {self.kernels!r}"
@@ -117,6 +161,18 @@ class PlannerConfig:
         if self.goal_tolerance is not None:
             return self.goal_tolerance
         return self.resolved_step(robot_step)
+
+    def resolved_collision_cache(self) -> int:
+        """Collision-cache capacity after the auto rule (0 = disabled)."""
+        if self.collision_cache is not None:
+            return self.collision_cache
+        return 4096 if self.wave_width > 1 else 0
+
+    def resolved_neighborhood_cache(self) -> int:
+        """Neighborhood-cache capacity after the auto rule (0 = disabled)."""
+        if self.neighborhood_cache is not None:
+            return self.neighborhood_cache
+        return 1024 if self.wave_width > 1 else 0
 
     def neighbor_radius(self, n: int, dim: int, step: float) -> float:
         """Shrinking RRT\\* neighborhood radius at tree size ``n``.

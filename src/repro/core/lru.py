@@ -1,0 +1,92 @@
+"""Value-storing LRU map with hit/miss/eviction accounting.
+
+The software analogue of the hardware caching levels of Section IV-C
+(:class:`repro.hardware.memory.LRUCache` models *presence* for the energy
+accounting; this map additionally stores a payload so the planner can reuse
+computed results).  Two engine-level caches are built on it:
+
+* the collision-result cache of :mod:`repro.core.collision` — quantized
+  configurations map to their (verdict, counter events) so repeated
+  configurations skip forward kinematics and the SAT kernels entirely;
+* the reused-neighborhood cache of :mod:`repro.spatial.simbr` — a leaf's
+  entry list is handed back without touching the tree when the leaf is
+  unchanged since it was last read.
+
+Counts are exported through ``repro_cache_events_total`` by the call sites,
+which is how cache hit rates reach ``python -m repro.obs report``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional
+
+
+class LRUMap:
+    """Least-recently-used key/value store with bounded capacity.
+
+    ``get`` counts a hit (and refreshes recency) or a miss; ``put`` inserts
+    or refreshes, evicting the least recently used entry when the map is
+    over capacity.  ``None`` is not a storable value — ``get`` uses it as
+    the miss sentinel.
+    """
+
+    __slots__ = ("capacity", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Stored value for ``key`` (refreshing recency), or None on miss."""
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``; evicts the LRU entry when over capacity."""
+        if value is None:
+            raise ValueError("LRUMap cannot store None (reserved as miss sentinel)")
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Plain-data counters for telemetry and benchmark reports."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        self._entries.clear()

@@ -32,6 +32,11 @@ class RoundRecord:
             the repair step (speculative mode only).
         repaired: whether the repair step changed the speculated nearest
             neighbor.
+        wave_width: width of the wave this round was committed in (1 for
+            the scalar loop).
+        repaired_in_wave: the round's speculative wave result was discarded
+            at commit time (an intra-wave conflict forced a scalar redo) —
+            the wave-lane equivalent of a pipeline bubble.
     """
 
     ns_macs: float
@@ -44,10 +49,59 @@ class RoundRecord:
     #: Per-kind event counts of the round (one SAT check, one MINDIST, ...);
     #: consumed by the memory bank-conflict model (Section IV-C).
     events: Optional[Dict[str, int]] = None
+    wave_width: int = 1
+    repaired_in_wave: bool = False
 
     @property
     def total_macs(self) -> float:
         return self.ns_macs + self.cc_macs + self.maint_macs + self.other_macs
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe archival form; inverse of :meth:`from_dict`."""
+        return {
+            "ns_macs": self.ns_macs,
+            "cc_macs": self.cc_macs,
+            "maint_macs": self.maint_macs,
+            "other_macs": self.other_macs,
+            "accepted": self.accepted,
+            "missing_used": self.missing_used,
+            "repaired": self.repaired,
+            "events": dict(self.events) if self.events is not None else None,
+            "wave_width": self.wave_width,
+            "repaired_in_wave": self.repaired_in_wave,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RoundRecord":
+        """Rebuild a record saved by :meth:`to_dict`."""
+        events = data.get("events")
+        return cls(
+            ns_macs=float(data["ns_macs"]),
+            cc_macs=float(data["cc_macs"]),
+            maint_macs=float(data["maint_macs"]),
+            other_macs=float(data["other_macs"]),
+            accepted=bool(data["accepted"]),
+            missing_used=int(data.get("missing_used", 0)),
+            repaired=bool(data.get("repaired", False)),
+            events=dict(events) if events is not None else None,
+            wave_width=int(data.get("wave_width", 1)),
+            repaired_in_wave=bool(data.get("repaired_in_wave", False)),
+        )
+
+
+def wave_occupancy(rounds: List["RoundRecord"]) -> Optional[float]:
+    """Fraction of wave-committed rounds whose speculation was usable.
+
+    Rounds with ``wave_width > 1`` are the wave lanes; a lane counts as
+    occupied when its speculative result survived to commit
+    (``repaired_in_wave`` False).  Returns None when no wave rounds exist
+    (scalar runs), keeping the telemetry field JSON-safe.
+    """
+    wave_rounds = [r for r in rounds if r.wave_width > 1]
+    if not wave_rounds:
+        return None
+    useful = sum(1 for r in wave_rounds if not r.repaired_in_wave)
+    return useful / len(wave_rounds)
 
 
 @dataclass
@@ -93,6 +147,7 @@ class PlanResult:
             "iterations": self.iterations,
             "first_solution_iteration": self.first_solution_iteration,
             "total_macs": self.total_macs,
+            "wave_occupancy": wave_occupancy(self.rounds),
         }
 
     def summary(self) -> str:

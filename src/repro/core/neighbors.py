@@ -39,6 +39,12 @@ def _count_query(kind: str, strategy: str) -> None:
 class NeighborStrategy:
     """Interface shared by all neighbor-search strategies."""
 
+    #: True when ``nearest`` is a flat linear scan over insertion-ordered
+    #: points — the wavefront planner can then evaluate a whole wave's
+    #: nearest lookups as one batched distance matrix and charge the exact
+    #: per-query costs via :meth:`count_nearest`.
+    linear_scan = False
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -77,6 +83,8 @@ class NeighborStrategy:
 class BruteStrategy(NeighborStrategy):
     """Linear scans over all tree nodes (the vanilla RRT\\* cost profile)."""
 
+    linear_scan = True
+
     def __init__(self, dim: int):
         self._index = BruteForceIndex(dim)
 
@@ -89,6 +97,18 @@ class BruteStrategy(NeighborStrategy):
     def nearest(self, query, counter=None, exclude=None):
         _count_query("nearest", "brute")
         return self._index.nearest(query, counter=counter, exclude=exclude)
+
+    def count_nearest(self, counter=None) -> None:
+        """Record the cost of one nearest query answered from a wave batch.
+
+        The scalar :meth:`nearest` records one ``dist`` event per stored
+        point (before exclusion) and one query metric; the wavefront planner
+        answers the query from a precomputed distance matrix and calls this
+        to charge the identical cost.
+        """
+        _count_query("nearest", "brute")
+        if counter is not None and len(self._index):
+            counter.record("dist", dim=self._index.dim, n=len(self._index))
 
     def neighborhood(self, query, radius, nearest_key=None, counter=None):
         _count_query("neighborhood", "brute")
@@ -145,6 +165,8 @@ class SIMBRStrategy(NeighborStrategy):
             better path quality in low-dimensional spaces.
         capacity: leaf/node fanout; bounds the approximated neighborhood at
             ``capacity`` (leaf scope) or ``capacity**2`` (parent scope).
+        neighborhood_cache: capacity of the SI-MBR-Tree's reused-neighborhood
+            cache (0 disables; see :class:`repro.spatial.simbr.SIMBRTree`).
     """
 
     def __init__(
@@ -154,8 +176,11 @@ class SIMBRStrategy(NeighborStrategy):
         approx_neighborhood: bool = True,
         capacity: int = 8,
         approx_scope: str = "leaf",
+        neighborhood_cache: int = 0,
     ):
-        self._tree = SIMBRTree(dim, capacity=capacity)
+        self._tree = SIMBRTree(
+            dim, capacity=capacity, neighborhood_cache=neighborhood_cache
+        )
         self.steering_insert = steering_insert
         self.approx_neighborhood = approx_neighborhood
         self.approx_scope = approx_scope
@@ -212,6 +237,7 @@ def make_strategy(
     capacity: int = 8,
     kd_rebuild_every: Optional[int] = None,
     approx_scope: str = "leaf",
+    neighborhood_cache: int = 0,
 ) -> NeighborStrategy:
     """Factory over the strategy registry."""
     if name == "brute":
@@ -225,5 +251,6 @@ def make_strategy(
             approx_neighborhood=approx_neighborhood,
             capacity=capacity,
             approx_scope=approx_scope,
+            neighborhood_cache=neighborhood_cache,
         )
     raise KeyError(f"unknown neighbor strategy {name!r}; available: brute, kd, simbr")

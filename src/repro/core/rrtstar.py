@@ -15,6 +15,18 @@ compares the speculated result against those pending nodes — the Missing
 Neighbors Buffer.  The repaired result is provably the true nearest
 neighbor, so planning outcomes are identical with and without speculation
 (a tested invariant mirroring the paper's "functionally equivalent" claim).
+
+Wavefront mode (``wave_width = W > 1``) turns that functional model into a
+throughput mechanism: each wave draws ``W`` samples at once, evaluates the
+nearest-neighbor distance matrix, speculative steering, and the collision
+check of every speculative edge as single batched kernel calls against a
+snapshot of the tree, then commits the samples *in order* with the exact
+scalar semantics of ``speculation_depth = W`` — a sample whose speculative
+result is invalidated by an intra-wave accept is repaired exactly like a
+pending-node miss.  Every counter event of the scalar round is replayed at
+commit time (batched arithmetic feeds verdicts, not counts), so paths,
+costs, and OpCounter totals are bit-identical to the scalar planner at the
+equivalent speculation depth.
 """
 
 from __future__ import annotations
@@ -27,7 +39,7 @@ import numpy as np
 from repro.core.collision import make_checker
 from repro.core.config import PlannerConfig
 from repro.core.counters import OpCounter
-from repro.obs import PhaseRecorder
+from repro.obs import PhaseRecorder, bump
 from repro.core.informed import InformedSampler
 from repro.core.metrics import PlanResult, RoundRecord
 from repro.core.neighbors import make_strategy
@@ -35,12 +47,31 @@ from repro.core.rng import LFSRSampler, NumpySampler
 from repro.core.robots import RobotModel
 from repro.core.tree import ExpTree
 from repro.core.world import PlanningTask
+from repro.geometry.motion import interpolate_configs
 
 # Operation kinds executed on each hardware unit, used to split a round's
 # counter diff into per-unit loads for the pipeline timing model.
 _NS_KINDS = ("dist", "mindist", "plane_compare", "buffer_read", "rebuild_item")
 _CC_KINDS = ("sat_obb_obb", "sat_aabb_obb", "sat_aabb_aabb", "aabb_derive", "grid_lookup")
 _MAINT_KINDS = ("enlargement", "mbr_update", "insert_direct", "split")
+
+
+class _RunState:
+    """Mutable bookkeeping shared by the scalar and wavefront run loops."""
+
+    __slots__ = (
+        "goal_nodes", "first_solution", "rounds", "cost_history",
+        "best_known", "pending",
+    )
+
+    def __init__(self):
+        self.goal_nodes: List[int] = []
+        self.first_solution: Optional[int] = None
+        self.rounds: List[RoundRecord] = []
+        self.cost_history: List[tuple] = []
+        self.best_known = float("inf")
+        # (round index, node id) pairs still "in flight" for speculation.
+        self.pending: Deque[Tuple[int, int]] = deque()
 
 
 class RRTStarPlanner:
@@ -60,6 +91,10 @@ class RRTStarPlanner:
         checker_kwargs = {"kernels": config.kernels}
         if config.checker == "two_stage":
             checker_kwargs["fine_stage"] = config.fine_stage
+        cache_size = config.resolved_collision_cache()
+        if cache_size:
+            checker_kwargs["cache_size"] = cache_size
+            checker_kwargs["cache_quantum"] = config.cache_quantum
         self.checker = make_checker(
             config.checker, robot, task.environment, resolution, **checker_kwargs
         )
@@ -71,6 +106,7 @@ class RRTStarPlanner:
             capacity=config.simbr_capacity,
             kd_rebuild_every=config.kd_rebuild_every,
             approx_scope=config.approx_scope,
+            neighborhood_cache=config.resolved_neighborhood_cache(),
         )
         sampler_cls = {"numpy": NumpySampler, "lfsr": LFSRSampler}.get(config.sampler)
         if sampler_cls is None:
@@ -92,14 +128,8 @@ class RRTStarPlanner:
         self.strategy.insert(tree.root, task.start, counter=counter)
         self.tree = tree
 
-        goal_nodes: List[int] = []
-        first_solution: Optional[int] = None
-        rounds: List[RoundRecord] = []
+        state = _RunState()
         self._neighborhood_macs = 0.0
-        cost_history: List[tuple] = []
-        best_known = float("inf")
-        # (round index, node id) pairs still "in flight" for speculation.
-        pending: Deque[Tuple[int, int]] = deque()
 
         # Observability front end: with tracing/metrics off this binds the
         # dormant globals and every obs.phase() below is one attribute check.
@@ -112,69 +142,420 @@ class RRTStarPlanner:
             checker=config.checker,
             strategy=config.neighbor_strategy,
             max_samples=config.max_samples,
+            wave_width=config.wave_width,
         )
 
         with plan_span:
-            for iteration in range(config.max_samples):
-                snapshot = counter.snapshot()
-                with obs.phase("sample", counter):
-                    x_rand = self.sampler.sample_biased(
-                        task.goal, config.goal_bias, counter=counter
-                    )
+            if config.wave_width > 1:
+                self._run_wave(tree, counter, obs, state)
+            else:
+                self._run_scalar(tree, counter, obs, state)
 
-                nearest_key, nearest_point, nearest_dist, missing_used, repaired = (
-                    self._nearest_with_repair(tree, x_rand, pending, counter, obs)
-                )
-
-                accepted = False
-                node_id: Optional[int] = None
-                if nearest_dist > 1e-12:
-                    with obs.phase("steer", counter):
-                        counter.record("steer", dim=dim)
-                        x_new = self._steer(nearest_point, x_rand, nearest_dist)
-                    with obs.phase("collision", counter):
-                        blocked = self.checker.motion_in_collision(
-                            nearest_point, x_new, counter=counter
-                        )
-                    if not blocked:
-                        with obs.phase("rewire", counter):
-                            node_id = self._extend(
-                                tree, x_new, nearest_key, nearest_point, counter
-                            )
-                        accepted = True
-                        if float(np.linalg.norm(x_new - task.goal)) <= self.goal_tolerance:
-                            goal_nodes.append(node_id)
-                            if first_solution is None:
-                                first_solution = iteration
-                        if goal_nodes:
-                            best = min(
-                                tree.cost(n)
-                                + float(np.linalg.norm(tree.point(n) - task.goal))
-                                for n in goal_nodes
-                            )
-                            if best < best_known - 1e-9:
-                                best_known = best
-                                cost_history.append((iteration, best))
-                            if isinstance(self.sampler, InformedSampler):
-                                self.sampler.update_best_cost(best)
-
-                rounds.append(
-                    self._round_record(counter.diff(snapshot), accepted, missing_used, repaired)
-                )
-
-                if accepted and config.speculation_depth > 0:
-                    pending.append((iteration, node_id))
-                while pending and pending[0][0] <= iteration - config.speculation_depth:
-                    pending.popleft()
-
-                if config.stop_on_goal and first_solution is not None:
-                    break
-
-        self._cost_history = cost_history
-        result = self._result(tree, goal_nodes, first_solution, counter, rounds, len(rounds))
+        self._cost_history = state.cost_history
+        result = self._result(
+            tree, state.goal_nodes, state.first_solution, counter,
+            state.rounds, len(state.rounds),
+        )
         if obs.registry.enabled:
             self._record_run_metrics(obs, result, counter, obs.tracer.now() - plan_started)
         return result
+
+    def _run_scalar(self, tree, counter, obs, state) -> None:
+        """One sample per round: the reference sequential loop."""
+        config, task, dim = self.config, self.task, self.robot.dof
+        pending = state.pending
+        for iteration in range(config.max_samples):
+            snapshot = counter.snapshot()
+            with obs.phase("sample", counter):
+                x_rand = self.sampler.sample_biased(
+                    task.goal, config.goal_bias, counter=counter
+                )
+
+            nearest_key, nearest_point, nearest_dist, missing_used, repaired = (
+                self._nearest_with_repair(tree, x_rand, pending, counter, obs)
+            )
+
+            accepted = False
+            node_id: Optional[int] = None
+            if nearest_dist > 1e-12:
+                with obs.phase("steer", counter):
+                    counter.record("steer", dim=dim)
+                    x_new = self._steer(nearest_point, x_rand, nearest_dist)
+                with obs.phase("collision", counter):
+                    blocked = self.checker.motion_in_collision(
+                        nearest_point, x_new, counter=counter
+                    )
+                if not blocked:
+                    with obs.phase("rewire", counter):
+                        node_id = self._extend(
+                            tree, x_new, nearest_key, nearest_point, counter
+                        )
+                    accepted = True
+                    self._after_accept(tree, node_id, x_new, iteration, state)
+
+            state.rounds.append(
+                self._round_record(counter.diff(snapshot), accepted, missing_used, repaired)
+            )
+
+            if accepted and config.speculation_depth > 0:
+                pending.append((iteration, node_id))
+            while pending and pending[0][0] <= iteration - config.speculation_depth:
+                pending.popleft()
+
+            if config.stop_on_goal and state.first_solution is not None:
+                break
+
+    def _run_wave(self, tree, counter, obs, state) -> None:
+        """Wavefront loop: W samples per wave through batched kernels.
+
+        Stage 1 (speculative, batched): against a snapshot of the tree, the
+        wave's nearest-neighbor lookups run as one distance-matrix einsum,
+        each sample's speculative ``x_new`` is steered, and every
+        speculative edge's waypoints go through the collision kernels in a
+        single :meth:`~repro.core.collision.CollisionChecker.config_results`
+        call.  Each sample only sees the tree prefix the scalar planner at
+        ``speculation_depth = W`` would see (pending rounds are blinded).
+
+        Stage 2 (commit, in sample order): each sample replays the scalar
+        round — nearest + missing-neighbors repair, steer, collision,
+        extend — into its own sub-counter.  When the committed nearest
+        matches the speculation, the collision verdict and its counter
+        events are replayed from the batched stage; otherwise (an intra-wave
+        conflict repaired the nearest) the edge is re-checked scalar-wise,
+        exactly like a speculation miss in the hardware pipeline.  Because
+        all cost-model weights are integers, merging the sub-counters
+        reproduces the scalar counter totals bit-for-bit.
+        """
+        config, task, dim = self.config, self.task, self.robot.dof
+        width_cfg = config.wave_width
+        pending = state.pending
+        linear = getattr(self.strategy, "linear_scan", False)
+        resolution = self.checker.motion_resolution
+        start = 0
+        while start < config.max_samples:
+            width = min(width_cfg, config.max_samples - start)
+            subs = [OpCounter() for _ in range(width)]
+            xs = np.empty((width, dim), dtype=float)
+            for j in range(width):
+                with obs.phase("sample", subs[j]):
+                    xs[j] = self.sampler.sample_biased(
+                        task.goal, config.goal_bias, counter=subs[j]
+                    )
+
+            # ---------------- stage 1: speculative batched evaluation
+            n0 = len(tree)
+            points = tree.points_view()
+            pend_rounds = [r for r, _ in pending]
+            # Entering round start+j the scalar loop has popped rounds
+            # <= start+j-1-W, so the blinded suffix is rounds >= start+j-W;
+            # node ids are insertion-ordered, hence the visible set is a
+            # prefix of the snapshot.
+            limits = [
+                n0 - sum(1 for r in pend_rounds if r >= start + j - width_cfg)
+                for j in range(width)
+            ]
+            base_key = [0] * width
+            spec_key = [0] * width
+            spec_new: List[Optional[np.ndarray]] = [None] * width
+            #: Per-sample (verdicts, events) slice for the commit replay.
+            spec_results: List[Optional[tuple]] = [None] * width
+            with obs.tracer.span("wave", width=width, nodes=n0):
+                diffs = points[None, :, :] - xs[:, None, :]
+                d_sq = np.einsum("wnd,wnd->wn", diffs, diffs)
+                seg_cfgs = []
+                seg_bounds = []
+                seg_pos = 0
+                pre_key = [0] * width
+                pre_dist = [0.0] * width
+                for j in range(width):
+                    k = int(np.argmin(d_sq[j, : limits[j]]))
+                    base_key[j] = k
+                    if linear:
+                        # Matches BruteForceIndex: sqrt of the einsum row.
+                        dist = float(np.sqrt(d_sq[j, k]))
+                    else:
+                        # Matches SIMBRTree's per-point distance arithmetic.
+                        dist = float(
+                            np.sqrt(float(np.sum((points[k] - xs[j]) ** 2)))
+                        )
+                    # Predict the POST-repair nearest among the snapshot:
+                    # replay the repair scan against the pending entries
+                    # that will still be in flight at this sample's commit
+                    # (bitwise the same arithmetic the commit-time repair
+                    # performs).  The matrix distance prunes entries that
+                    # provably cannot win (it agrees with the scalar norm
+                    # to a few ulp, dwarfed by the 1e-9 relative margin).
+                    cut = start + j - width_cfg
+                    bound = dist * dist * (1.0 + 1e-9)
+                    for r, pkey in pending:
+                        if r >= cut and d_sq[j, pkey] <= bound:
+                            pdist = float(np.linalg.norm(points[pkey] - xs[j]))
+                            if pdist < dist:
+                                k, dist = pkey, pdist
+                                bound = dist * dist * (1.0 + 1e-9)
+                    pre_key[j] = k
+                    pre_dist[j] = dist
+                    if dist > 1e-12:
+                        x_new = self._steer(points[k], xs[j], dist)
+                        spec_new[j] = x_new
+                        cfgs = interpolate_configs(points[k], x_new, resolution)
+                        seg_bounds.append((j, seg_pos, seg_pos + len(cfgs)))
+                        seg_pos += len(cfgs)
+                        seg_cfgs.append(cfgs)
+                batch1: dict = {}
+                if seg_cfgs:
+                    wave_verdicts, wave_events = self.checker.config_results(
+                        np.concatenate(seg_cfgs, axis=0)
+                    )
+                    for j, lo_, hi_ in seg_bounds:
+                        batch1[j] = (wave_verdicts[lo_:hi_], wave_events[lo_:hi_])
+                self._simulate_commit(
+                    xs, width, n0, pre_key, pre_dist, points,
+                    spec_key, spec_new, spec_results, batch1, resolution,
+                )
+
+            # ---------------- stage 2: in-order commit with repair
+            stop = False
+            for j in range(width):
+                iteration = start + j
+                sub = subs[j]
+                x_rand = xs[j]
+                if linear:
+                    # The committed visible set equals the speculative
+                    # prefix (intra-wave accepts are all still pending), so
+                    # the matrix row IS the exact scalar scan result.
+                    with obs.phase("nearest", sub):
+                        self.strategy.count_nearest(sub)
+                    k = base_key[j]
+                    nearest_key, nearest_point = k, points[k].copy()
+                    nearest_dist = float(np.sqrt(d_sq[j, k]))
+                    missing_used = 0
+                    repaired = False
+                    if pending:
+                        with obs.phase("repair", sub, entries=len(pending)):
+                            (nearest_key, nearest_point, nearest_dist,
+                             missing_used, repaired) = self._repair(
+                                tree, x_rand, pending, sub,
+                                nearest_key, nearest_point, nearest_dist,
+                                d_sq_row=d_sq[j], snapshot_len=n0,
+                            )
+                else:
+                    (nearest_key, nearest_point, nearest_dist,
+                     missing_used, repaired) = self._nearest_with_repair(
+                        tree, x_rand, pending, sub, obs,
+                        d_sq_row=d_sq[j], snapshot_len=n0,
+                    )
+
+                accepted = False
+                node_id: Optional[int] = None
+                used_spec = False
+                if nearest_dist > 1e-12:
+                    with obs.phase("steer", sub):
+                        sub.record("steer", dim=dim)
+                        x_new = self._steer(nearest_point, x_rand, nearest_dist)
+                    spec = spec_new[j]
+                    used_spec = (
+                        spec is not None
+                        and spec_results[j] is not None
+                        and nearest_key == spec_key[j]
+                        and np.array_equal(x_new, spec)
+                    )
+                    with obs.phase("collision", sub):
+                        if used_spec:
+                            verdicts_j, events_j = spec_results[j]
+                            blocked = self._replay_motion(
+                                verdicts_j, events_j, sub
+                            )
+                        else:
+                            blocked = self.checker.motion_in_collision(
+                                nearest_point, x_new, counter=sub
+                            )
+                    if not blocked:
+                        with obs.phase("rewire", sub):
+                            node_id = self._extend(
+                                tree, x_new, nearest_key, nearest_point, sub
+                            )
+                        accepted = True
+                        self._after_accept(tree, node_id, x_new, iteration, state)
+
+                state.rounds.append(
+                    self._round_record(
+                        sub, accepted, missing_used, repaired,
+                        wave_width=width,
+                        repaired_in_wave=pre_dist[j] > 1e-12 and not used_spec,
+                    )
+                )
+
+                if accepted:
+                    pending.append((iteration, node_id))
+                while pending and pending[0][0] <= iteration - width_cfg:
+                    pending.popleft()
+
+                counter.merge(sub)
+
+                if config.stop_on_goal and state.first_solution is not None:
+                    stop = True
+                    break
+            if stop:
+                break
+            start += width
+
+    def _simulate_commit(self, xs, width, n0, pre_key, pre_dist, points,
+                         spec_key, spec_new, spec_results, batch1, resolution):
+        """Fold intra-wave accepts into the speculation (two sim passes).
+
+        The pre-pass speculation only sees the tree snapshot, so a sample
+        whose true nearest is a node accepted *earlier in the same wave*
+        would miss at commit and fall back to a scalar collision check.
+        This walks the commit order ahead of time:
+
+        * Pass A predicts each sample's acceptance from the batch-1
+          verdicts; samples whose predicted nearest moves to an intra-wave
+          accept get their edge re-steered and collision-checked in one
+          second batched call.
+        * Pass B re-walks the chain with both verdict sets and fixes the
+          final per-sample speculation (``spec_key``/``spec_new``/
+          ``spec_results``), predicting intra-wave node ids from the
+          insertion order.
+
+        The simulation uses bitwise the same steering and distance
+        arithmetic as the commit, so its predictions are exact unless a
+        re-steered edge's own acceptance was mispredicted (third-order
+        conflicts); any misprediction surfaces only as a commit-time
+        speculation miss — the scalar fallback — never as a wrong result.
+
+        Both passes prefilter with squared-distance matrices to the
+        candidate accept points (one stacked einsum per candidate set);
+        the exact scalar norm runs only on entries inside the 1e-9
+        relative margin, which dwarfs the few-ulp matrix/norm divergence.
+        """
+        cand_idx = [j for j in range(width) if spec_new[j] is not None]
+        if not cand_idx:
+            for j in range(width):
+                spec_key[j] = pre_key[j]
+                spec_results[j] = batch1.get(j)
+            return
+        margin = 1.0 + 1e-9
+        cmat = np.stack([spec_new[j] for j in cand_idx])
+        d_a = cmat[None, :, :] - xs[:, None, :]
+        sq_a = np.einsum("wmd,wmd->wm", d_a, d_a).tolist()
+        col_of = {j: i for i, j in enumerate(cand_idx)}
+
+        # ---- pass A: find edges that need a second collision batch
+        accepts = []  # (candidate column, point)
+        resteer = []
+        for j in range(width):
+            dist = pre_dist[j]
+            bound = dist * dist * margin
+            row = sq_a[j]
+            pt = None
+            for col, apt in accepts:
+                if row[col] <= bound:
+                    pdist = float(np.linalg.norm(apt - xs[j]))
+                    if pdist < dist:
+                        dist, pt = pdist, apt
+                        bound = dist * dist * margin
+            if pt is not None:
+                # Moved intra-wave: re-steer; assume rejected this pass.
+                if dist > 1e-12:
+                    x2 = self._steer(pt, xs[j], dist)
+                    resteer.append((j, x2, interpolate_configs(pt, x2, resolution)))
+                continue
+            res = batch1.get(j)
+            if res is not None and not any(res[0]):
+                accepts.append((col_of[j], spec_new[j]))
+        batch2: dict = {}
+        bcol_of: dict = {}
+        sq_b = None
+        if resteer:
+            verd, ev = self.checker.config_results(
+                np.concatenate([cfgs for _, _, cfgs in resteer], axis=0)
+            )
+            pos = 0
+            for i, (j, x2, cfgs) in enumerate(resteer):
+                nseg = len(cfgs)
+                batch2[j] = (x2, verd[pos:pos + nseg], ev[pos:pos + nseg])
+                pos += nseg
+                bcol_of[j] = i
+            bmat = np.stack([x2 for _, x2, _ in resteer])
+            d_b = bmat[None, :, :] - xs[:, None, :]
+            sq_b = np.einsum("wmd,wmd->wm", d_b, d_b).tolist()
+
+        # ---- pass B: exact chain replay with both verdict sets
+        accepts = []  # (matrix flag, column, point); id = n0 + position
+        for j in range(width):
+            k, dist = pre_key[j], pre_dist[j]
+            pt = points[k]
+            bound = dist * dist * margin
+            row_a = sq_a[j]
+            row_b = sq_b[j] if sq_b is not None else None
+            for idx, (in_b, col, apt) in enumerate(accepts):
+                sq = row_b[col] if in_b else row_a[col]
+                if sq <= bound:
+                    pdist = float(np.linalg.norm(apt - xs[j]))
+                    if pdist < dist:
+                        k, dist, pt = n0 + idx, pdist, apt
+                        bound = dist * dist * margin
+            spec_key[j] = k
+            if dist <= 1e-12:
+                spec_new[j] = None
+                spec_results[j] = None
+                continue
+            if k == pre_key[j]:
+                x2 = spec_new[j]
+                results = batch1.get(j)
+                in_b, col = False, col_of.get(j)
+            else:
+                x2 = self._steer(pt, xs[j], dist)
+                spec_new[j] = x2
+                entry = batch2.get(j)
+                results = None
+                in_b, col = True, bcol_of.get(j)
+                if entry is not None and np.array_equal(entry[0], x2):
+                    results = (entry[1], entry[2])
+            spec_results[j] = results
+            if results is not None and not any(results[0]):
+                accepts.append((in_b, col, spec_new[j]))
+
+    def _replay_motion(self, verdicts, events, counter) -> bool:
+        """Commit a speculatively checked edge from its stored results.
+
+        Mirrors :meth:`~repro.core.collision.CollisionChecker.
+        motion_in_collision`: one motion-query metric, then the scalar
+        early-exit scan over the per-waypoint verdict/event pairs.
+        """
+        bump("repro_cc_motion_checks_total",
+             help="Motion (edge) collision queries issued")
+        return self.checker._replay_config_results(verdicts, events, counter)
+
+    def _after_accept(self, tree, node_id, x_new, iteration, state) -> None:
+        """Goal bookkeeping for an accepted sample (shared by both loops)."""
+        task = self.task
+        if float(np.linalg.norm(x_new - task.goal)) <= self.goal_tolerance:
+            state.goal_nodes.append(node_id)
+            if state.first_solution is None:
+                state.first_solution = iteration
+        if state.goal_nodes:
+            best = min(
+                tree.cost(n) + float(np.linalg.norm(tree.point(n) - task.goal))
+                for n in state.goal_nodes
+            )
+            if best < state.best_known - 1e-9:
+                state.best_known = best
+                state.cost_history.append((iteration, best))
+            if isinstance(self.sampler, InformedSampler):
+                self.sampler.update_best_cost(best)
+
+    def cache_stats(self) -> dict:
+        """Hit/miss statistics of the software caches (empty when disabled)."""
+        stats = {}
+        if self.checker.config_cache is not None:
+            stats["collision"] = self.checker.config_cache.stats()
+        index = getattr(self.strategy, "tree", None)
+        cache = getattr(index, "neighborhood_cache", None)
+        if cache is not None:
+            stats["neighborhood"] = cache.stats()
+        return stats
 
     def _record_run_metrics(self, obs, result, counter, elapsed_s: float) -> None:
         """Run-level metrics: plan count/latency and Fig-3 MAC categories."""
@@ -195,7 +576,8 @@ class RRTStarPlanner:
 
     # -------------------------------------------------------------- internals
 
-    def _nearest_with_repair(self, tree, x_rand, pending, counter, obs=None):
+    def _nearest_with_repair(self, tree, x_rand, pending, counter, obs=None,
+                             d_sq_row=None, snapshot_len=0):
         """Speculated nearest-neighbor search plus the repair step.
 
         Without speculation this is a plain exact search.  With speculation,
@@ -205,7 +587,6 @@ class RRTStarPlanner:
         """
         if obs is None:
             obs = PhaseRecorder()
-        dim = self.robot.dof
         exclude = {key for _, key in pending} if pending else None
         with obs.phase("nearest", counter):
             found = self.strategy.nearest(x_rand, counter=counter, exclude=exclude)
@@ -215,15 +596,48 @@ class RRTStarPlanner:
         repaired = False
         if pending:
             with obs.phase("repair", counter, entries=len(pending)):
-                for _, key in pending:
-                    missing_used += 1
-                    counter.record("buffer_read", dim=dim)
-                    counter.record("dist", dim=dim)
-                    point = tree.point(key)
-                    dist = float(np.linalg.norm(point - x_rand))
-                    if dist < nearest_dist:
-                        nearest_key, nearest_point, nearest_dist = key, point, dist
-                        repaired = True
+                (nearest_key, nearest_point, nearest_dist,
+                 missing_used, repaired) = self._repair(
+                    tree, x_rand, pending, counter,
+                    nearest_key, nearest_point, nearest_dist,
+                    d_sq_row=d_sq_row, snapshot_len=snapshot_len,
+                )
+        return nearest_key, nearest_point, nearest_dist, missing_used, repaired
+
+    def _repair(self, tree, x_rand, pending, counter,
+                nearest_key, nearest_point, nearest_dist,
+                d_sq_row=None, snapshot_len=0):
+        """Missing-neighbors repair: compare against every pending node.
+
+        Every pending entry is charged its buffer read and distance (the
+        hardware always performs them), but when the wavefront planner
+        supplies its precomputed squared-distance row the actual norm is
+        skipped for snapshot entries that provably cannot beat the current
+        nearest — the matrix agrees with the scalar norm to a few ulp,
+        dwarfed by the 1e-9 relative margin, so the selected neighbor is
+        bitwise unchanged.
+        """
+        dim = self.robot.dof
+        missing_used = len(pending)
+        repaired = False
+        # One aggregated record per kind: integer cost weights make the
+        # n-fold record bitwise equal to n single records.
+        counter.record("buffer_read", dim=dim, n=missing_used)
+        counter.record("dist", dim=dim, n=missing_used)
+        bound = (
+            nearest_dist * nearest_dist * (1.0 + 1e-9)
+            if d_sq_row is not None else 0.0
+        )
+        for _, key in pending:
+            if d_sq_row is not None and key < snapshot_len and d_sq_row[key] > bound:
+                continue
+            point = tree.point(key)
+            dist = float(np.linalg.norm(point - x_rand))
+            if dist < nearest_dist:
+                nearest_key, nearest_point, nearest_dist = key, point, dist
+                repaired = True
+                if d_sq_row is not None:
+                    bound = nearest_dist * nearest_dist * (1.0 + 1e-9)
         return nearest_key, nearest_point, nearest_dist, missing_used, repaired
 
     def _steer(self, origin: np.ndarray, target: np.ndarray, dist: float) -> np.ndarray:
@@ -297,7 +711,8 @@ class RRTStarPlanner:
         return False
 
     @staticmethod
-    def _round_record(diff: OpCounter, accepted, missing_used, repaired) -> RoundRecord:
+    def _round_record(diff: OpCounter, accepted, missing_used, repaired,
+                      wave_width: int = 1, repaired_in_wave: bool = False) -> RoundRecord:
         loads = {"ns": 0.0, "cc": 0.0, "maint": 0.0, "other": 0.0}
         for kind, macs in diff.macs.items():
             if kind in _NS_KINDS:
@@ -317,6 +732,8 @@ class RRTStarPlanner:
             missing_used=missing_used,
             repaired=repaired,
             events=dict(diff.events),
+            wave_width=wave_width,
+            repaired_in_wave=repaired_in_wave,
         )
 
     def _result(self, tree, goal_nodes, first_solution, counter, rounds, iterations):

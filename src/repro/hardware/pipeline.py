@@ -23,7 +23,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from repro.core.metrics import RoundRecord
+from repro.core.metrics import RoundRecord, wave_occupancy
 from repro.hardware.params import MopedHardwareParams
 from repro.obs import get_registry, get_tracer
 
@@ -53,6 +53,42 @@ class PipelineReport:
     @property
     def speedup(self) -> float:
         return self.serial_cycles / self.snr_cycles if self.snr_cycles > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class WaveStats:
+    """Lane utilisation of a wavefront run (Section IV-B's S&R lanes).
+
+    The wavefront planner issues ``wave_width`` speculative rounds per wave;
+    a lane slot is *committed* when its speculative result survived to
+    commit (no intra-wave conflict forced a scalar redo).  Occupancy is
+    committed / slots — the software analogue of pipeline-lane utilisation.
+
+    Attributes:
+        lanes: the wave width the run was configured with (0 = scalar run).
+        slots: wave-committed rounds, i.e. lane issues.
+        committed: slots whose speculative result was used at commit.
+        occupancy: committed / slots (None for scalar runs).
+    """
+
+    lanes: int
+    slots: int
+    committed: int
+    occupancy: float | None
+
+
+def wave_lane_utilization(rounds: Sequence[RoundRecord]) -> WaveStats:
+    """Fold a run's round records into :class:`WaveStats`."""
+    wave_rounds = [r for r in rounds if r.wave_width > 1]
+    if not wave_rounds:
+        return WaveStats(lanes=0, slots=0, committed=0, occupancy=None)
+    committed = sum(1 for r in wave_rounds if not r.repaired_in_wave)
+    return WaveStats(
+        lanes=max(r.wave_width for r in wave_rounds),
+        slots=len(wave_rounds),
+        committed=committed,
+        occupancy=wave_occupancy(list(wave_rounds)),
+    )
 
 
 def _round_unit_cycles(record: RoundRecord, params: MopedHardwareParams):

@@ -100,10 +100,34 @@ def _corners_2d(c, h, r) -> np.ndarray:
     """World corners of 2D OBBs over leading dims: ``L + (4, 2)``.
 
     Same sign ordering and arithmetic as :meth:`repro.geometry.obb.OBB.
-    corners` (``center + R @ (signs * half)``).
+    corners` (``center + R @ (signs * half)``); the matrix product is
+    written out as its two-term sum, which matches the einsum accumulation
+    bit-for-bit while avoiding its strided-iteration dispatch cost.
     """
     local = _CORNER_SIGNS_2D * h[..., None, :]
-    return c[..., None, :] + np.einsum("...ij,...cj->...ci", r, local)
+    rotated = (
+        r[..., None, :, 0] * local[..., :, 0, None]
+        + r[..., None, :, 1] * local[..., :, 1, None]
+    )
+    return c[..., None, :] + rotated
+
+
+def _proj_2d(corners, axes) -> np.ndarray:
+    """Project corner sets on frame axes: ``proj[..., c, k] = corners[...,
+    c, :] @ (column k of axes)`` as an explicit two-term sum (bit-identical
+    to the einsum contraction, several times faster on broadcast operands).
+    """
+    return (
+        corners[..., :, 0, None] * axes[..., None, 0, :]
+        + corners[..., :, 1, None] * axes[..., None, 1, :]
+    )
+
+
+def _interval_sep_2d(proj_a, proj_b) -> np.ndarray:
+    """Per-axis interval-overlap separation over corner projections."""
+    a_min, a_max = proj_a.min(axis=-2), proj_a.max(axis=-2)
+    b_min, b_max = proj_b.min(axis=-2), proj_b.max(axis=-2)
+    return ((a_max < b_min - _EPS) | (b_max < a_min - _EPS)).any(axis=-1)
 
 
 def _sat_obb_obb_2d(a_c, a_h, a_r, b_c, b_h, b_r) -> np.ndarray:
@@ -117,13 +141,27 @@ def _sat_obb_obb_2d(a_c, a_h, a_r, b_c, b_h, b_r) -> np.ndarray:
     corners_b = _corners_2d(b_c, b_h, b_r)
     sep = None
     for axes in (a_r, b_r):
-        # proj[..., c, k] = corners[..., c, :] @ (column k of R).
-        proj_a = np.einsum("...ci,...ik->...ck", corners_a, axes)
-        proj_b = np.einsum("...ci,...ik->...ck", corners_b, axes)
-        a_min, a_max = proj_a.min(axis=-2), proj_a.max(axis=-2)
-        b_min, b_max = proj_b.min(axis=-2), proj_b.max(axis=-2)
-        s = ((a_max < b_min - _EPS) | (b_max < a_min - _EPS)).any(axis=-1)
+        s = _interval_sep_2d(_proj_2d(corners_a, axes), _proj_2d(corners_b, axes))
         sep = s if sep is None else (sep | s)
+    return ~sep
+
+
+def _sat_aabb_obb_2d(a_c, a_h, b_c, b_h, b_r) -> np.ndarray:
+    """2D AABB-OBB SAT: the identity-frame specialisation.
+
+    The scalar reference feeds the AABB through the corner-projection test
+    with an identity rotation; projecting any corner set on the identity
+    columns reproduces the corner coordinates exactly (the extra products
+    contribute only signed zeros, invisible to the interval comparisons),
+    and the AABB's own corners are ``center + signs * half`` verbatim.
+    Skipping those no-op contractions halves the kernel's heavy work.
+    """
+    corners_a = a_c[..., None, :] + _CORNER_SIGNS_2D * a_h[..., None, :]
+    corners_b = _corners_2d(b_c, b_h, b_r)
+    # Axes of a: the world axes — projections are the corner coordinates.
+    sep = _interval_sep_2d(corners_a, corners_b)
+    # Axes of b: genuine change of basis for both corner sets.
+    sep |= _interval_sep_2d(_proj_2d(corners_a, b_r), _proj_2d(corners_b, b_r))
     return ~sep
 
 
@@ -188,14 +226,12 @@ def _sat_aabb_obb_3d(a_c, a_h, b_c, b_h, b_r) -> np.ndarray:
 
 
 def _aabb_as_obb(lo, hi):
-    """Centre / half extents / identity rotation of AABB rows."""
+    """Centre / half extents of AABB rows (the identity frame is implicit)."""
     lo = np.asarray(lo, dtype=float)
     hi = np.asarray(hi, dtype=float)
     center = (lo + hi) / 2.0
     half = (hi - lo) / 2.0
-    dim = lo.shape[-1]
-    ident = np.broadcast_to(np.eye(dim), lo.shape[:-1] + (dim, dim))
-    return center, half, ident
+    return center, half
 
 
 def aabb_obb_grid(box_lo, box_hi, b_c, b_h, b_r) -> np.ndarray:
@@ -209,12 +245,10 @@ def aabb_obb_grid(box_lo, box_hi, b_c, b_h, b_r) -> np.ndarray:
     b_c = np.asarray(b_c, dtype=float)[:, None, :]
     b_h = np.asarray(b_h, dtype=float)[:, None, :]
     b_r = np.asarray(b_r, dtype=float)[:, None, :, :]
-    center, half, ident = _aabb_as_obb(box_lo, box_hi)
+    center, half = _aabb_as_obb(box_lo, box_hi)
     if center.shape[-1] == 3:
         return _sat_aabb_obb_3d(center[None, :, :], half[None, :, :], b_c, b_h, b_r)
-    return _sat_obb_obb_2d(
-        center[None, :, :], half[None, :, :], ident[None, :, :, :], b_c, b_h, b_r
-    )
+    return _sat_aabb_obb_2d(center[None, :, :], half[None, :, :], b_c, b_h, b_r)
 
 
 def aabb_obb_pairs(box_lo, box_hi, b_c, b_h, b_r) -> np.ndarray:
@@ -222,10 +256,10 @@ def aabb_obb_pairs(box_lo, box_hi, b_c, b_h, b_r) -> np.ndarray:
     b_c = np.asarray(b_c, dtype=float)
     b_h = np.asarray(b_h, dtype=float)
     b_r = np.asarray(b_r, dtype=float)
-    center, half, ident = _aabb_as_obb(box_lo, box_hi)
+    center, half = _aabb_as_obb(box_lo, box_hi)
     if center.shape[-1] == 3:
         return _sat_aabb_obb_3d(center, half, b_c, b_h, b_r)
-    return _sat_obb_obb_2d(center, half, ident, b_c, b_h, b_r)
+    return _sat_aabb_obb_2d(center, half, b_c, b_h, b_r)
 
 
 # ------------------------------------------------------- distance reductions

@@ -125,6 +125,23 @@ def build_report(
             }
         )
 
+    # Software-cache effectiveness (collision-result and reused-neighborhood
+    # caches): fold the (cache, event) series into per-cache hit/miss/evict
+    # totals.  These count *executed* work — OpCounters keep reporting the
+    # modeled cost — so the hit rate here is exactly the work the caches
+    # saved the host.
+    caches: Dict[str, Dict[str, float]] = {}
+    for labels, value in metrics.get("repro_cache_events_total", []):
+        name = labels.get("cache")
+        event = labels.get("event")
+        if name is None or event not in ("hit", "miss", "evict"):
+            continue
+        entry = caches.setdefault(name, {"hit": 0.0, "miss": 0.0, "evict": 0.0})
+        entry[event] += value
+    for entry in caches.values():
+        lookups = entry["hit"] + entry["miss"]
+        entry["hit_rate"] = (entry["hit"] / lookups) if lookups else 0.0
+
     report: Dict[str, object] = {
         "phases": phases,
         "phase_time_s": total_time,
@@ -133,6 +150,7 @@ def build_report(
             sorted(other_spans.items(), key=lambda kv: -kv[1]["total_s"])
         ),
         "categories": _label_map(metrics.get("repro_macs_total", []), "category"),
+        "caches": dict(sorted(caches.items())),
     }
 
     if events is not None:
@@ -210,6 +228,23 @@ def render_report(report: Dict) -> str:
         blocks.append(
             "MACs by category\n"
             + _format_table(["category", "macs", "mac_%"], rows)
+        )
+
+    caches = report.get("caches") or {}
+    if caches:
+        rows = [
+            [
+                name,
+                int(entry["hit"]),
+                int(entry["miss"]),
+                int(entry["evict"]),
+                100.0 * entry["hit_rate"],
+            ]
+            for name, entry in caches.items()
+        ]
+        blocks.append(
+            "software caches\n"
+            + _format_table(["cache", "hits", "misses", "evicts", "hit_%"], rows)
         )
 
     other = report.get("other_spans") or {}

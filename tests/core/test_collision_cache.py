@@ -1,0 +1,111 @@
+"""Collision-result cache: hits must equal fresh two-stage checks.
+
+The cache stores ``(verdict, OpCounter events)`` per quantized
+configuration; a hit must be indistinguishable from recomputing — same
+verdict, same modeled counter events — under every checker and kernel
+backend, or planning results would depend on cache state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.collision import make_checker
+from repro.core.counters import OpCounter
+from repro.core.robots import get_robot
+from repro.workloads.generator import random_environment
+
+
+def _setup(checker_name, kernels, cache_size=0, cache_quantum=0.0):
+    robot = get_robot("mobile2d")
+    environment = random_environment(2, 12, seed=4)
+    return make_checker(
+        checker_name, robot, environment,
+        motion_resolution=robot.step_size / 4.0,
+        kernels=kernels,
+        cache_size=cache_size,
+        cache_quantum=cache_quantum,
+    )
+
+
+def _sample_configs(n=24, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(5.0, 95.0, size=(n, 3)) * np.array([1.0, 1.0, 0.06])
+
+
+@pytest.mark.parametrize("checker_name", ["two_stage", "obb", "aabb"])
+@pytest.mark.parametrize("kernels", ["batch", "reference"])
+class TestCachedHitEqualsFreshCheck:
+    def test_hits_reproduce_fresh_results(self, checker_name, kernels):
+        configs = _sample_configs()
+        fresh = _setup(checker_name, kernels)
+        cached = _setup(checker_name, kernels, cache_size=256)
+
+        want_verdicts, want_events = fresh.config_results(configs)
+        first_v, first_e = cached.config_results(configs)
+        assert cached.config_cache.hits == 0
+
+        hit_v, hit_e = cached.config_results(configs)
+        assert cached.config_cache.hits == len(configs)
+
+        for got_v, got_e in ((first_v, first_e), (hit_v, hit_e)):
+            assert [bool(v) for v in got_v] == [bool(v) for v in want_verdicts]
+            for got, want in zip(got_e, want_events):
+                assert got.to_dict() == want.to_dict()
+
+    def test_replayed_motion_counter_matches_uncached_motion(
+        self, checker_name, kernels
+    ):
+        """Merging cached per-config events == the scalar motion check."""
+        checker = _setup(checker_name, kernels, cache_size=256)
+        plain = _setup(checker_name, kernels)
+        start = np.array([20.0, 20.0, 0.0])
+        end = np.array([26.0, 24.0, 0.4])
+        from repro.geometry.motion import interpolate_configs
+
+        configs = interpolate_configs(start, end, checker.motion_resolution)
+        # Warm the cache, then replay entirely from hits.
+        checker.config_results(configs)
+        verdicts, events = checker.config_results(configs)
+
+        replayed = OpCounter()
+        blocked = checker._replay_config_results(verdicts, events, replayed)
+
+        direct = OpCounter()
+        assert blocked == plain.motion_in_collision(start, end, counter=direct)
+        assert replayed.to_dict() == direct.to_dict()
+
+
+class TestCacheKeying:
+    def test_exact_keying_distinguishes_any_bit_difference(self):
+        checker = _setup("two_stage", "batch", cache_size=64)
+        a = np.array([10.0, 10.0, 0.1])
+        b = a + 1e-12
+        checker.config_results(a[None, :])
+        checker.config_results(b[None, :])
+        assert checker.config_cache.hits == 0
+        assert checker.config_cache.misses == 2
+
+    def test_quantized_keying_coalesces_nearby_configs(self):
+        checker = _setup("two_stage", "batch", cache_size=64, cache_quantum=0.5)
+        a = np.array([10.0, 10.0, 0.1])
+        b = a + 0.01  # well within the quantum
+        checker.config_results(a[None, :])
+        checker.config_results(b[None, :])
+        assert checker.config_cache.hits == 1
+
+    def test_duplicate_rows_in_one_batch_compute_once(self):
+        checker = _setup("two_stage", "batch", cache_size=64)
+        config = np.array([30.0, 40.0, 0.2])
+        batch = np.stack([config, config, config])
+        verdicts, events = checker.config_results(batch)
+        # One computed miss, stored once; later batches hit per row.
+        assert checker.config_cache.misses == 3
+        assert len(checker.config_cache) == 1
+        assert verdicts[0] == verdicts[1] == verdicts[2]
+        assert events[0].to_dict() == events[1].to_dict()
+
+    def test_eviction_is_counted(self):
+        checker = _setup("two_stage", "batch", cache_size=4)
+        checker.config_results(_sample_configs(n=12, seed=1))
+        assert checker.config_cache.evictions == 8
+        assert len(checker.config_cache) == 4

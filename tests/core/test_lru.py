@@ -1,0 +1,73 @@
+"""LRUMap: the value-storing cache under the engine's software caches."""
+
+import pytest
+
+from repro.core.lru import LRUMap
+
+
+class TestLRUMap:
+    def test_get_miss_then_hit(self):
+        cache = LRUMap(capacity=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUMap(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LRUMap(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 10
+
+    def test_capacity_bound_holds(self):
+        cache = LRUMap(capacity=3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert cache.evictions == 7
+
+    def test_none_value_rejected(self):
+        cache = LRUMap(capacity=1)
+        with pytest.raises(ValueError):
+            cache.put("a", None)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUMap(capacity=0)
+
+    def test_stats_and_hit_rate(self):
+        cache = LRUMap(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("x")
+        stats = cache.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_clear_keeps_statistics(self):
+        cache = LRUMap(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.hits == 1
+        assert cache.misses == 1

@@ -109,3 +109,79 @@ class TestBaselineFile:
         rozum = e2e["rozum/32obs/v4"]
         assert rozum["equivalent"] is True
         assert rozum["speedup"] >= 3.0
+
+
+def wave_entry(case="mobile2d/32obs/v1-norewire", wave_width=8,
+               max_samples=600, wave_s=0.15, scalar_s=0.24):
+    return {
+        "case": case,
+        "robot": "mobile2d",
+        "obstacles": 32,
+        "variant": "v1",
+        "wave_width": wave_width,
+        "max_samples": max_samples,
+        "scalar_s": scalar_s,
+        "scalar_spec_s": scalar_s * 1.05,
+        "wave_s": wave_s,
+        "speedup_vs_scalar": scalar_s / wave_s,
+        "speedup_vs_spec": scalar_s * 1.05 / wave_s,
+        "wave_occupancy": 0.95,
+        "cache": {},
+        "path_cost": 1.0,
+        "num_nodes": 100,
+        "equivalent": True,
+    }
+
+
+class TestWaveGate:
+    def test_passes_when_fast(self):
+        base = {"schema": 1, "wave": [wave_entry(wave_s=0.15)]}
+        now = {"schema": 1, "wave": [wave_entry(wave_s=0.2)]}
+        assert compare_to_baseline(now, base, factor=2.0) == []
+
+    def test_fails_on_wave_regression(self):
+        base = {"schema": 1, "wave": [wave_entry(wave_s=0.15)]}
+        now = {"schema": 1, "wave": [wave_entry(wave_s=0.4)]}
+        failures = compare_to_baseline(now, base, factor=2.0)
+        assert len(failures) == 1
+        assert "wave mobile2d/32obs/v1-norewire" in failures[0]
+
+    def test_unmatched_wave_points_are_skipped(self):
+        base = {"schema": 1, "wave": [wave_entry(wave_width=8)]}
+        now = {"schema": 1, "wave": [wave_entry(wave_width=16, wave_s=99.0)]}
+        assert compare_to_baseline(now, base) == []
+
+    def test_kernel_and_wave_failures_combine(self):
+        base = {
+            "schema": 1,
+            "kernels": [entry(batch_s=1e-4)],
+            "wave": [wave_entry(wave_s=0.15)],
+        }
+        now = {
+            "schema": 1,
+            "kernels": [entry(batch_s=3e-4)],
+            "wave": [wave_entry(wave_s=0.4)],
+        }
+        assert len(compare_to_baseline(now, base, factor=2.0)) == 2
+
+
+class TestWaveBaselineFile:
+    def test_committed_wave_baseline_is_valid(self):
+        from repro.bench import WAVE_SAMPLES, WAVE_SUITE
+
+        report = load_report(str(REPO / "benchmarks" / "BENCH_wave.json"))
+        assert report["schema"] == 1
+        cases = {item["case"]: item for item in report["wave"]}
+        # Every suite point is measured at the shared sampling budget with
+        # the bit-equality flag set.
+        for label, *_ in WAVE_SUITE:
+            assert cases[label]["equivalent"] is True
+            assert cases[label]["max_samples"] == WAVE_SAMPLES
+            assert cases[label]["wave_s"] > 0
+        # The acceptance claim: >= 2x end-to-end over the PR 3 batch
+        # backend on a 32-obstacle case, at healthy lane occupancy.
+        ref = report["pr3_reference"]
+        assert ref["case"] in cases
+        assert cases[ref["case"]]["obstacles"] == 32
+        assert ref["speedup_vs_pr3"] >= 2.0
+        assert ref["wave_occupancy"] >= 0.9

@@ -100,3 +100,74 @@ class TestCli:
     def test_report_without_inputs_fails(self, capsys):
         assert obs_main(["report"]) == 2
         assert "need --trace" in capsys.readouterr().err
+
+
+class TestCacheSection:
+    """Cache hit/miss/evict counters flow export -> report -> rendering."""
+
+    def _cache_metrics(self, tmp_path, as_json=False):
+        reg = MetricsRegistry()
+        events = reg.counter("repro_cache_events_total")
+        events.inc(30, cache="collision", event="hit")
+        events.inc(10, cache="collision", event="miss")
+        events.inc(2, cache="collision", event="evict")
+        events.inc(5, cache="neighborhood", event="hit")
+        events.inc(15, cache="neighborhood", event="miss")
+        path = tmp_path / ("m.json" if as_json else "m.prom")
+        reg.export(path)
+        return path
+
+    @pytest.mark.parametrize("as_json", [False, True])
+    def test_caches_golden_export_round_trip(self, tmp_path, as_json):
+        """Golden schema: both export formats yield the same caches block."""
+        path = self._cache_metrics(tmp_path, as_json=as_json)
+        report = report_from_files(metrics=str(path))
+        assert report["caches"] == {
+            "collision": {
+                "hit": 30.0, "miss": 10.0, "evict": 2.0, "hit_rate": 0.75,
+            },
+            "neighborhood": {
+                "hit": 5.0, "miss": 15.0, "evict": 0.0, "hit_rate": 0.25,
+            },
+        }
+
+    def test_caches_rendered_as_table(self, tmp_path, capsys):
+        path = self._cache_metrics(tmp_path)
+        assert obs_main(["report", "--metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "software caches" in out
+        assert "collision" in out and "neighborhood" in out
+        assert "75" in out  # collision hit_%
+
+    def test_no_cache_metrics_no_section(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("repro_phase_seconds_total").inc(0.5, phase="sample")
+        path = tmp_path / "m.prom"
+        reg.export(path)
+        report = report_from_files(metrics=str(path))
+        assert report["caches"] == {}
+
+    def test_planner_run_populates_cache_metrics(self, tmp_path):
+        """End to end: a wavefront run's exported metrics carry cache events."""
+        from repro import obs
+        from repro.core.moped import config_for_variant
+        from repro.core.robots import get_robot
+        from repro.core.rrtstar import plan
+        from repro.workloads.generator import random_task
+
+        previous = obs.install(
+            obs.Tracer(enabled=False), obs.MetricsRegistry(enabled=True)
+        )
+        try:
+            task = random_task("mobile2d", 12, seed=6)
+            config = config_for_variant("v1", max_samples=80, seed=6,
+                                        wave_width=8)
+            plan(get_robot("mobile2d"), task, config)
+            path = tmp_path / "run.prom"
+            obs.get_registry().export(path)
+        finally:
+            obs.restore(previous)
+        report = report_from_files(metrics=str(path))
+        collision = report["caches"]["collision"]
+        assert collision["hit"] + collision["miss"] > 0
+        assert 0.0 <= collision["hit_rate"] <= 1.0
