@@ -354,6 +354,91 @@ def bench_wave(quick: bool = False, seed: int = 3, wave_width: int = 8) -> List[
     return records
 
 
+# ---------------------------------------------------------------- fault gate
+
+
+#: Allowed fault-hook overhead: the inert-injector run may be at most 1%
+#: slower than the no-injector run, plus an absolute cushion for timer
+#: noise on short runs.
+FAULTS_OVERHEAD_FACTOR = 1.01
+FAULTS_OVERHEAD_SLACK_S = 0.01
+
+
+def bench_faults_overhead(quick: bool = False, seed: int = 3) -> Dict:
+    """Measure the cost of the fault-injection hooks when disabled.
+
+    Runs the same planner configuration twice per repetition, interleaved:
+    once with no injector installed (the production steady state — every
+    hot site pays one ``is not None`` check) and once with an installed but
+    *inert* plan (rules at the planner sites with ``p=0``, which skip the
+    RNG draw).  Asserts both modes produce bit-identical plans, then
+    reports interleaved medians and the overhead ratio.  ``--faults-gate``
+    fails CI when the inert run exceeds the <1% budget the zero-overhead
+    contract promises (:mod:`repro.faults`).
+    """
+    from repro.faults import FaultInjector, FaultPlan, FaultRule, set_injector
+
+    samples = 200 if quick else 600
+    reps = 5 if quick else 9
+    task = random_task("mobile2d", 16, seed=seed)
+    robot = get_robot("mobile2d")
+    config = moped_config("v4", max_samples=samples, seed=5)
+    inert_plan = FaultPlan(seed=1, rules=(
+        FaultRule("planner.round", "slow", p=0.0),
+        FaultRule("planner.collision", "slow", p=0.0),
+    ))
+
+    def run():
+        t0 = time.perf_counter()
+        result = plan(robot, task, config)
+        return time.perf_counter() - t0, result
+
+    times: Dict[str, List[float]] = {"disabled": [], "inert": []}
+    results: Dict[str, object] = {}
+    previous = set_injector(None)
+    try:
+        for _ in range(reps):
+            set_injector(None)
+            dt, results["disabled"] = run()
+            times["disabled"].append(dt)
+            set_injector(FaultInjector(inert_plan, scope="bench"))
+            dt, results["inert"] = run()
+            times["inert"].append(dt)
+    finally:
+        set_injector(previous)
+
+    disabled, inert = results["disabled"], results["inert"]
+    if (disabled.path_cost != inert.path_cost
+            or disabled.counter.to_dict() != inert.counter.to_dict()):
+        raise AssertionError(
+            "inert fault injector changed the plan — the no-op contract is broken"
+        )
+    disabled_s = statistics.median(times["disabled"])
+    inert_s = statistics.median(times["inert"])
+    return {
+        "case": "mobile2d/16obs/v4",
+        "max_samples": samples,
+        "reps": reps,
+        "disabled_s": disabled_s,
+        "inert_s": inert_s,
+        "overhead_pct": 100.0 * (inert_s / disabled_s - 1.0) if disabled_s else 0.0,
+        "equivalent": True,
+    }
+
+
+def check_faults_overhead(entry: Dict) -> List[str]:
+    """Gate messages for a :func:`bench_faults_overhead` record (empty = pass)."""
+    budget = entry["disabled_s"] * FAULTS_OVERHEAD_FACTOR + FAULTS_OVERHEAD_SLACK_S
+    if entry["inert_s"] > budget:
+        return [
+            f"fault hooks overhead: inert {entry['inert_s']:.4f}s vs "
+            f"disabled {entry['disabled_s']:.4f}s "
+            f"({entry['overhead_pct']:+.2f}%, budget "
+            f"{FAULTS_OVERHEAD_FACTOR:.2f}x + {FAULTS_OVERHEAD_SLACK_S}s)"
+        ]
+    return []
+
+
 # ------------------------------------------------------------------- report
 
 
@@ -363,6 +448,7 @@ def run_benchmarks(
     seed: int = 0,
     wave: bool = False,
     wave_width: int = 8,
+    faults: bool = False,
 ) -> Dict:
     """Full harness: kernel sweeps plus end-to-end planner runs."""
     report = {
@@ -376,6 +462,7 @@ def run_benchmarks(
         "kernels": bench_kernels(quick=quick, seed=seed),
         "end_to_end": [] if skip_e2e else bench_end_to_end(quick=quick),
         "wave": bench_wave(quick=quick, wave_width=wave_width) if wave else [],
+        "faults": bench_faults_overhead(quick=quick) if faults else None,
     }
     return report
 

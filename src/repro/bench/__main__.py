@@ -12,6 +12,7 @@ import sys
 
 from repro.bench import (
     REGRESSION_FACTOR,
+    check_faults_overhead,
     compare_to_baseline,
     load_report,
     run_benchmarks,
@@ -57,11 +58,17 @@ def main(argv=None) -> int:
         "--wave-width", type=int, default=8,
         help="wave width W for --wave runs (default: %(default)s)",
     )
+    parser.add_argument(
+        "--faults-gate", action="store_true",
+        help="also bench the fault-injection hooks (disabled vs inert "
+             "injector, interleaved) and exit 1 if the disabled-path "
+             "overhead budget (<1%%) is exceeded",
+    )
     args = parser.parse_args(argv)
 
     report = run_benchmarks(
         quick=args.quick, skip_e2e=args.skip_e2e, seed=args.seed,
-        wave=args.wave, wave_width=args.wave_width,
+        wave=args.wave, wave_width=args.wave_width, faults=args.faults_gate,
     )
     save_report(report, args.output)
 
@@ -92,6 +99,21 @@ def main(argv=None) -> int:
             f"occ={entry['wave_occupancy']:.2f}  "
             f"cache-hit[{rates}]  (bit-identical: {entry['equivalent']})"
         )
+
+    faults = report.get("faults")
+    if faults:
+        print(
+            f"  faults {faults['case']:22s} disabled={faults['disabled_s']:.3f}s "
+            f"inert={faults['inert_s']:.3f}s  "
+            f"overhead={faults['overhead_pct']:+.2f}%  "
+            f"(bit-identical: {faults['equivalent']})"
+        )
+        gate_failures = check_faults_overhead(faults)
+        if gate_failures:
+            for message in gate_failures:
+                print(f"  {message}", file=sys.stderr)
+            return 1
+        print("faults gate passed (disabled injection hooks within <1% budget)")
 
     if args.check:
         try:

@@ -53,6 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "round through batched kernels; bit-identical to "
                              "the scalar loop at speculation_depth=W "
                              "(default: %(default)s = scalar loop)")
+    parser.add_argument("--deadline", type=float, default=None, metavar="S",
+                        help="anytime-planning wall deadline in seconds; an "
+                             "expired deadline returns the best-so-far result "
+                             "with status 'degraded' instead of running the "
+                             "full sampling budget")
     parser.add_argument("--task", default=None, help="plan a task from this JSON file")
     parser.add_argument("--out", default=None, help="write the result JSON here")
     parser.add_argument("--smooth", action="store_true",
@@ -127,6 +132,7 @@ def run_batch(args) -> int:
         duplicate=args.duplicate,
         inject=args.inject,
         trace=observing,
+        deadline_s=args.deadline,
     )
     pool_config = None
     if args.workers > 0:
@@ -152,7 +158,7 @@ def run_batch(args) -> int:
         print(f"telemetry written to {args.out}")
     if observing:
         export_observability(args)
-    return 0 if all(r.status == "ok" for r in responses) else 1
+    return 0 if all(r.status in ("ok", "degraded") for r in responses) else 1
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -179,6 +185,7 @@ def main(argv: Optional[list] = None) -> int:
         goal_bias=args.goal_bias,
         kernels=args.kernels,
         wave_width=args.wave,
+        deadline_s=args.deadline,
     )
     planner = RRTStarPlanner(robot, task, config)
     result = planner.plan()
@@ -188,6 +195,11 @@ def main(argv: Optional[list] = None) -> int:
           f"variant={args.variant} samples={args.samples}"
           + (f" wave={args.wave}" if args.wave > 1 else ""))
     print(result.summary())
+    if result.degraded:
+        gap = result.best_goal_distance
+        print(f"degraded: {result.degraded_reason} expired after "
+              f"{result.iterations}/{args.samples} samples"
+              + (f", {gap:.2f} from goal" if gap is not None else ""))
     if args.wave > 1:
         occupancy = result.brief().get("wave_occupancy")
         caches = planner.cache_stats()

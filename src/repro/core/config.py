@@ -86,6 +86,17 @@ class PlannerConfig:
         stop_on_goal: stop sampling once the goal is first connected
             (early-termination footnote 2 of the paper); default runs the
             full budget so Tree Refinement keeps improving the path.
+        deadline_s: anytime-planning wall deadline in seconds.  When the
+            deadline expires mid-run the planner stops sampling and returns
+            the best result found so far with ``status="degraded"`` (a
+            solved-but-still-refining path, or the collision-free prefix
+            toward the node closest to the goal).  ``None`` (default)
+            disables the check entirely — no clock reads, bit-identical
+            results.
+        op_budget: same degradation triggered by cumulative MAC-equivalents
+            (:meth:`repro.core.counters.OpCounter.total_macs`) instead of
+            wall time; deterministic, so degraded runs replay exactly under
+            a fixed seed.  ``None`` disables.
     """
 
     max_samples: int = 1000
@@ -113,6 +124,8 @@ class PlannerConfig:
     informed: bool = False
     seed: int = 0
     stop_on_goal: bool = False
+    deadline_s: Optional[float] = None
+    op_budget: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_samples < 1:
@@ -145,6 +158,10 @@ class PlannerConfig:
             raise ValueError(
                 f"kernels must be 'batch' or 'reference', got {self.kernels!r}"
             )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None to disable)")
+        if self.op_budget is not None and self.op_budget <= 0:
+            raise ValueError("op_budget must be positive (or None to disable)")
 
     def resolved_step(self, robot_step: float) -> float:
         """Steering step after applying the robot default."""

@@ -125,6 +125,20 @@ class PlanResult:
     #: Refinement stage keeps improving the solution after it is first
     #: found — the error-tolerance argument of Section III-B.
     cost_history: List[tuple] = field(default_factory=list)
+    #: ``"complete"`` when the full sampling budget ran; ``"degraded"``
+    #: when a deadline or op budget expired first and the result is the
+    #: best found so far (anytime planning).
+    status: str = "complete"
+    #: Why the run degraded (``"deadline"`` / ``"op_budget"``), or None.
+    degraded_reason: Optional[str] = None
+    #: C-space distance from the path's final waypoint to the goal: 0.0
+    #: for solved runs, the remaining gap for a degraded prefix path, and
+    #: None when no path at all was produced.
+    best_goal_distance: Optional[float] = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == "degraded"
 
     @property
     def total_macs(self) -> float:
@@ -148,11 +162,16 @@ class PlanResult:
             "first_solution_iteration": self.first_solution_iteration,
             "total_macs": self.total_macs,
             "wave_occupancy": wave_occupancy(self.rounds),
+            "status": self.status,
+            "degraded_reason": self.degraded_reason,
+            "best_goal_distance": self.best_goal_distance,
         }
 
     def summary(self) -> str:
         """One-line human-readable summary."""
         status = "success" if self.success else "failure"
+        if self.degraded:
+            status += f" (degraded: {self.degraded_reason})"
         return (
             f"{status}: cost={self.path_cost:.2f} nodes={self.num_nodes} "
             f"iters={self.iterations} macs={self.total_macs:.3g}"

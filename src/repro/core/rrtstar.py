@@ -31,6 +31,7 @@ equivalent speculation depth.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
@@ -61,7 +62,7 @@ class _RunState:
 
     __slots__ = (
         "goal_nodes", "first_solution", "rounds", "cost_history",
-        "best_known", "pending",
+        "best_known", "pending", "deadline", "op_budget", "degraded_reason",
     )
 
     def __init__(self):
@@ -72,6 +73,23 @@ class _RunState:
         self.best_known = float("inf")
         # (round index, node id) pairs still "in flight" for speculation.
         self.pending: Deque[Tuple[int, int]] = deque()
+        # Anytime-planning budgets: a monotonic wall deadline and a MAC
+        # budget.  None = disabled; both loops guard every check with a
+        # single `is not None` so absent budgets cost nothing and perturb
+        # neither RNG streams nor operation counts.
+        self.deadline: Optional[float] = None
+        self.op_budget: Optional[float] = None
+        self.degraded_reason: Optional[str] = None
+
+    def budget_expired(self, counter) -> bool:
+        """Check budgets; records the degradation reason on expiry."""
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            self.degraded_reason = "deadline"
+            return True
+        if self.op_budget is not None and counter.total_macs() >= self.op_budget:
+            self.degraded_reason = "op_budget"
+            return True
+        return False
 
 
 class RRTStarPlanner:
@@ -129,7 +147,15 @@ class RRTStarPlanner:
         self.tree = tree
 
         state = _RunState()
+        if config.op_budget is not None:
+            state.op_budget = config.op_budget
+        if config.deadline_s is not None:
+            state.deadline = time.monotonic() + config.deadline_s
         self._neighborhood_macs = 0.0
+        # Fault-injection front end (repro.faults): None in the steady
+        # state, so the hot loops pay one is-None check per round.
+        from repro.faults import get_injector
+        self._injector = get_injector()
 
         # Observability front end: with tracing/metrics off this binds the
         # dormant globals and every obs.phase() below is one attribute check.
@@ -155,6 +181,7 @@ class RRTStarPlanner:
         result = self._result(
             tree, state.goal_nodes, state.first_solution, counter,
             state.rounds, len(state.rounds),
+            degraded_reason=state.degraded_reason,
         )
         if obs.registry.enabled:
             self._record_run_metrics(obs, result, counter, obs.tracer.now() - plan_started)
@@ -164,7 +191,13 @@ class RRTStarPlanner:
         """One sample per round: the reference sequential loop."""
         config, task, dim = self.config, self.task, self.robot.dof
         pending = state.pending
+        injector = self._injector
+        check_budget = state.deadline is not None or state.op_budget is not None
         for iteration in range(config.max_samples):
+            if check_budget and state.budget_expired(counter):
+                break
+            if injector is not None:
+                injector.fire("planner.round", detail=f"iteration {iteration}")
             snapshot = counter.snapshot()
             with obs.phase("sample", counter):
                 x_rand = self.sampler.sample_biased(
@@ -181,6 +214,8 @@ class RRTStarPlanner:
                 with obs.phase("steer", counter):
                     counter.record("steer", dim=dim)
                     x_new = self._steer(nearest_point, x_rand, nearest_dist)
+                if injector is not None:
+                    injector.fire("planner.collision")
                 with obs.phase("collision", counter):
                     blocked = self.checker.motion_in_collision(
                         nearest_point, x_new, counter=counter
@@ -231,8 +266,14 @@ class RRTStarPlanner:
         pending = state.pending
         linear = getattr(self.strategy, "linear_scan", False)
         resolution = self.checker.motion_resolution
+        injector = self._injector
+        check_budget = state.deadline is not None or state.op_budget is not None
         start = 0
         while start < config.max_samples:
+            if check_budget and state.budget_expired(counter):
+                break
+            if injector is not None:
+                injector.fire("planner.round", detail=f"wave at {start}")
             width = min(width_cfg, config.max_samples - start)
             subs = [OpCounter() for _ in range(width)]
             xs = np.empty((width, dim), dtype=float)
@@ -736,8 +777,10 @@ class RRTStarPlanner:
             repaired_in_wave=repaired_in_wave,
         )
 
-    def _result(self, tree, goal_nodes, first_solution, counter, rounds, iterations):
+    def _result(self, tree, goal_nodes, first_solution, counter, rounds, iterations,
+                *, degraded_reason: Optional[str] = None):
         task = self.task
+        status = "complete" if degraded_reason is None else "degraded"
         if goal_nodes:
             # Pick the cheapest goal-region node whose final hop to the
             # exact goal is itself collision free (the hop can be up to one
@@ -763,10 +806,14 @@ class RRTStarPlanner:
                     path = path + [task.goal.copy()]
                 path_cost = best_cost
                 goal_node = best
+                goal_distance = 0.0
             else:
                 goal_node = fallback
                 path = tree.path_to(fallback)
                 path_cost = tree.cost(fallback)
+                goal_distance = float(
+                    np.linalg.norm(tree.point(fallback) - task.goal)
+                )
             return PlanResult(
                 success=True,
                 path=path,
@@ -779,16 +826,37 @@ class RRTStarPlanner:
                 first_solution_iteration=first_solution,
                 neighborhood_macs=self._neighborhood_macs,
                 cost_history=list(getattr(self, "_cost_history", [])),
+                status=status,
+                degraded_reason=degraded_reason,
+                best_goal_distance=goal_distance,
             )
+        path: List[np.ndarray] = []
+        goal_distance = None
+        if degraded_reason is not None and len(tree) > 0:
+            # Anytime best-so-far: every tree edge was collision checked at
+            # insertion, so the path to ANY node is a valid collision-free
+            # prefix.  Return the one minimizing cost-to-come plus the
+            # straight-line remainder to the goal (the classic anytime
+            # heuristic), leaving path_cost at inf — the goal was not
+            # reached, only approached.
+            points = tree.points_view()
+            remainder = np.linalg.norm(points - task.goal[None, :], axis=1)
+            score = tree.costs_view() + remainder
+            best_node = int(np.argmin(score))
+            path = tree.path_to(best_node)
+            goal_distance = float(remainder[best_node])
         return PlanResult(
             success=False,
-            path=[],
+            path=path,
             path_cost=float("inf"),
             num_nodes=len(tree),
             iterations=iterations,
             counter=counter,
             rounds=rounds,
             neighborhood_macs=self._neighborhood_macs,
+            status=status,
+            degraded_reason=degraded_reason,
+            best_goal_distance=goal_distance,
         )
 
 

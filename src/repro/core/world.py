@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import InvalidRequest
 from repro.geometry.aabb import AABB
 from repro.geometry.obb import OBB
 from repro.kernels.tensors import FlatRTree, ObstacleTensors
@@ -41,10 +42,20 @@ class Environment:
             raise ValueError("workspace_dim must be 2 or 3")
         if size <= 0:
             raise ValueError("size must be positive")
-        for obstacle in obstacles:
+        for index, obstacle in enumerate(obstacles):
             if obstacle.dim != workspace_dim:
                 raise ValueError(
                     f"obstacle dim {obstacle.dim} != workspace dim {workspace_dim}"
+                )
+            # Perception output is untrusted: a NaN/inf OBB would poison
+            # the derived AABBs, R-tree, and SAT kernels far from here.
+            if not (
+                np.isfinite(obstacle.center).all()
+                and np.isfinite(obstacle.half_extents).all()
+                and np.isfinite(obstacle.rotation).all()
+            ):
+                raise InvalidRequest(
+                    f"obstacle {index} has non-finite geometry"
                 )
         object.__setattr__(self, "workspace_dim", workspace_dim)
         object.__setattr__(self, "size", float(size))
@@ -101,5 +112,7 @@ class PlanningTask:
         goal = np.asarray(self.goal, dtype=float)
         if start.shape != goal.shape or start.ndim != 1:
             raise ValueError("start and goal must be matching 1-D configurations")
+        if not (np.isfinite(start).all() and np.isfinite(goal).all()):
+            raise InvalidRequest("start and goal configurations must be finite")
         object.__setattr__(self, "start", start)
         object.__setattr__(self, "goal", goal)

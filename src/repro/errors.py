@@ -1,0 +1,126 @@
+"""Structured error taxonomy for the planning engine and service.
+
+Every failure mode the stack can produce maps to one exception class with a
+stable ``status`` string, replacing the ad-hoc status strings that used to
+be scattered through the service layer.  The hierarchy mirrors MOPED's
+speculate-and-repair discipline at the system level: faults are *detected
+and classified*, never trusted or silently swallowed — a crashed worker, an
+expired deadline, and a malformed request are different events with
+different retry semantics, and the class encodes which is which.
+
+Two deliberate base-class choices keep the taxonomy drop-in compatible:
+
+* :class:`InvalidRequest` also subclasses :class:`ValueError`, so callers
+  (and tests) that guarded input errors with ``except ValueError`` keep
+  working unchanged;
+* :class:`FaultInjected` also subclasses :class:`RuntimeError`, so an
+  injected transient fault propagates through code that treats planner
+  exceptions generically.
+
+``RETRYABLE`` records which terminal statuses the pool may retry by
+default; the mapping is advisory (``PoolConfig.retry_statuses`` remains the
+authority) but keeps the taxonomy and the scheduler in one conversation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+
+class PlanningError(Exception):
+    """Base class of every structured planning/service failure.
+
+    Attributes:
+        status: the terminal status string the failure maps to on the
+            service wire format (one of :data:`repro.service.request.STATUSES`).
+    """
+
+    status = "error"
+
+
+class InvalidRequest(PlanningError, ValueError):
+    """The request itself is malformed: NaN/inf configurations, start or
+    goal outside the robot's configuration-space bounds, non-finite
+    obstacle geometry, or an unknown robot.  Never retried — the same
+    request fails the same way forever."""
+
+    status = "invalid"
+
+
+class DeadlineExceeded(PlanningError):
+    """A deadline or operation budget expired before planning completed.
+
+    The planner itself does not *raise* this — an expired budget degrades
+    gracefully to a best-so-far result (``status="degraded"``) — but
+    callers that require a complete result can raise it when they receive
+    a degraded one."""
+
+    status = "degraded"
+
+
+class WorkerCrash(PlanningError):
+    """A worker process died mid-job (pipe EOF, corrupted payload, or an
+    injected crash).  Retryable: the crash may be the worker's fault, not
+    the job's."""
+
+    status = "crash"
+
+
+class WorkerTimeout(PlanningError):
+    """A job exceeded its per-job wall budget and its worker was killed.
+    Not retried by default — a job that blew the budget once will blow it
+    again."""
+
+    status = "timeout"
+
+
+class PoisonJob(PlanningError):
+    """A job crashed ``poison_threshold`` workers and was quarantined in
+    the dead-letter list instead of being retried forever.  Terminal."""
+
+    status = "poison"
+
+
+class CircuitOpen(PlanningError):
+    """The pool's circuit breaker is open: too many consecutive worker
+    failures.  Dispatch pauses for the cooldown instead of feeding more
+    jobs into a sick pool."""
+
+    status = "breaker_open"
+
+
+class FaultInjected(PlanningError, RuntimeError):
+    """An error deliberately raised by the fault-injection layer
+    (:mod:`repro.faults`) at a named site.  Classified as a transient
+    ``"error"`` so the retry machinery exercises the same path a real
+    transient exception would take."""
+
+    status = "error"
+
+
+#: status string -> exception class (the inverse of the ``status`` attrs).
+ERROR_CLASSES: Dict[str, Type[PlanningError]] = {
+    "invalid": InvalidRequest,
+    "degraded": DeadlineExceeded,
+    "crash": WorkerCrash,
+    "timeout": WorkerTimeout,
+    "poison": PoisonJob,
+    "error": PlanningError,
+}
+
+#: Statuses the pool retries by default.  Timeouts are excluded (see
+#: :class:`WorkerTimeout`); invalid/poison/degraded are terminal by nature.
+RETRYABLE = ("crash", "error")
+
+
+def error_for_status(status: str, message: str = "") -> Optional[PlanningError]:
+    """Instantiate the taxonomy class for a terminal failure ``status``.
+
+    Returns ``None`` for ``"ok"`` (not an error); unknown statuses map to
+    the :class:`PlanningError` base so callers never KeyError on a status
+    added by a newer wire peer.
+    """
+    if status == "ok":
+        return None
+    cls = ERROR_CLASSES.get(status, PlanningError)
+    return cls(message or status)

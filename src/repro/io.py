@@ -94,6 +94,9 @@ def result_to_dict(result: PlanResult) -> Dict:
         "macs": dict(result.counter.macs),
         "total_macs": result.total_macs,
         "neighborhood_macs": result.neighborhood_macs,
+        "status": result.status,
+        "degraded_reason": result.degraded_reason,
+        "best_goal_distance": result.best_goal_distance,
     }
 
 
@@ -118,6 +121,9 @@ def result_from_dict(data: Dict) -> PlanResult:
         ),
         first_solution_iteration=data.get("first_solution_iteration"),
         neighborhood_macs=float(data.get("neighborhood_macs", 0.0)),
+        status=str(data.get("status", "complete")),
+        degraded_reason=data.get("degraded_reason"),
+        best_goal_distance=data.get("best_goal_distance"),
     )
 
 

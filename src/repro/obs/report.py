@@ -151,6 +151,12 @@ def build_report(
         ),
         "categories": _label_map(metrics.get("repro_macs_total", []), "category"),
         "caches": dict(sorted(caches.items())),
+        # Worker-pool fault/retry/breaker events: the counters the pool
+        # bumps as ``repro_service_faults_total{event=...}`` (retries,
+        # crashes, timeouts, poisoned dead-letters, breaker trips, ...).
+        "service_faults": dict(sorted(_label_map(
+            metrics.get("repro_service_faults_total", []), "event"
+        ).items())),
     }
 
     if events is not None:
@@ -245,6 +251,17 @@ def render_report(report: Dict) -> str:
         blocks.append(
             "software caches\n"
             + _format_table(["cache", "hits", "misses", "evicts", "hit_%"], rows)
+        )
+
+    faults = report.get("service_faults") or {}
+    if any(faults.values()):
+        rows = [
+            [name, int(value)]
+            for name, value in faults.items()
+            if value
+        ]
+        blocks.append(
+            "service faults\n" + _format_table(["event", "count"], rows)
         )
 
     other = report.get("other_spans") or {}

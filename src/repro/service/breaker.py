@@ -1,0 +1,93 @@
+"""Circuit breaker guarding the worker pool's dispatch path.
+
+Classic three-state breaker (closed → open → half-open), adapted to the
+pool's invariant that *every submitted job reaches a terminal state*: an
+open breaker never fails jobs, it pauses dispatch.  Jobs stay queued, the
+supervisor keeps draining in-flight results, and after ``cooldown_s`` the
+breaker goes half-open and lets one probe job through — a success closes
+it, another failure re-opens it for a fresh cooldown.
+
+This protects against pathologies where the pool itself is sick (a bad
+deploy crashing every worker on startup, an environment poisoning every
+job): instead of burning through respawn-crash cycles at full dispatch
+rate, the pool backs off to one probe per cooldown until workers hold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over worker-job outcomes.
+
+    Args:
+        threshold: consecutive failures (crash/timeout/error) that trip
+            the breaker.  ``0`` disables it entirely — :meth:`allow`
+            always returns True and no state is kept hot.
+        cooldown_s: how long dispatch stays paused once tripped.
+    """
+
+    def __init__(self, threshold: int = 0, cooldown_s: float = 1.0) -> None:
+        if threshold < 0:
+            raise ValueError("breaker threshold must be >= 0")
+        if cooldown_s <= 0:
+            raise ValueError("breaker cooldown_s must be positive")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.trips = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    def allow(self, now: float) -> bool:
+        """May the pool dispatch a job right now?
+
+        In the open state this flips to half-open once the cooldown has
+        elapsed, admitting exactly one probe dispatch (subsequent calls
+        stay half-open and admit more probes only as results settle —
+        with one in-flight job per worker the exposure is bounded by the
+        worker count).
+        """
+        if not self.enabled or self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self.opened_at < self.cooldown_s:
+                return False
+            self.state = HALF_OPEN
+        return True  # half-open: admit the probe
+
+    def record_success(self) -> None:
+        if not self.enabled:
+            return
+        self.consecutive_failures = 0
+        self.state = CLOSED
+
+    def record_failure(self, now: float) -> None:
+        """A worker-side failure settled (crash, timeout, or error)."""
+        if not self.enabled:
+            return
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or self.consecutive_failures >= self.threshold:
+            if self.state != OPEN:
+                self.trips += 1
+            self.state = OPEN
+            self.opened_at = now
+            self.consecutive_failures = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data state for pool stats / telemetry."""
+        return {
+            "enabled": self.enabled,
+            "state": self.state,
+            "trips": self.trips,
+            "consecutive_failures": self.consecutive_failures,
+        }

@@ -43,6 +43,9 @@ class Job:
     response: Optional[PlanResponse] = None
     #: Human-readable note per failed attempt, e.g. ``"crash: worker died"``.
     failures: List[str] = field(default_factory=list)
+    #: How many worker processes this job has taken down (feeds the
+    #: poison-job quarantine: see ``PoolConfig.poison_threshold``).
+    crash_count: int = 0
 
     @property
     def queue_wait_s(self) -> float:

@@ -38,7 +38,9 @@ from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
 from typing import Dict, List, Optional, Tuple
 
-from repro.obs import get_tracer
+from repro.faults import FaultPlan, get_injector
+from repro.obs import bump, get_tracer
+from repro.service.breaker import CircuitBreaker
 from repro.service.jobs import DONE, FAILED, RUNNING, Job, JobQueue
 from repro.service.request import PlanResponse, failure_response
 from repro.service.worker import worker_main
@@ -61,6 +63,18 @@ class PoolConfig:
             deadline enforcement can be.
         start_method: ``multiprocessing`` start method; ``None`` keeps the
             platform default (``fork`` on Linux, ``spawn`` elsewhere).
+        poison_threshold: a job whose worker crashes this many times is
+            quarantined as ``"poison"`` in the dead-letter list instead of
+            being retried again (0 disables).  Quarantine preempts retry,
+            so it only matters when ``max_retries`` would keep a
+            worker-killing job alive.
+        breaker_threshold: consecutive worker-side failures that trip the
+            dispatch circuit breaker (0 — the default — disables it).
+        breaker_cooldown_s: how long a tripped breaker pauses dispatch.
+        fault_plan: optional :class:`~repro.faults.FaultPlan` installed in
+            every worker (scoped per worker id) and honoured at the
+            supervisor's own ``pool.*`` sites.  ``None`` (default) keeps
+            the zero-overhead no-op path.
     """
 
     num_workers: int = 2
@@ -70,6 +84,10 @@ class PoolConfig:
     retry_statuses: Tuple[str, ...] = ("crash", "error")
     poll_interval_s: float = 0.02
     start_method: Optional[str] = None
+    poison_threshold: int = 3
+    breaker_threshold: int = 0
+    breaker_cooldown_s: float = 1.0
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -80,6 +98,23 @@ class PoolConfig:
             raise ValueError("max_retries must be >= 0")
         if self.poll_interval_s <= 0:
             raise ValueError("poll_interval_s must be positive")
+        if self.poison_threshold < 0:
+            raise ValueError("poison_threshold must be >= 0")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be >= 0")
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker_cooldown_s must be positive")
+
+    # The retry arithmetic lives in two pure helpers so the policy is
+    # testable without a live pool (and reusable by the inline runner).
+
+    def should_retry(self, status: str, attempts: int) -> bool:
+        """Is a failure with ``status`` after ``attempts`` runs retryable?"""
+        return status in self.retry_statuses and attempts <= self.max_retries
+
+    def backoff_delay(self, attempts: int) -> float:
+        """Backoff before retry number ``attempts`` (exponential, base 2)."""
+        return self.backoff_base_s * (2.0 ** (max(1, attempts) - 1))
 
 
 class _Slot:
@@ -109,6 +144,23 @@ class WorkerPool:
         #: tagged with the job id.  Keyed by job_id; only populated while
         #: the ambient tracer is enabled.
         self._span_starts: Dict[int, float] = {}
+        self.breaker = CircuitBreaker(
+            self.config.breaker_threshold, self.config.breaker_cooldown_s
+        )
+        #: Jobs quarantined as poison (terminal ``"poison"`` responses).
+        self.dead_letters: List[Job] = []
+        #: Fault/retry event counters (also bumped into the obs registry as
+        #: ``repro_service_faults_total{event=...}`` when metrics are on).
+        self.counters: Dict[str, int] = {
+            "retries": 0, "crashes": 0, "timeouts": 0, "errors": 0,
+            "invalid": 0, "poisoned": 0, "corrupt_payloads": 0,
+            "dispatch_failures": 0, "breaker_trips": 0,
+        }
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        self.counters[event] = self.counters.get(event, 0) + amount
+        bump("repro_service_faults_total", amount,
+             help="Worker-pool fault and retry events", event=event)
 
     # ------------------------------------------------------------ lifecycle
 
@@ -116,7 +168,7 @@ class WorkerPool:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=worker_main,
-            args=(worker_id, child_conn),
+            args=(worker_id, child_conn, self.config.fault_plan),
             daemon=True,
             name=f"repro-service-worker-{worker_id}",
         )
@@ -165,7 +217,18 @@ class WorkerPool:
 
     # ------------------------------------------------------------- dispatch
 
-    def _dispatch(self, slot: _Slot, job: Job, now: float) -> None:
+    def _dispatch(self, slot: _Slot, job: Job, now: float, queue: JobQueue) -> None:
+        injector = get_injector()
+        if injector is not None and injector.fire(
+            "pool.dispatch", detail=f"job {job.job_id}"
+        ) == "drop":
+            # Simulated lost dispatch: the worker never sees the job, so
+            # the per-job deadline reaps it (terminal, never silent).
+            job.state = RUNNING
+            job.attempts += 1
+            slot.job = job
+            slot.deadline = now + self._timeout_for(job)
+            return
         job.state = RUNNING
         job.attempts += 1
         if job.dispatched_at is None:
@@ -173,11 +236,7 @@ class WorkerPool:
             tracer = get_tracer()
             if tracer.enabled:
                 self._span_starts[job.job_id] = tracer.now()
-        timeout = (
-            job.request.timeout_s
-            if job.request.timeout_s is not None
-            else self.config.default_timeout_s
-        )
+        timeout = self._timeout_for(job)
         slot.job = job
         slot.deadline = now + timeout
         try:
@@ -188,7 +247,25 @@ class WorkerPool:
             self._replace(slot, kill=False)
             slot.job = job
             slot.deadline = now + timeout
-            slot.conn.send((job.job_id, job.request))
+            try:
+                slot.conn.send((job.job_id, job.request))
+            except (BrokenPipeError, OSError):
+                # The fresh worker died during the handshake too.  Undo
+                # this attempt (the job never ran) and put it back in the
+                # queue so it is handed to whichever worker survives —
+                # dropping it here would violate the every-job-terminal
+                # invariant.
+                self._count("dispatch_failures")
+                job.attempts -= 1
+                slot.job, slot.deadline = None, None
+                queue.requeue(job, self.config.poll_interval_s, now)
+
+    def _timeout_for(self, job: Job) -> float:
+        return (
+            job.request.timeout_s
+            if job.request.timeout_s is not None
+            else self.config.default_timeout_s
+        )
 
     def _settle(
         self,
@@ -198,20 +275,46 @@ class WorkerPool:
         done: List[Job],
         now: float,
     ) -> None:
-        """Finalise or requeue a job that just produced ``response``."""
+        """Finalise, quarantine, or requeue a job that just produced ``response``."""
         response.attempts = job.attempts
-        retryable = (
-            response.status in self.config.retry_statuses
-            and job.attempts <= self.config.max_retries
-        )
-        if response.status != "ok":
-            job.failures.append(f"{response.status}: {response.error}")
+        status = response.status
+        if status == "crash":
+            job.crash_count += 1
+            self._count("crashes")
+        elif status == "timeout":
+            self._count("timeouts")
+        elif status == "error":
+            self._count("errors")
+        elif status == "invalid":
+            self._count("invalid")
+        if status in ("crash", "timeout", "error"):
+            trips_before = self.breaker.trips
+            self.breaker.record_failure(now)
+            if self.breaker.trips > trips_before:
+                self._count("breaker_trips")
+        elif status in ("ok", "degraded"):
+            self.breaker.record_success()
+        if status not in ("ok", "degraded"):
+            job.failures.append(f"{status}: {response.error}")
+        retryable = self.config.should_retry(status, job.attempts)
+        if retryable and self.config.poison_threshold > 0 \
+                and job.crash_count >= self.config.poison_threshold:
+            # Quarantine: this job keeps killing workers; retrying it again
+            # would grind the pool down one respawn at a time.
+            response = failure_response(
+                job.request, "poison",
+                f"quarantined after crashing {job.crash_count} workers",
+            )
+            response.attempts = job.attempts
+            self.dead_letters.append(job)
+            self._count("poisoned")
+            retryable = False
         if retryable:
-            delay = self.config.backoff_base_s * (2.0 ** (job.attempts - 1))
-            queue.requeue(job, delay, now)
+            self._count("retries")
+            queue.requeue(job, self.config.backoff_delay(job.attempts), now)
             return
         job.response = response
-        job.state = DONE if response.status == "ok" else FAILED
+        job.state = DONE if response.status in ("ok", "degraded") else FAILED
         job.finished_at = now
         done.append(job)
         start = self._span_starts.pop(job.job_id, None)
@@ -236,15 +339,18 @@ class WorkerPool:
         if self._closed:
             raise RuntimeError("pool is closed")
         done: List[Job] = []
+        injector = get_injector()
         while len(queue) or any(slot.job is not None for slot in self._slots):
             now = time.monotonic()
-            # 1. Feed idle workers.
-            for slot in self._slots:
-                if slot.job is None:
-                    job = queue.pop_ready(now)
-                    if job is None:
-                        break
-                    self._dispatch(slot, job, now)
+            # 1. Feed idle workers (unless the circuit breaker is open:
+            # jobs then stay queued — delayed, never dropped or failed).
+            if self.breaker.allow(now):
+                for slot in self._slots:
+                    if slot.job is None:
+                        job = queue.pop_ready(now)
+                        if job is None:
+                            break
+                        self._dispatch(slot, job, now, queue)
             # 2. Wait on busy pipes (doubles as the loop's sleep).
             busy = {slot.conn: slot for slot in self._slots if slot.job is not None}
             if busy:
@@ -263,7 +369,7 @@ class WorkerPool:
                 if job is None:  # settled earlier this iteration
                     continue
                 try:
-                    job_id, response = slot.conn.recv()
+                    message = slot.conn.recv()
                 except (EOFError, OSError):
                     # 3. Pipe EOF: the worker died mid-job.
                     self._replace(slot, kill=False)
@@ -274,6 +380,41 @@ class WorkerPool:
                         done, time.monotonic(),
                     )
                     continue
+                except Exception as exc:
+                    # Corrupted payload (unpickling error, truncated
+                    # frame): the channel can no longer be trusted —
+                    # discard worker and pipe wholesale, classify the job
+                    # as a crash (retryable).
+                    self._count("corrupt_payloads")
+                    self._replace(slot, kill=True)
+                    self._settle(
+                        queue, job,
+                        failure_response(
+                            job.request, "crash",
+                            f"corrupted result payload: {exc!r}",
+                        ),
+                        done, time.monotonic(),
+                    )
+                    continue
+                if injector is not None:
+                    injector.fire("pool.recv", detail=f"job {job.job_id}")
+                if (
+                    not isinstance(message, tuple)
+                    or len(message) != 2
+                    or not isinstance(message[1], PlanResponse)
+                ):
+                    # Pickled fine but violates the (job_id, response)
+                    # protocol: same trust failure as a corrupt payload.
+                    self._count("corrupt_payloads")
+                    self._replace(slot, kill=True)
+                    self._settle(
+                        queue, job,
+                        failure_response(job.request, "crash",
+                                         "malformed result message"),
+                        done, time.monotonic(),
+                    )
+                    continue
+                job_id, response = message
                 if job_id != job.job_id:  # stale/foreign message; drop
                     continue
                 slot.job, slot.deadline = None, None
@@ -299,4 +440,10 @@ class WorkerPool:
 
     def stats(self) -> Dict[str, object]:
         """Counters for the telemetry summary."""
-        return {"count": self.config.num_workers, "restarts": self.restarts}
+        return {
+            "count": self.config.num_workers,
+            "restarts": self.restarts,
+            "faults": dict(self.counters),
+            "dead_letters": len(self.dead_letters),
+            "breaker": self.breaker.snapshot(),
+        }

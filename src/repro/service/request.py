@@ -23,9 +23,17 @@ from typing import Dict, List, Optional
 from repro.core.config import PlannerConfig
 from repro.core.counters import OpCounter
 from repro.core.world import PlanningTask
+from repro.errors import InvalidRequest
 
-#: Terminal job statuses a response can carry.
-STATUSES = ("ok", "error", "timeout", "crash")
+#: Terminal job statuses a response can carry.  ``"degraded"`` is the
+#: anytime-planning outcome (deadline/op budget expired, best-so-far result
+#: attached); ``"invalid"`` is a rejected malformed request; ``"poison"``
+#: is a dead-lettered job that crashed too many workers.
+STATUSES = ("ok", "degraded", "error", "timeout", "crash", "poison", "invalid")
+
+#: Statuses that mean "the job is settled and will not be retried".  Every
+#: submitted job must end in one of these (the chaos harness asserts it).
+TERMINAL_STATUSES = STATUSES
 
 
 def _digest(payload: object) -> str:
@@ -96,6 +104,42 @@ class PlanRequest:
             raise ValueError("lanes must be >= 1")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject malformed planning input with :class:`InvalidRequest`.
+
+        Construction already runs this, but the worker and the inline
+        runner call it again at the execution boundary: a request that
+        crossed a pickle/pipe hop (or was built by hostile/buggy code that
+        bypassed ``__init__``) is untrusted until revalidated.
+        """
+        import numpy as np
+
+        from repro.core.robots import ROBOT_FACTORIES, get_robot
+
+        task = self.task
+        if task.robot_name not in ROBOT_FACTORIES:
+            raise InvalidRequest(
+                f"unknown robot {task.robot_name!r}; "
+                f"available: {sorted(ROBOT_FACTORIES)}"
+            )
+        start = np.asarray(task.start, dtype=float)
+        goal = np.asarray(task.goal, dtype=float)
+        if not (np.isfinite(start).all() and np.isfinite(goal).all()):
+            raise InvalidRequest("start and goal configurations must be finite")
+        robot = get_robot(task.robot_name)
+        if start.shape != (robot.dof,) or goal.shape != (robot.dof,):
+            raise InvalidRequest(
+                f"start/goal must be {robot.dof}-dimensional for {robot.name}"
+            )
+        margin = 1e-9
+        for label, config in (("start", start), ("goal", goal)):
+            if ((config < robot.config_lo - margin).any()
+                    or (config > robot.config_hi + margin).any()):
+                raise InvalidRequest(
+                    f"{label} configuration outside {robot.name} C-space bounds"
+                )
 
     def cache_key(self) -> str:
         """Digest identifying the *work* (not the labels) of this request.
@@ -140,6 +184,11 @@ class PlanResponse:
     op_macs: Dict[str, float] = field(default_factory=dict)
     #: Worker-measured planning wall time (excludes queueing/transport).
     plan_seconds: float = 0.0
+    #: Anytime-planning fields: why a ``"degraded"`` response stopped early
+    #: (``"deadline"`` / ``"op_budget"``) and how far the returned path's
+    #: endpoint remains from the goal (0.0 when solved).
+    degraded_reason: Optional[str] = None
+    best_goal_distance: Optional[float] = None
     error: Optional[str] = None
     cache_hit: bool = False
     worker_id: Optional[int] = None
@@ -182,6 +231,8 @@ class PlanResponse:
             "op_events": dict(self.op_events),
             "op_macs": dict(self.op_macs),
             "plan_seconds": self.plan_seconds,
+            "degraded_reason": self.degraded_reason,
+            "best_goal_distance": self.best_goal_distance,
             "error": self.error,
             "cache_hit": self.cache_hit,
             "worker_id": self.worker_id,
@@ -207,6 +258,8 @@ class PlanResponse:
             op_events=dict(data.get("op_events", {})),
             op_macs=dict(data.get("op_macs", {})),
             plan_seconds=float(data.get("plan_seconds", 0.0)),
+            degraded_reason=data.get("degraded_reason"),
+            best_goal_distance=data.get("best_goal_distance"),
             error=data.get("error"),
             cache_hit=bool(data.get("cache_hit", False)),
             worker_id=data.get("worker_id"),

@@ -213,6 +213,8 @@ class PlanningService:
 
     def _run_inline(self, queue: JobQueue) -> List[Job]:
         """Sequential in-process execution (no pool, no timeouts)."""
+        from repro.errors import InvalidRequest
+
         done: List[Job] = []
         while True:
             job = queue.pop_ready(time.monotonic())
@@ -222,6 +224,12 @@ class PlanningService:
             job.dispatched_at = time.monotonic()
             try:
                 job.response = execute_request(job.request)
+            except InvalidRequest as exc:
+                job.response = PlanResponse(
+                    request_id=job.request.request_id,
+                    status="invalid",
+                    error=str(exc),
+                )
             except Exception as exc:
                 job.response = PlanResponse(
                     request_id=job.request.request_id,
@@ -229,7 +237,7 @@ class PlanningService:
                     error=f"{type(exc).__name__}: {exc}",
                 )
             job.response.attempts = 1
-            job.state = DONE if job.response.status == "ok" else FAILED
+            job.state = DONE if job.response.status in ("ok", "degraded") else FAILED
             job.finished_at = time.monotonic()
             done.append(job)
         return done
@@ -266,6 +274,7 @@ def build_requests(
     inject: Optional[str] = None,
     tasks: Optional[Sequence[PlanningTask]] = None,
     trace: bool = False,
+    deadline_s: Optional[float] = None,
 ) -> List[PlanRequest]:
     """Seeded request batch for the CLIs and tests.
 
@@ -274,9 +283,12 @@ def build_requests(
     whole request is deterministic).  ``duplicate=k`` repeats the batch k
     times — duplicates coalesce or hit the cache, which is how the CLIs
     demonstrate a non-zero hit rate.  ``inject="kind"`` or ``"kind:index"``
-    arms the fault hook on one request (default index 0); ``kind`` is
-    ``hang`` / ``crash`` / ``error``.  ``trace=True`` marks every request
+    arms the fault hook on one request (default index 0); ``kind`` is any
+    :class:`PlanRequest.fault` spec (``hang`` / ``crash`` / ``error`` /
+    ``slow:<s>`` / transport kinds).  ``trace=True`` marks every request
     for the observability layer (workers ship spans/metrics back).
+    ``deadline_s`` arms anytime planning on every request's config (expired
+    budgets return ``status="degraded"`` best-so-far results).
     """
     if jobs < 1 and tasks is None:
         raise ValueError("jobs must be >= 1")
@@ -294,7 +306,8 @@ def build_requests(
         ]
     for i, (task, task_seed) in enumerate(source):
         config = config_for_variant(
-            variant, max_samples=samples, seed=task_seed, goal_bias=goal_bias
+            variant, max_samples=samples, seed=task_seed, goal_bias=goal_bias,
+            deadline_s=deadline_s,
         )
         base.append(
             PlanRequest(

@@ -145,13 +145,15 @@ class TelemetrySink:
         rows = self.records
         executed = [r for r in rows if not r.cache_hit]
         ok = [r for r in rows if r.status == "ok"]
+        degraded = [r for r in rows if r.status == "degraded"]
         failures: Dict[str, int] = {}
         for r in rows:
-            if r.status != "ok":
+            if r.status not in ("ok", "degraded"):
                 failures[r.status] = failures.get(r.status, 0) + 1
         out: Dict[str, object] = {
             "jobs": len(rows),
             "ok": len(ok),
+            "degraded": len(degraded),
             "failed": failures,
             "planning_success_rate": round(
                 sum(1 for r in ok if r.success) / len(ok), 4

@@ -17,6 +17,8 @@ import traceback
 from typing import Optional
 
 from repro.core.metrics import PlanResult
+from repro.errors import InvalidRequest
+from repro.faults import FaultPlan, install_plan
 from repro.service.request import PlanRequest, PlanResponse
 
 #: Exit code a deliberately crashed worker dies with (tests assert on the
@@ -38,12 +40,16 @@ def apply_fault(fault: Optional[str]) -> None:
         os._exit(CRASH_EXIT_CODE)
     elif fault == "error":
         raise RuntimeError("injected worker error")
+    elif fault.startswith("slow:"):
+        time.sleep(float(fault.split(":", 1)[1]))
     elif fault.startswith("flaky:"):
         flag = fault.split(":", 1)[1]
         if os.path.exists(flag):
             # Consume the flag first so the retry takes the healthy path.
             os.unlink(flag)
             os._exit(CRASH_EXIT_CODE)
+    elif fault in ("corrupt", "duplicate", "wrong_id", "crash_after_send", "drop"):
+        pass  # transport faults: honoured at send time by worker_main
     else:
         raise ValueError(f"unknown fault spec {fault!r}")
 
@@ -51,11 +57,17 @@ def apply_fault(fault: Optional[str]) -> None:
 def response_from_result(
     request: PlanRequest, result: PlanResult, plan_seconds: float
 ) -> PlanResponse:
-    """Flatten a :class:`PlanResult` into the plain-data wire response."""
+    """Flatten a :class:`PlanResult` into the plain-data wire response.
+
+    A planner run that expired its deadline/op budget ships as
+    ``status="degraded"`` (carrying the best-so-far path and the remaining
+    goal distance); only a complete run is ``"ok"`` — the distinction is
+    load-bearing because the plan cache stores nothing but ``"ok"``.
+    """
     brief = result.brief()
     return PlanResponse(
         request_id=request.request_id,
-        status="ok",
+        status="ok" if result.status == "complete" else "degraded",
         success=brief["success"],
         path_cost=brief["path_cost"],
         num_nodes=brief["num_nodes"],
@@ -65,6 +77,8 @@ def response_from_result(
         op_events=dict(result.counter.events),
         op_macs=dict(result.counter.macs),
         plan_seconds=plan_seconds,
+        degraded_reason=result.degraded_reason,
+        best_goal_distance=result.best_goal_distance,
     )
 
 
@@ -84,8 +98,13 @@ def execute_request(request: PlanRequest) -> PlanResponse:
     from repro import obs
     from repro.core.robots import get_robot
     from repro.core.rrtstar import RRTStarPlanner
+    from repro.faults import get_injector
 
     apply_fault(request.fault)
+    request.validate()
+    injector = get_injector()
+    if injector is not None:
+        injector.fire("worker.plan", detail=request.request_id)
     robot = get_robot(request.task.robot_name)
 
     observing = bool(request.trace)
@@ -139,13 +158,40 @@ def execute_request(request: PlanRequest) -> PlanResponse:
     return response
 
 
-def worker_main(worker_id: int, conn) -> None:
+def _send_with_faults(conn, job_id: int, response: PlanResponse, kind: Optional[str]) -> None:
+    """Send a result, honouring a transport-fault kind on this one send.
+
+    ``kind`` comes either from the request's own ``fault`` hook or from an
+    installed :class:`~repro.faults.FaultInjector` firing at
+    ``"worker.send"``.  The supervisor must survive every one of these:
+    garbage bytes, an unknown job id, the same result twice, a worker that
+    dies right after (or instead of) writing.
+    """
+    if kind == "drop":
+        return  # result lost in transit; the supervisor's deadline reaps it
+    if kind == "corrupt":
+        conn.send_bytes(b"\x80\x04 not a pickle \x00\xff")
+        return
+    if kind == "wrong_id":
+        conn.send((job_id + 1_000_000, response))
+        return
+    conn.send((job_id, response))
+    if kind == "duplicate":
+        conn.send((job_id, response))
+    elif kind == "crash_after_send":
+        os._exit(CRASH_EXIT_CODE)
+
+
+def worker_main(worker_id: int, conn, fault_plan: Optional[FaultPlan] = None) -> None:
     """Child-process loop: serve jobs over the private duplex pipe.
 
     Runs until the ``None`` sentinel arrives or the supervisor end of the
     pipe disappears.  ``worker_id`` only labels the process; the pipe
-    itself identifies the worker to the supervisor.
+    itself identifies the worker to the supervisor.  When the pool carries
+    a :class:`~repro.faults.FaultPlan`, an injector scoped to this worker
+    is installed process-globally so planner-loop sites fire here too.
     """
+    injector = install_plan(fault_plan, scope=f"worker{worker_id}")
     while True:
         try:
             item = conn.recv()
@@ -154,8 +200,16 @@ def worker_main(worker_id: int, conn) -> None:
         if item is None:
             return
         job_id, request = item
+        if injector is not None:
+            injector.fire("worker.recv", detail=f"job {job_id}")
         try:
             response = execute_request(request)
+        except InvalidRequest as exc:
+            response = PlanResponse(
+                request_id=request.request_id,
+                status="invalid",
+                error=str(exc),
+            )
         except Exception as exc:  # structured, never fatal to the loop
             response = PlanResponse(
                 request_id=request.request_id,
@@ -164,7 +218,13 @@ def worker_main(worker_id: int, conn) -> None:
                     traceback.format_exception_only(type(exc), exc)
                 ).strip(),
             )
+        send_kind = None
+        if request.fault in ("corrupt", "duplicate", "wrong_id",
+                             "crash_after_send", "drop"):
+            send_kind = request.fault
+        elif injector is not None:
+            send_kind = injector.fire("worker.send", detail=f"job {job_id}")
         try:
-            conn.send((job_id, response))
+            _send_with_faults(conn, job_id, response, send_kind)
         except (BrokenPipeError, OSError):
             return

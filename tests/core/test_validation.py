@@ -1,0 +1,126 @@
+"""Input-validation boundaries: hostile numbers (NaN/inf/out-of-bounds)
+must be rejected with :class:`InvalidRequest` at construction and load
+time, long before they can poison the geometry kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.moped import config_for_variant
+from repro.core.robots import get_robot
+from repro.core.world import Environment, PlanningTask
+from repro.errors import InvalidRequest
+from repro.geometry.obb import OBB
+from repro.geometry.rotations import rotation_2d
+from repro.io import environment_from_dict, environment_to_dict, task_from_dict
+from repro.service.request import PlanRequest
+from repro.workloads import random_task
+
+
+def _obb(center=(50.0, 50.0), half=(5.0, 5.0), angle=0.3):
+    return OBB(np.array(center, dtype=float), np.array(half, dtype=float),
+               rotation_2d(angle))
+
+
+class TestEnvironmentValidation:
+    def test_accepts_finite_obstacles(self):
+        env = Environment(2, 100.0, [_obb()])
+        assert env.num_obstacles == 1
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_rejects_non_finite_center(self, bad):
+        with pytest.raises(InvalidRequest, match="obstacle 0"):
+            Environment(2, 100.0, [_obb(center=(bad, 50.0))])
+
+    def test_rejects_non_finite_half_extents(self):
+        with pytest.raises(InvalidRequest):
+            Environment(2, 100.0, [_obb(half=(float("nan"), 5.0))])
+
+    def test_rejects_non_finite_rotation(self):
+        rot = rotation_2d(0.0).copy()
+        rot[0, 0] = float("inf")
+        bad = OBB(np.array([50.0, 50.0]), np.array([5.0, 5.0]), rot)
+        with pytest.raises(InvalidRequest):
+            Environment(2, 100.0, [bad])
+
+    def test_reports_the_offending_index(self):
+        with pytest.raises(InvalidRequest, match="obstacle 1"):
+            Environment(2, 100.0, [_obb(), _obb(center=(float("nan"), 0.0))])
+
+    def test_load_boundary_revalidates(self):
+        # A serialized environment edited to carry NaN geometry must be
+        # rejected when deserialized, not silently rebuilt.
+        data = environment_to_dict(Environment(2, 100.0, [_obb()]))
+        data["obstacles"][0]["center"][0] = float("nan")
+        with pytest.raises(InvalidRequest):
+            environment_from_dict(data)
+
+
+class TestTaskValidation:
+    def test_rejects_nan_start(self):
+        env = Environment(2, 100.0, [])
+        with pytest.raises(InvalidRequest, match="finite"):
+            PlanningTask("mobile2d", env,
+                         start=np.array([float("nan"), 1.0, 0.0]),
+                         goal=np.array([2.0, 2.0, 0.0]))
+
+    def test_rejects_inf_goal(self):
+        env = Environment(2, 100.0, [])
+        with pytest.raises(InvalidRequest):
+            PlanningTask("mobile2d", env,
+                         start=np.array([1.0, 1.0, 0.0]),
+                         goal=np.array([2.0, float("inf"), 0.0]))
+
+    def test_load_boundary_revalidates(self):
+        from repro.io import task_to_dict
+
+        data = task_to_dict(random_task("mobile2d", 2, seed=1))
+        data["start"][0] = float("nan")
+        with pytest.raises(InvalidRequest):
+            task_from_dict(data)
+
+
+class TestRequestValidation:
+    def make(self, **task_overrides):
+        import dataclasses
+
+        task = random_task("mobile2d", 2, seed=1)
+        if task_overrides:
+            # Bypass PlanningTask's own __post_init__ guard so each test
+            # exercises the *request* boundary in isolation (simulating a
+            # task that crossed a pickle hop already corrupted).
+            fields = {f.name: getattr(task, f.name)
+                      for f in dataclasses.fields(task)}
+            fields.update(task_overrides)
+            task = object.__new__(PlanningTask)
+            for name, value in fields.items():
+                object.__setattr__(task, name, value)
+        config = config_for_variant("full", max_samples=50, seed=1)
+        return PlanRequest(task=task, config=config)
+
+    def test_valid_request_constructs(self):
+        assert self.make().task.robot_name == "mobile2d"
+
+    def test_rejects_unknown_robot(self):
+        with pytest.raises(InvalidRequest, match="unknown robot"):
+            self.make(robot_name="optimus")
+
+    def test_rejects_nan_configuration(self):
+        with pytest.raises(InvalidRequest, match="finite"):
+            self.make(start=np.array([float("nan"), 1.0, 0.0]))
+
+    def test_rejects_wrong_dimension(self):
+        with pytest.raises(InvalidRequest, match="dimensional"):
+            self.make(start=np.array([1.0, 1.0]))
+
+    def test_rejects_out_of_bounds_configuration(self):
+        robot = get_robot("mobile2d")
+        beyond = np.asarray(robot.config_hi, dtype=float) + 10.0
+        with pytest.raises(InvalidRequest, match="bounds"):
+            self.make(start=beyond)
+        below = np.asarray(robot.config_lo, dtype=float) - 10.0
+        with pytest.raises(InvalidRequest, match="bounds"):
+            self.make(goal=below)
+
+    def test_invalid_request_is_catchable_as_value_error(self):
+        with pytest.raises(ValueError):
+            self.make(robot_name="optimus")

@@ -1,0 +1,73 @@
+"""Unit tests for the structured error taxonomy (``repro.errors``)."""
+
+import pytest
+
+from repro.errors import (
+    ERROR_CLASSES,
+    RETRYABLE,
+    CircuitOpen,
+    DeadlineExceeded,
+    FaultInjected,
+    InvalidRequest,
+    PlanningError,
+    PoisonJob,
+    WorkerCrash,
+    WorkerTimeout,
+    error_for_status,
+)
+from repro.service.request import STATUSES
+
+
+class TestTaxonomy:
+    def test_every_class_subclasses_the_base(self):
+        for cls in (InvalidRequest, DeadlineExceeded, WorkerCrash,
+                    WorkerTimeout, PoisonJob, CircuitOpen, FaultInjected):
+            assert issubclass(cls, PlanningError)
+
+    def test_statuses_are_wire_statuses(self):
+        # CircuitOpen is pool-internal (the breaker pauses dispatch, it
+        # never finalises a job), so its status is not a wire status.
+        for cls in (InvalidRequest, DeadlineExceeded, WorkerCrash,
+                    WorkerTimeout, PoisonJob, FaultInjected):
+            assert cls.status in STATUSES
+
+    def test_invalid_request_is_a_value_error(self):
+        # Back-compat: pre-taxonomy call sites guard with ValueError.
+        with pytest.raises(ValueError):
+            raise InvalidRequest("bad input")
+
+    def test_fault_injected_is_a_runtime_error(self):
+        with pytest.raises(RuntimeError):
+            raise FaultInjected("injected")
+
+    def test_retryable_matches_pool_default(self):
+        from repro.service.pool import PoolConfig
+
+        assert tuple(RETRYABLE) == PoolConfig().retry_statuses
+
+    def test_error_classes_invert_status_attrs(self):
+        for status, cls in ERROR_CLASSES.items():
+            if cls is PlanningError:
+                continue
+            assert cls.status == status
+
+
+class TestErrorForStatus:
+    def test_ok_maps_to_none(self):
+        assert error_for_status("ok") is None
+
+    def test_known_statuses_map_to_their_class(self):
+        assert isinstance(error_for_status("invalid"), InvalidRequest)
+        assert isinstance(error_for_status("crash"), WorkerCrash)
+        assert isinstance(error_for_status("timeout"), WorkerTimeout)
+        assert isinstance(error_for_status("poison"), PoisonJob)
+        assert isinstance(error_for_status("degraded"), DeadlineExceeded)
+
+    def test_message_is_carried(self):
+        err = error_for_status("crash", "worker 3 died")
+        assert "worker 3 died" in str(err)
+
+    def test_unknown_status_falls_back_to_base(self):
+        err = error_for_status("somehow-new")
+        assert type(err) is PlanningError
+        assert "somehow-new" in str(err)

@@ -1,0 +1,318 @@
+"""Pool robustness under injected faults: transport corruption, the
+crash-after-send shutdown race, poison quarantine, the circuit breaker,
+dispatch double-failure, and the retry/backoff arithmetic."""
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.service.jobs import JobQueue
+from repro.service.pool import PoolConfig, WorkerPool, _Slot
+from repro.service.request import PlanRequest
+from tests.service.test_request import make_request
+
+FAST = dict(default_timeout_s=20.0, max_retries=1,
+            backoff_base_s=0.01, poll_interval_s=0.01)
+
+
+def run_pool(requests, **config_overrides):
+    config = PoolConfig(**{**dict(num_workers=2), **FAST, **config_overrides})
+    queue = JobQueue()
+    for request in requests:
+        queue.submit(request, time.monotonic())
+    with WorkerPool(config) as pool:
+        done = pool.run(queue)
+    return done, pool
+
+
+def by_request_id(jobs):
+    return {job.request.request_id: job for job in jobs}
+
+
+class TestTransportFaults:
+    def test_corrupt_payload_is_classified_as_crash_and_retried(self):
+        # The worker pickles garbage onto the pipe every attempt; the
+        # supervisor must discard the channel, classify as crash, retry,
+        # and finally settle — never raise or hang.
+        done, pool = run_pool(
+            [make_request(seed=1, request_id="bad", fault="corrupt"),
+             make_request(seed=2, request_id="good")],
+            poison_threshold=0,
+        )
+        jobs = by_request_id(done)
+        assert jobs["good"].response.status == "ok"
+        assert jobs["bad"].response.status == "crash"
+        assert jobs["bad"].attempts == 2  # initial + one retry
+        assert pool.counters["corrupt_payloads"] == 2
+        assert pool.counters["crashes"] == 2
+        assert pool.restarts >= 2  # corrupted channel discarded wholesale
+
+    def test_crash_after_send_does_not_lose_the_result(self):
+        # Regression for the shutdown race: a worker killed between
+        # writing its result and the supervisor reading it must not lose
+        # the job — the buffered pipe message is still readable.
+        done, pool = run_pool(
+            [make_request(seed=1, request_id="kamikaze",
+                          fault="crash_after_send")]
+        )
+        response = done[0].response
+        assert response.status == "ok"
+        assert response.success is not None
+        assert done[0].attempts == 1  # the result, not a crash retry
+
+    def test_wrong_id_message_is_dropped_and_deadline_reaps(self):
+        done, pool = run_pool(
+            [make_request(seed=1, request_id="mislabelled", fault="wrong_id",
+                          timeout_s=0.5)]
+        )
+        assert done[0].response.status == "timeout"
+        assert pool.counters["timeouts"] == 1
+
+    def test_dropped_result_times_out(self):
+        done, _ = run_pool(
+            [make_request(seed=1, request_id="lost", fault="drop",
+                          timeout_s=0.5)]
+        )
+        assert done[0].response.status == "timeout"
+
+    def test_duplicate_send_settles_exactly_once(self):
+        requests = [
+            make_request(seed=1, request_id="twice", fault="duplicate"),
+            make_request(seed=2, request_id="after"),
+        ]
+        done, _ = run_pool(requests, num_workers=1)  # same pipe serves both
+        assert len(done) == 2
+        jobs = by_request_id(done)
+        assert jobs["twice"].response.status == "ok"
+        assert jobs["after"].response.status == "ok"
+
+
+class TestPoisonQuarantine:
+    def test_worker_killing_job_is_dead_lettered(self):
+        done, pool = run_pool(
+            [make_request(seed=1, request_id="poison", fault="crash"),
+             make_request(seed=2, request_id="healthy")],
+            max_retries=5, poison_threshold=2,
+        )
+        jobs = by_request_id(done)
+        assert jobs["healthy"].response.status == "ok"
+        assert jobs["poison"].response.status == "poison"
+        assert jobs["poison"].crash_count == 2  # quarantined at threshold
+        assert len(pool.dead_letters) == 1
+        assert pool.counters["poisoned"] == 1
+        assert pool.stats()["dead_letters"] == 1
+
+    def test_zero_threshold_disables_quarantine(self):
+        done, pool = run_pool(
+            [make_request(seed=1, request_id="crashy", fault="crash")],
+            max_retries=2, poison_threshold=0,
+        )
+        assert done[0].response.status == "crash"  # retries exhausted
+        assert done[0].attempts == 3
+        assert not pool.dead_letters
+
+    def test_quarantine_preempts_retry_only(self):
+        # With max_retries=1 the retry policy gives up before the poison
+        # threshold matters — existing behaviour is unchanged.
+        done, pool = run_pool(
+            [make_request(seed=1, request_id="crashy", fault="crash")],
+            max_retries=1, poison_threshold=2,
+        )
+        assert done[0].response.status == "crash"
+        assert not pool.dead_letters
+
+
+class TestCircuitBreaker:
+    def test_unit_state_machine(self):
+        breaker = CircuitBreaker(threshold=2, cooldown_s=10.0)
+        assert breaker.enabled
+        assert breaker.state == CLOSED
+        assert breaker.allow(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == CLOSED
+        breaker.record_failure(1.0)
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow(5.0)       # cooling down
+        assert breaker.allow(11.5)          # cooldown over -> half-open probe
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure(12.0)        # probe failed -> open again
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        assert breaker.allow(23.0)
+        breaker.record_success()            # probe succeeded -> closed
+        assert breaker.state == CLOSED
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == CLOSED and snapshot["trips"] == 2
+
+    def test_disabled_by_default(self):
+        breaker = CircuitBreaker()
+        assert not breaker.enabled
+        for _ in range(50):
+            breaker.record_failure(0.0)
+        assert breaker.state == CLOSED
+        assert breaker.allow(0.0)
+
+    def test_tripped_breaker_delays_but_never_drops_jobs(self):
+        # Two error jobs trip the breaker; the healthy jobs behind them
+        # must still run to completion once the cooldown passes.
+        requests = [
+            make_request(seed=1, request_id="bad-0", fault="error"),
+            make_request(seed=2, request_id="bad-1", fault="error"),
+            make_request(seed=3, request_id="ok-0"),
+            make_request(seed=4, request_id="ok-1"),
+        ]
+        done, pool = run_pool(
+            requests, num_workers=1, max_retries=0,
+            breaker_threshold=2, breaker_cooldown_s=0.05,
+        )
+        assert len(done) == 4
+        jobs = by_request_id(done)
+        assert jobs["ok-0"].response.status == "ok"
+        assert jobs["ok-1"].response.status == "ok"
+        assert pool.counters["breaker_trips"] >= 1
+        assert pool.stats()["breaker"]["trips"] >= 1
+
+
+class _DeadConn:
+    """A pipe end whose sends always fail (worker died during handshake)."""
+
+    def send(self, obj):
+        raise BrokenPipeError
+
+    def close(self):
+        pass
+
+
+class _DeadProcess:
+    def is_alive(self):
+        return False
+
+    def terminate(self):
+        pass
+
+    def kill(self):
+        pass
+
+    def join(self, timeout=None):
+        pass
+
+
+class TestDispatchDoubleFailure:
+    def test_job_is_requeued_not_lost(self, monkeypatch):
+        # Both the original worker and its respawned replacement die
+        # during the dispatch handshake: the attempt must be undone and
+        # the job requeued (the every-job-terminal invariant), never
+        # dropped on the floor.
+        monkeypatch.setattr(
+            WorkerPool, "_spawn",
+            lambda self, worker_id: _Slot(worker_id, _DeadProcess(), _DeadConn()),
+        )
+        pool = WorkerPool(PoolConfig(num_workers=1, **FAST))
+        queue = JobQueue()
+        now = time.monotonic()
+        queue.submit(make_request(seed=1, request_id="unlucky"), now)
+        job = queue.pop_ready(now)
+        slot = pool._slots[0]
+        pool._dispatch(slot, job, now, queue)
+        assert job.attempts == 0             # the attempt was undone
+        assert slot.job is None              # the slot is free again
+        assert len(queue) == 1               # the job is back in the queue
+        assert pool.counters["dispatch_failures"] == 1
+        requeued = queue.pop_ready(now + 1.0)
+        assert requeued is job
+
+
+class TestRetryArithmetic:
+    def test_should_retry_respects_status_list(self):
+        config = PoolConfig(num_workers=1, max_retries=2)
+        assert config.should_retry("crash", 1)
+        assert config.should_retry("error", 2)
+        assert not config.should_retry("timeout", 1)   # excluded by default
+        assert not config.should_retry("invalid", 1)
+        assert not config.should_retry("ok", 1)
+
+    def test_should_retry_attempt_boundary(self):
+        config = PoolConfig(num_workers=1, max_retries=2)
+        assert config.should_retry("crash", 2)      # attempts == max_retries
+        assert not config.should_retry("crash", 3)  # budget spent
+
+    def test_zero_retries_never_retries(self):
+        config = PoolConfig(num_workers=1, max_retries=0)
+        assert not config.should_retry("crash", 1)
+
+    def test_custom_retry_statuses(self):
+        config = PoolConfig(num_workers=1, max_retries=1,
+                            retry_statuses=("timeout",))
+        assert config.should_retry("timeout", 1)
+        assert not config.should_retry("crash", 1)
+        empty = PoolConfig(num_workers=1, retry_statuses=())
+        assert not empty.should_retry("crash", 1)
+
+    def test_backoff_doubles_per_attempt(self):
+        config = PoolConfig(num_workers=1, backoff_base_s=0.05)
+        assert config.backoff_delay(1) == pytest.approx(0.05)
+        assert config.backoff_delay(2) == pytest.approx(0.10)
+        assert config.backoff_delay(3) == pytest.approx(0.20)
+
+    def test_backoff_clamps_degenerate_attempts(self):
+        config = PoolConfig(num_workers=1, backoff_base_s=0.05)
+        assert config.backoff_delay(0) == pytest.approx(0.05)
+        assert config.backoff_delay(-3) == pytest.approx(0.05)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PoolConfig(num_workers=1, poison_threshold=-1)
+        with pytest.raises(ValueError):
+            PoolConfig(num_workers=1, breaker_threshold=-1)
+        with pytest.raises(ValueError):
+            PoolConfig(num_workers=1, breaker_cooldown_s=0.0)
+
+
+class TestInstalledFaultPlan:
+    def test_worker_scoped_injector_errors_then_recovers(self):
+        # p=1, max_fires=1 per worker scope: the first attempt hits the
+        # injected error deterministically, the retry (same worker, rule
+        # exhausted) succeeds.
+        plan = FaultPlan.from_spec("worker.plan:error:max=1", seed=5)
+        done, pool = run_pool(
+            [make_request(seed=1, request_id="transient")],
+            num_workers=1, fault_plan=plan,
+        )
+        response = done[0].response
+        assert response.status == "ok"
+        assert done[0].attempts == 2
+        assert pool.counters["errors"] == 1
+        assert pool.counters["retries"] == 1
+
+    def test_fault_counters_flow_into_metrics_registry(self, tmp_path):
+        # The pool's counters bump repro_service_faults_total in the
+        # ambient obs registry; the prometheus export and the obs report
+        # both surface them.
+        from repro import obs
+        from repro.obs.report import build_report, render_report
+        from repro.obs.metrics import parse_prometheus
+
+        previous = obs.install(
+            obs.Tracer(enabled=False), obs.MetricsRegistry(enabled=True)
+        )
+        try:
+            done, pool = run_pool(
+                [make_request(seed=1, request_id="crashy", fault="crash")],
+                max_retries=1, poison_threshold=0,
+            )
+            assert done[0].response.status == "crash"
+            text = obs.get_registry().to_prometheus()
+        finally:
+            obs.restore(previous)
+        assert 'repro_service_faults_total{event="crashes"} 2' in text
+        assert 'repro_service_faults_total{event="retries"} 1' in text
+        report = build_report(metrics=parse_prometheus(text))
+        assert report["service_faults"]["crashes"] == 2.0
+        assert report["service_faults"]["retries"] == 1.0
+        rendered = render_report(report)
+        assert "service faults" in rendered
+        assert "crashes" in rendered
