@@ -1,0 +1,85 @@
+"""``repro.net``: the networked serving tier over the planning service.
+
+PRs 1-5 built an in-process serving substrate — queue, pool, cache,
+telemetry, fault injection.  This package is the *network entry point* on
+top of it, the "millions of users" milestone of ROADMAP.md:
+
+* :mod:`repro.net.wire` — the HTTP/JSON wire format: full-task and
+  compact-spec request bodies, versioned response envelopes, and the
+  terminal-status -> HTTP-code mapping.
+* :mod:`repro.net.frontend` — an asyncio HTTP/1.1 front end (stdlib only)
+  exposing ``POST /plan``, ``GET /result/<id>``, ``GET /healthz``, and
+  ``GET /metrics``, with admission control and backpressure: queue-depth /
+  inflight limits and the PR 5 circuit breaker all shed with ``429`` +
+  ``Retry-After`` at the edge.
+* :mod:`repro.net.hashring` + :mod:`repro.net.shard` — the consistent-hash
+  sharded plan-cache tier: N shard processes share cached plans across M
+  front-end processes, with minimal key remap on reshard and per-shard
+  hit/miss/evict stats merged into the telemetry path.
+* :mod:`repro.net.traffic` — open/closed-loop load generators with
+  Poisson/uniform/burst arrival processes, scenario mixes from
+  :mod:`repro.workloads`, and p50/p95/p99 goodput/shed-rate reports for
+  CI gating.
+* :mod:`repro.net.demo` — ``python -m repro.net demo``: the whole tier on
+  localhost, driven at a target RPS, reported as JSON.
+
+Quickstart::
+
+    python -m repro.net demo --rps 200 --duration 10
+
+Fault sites ``net.accept``, ``net.shard_rpc``, and ``net.respond`` hook
+the new paths into :mod:`repro.faults`, so the chaos harness can exercise
+connection drops and slow shards like any other layer.
+"""
+
+from repro.net.frontend import FrontEndConfig, PlanFrontEnd, run_server
+from repro.net.hashring import HashRing
+from repro.net.shard import (
+    CacheShardServer,
+    ShardClient,
+    ShardedPlanCache,
+    parse_endpoint,
+    run_shard,
+)
+from repro.net.traffic import (
+    TrafficConfig,
+    TrafficResult,
+    build_report,
+    check_report,
+    run_traffic,
+)
+from repro.net.wire import (
+    HTTP_STATUS_FOR,
+    WIRE_VERSION,
+    http_status_for,
+    request_from_wire,
+    request_to_wire,
+    response_from_wire,
+    response_to_wire,
+    spec_to_request,
+)
+
+__all__ = [
+    "CacheShardServer",
+    "FrontEndConfig",
+    "HTTP_STATUS_FOR",
+    "HashRing",
+    "PlanFrontEnd",
+    "ShardClient",
+    "ShardedPlanCache",
+    "TrafficConfig",
+    "TrafficResult",
+    "WIRE_VERSION",
+    "build_report",
+    "check_report",
+    "http_status_for",
+    "parse_endpoint",
+    "request_from_wire",
+    "request_to_wire",
+    "response_from_wire",
+    "response_to_wire",
+    "run_server",
+    "run_shard",
+    "run_traffic",
+    "spec_to_request",
+]

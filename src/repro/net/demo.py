@@ -1,0 +1,171 @@
+"""One-command demo: shards + multi-process servers + traffic + report.
+
+``python -m repro.net demo`` stands up the whole serving tier on
+localhost — N cache-shard processes, M front-end server processes sharing
+them through the consistent-hash ring — waits for every ``/healthz`` to
+answer, drives a rate-paced closed-loop load for the requested duration,
+prints the percentile report as JSON, and tears everything down.  Exit
+code 0 means the run was *green*: at least one request served, zero
+non-429 errors (overload surfaces as shed 429s, never failures), and a
+well-formed percentile report.
+
+Child processes are plain ``sys.executable -m repro.net shard|serve``
+subprocesses (they inherit ``PYTHONPATH``), each announcing its bound
+port on stdout as ``SHARD host:port`` / ``FRONTEND host:port`` — the
+orchestration-by-parseable-stdout pattern, so the demo works with
+ephemeral ports and no config files.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+__all__ = ["run_demo"]
+
+_START_TIMEOUT_S = 30.0
+
+
+class _Child:
+    """One managed subprocess that announces ``TAG host:port`` on stdout."""
+
+    def __init__(self, tag: str, args: List[str]) -> None:
+        self.tag = tag
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.net"] + args,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        self.endpoint: Optional[str] = None
+
+    def await_announce(self, timeout_s: float = _START_TIMEOUT_S) -> str:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"{self.tag} process exited before announcing "
+                    f"(rc={self.proc.poll()})"
+                )
+            if line.startswith(self.tag + " "):
+                self.endpoint = line.split()[1].strip()
+                return self.endpoint
+        raise RuntimeError(f"{self.tag} did not announce within {timeout_s}s")
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=5.0)
+
+
+def _wait_healthy(url: str, timeout_s: float = _START_TIMEOUT_S) -> Dict:
+    deadline = time.monotonic() + timeout_s
+    last_error: Optional[str] = None
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(url + "/healthz", timeout=2.0) as resp:
+                return json.loads(resp.read())
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            last_error = str(exc)
+            time.sleep(0.1)
+    raise RuntimeError(f"{url} never became healthy: {last_error}")
+
+
+def run_demo(
+    rps: float = 200.0,
+    duration_s: float = 10.0,
+    servers: int = 2,
+    shards: int = 2,
+    workers: int = 2,
+    mix: str = "smoke",
+    arrival: str = "poisson",
+    concurrency: int = 16,
+    max_queue_depth: int = 32,
+    seed: int = 0,
+    out: Optional[str] = None,
+    quiet: bool = False,
+) -> int:
+    """Stand the tier up, drive it, report, and tear it down (exit code)."""
+    from repro.net.traffic import (
+        TrafficConfig,
+        build_report,
+        check_report,
+        run_traffic,
+    )
+
+    if shards < 1 or servers < 1:
+        raise ValueError("demo needs at least one shard and one server")
+    children: List[_Child] = []
+    say = (lambda *a: None) if quiet else (lambda *a: print(*a, flush=True))
+    try:
+        shard_endpoints: List[str] = []
+        for _ in range(shards):
+            child = _Child("SHARD", ["shard", "--port", "0"])
+            children.append(child)
+            shard_endpoints.append(child.await_announce())
+        say(f"demo: {shards} cache shard(s) up: {', '.join(shard_endpoints)}")
+
+        urls: List[str] = []
+        for _ in range(servers):
+            child = _Child("FRONTEND", [
+                "serve", "--port", "0",
+                "--workers", str(workers),
+                "--max-queue-depth", str(max_queue_depth),
+                "--shards", ",".join(shard_endpoints),
+            ])
+            children.append(child)
+            urls.append("http://" + child.await_announce())
+        for url in urls:
+            _wait_healthy(url)
+        say(f"demo: {servers} front end(s) healthy: {', '.join(urls)} "
+            f"({workers} workers each)")
+
+        say(f"demo: driving closed-loop {arrival} traffic at {rps:g} rps "
+            f"for {duration_s:g}s (mix={mix}) ...")
+        config = TrafficConfig(
+            urls=tuple(urls),
+            mode="closed",
+            duration_s=duration_s,
+            concurrency=concurrency,
+            rps=rps,
+            arrival=arrival,
+            mix=mix,
+            seed=seed,
+        )
+        result = run_traffic(config)
+        report = build_report(result, config)
+
+        # Fold the tier's server-side view into the report: per-server
+        # health (cache stats include the shared shard tier) after load.
+        report["servers"] = {url: _wait_healthy(url) for url in urls}
+        report["shards"] = shard_endpoints
+
+        print(json.dumps(report, indent=2))
+        if out:
+            import pathlib
+
+            pathlib.Path(out).write_text(json.dumps(report, indent=2))
+        violations = check_report(report)
+        for violation in violations:
+            print(f"DEMO GATE VIOLATION: {violation}", file=sys.stderr)
+        if not violations:
+            say(
+                f"demo: green — served {report['served']}/{report['requests']} "
+                f"(shed rate {report['shed_rate']:.1%}), p50/p95/p99 = "
+                f"{report['latency_ms']['p50']}/{report['latency_ms']['p95']}/"
+                f"{report['latency_ms']['p99']} ms"
+            )
+        return 1 if violations else 0
+    finally:
+        for child in reversed(children):
+            child.stop()

@@ -1,0 +1,132 @@
+"""Consistent-hash ring mapping cache keys to shard endpoints.
+
+The sharded plan-cache tier (:mod:`repro.net.shard`) needs a stable
+``key -> shard`` assignment that (a) spreads keys evenly across shards and
+(b) moves as few keys as possible when a shard joins or leaves — a naive
+``hash(key) % N`` remaps almost everything on reshard, which would turn
+every topology change into a cluster-wide cold start.
+
+Classic consistent hashing solves both: every node is hashed onto a ring
+at ``virtual_nodes`` points (vnodes smooth out the variance a single point
+per node would have), a key is owned by the first vnode clockwise from its
+own hash, and adding or removing one node only reassigns the arcs adjacent
+to that node's vnodes — in expectation a ``1/(N+1)`` fraction of the key
+space.  Hashes come from SHA-256, so placement is identical across
+processes, Python versions, and runs (``hash()`` is salted per process and
+would silently split the tier).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["HashRing"]
+
+#: Default vnode count per node.  At 64 vnodes the max/mean key-load ratio
+#: over a few shards stays within ~1.3x (test-enforced bounds are looser).
+DEFAULT_VIRTUAL_NODES = 64
+
+
+def _hash(data: str) -> int:
+    """Stable 64-bit ring position for ``data``."""
+    digest = hashlib.sha256(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over named nodes (shard endpoint strings).
+
+    Args:
+        nodes: initial node names (e.g. ``"127.0.0.1:9001"``).
+        virtual_nodes: ring points per node; more vnodes = smoother key
+            distribution at the cost of a larger sorted ring.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[str] = (),
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+    ) -> None:
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.virtual_nodes = virtual_nodes
+        self._nodes: List[str] = []
+        #: Sorted vnode positions and the node owning each position, kept
+        #: index-aligned for bisect lookup.
+        self._ring: List[int] = []
+        self._owners: List[str] = []
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------- topology
+
+    @property
+    def nodes(self) -> List[str]:
+        """Current node names, in insertion order."""
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add_node(self, node: str) -> None:
+        """Insert ``node``'s vnodes into the ring (idempotent per name)."""
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.append(node)
+        for v in range(self.virtual_nodes):
+            position = _hash(f"{node}#{v}")
+            index = bisect.bisect(self._ring, position)
+            self._ring.insert(index, position)
+            self._owners.insert(index, node)
+
+    def remove_node(self, node: str) -> None:
+        """Remove ``node`` and all its vnodes from the ring."""
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} not on the ring")
+        self._nodes.remove(node)
+        keep = [i for i, owner in enumerate(self._owners) if owner != node]
+        self._ring = [self._ring[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    # -------------------------------------------------------------- routing
+
+    def node_for(self, key: str) -> str:
+        """The node owning ``key``: first vnode clockwise from its hash."""
+        if not self._ring:
+            raise ValueError("hash ring is empty")
+        index = bisect.bisect(self._ring, _hash(key))
+        if index == len(self._ring):  # wrap past the top of the ring
+            index = 0
+        return self._owners[index]
+
+    def distribution(self, keys: Sequence[str]) -> Dict[str, int]:
+        """Keys-per-node histogram for ``keys`` (uniformity diagnostics)."""
+        out: Dict[str, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            out[self.node_for(key)] += 1
+        return out
+
+    def remap_fraction(self, other: "HashRing", keys: Sequence[str]) -> float:
+        """Fraction of ``keys`` that map differently on ``other``.
+
+        The consistent-hashing contract under test: adding one node to an
+        N-node ring should remap about ``1/(N+1)`` of the key space, not
+        all of it.
+        """
+        if not keys:
+            return 0.0
+        moved = sum(1 for key in keys if self.node_for(key) != other.node_for(key))
+        return moved / len(keys)
+
+
+def spawn_ring(ring: HashRing, extra: Optional[Sequence[str]] = None) -> HashRing:
+    """Copy ``ring`` (same vnode count), optionally with ``extra`` nodes."""
+    fresh = HashRing(ring.nodes, virtual_nodes=ring.virtual_nodes)
+    for node in extra or ():
+        fresh.add_node(node)
+    return fresh

@@ -1,0 +1,352 @@
+"""Sharded plan-cache tier: shard server, shard client, and the ring facade.
+
+One :class:`CacheShardServer` process hosts a plain
+:class:`~repro.service.cache.PlanCache` behind a newline-delimited JSON TCP
+protocol (``{"op": "get"|"put"|"stats"|"ping", ...}`` -> one JSON reply per
+line).  The protocol is deliberately dumb: every shard mutation happens on
+the shard's single asyncio event loop, so the cache needs no locks and a
+misbehaving client can only slow its own connection.
+
+:class:`ShardedPlanCache` is the front-end-side facade: it duck-types the
+in-process :class:`PlanCache` API (``get`` / ``put`` / ``stats`` /
+``clear``), routes each cache key to a shard via the consistent-hash
+:class:`~repro.net.hashring.HashRing`, and keeps one persistent
+:class:`ShardClient` connection per shard.  A dead or slow shard degrades
+to a cache *miss* (planning proceeds, the tier heals when the shard
+returns) — the cache is an accelerator, never a dependency.
+
+Failure accounting: client-side ``hits``/``misses``/``shard_errors``
+counters live on the facade; authoritative ``size``/``evictions`` live on
+the shards and are merged into :meth:`ShardedPlanCache.stats` per shard,
+so the telemetry dump shows both the tier aggregate and the per-shard
+split through the same path as the in-process cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Dict, List, Optional
+
+from repro.faults import get_injector
+from repro.net.hashring import HashRing
+from repro.net.wire import response_from_wire, response_to_wire
+from repro.obs import bump
+from repro.service.cache import PlanCache
+from repro.service.request import PlanResponse
+
+__all__ = [
+    "CacheShardServer",
+    "ShardClient",
+    "ShardedPlanCache",
+    "parse_endpoint",
+    "run_shard",
+]
+
+
+def parse_endpoint(endpoint: str) -> "tuple[str, int]":
+    """``"host:port"`` -> ``(host, port)``."""
+    host, _, port = endpoint.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"bad shard endpoint {endpoint!r} (want host:port)")
+    return host, int(port)
+
+
+# ------------------------------------------------------------------- server
+
+
+class CacheShardServer:
+    """One cache shard: a :class:`PlanCache` behind an asyncio TCP server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 capacity: int = 1024) -> None:
+        self.host = host
+        self.port = port
+        self.cache = PlanCache(capacity)
+        self.requests = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # The op handlers are synchronous on purpose: the event loop serialises
+    # them, which is the shard's whole concurrency story.
+
+    def handle(self, message: Dict) -> Dict:
+        """Execute one decoded op against the cache; returns the reply."""
+        op = message.get("op")
+        self.requests += 1
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "get":
+            entry = self.cache.get(str(message["key"]),
+                                   str(message.get("request_id", "")))
+            if entry is None:
+                return {"ok": True, "hit": False}
+            return {"ok": True, "hit": True, "response": response_to_wire(entry)}
+        if op == "put":
+            self.cache.put(str(message["key"]),
+                           response_from_wire(message["response"]))
+            return {"ok": True}
+        if op == "stats":
+            stats = self.cache.stats()
+            stats["requests"] = self.requests
+            return {"ok": True, "stats": stats}
+        if op == "clear":
+            self.cache.clear()
+            return {"ok": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = json.loads(line)
+                    reply = self.handle(message)
+                except Exception as exc:  # bad frame: answer, keep serving
+                    reply = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                writer.write(json.dumps(reply).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    async def start(self) -> None:
+        """Bind and start serving; ``port=0`` resolves to the bound port."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
+def run_shard(host: str = "127.0.0.1", port: int = 0,
+              capacity: int = 1024, announce: bool = True) -> None:
+    """Blocking entry point: serve one shard until interrupted."""
+    shard = CacheShardServer(host, port, capacity)
+
+    async def _main() -> None:
+        await shard.start()
+        if announce:  # parseable line so orchestrators can learn the port
+            print(f"SHARD {shard.host}:{shard.port}", flush=True)
+        await shard.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+# ------------------------------------------------------------------- client
+
+
+class ShardClient:
+    """Blocking line-protocol client for one shard endpoint.
+
+    Holds one persistent connection, reconnecting lazily after an error.
+    All methods raise :class:`ConnectionError`/``OSError`` on transport
+    trouble; the :class:`ShardedPlanCache` facade is the layer that turns
+    that into a graceful miss.
+    """
+
+    def __init__(self, endpoint: str, timeout_s: float = 2.0) -> None:
+        self.endpoint = endpoint
+        self.timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    def _connect(self) -> None:
+        host, port = parse_endpoint(self.endpoint)
+        sock = socket.create_connection((host, port), timeout=self.timeout_s)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def call(self, message: Dict) -> Dict:
+        """One request/reply round trip (reconnects once if needed)."""
+        injector = get_injector()
+        if injector is not None:
+            # ``net.shard_rpc``: chaos hook for slow/erroring/dropped shard
+            # round trips.  A returned transport kind simulates a broken
+            # connection (the facade then treats the lookup as a miss).
+            if injector.fire("net.shard_rpc", detail=self.endpoint) is not None:
+                self.close()
+                raise ConnectionError(
+                    f"injected shard_rpc fault for {self.endpoint}"
+                )
+        if self._sock is None:
+            self._connect()
+        payload = json.dumps(message).encode("utf-8") + b"\n"
+        try:
+            self._sock.sendall(payload)
+            line = self._file.readline()
+        except (OSError, ValueError):
+            # Stale connection (shard restarted): reconnect and retry once.
+            self.close()
+            self._connect()
+            self._sock.sendall(payload)
+            line = self._file.readline()
+        if not line:
+            self.close()
+            raise ConnectionError(f"shard {self.endpoint} closed the connection")
+        reply = json.loads(line)
+        if not reply.get("ok", False):
+            raise ConnectionError(
+                f"shard {self.endpoint} refused op: {reply.get('error')}"
+            )
+        return reply
+
+    def ping(self) -> bool:
+        return bool(self.call({"op": "ping"}).get("ok"))
+
+
+class ShardedPlanCache:
+    """Consistent-hash sharded cache tier with the :class:`PlanCache` API.
+
+    Args:
+        endpoints: shard endpoints (``"host:port"`` strings).
+        virtual_nodes: hash-ring vnodes per shard.
+        timeout_s: per-RPC socket timeout.
+    """
+
+    def __init__(self, endpoints: List[str], virtual_nodes: int = 64,
+                 timeout_s: float = 2.0) -> None:
+        if not endpoints:
+            raise ValueError("sharded cache needs at least one endpoint")
+        self.ring = HashRing(endpoints, virtual_nodes=virtual_nodes)
+        self._clients: Dict[str, ShardClient] = {
+            endpoint: ShardClient(endpoint, timeout_s) for endpoint in endpoints
+        }
+        self.hits = 0
+        self.misses = 0
+        self.shard_errors = 0
+
+    # ------------------------------------------------------------- topology
+
+    @property
+    def endpoints(self) -> List[str]:
+        return self.ring.nodes
+
+    def add_shard(self, endpoint: str, timeout_s: float = 2.0) -> None:
+        """Join a shard; only the ring arcs next to its vnodes remap."""
+        self.ring.add_node(endpoint)
+        self._clients[endpoint] = ShardClient(endpoint, timeout_s)
+
+    def remove_shard(self, endpoint: str) -> None:
+        """Leave a shard (its keys fall to ring neighbours as misses)."""
+        self.ring.remove_node(endpoint)
+        self._clients.pop(endpoint).close()
+
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.close()
+
+    # ---------------------------------------------------------- cache facade
+
+    def _client_for(self, key: str) -> ShardClient:
+        return self._clients[self.ring.node_for(key)]
+
+    def get(self, key: str, request_id: str = "") -> Optional[PlanResponse]:
+        """Tier lookup; shard trouble counts as a miss, never an error."""
+        client = self._client_for(key)
+        try:
+            reply = client.call({"op": "get", "key": key,
+                                 "request_id": request_id})
+        except (OSError, ValueError) as exc:
+            self.shard_errors += 1
+            self.misses += 1
+            bump("repro_net_shard_errors_total",
+                 help="Shard RPCs that failed (timeouts, resets, faults)",
+                 endpoint=client.endpoint, op="get")
+            bump("repro_cache_events_total", cache="plan_shard", event="miss")
+            del exc
+            return None
+        if not reply.get("hit"):
+            self.misses += 1
+            bump("repro_cache_events_total", cache="plan_shard", event="miss")
+            return None
+        self.hits += 1
+        bump("repro_cache_events_total", cache="plan_shard", event="hit")
+        # The shard already relabelled the entry for ``request_id`` and
+        # marked it as a hit (PlanCache.get does), so decode verbatim.
+        return response_from_wire(reply["response"])
+
+    def put(self, key: str, response: PlanResponse) -> None:
+        """Insert into the owning shard (best-effort: errors are counted)."""
+        client = self._client_for(key)
+        try:
+            client.call({"op": "put", "key": key,
+                         "response": response_to_wire(response)})
+        except (OSError, ValueError):
+            self.shard_errors += 1
+            bump("repro_net_shard_errors_total",
+                 help="Shard RPCs that failed (timeouts, resets, faults)",
+                 endpoint=client.endpoint, op="put")
+
+    def clear(self) -> None:
+        for client in self._clients.values():
+            try:
+                client.call({"op": "clear"})
+            except (OSError, ValueError):
+                self.shard_errors += 1
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        """Tier aggregate + per-shard split, PlanCache-stats compatible."""
+        shards: Dict[str, object] = {}
+        size = 0
+        evictions = 0
+        capacity = 0
+        for endpoint in self.ring.nodes:
+            try:
+                shard_stats = self._clients[endpoint].call({"op": "stats"})["stats"]
+            except (OSError, ValueError):
+                self.shard_errors += 1
+                shards[endpoint] = {"unreachable": True}
+                continue
+            shards[endpoint] = shard_stats
+            size += int(shard_stats.get("size", 0))
+            evictions += int(shard_stats.get("evictions", 0))
+            capacity += int(shard_stats.get("capacity", 0))
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "size": size,
+            "capacity": capacity,
+            "evictions": evictions,
+            "sharded": True,
+            "shard_errors": self.shard_errors,
+            "shards": shards,
+        }

@@ -126,10 +126,11 @@ def build_report(
         )
 
     # Software-cache effectiveness (collision-result and reused-neighborhood
-    # caches): fold the (cache, event) series into per-cache hit/miss/evict
-    # totals.  These count *executed* work — OpCounters keep reporting the
-    # modeled cost — so the hit rate here is exactly the work the caches
-    # saved the host.
+    # caches, plus the request-level plan cache as ``plan`` and the
+    # network shard tier as ``plan_shard``): fold the (cache, event) series
+    # into per-cache hit/miss/evict totals.  These count *executed* work —
+    # OpCounters keep reporting the modeled cost — so the hit rate here is
+    # exactly the work the caches saved the host.
     caches: Dict[str, Dict[str, float]] = {}
     for labels, value in metrics.get("repro_cache_events_total", []):
         name = labels.get("cache")

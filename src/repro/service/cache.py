@@ -9,6 +9,12 @@ Only ``status == "ok"`` responses are worth remembering (failures are
 scheduling accidents, not properties of the work), so the service layer
 never inserts failures; the cache itself stays policy-free and stores what
 it is given.
+
+Hit/miss/evict events are also bumped into ``repro_cache_events_total``
+(label ``cache="plan"``) when the metrics registry is on, so the plan
+cache appears in the ``repro.obs report`` software-cache table through
+the same path as the collision-result and neighborhood caches — and as
+the sharded tier, which reports under ``cache="plan_shard"``.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional
 
+from repro.obs import bump
 from repro.service.request import PlanResponse
 
 
@@ -47,9 +54,11 @@ class PlanCache:
         entry = self._store.get(key)
         if entry is None:
             self.misses += 1
+            bump("repro_cache_events_total", cache="plan", event="miss")
             return None
         self._store.move_to_end(key)
         self.hits += 1
+        bump("repro_cache_events_total", cache="plan", event="hit")
         return entry.as_cache_hit(request_id)
 
     def put(self, key: str, response: PlanResponse) -> None:
@@ -62,6 +71,7 @@ class PlanCache:
         while len(self._store) > self.capacity:
             self._store.popitem(last=False)
             self.evictions += 1
+            bump("repro_cache_events_total", cache="plan", event="evict")
 
     @property
     def hit_rate(self) -> float:

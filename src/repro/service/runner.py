@@ -54,6 +54,7 @@ class PlanningService:
         cache_capacity: int = 128,
         pool_config: Optional[PoolConfig] = None,
         telemetry: Optional[TelemetrySink] = None,
+        cache: Optional[PlanCache] = None,
     ) -> None:
         if pool_config is not None:
             num_workers = pool_config.num_workers
@@ -63,7 +64,12 @@ class PlanningService:
             if pool_config is not None
             else (None if self.inline else PoolConfig(num_workers=num_workers))
         )
-        self.cache = PlanCache(cache_capacity)
+        #: The plan cache: the in-process LRU by default, or any object
+        #: with the same ``get``/``put``/``stats``/``clear`` surface — the
+        #: network layer injects its consistent-hash sharded tier here
+        #: (:class:`repro.net.shard.ShardedPlanCache`), which is how N
+        #: front-end processes share cached plans.
+        self.cache = cache if cache is not None else PlanCache(cache_capacity)
         self.telemetry = telemetry if telemetry is not None else TelemetrySink()
         #: Structured JSONL event log; every event carries this service
         #: instance's ``run_id`` so traces, telemetry records, and events
@@ -78,6 +84,16 @@ class PlanningService:
         if self._pool is None:
             self._pool = WorkerPool(self.pool_config)
         return self._pool
+
+    @property
+    def breaker(self):
+        """The live pool's circuit breaker, or ``None`` before it exists.
+
+        The network front end reads this to shed load at the edge while
+        the breaker is open (429 + Retry-After instead of queueing jobs
+        into a sick pool).
+        """
+        return self._pool.breaker if self._pool is not None else None
 
     def close(self) -> None:
         """Shut down the worker pool (idempotent; service stays queryable)."""

@@ -13,11 +13,15 @@ from repro.workloads.generator import (
     task_suite,
     narrow_passage_environment,
 )
+from repro.workloads.mixes import TRAFFIC_MIXES, draw_spec, mix_names
 
 __all__ = [
     "DynamicScenario",
     "MovingObstacle",
     "OBSTACLE_COUNTS",
+    "TRAFFIC_MIXES",
+    "draw_spec",
+    "mix_names",
     "random_dynamic_scenario",
     "narrow_passage_environment",
     "random_environment",

@@ -1,0 +1,80 @@
+"""Named traffic mixes: weighted scenario populations for load generation.
+
+The network traffic harness (:mod:`repro.net.traffic`) does not invent its
+own workloads — it draws from these mixes, which are built on the same
+generator knobs as :func:`repro.workloads.random_task`.  A mix is a list
+of weighted entries; each entry is a partial request *spec* (the compact
+``POST /plan`` form of :mod:`repro.net.wire`) plus a ``seed_pool`` size.
+Drawing a scenario picks an entry by weight and a seed uniformly from
+``[spec_seed_base, spec_seed_base + seed_pool)``, so the pool size is the
+knob for cache-hit potential: a pool of 16 seeds under sustained load
+converges to ~100% plan-cache hits after 16 distinct plans, while a huge
+pool keeps the tier cold.
+
+Draws are deterministic given the generator's RNG, so two harness runs
+with the same ``--seed`` offer byte-identical request streams.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+__all__ = ["TRAFFIC_MIXES", "draw_spec", "mix_names"]
+
+#: Named mixes.  ``weight`` sets the draw probability (normalised over the
+#: mix); ``spec`` is merged into the wire spec; ``seed_pool`` bounds the
+#: distinct-task population of the entry.
+TRAFFIC_MIXES: Dict[str, List[Dict]] = {
+    # Tiny tasks, small seed pool: high cache-hit steady state.  The
+    # default for smoke tests and the demo command.
+    "smoke": [
+        {"weight": 1.0, "seed_pool": 16,
+         "spec": {"robot": "mobile2d", "obstacles": 8, "samples": 120}},
+    ],
+    # One entry, one seed per request (pool ~ unbounded): every request
+    # plans.  Measures raw serving capacity, not cache performance.
+    "cold": [
+        {"weight": 1.0, "seed_pool": 1_000_000,
+         "spec": {"robot": "mobile2d", "obstacles": 8, "samples": 120}},
+    ],
+    # Heterogeneous population: mostly light 2D tasks, some mid-weight 3D,
+    # a trickle of heavy arm planning — the long-tail shape that makes
+    # percentile reports interesting.
+    "mixed": [
+        {"weight": 0.6, "seed_pool": 32,
+         "spec": {"robot": "mobile2d", "obstacles": 8, "samples": 150}},
+        {"weight": 0.3, "seed_pool": 16,
+         "spec": {"robot": "drone3d", "obstacles": 8, "samples": 150}},
+        {"weight": 0.1, "seed_pool": 8,
+         "spec": {"robot": "viperx300", "obstacles": 4, "samples": 100}},
+    ],
+    # Anytime-planning mix: heavier sampling budgets under a deadline, so
+    # a fraction of responses come back ``status="degraded"`` and the
+    # harness exercises the degraded wire path end to end.
+    "deadline": [
+        {"weight": 1.0, "seed_pool": 32,
+         "spec": {"robot": "mobile2d", "obstacles": 16, "samples": 4000,
+                  "deadline_s": 0.05}},
+    ],
+}
+
+
+def mix_names() -> List[str]:
+    return sorted(TRAFFIC_MIXES)
+
+
+def draw_spec(mix: str, rng: random.Random, seed_base: int = 0) -> Dict:
+    """One request spec drawn from ``mix`` using ``rng``.
+
+    The returned dict is a complete wire spec (entry spec + drawn seed)
+    ready to ship as ``{"spec": ...}`` in a ``POST /plan`` body.
+    """
+    entries = TRAFFIC_MIXES.get(mix)
+    if not entries:
+        raise ValueError(f"unknown traffic mix {mix!r}; known: {mix_names()}")
+    weights = [entry["weight"] for entry in entries]
+    entry = rng.choices(entries, weights=weights, k=1)[0]
+    spec = dict(entry["spec"])
+    spec["seed"] = seed_base + rng.randrange(entry["seed_pool"])
+    return spec

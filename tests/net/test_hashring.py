@@ -1,0 +1,123 @@
+"""Consistent-hash ring: distribution uniformity and bounded remap.
+
+SHA-256 placement makes every assertion here fully deterministic — the
+bounds are not flaky tolerances, they pin the actual ring geometry for
+the default vnode count.
+"""
+
+import unittest
+
+from repro.net.hashring import DEFAULT_VIRTUAL_NODES, HashRing, spawn_ring
+
+KEYS = [f"key-{i}" for i in range(6000)]
+NODES = ["127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"]
+
+
+class TestRingBasics(unittest.TestCase):
+    def test_topology_accessors(self):
+        ring = HashRing(NODES)
+        self.assertEqual(len(ring), 3)
+        self.assertEqual(ring.nodes, NODES)
+        self.assertIn(NODES[0], ring)
+        self.assertNotIn("127.0.0.1:9999", ring)
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(NODES)
+        with self.assertRaises(ValueError):
+            ring.add_node(NODES[0])
+
+    def test_remove_unknown_rejected(self):
+        ring = HashRing(NODES)
+        with self.assertRaises(ValueError):
+            ring.remove_node("127.0.0.1:9999")
+
+    def test_empty_ring_has_no_owner(self):
+        with self.assertRaises(ValueError):
+            HashRing().node_for("anything")
+
+    def test_vnode_count_validated(self):
+        with self.assertRaises(ValueError):
+            HashRing(NODES, virtual_nodes=0)
+
+    def test_placement_is_deterministic_across_instances(self):
+        # hash() is process-salted; the ring must not be.  Two rings built
+        # from the same topology agree on every key.
+        a = HashRing(NODES)
+        b = HashRing(list(NODES))
+        for key in KEYS[:500]:
+            self.assertEqual(a.node_for(key), b.node_for(key))
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing([NODES[0]])
+        self.assertTrue(all(ring.node_for(k) == NODES[0] for k in KEYS[:100]))
+
+
+class TestDistributionUniformity(unittest.TestCase):
+    def test_keys_spread_evenly_across_shards(self):
+        ring = HashRing(NODES)
+        histogram = ring.distribution(KEYS)
+        self.assertEqual(sum(histogram.values()), len(KEYS))
+        mean = len(KEYS) / len(NODES)
+        for node, count in histogram.items():
+            self.assertGreater(count, 0.5 * mean,
+                               f"{node} badly underloaded: {histogram}")
+            self.assertLess(count, 1.6 * mean,
+                            f"{node} badly overloaded: {histogram}")
+
+    def test_more_vnodes_do_not_break_coverage(self):
+        ring = HashRing(NODES, virtual_nodes=4 * DEFAULT_VIRTUAL_NODES)
+        histogram = ring.distribution(KEYS)
+        self.assertTrue(all(count > 0 for count in histogram.values()))
+
+
+class TestBoundedRemap(unittest.TestCase):
+    """The consistent-hashing contract: reshard moves ~1/(N+1), not all."""
+
+    def test_adding_a_shard_remaps_a_bounded_fraction(self):
+        before = HashRing(NODES)
+        after = spawn_ring(before, extra=["127.0.0.1:9004"])
+        fraction = before.remap_fraction(after, KEYS)
+        # Expectation is 1/4; a modulo-hash scheme would remap ~3/4.
+        self.assertGreater(fraction, 0.05)
+        self.assertLess(fraction, 0.45)
+
+    def test_moved_keys_all_land_on_the_new_shard(self):
+        new = "127.0.0.1:9004"
+        before = HashRing(NODES)
+        after = spawn_ring(before, extra=[new])
+        for key in KEYS:
+            owner_before = before.node_for(key)
+            owner_after = after.node_for(key)
+            if owner_after != owner_before:
+                self.assertEqual(owner_after, new,
+                                 "a key moved between surviving shards")
+
+    def test_removing_a_shard_only_moves_its_own_keys(self):
+        departing = NODES[2]
+        before = HashRing(NODES)
+        after = HashRing(NODES)
+        after.remove_node(departing)
+        for key in KEYS:
+            owner_before = before.node_for(key)
+            if owner_before == departing:
+                self.assertNotEqual(after.node_for(key), departing)
+            else:
+                self.assertEqual(after.node_for(key), owner_before,
+                                 "a surviving shard lost a key it owned")
+
+    def test_remove_then_readd_restores_placement(self):
+        ring = HashRing(NODES)
+        original = {key: ring.node_for(key) for key in KEYS[:1000]}
+        ring.remove_node(NODES[1])
+        ring.add_node(NODES[1])
+        for key, owner in original.items():
+            self.assertEqual(ring.node_for(key), owner)
+
+    def test_remap_fraction_of_identical_rings_is_zero(self):
+        ring = HashRing(NODES)
+        self.assertEqual(ring.remap_fraction(HashRing(NODES), KEYS[:200]), 0.0)
+        self.assertEqual(ring.remap_fraction(ring, []), 0.0)
+
+
+if __name__ == "__main__":
+    unittest.main()

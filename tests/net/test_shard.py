@@ -1,0 +1,250 @@
+"""Sharded cache tier: shard server ops, client RPC, and the ring facade.
+
+Shards run in-process on a background asyncio loop (real sockets on
+127.0.0.1 ephemeral ports), so these tests exercise the actual line
+protocol without subprocess overhead.  The load-bearing property is the
+last test class: a dead shard degrades to a cache *miss*, never an error.
+"""
+
+import asyncio
+import threading
+import unittest
+
+from repro.faults import FaultPlan, clear, install_plan
+from repro.net.shard import (
+    CacheShardServer,
+    ShardClient,
+    ShardedPlanCache,
+    parse_endpoint,
+)
+from repro.service.request import PlanResponse
+
+
+class _ShardFixture:
+    """One CacheShardServer on its own event-loop thread.
+
+    ``start()`` already makes the asyncio server accept connections, so the
+    loop just runs until :meth:`stop`.  Teardown cancels the per-connection
+    handler tasks *before* closing the server — that sends FIN to any
+    keep-alive clients immediately (which is what the dead-shard test needs)
+    and keeps ``wait_closed`` from blocking on open connections.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.server = CacheShardServer(capacity=capacity)
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self._ready.wait(timeout=5.0), "shard did not start"
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self.loop.run_forever()
+        tasks = asyncio.all_tasks(self.loop)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            self.loop.run_until_complete(
+                asyncio.gather(*tasks, return_exceptions=True)
+            )
+        self.loop.run_until_complete(self.server.stop())
+        self.loop.close()
+
+    @property
+    def endpoint(self) -> str:
+        return f"127.0.0.1:{self.server.port}"
+
+    def stop(self) -> None:
+        if self.loop.is_running():
+            self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=5.0)
+
+
+def _response(request_id: str = "orig", status: str = "ok") -> PlanResponse:
+    return PlanResponse(request_id=request_id, status=status, success=True,
+                        path_cost=2.5, path=[[0.0, 0.0], [1.0, 1.0]])
+
+
+class TestParseEndpoint(unittest.TestCase):
+    def test_round_trip(self):
+        self.assertEqual(parse_endpoint("127.0.0.1:9001"), ("127.0.0.1", 9001))
+
+    def test_rejects_garbage(self):
+        for bad in ("localhost", ":9001", "host:", "host:abc"):
+            with self.assertRaises(ValueError):
+                parse_endpoint(bad)
+
+
+class TestShardServerOps(unittest.TestCase):
+    """Direct op dispatch (no sockets): the shard's whole vocabulary."""
+
+    def setUp(self):
+        self.server = CacheShardServer(capacity=4)
+
+    def test_ping(self):
+        self.assertTrue(self.server.handle({"op": "ping"})["ok"])
+
+    def test_get_miss_then_put_then_hit(self):
+        self.assertFalse(self.server.handle({"op": "get", "key": "k"})["hit"])
+        from repro.net.wire import response_to_wire
+
+        self.server.handle({"op": "put", "key": "k",
+                            "response": response_to_wire(_response())})
+        reply = self.server.handle({"op": "get", "key": "k",
+                                    "request_id": "req-2"})
+        self.assertTrue(reply["hit"])
+        # PlanCache relabels hits for the requester and flags them.
+        self.assertEqual(reply["response"]["request_id"], "req-2")
+        self.assertTrue(reply["response"]["cache_hit"])
+
+    def test_stats_and_clear(self):
+        stats = self.server.handle({"op": "stats"})["stats"]
+        self.assertEqual(stats["size"], 0)
+        self.assertIn("requests", stats)
+        self.assertTrue(self.server.handle({"op": "clear"})["ok"])
+
+    def test_unknown_op_is_answered_not_fatal(self):
+        reply = self.server.handle({"op": "explode"})
+        self.assertFalse(reply["ok"])
+        self.assertIn("unknown op", reply["error"])
+
+
+class TestShardClient(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.fixture = _ShardFixture()
+
+    @classmethod
+    def tearDownClass(cls):
+        cls.fixture.stop()
+
+    def test_ping_over_the_socket(self):
+        client = ShardClient(self.fixture.endpoint)
+        try:
+            self.assertTrue(client.ping())
+        finally:
+            client.close()
+
+    def test_put_get_round_trip_over_the_socket(self):
+        client = ShardClient(self.fixture.endpoint)
+        try:
+            from repro.net.wire import response_to_wire
+
+            client.call({"op": "put", "key": "sock-key",
+                         "response": response_to_wire(_response())})
+            reply = client.call({"op": "get", "key": "sock-key",
+                                 "request_id": "sock-req"})
+            self.assertTrue(reply["hit"])
+            self.assertEqual(reply["response"]["request_id"], "sock-req")
+        finally:
+            client.close()
+
+    def test_refused_op_raises_connection_error(self):
+        client = ShardClient(self.fixture.endpoint)
+        try:
+            with self.assertRaises(ConnectionError):
+                client.call({"op": "nope"})
+        finally:
+            client.close()
+
+    def test_dead_endpoint_raises(self):
+        client = ShardClient("127.0.0.1:1", timeout_s=0.5)
+        with self.assertRaises(OSError):
+            client.ping()
+
+
+class TestShardedPlanCache(unittest.TestCase):
+    def setUp(self):
+        self.fixtures = [_ShardFixture(), _ShardFixture()]
+        self.tier = ShardedPlanCache([f.endpoint for f in self.fixtures])
+
+    def tearDown(self):
+        self.tier.close()
+        for fixture in self.fixtures:
+            fixture.stop()
+        clear()  # drop any fault plan a test installed
+
+    def test_needs_at_least_one_endpoint(self):
+        with self.assertRaises(ValueError):
+            ShardedPlanCache([])
+
+    def test_round_trip_and_key_spread(self):
+        keys = [f"tier-key-{i}" for i in range(40)]
+        for key in keys:
+            self.tier.put(key, _response())
+        for key in keys:
+            hit = self.tier.get(key, request_id=f"r-{key}")
+            self.assertIsNotNone(hit)
+            self.assertTrue(hit.cache_hit)
+            self.assertEqual(hit.request_id, f"r-{key}")
+        stats = self.tier.stats()
+        self.assertTrue(stats["sharded"])
+        self.assertEqual(stats["hits"], len(keys))
+        self.assertEqual(stats["size"], len(keys))
+        # Consistent hashing spreads 40 keys over both shards.
+        sizes = [s["size"] for s in stats["shards"].values()]
+        self.assertEqual(len(sizes), 2)
+        self.assertTrue(all(size > 0 for size in sizes), stats["shards"])
+
+    def test_miss_is_counted(self):
+        self.assertIsNone(self.tier.get("never-stored"))
+        self.assertEqual(self.tier.misses, 1)
+        self.assertEqual(self.tier.hit_rate, 0.0)
+
+    def test_clear_empties_every_shard(self):
+        for i in range(10):
+            self.tier.put(f"c-{i}", _response())
+        self.tier.clear()
+        self.assertEqual(self.tier.stats()["size"], 0)
+
+    def test_dead_shard_degrades_to_miss(self):
+        # Kill one shard, then look up keys it owns: the facade must
+        # answer None (a miss) and count the error — never raise.
+        keys = [f"death-{i}" for i in range(30)]
+        for key in keys:
+            self.tier.put(key, _response())
+        victim = self.fixtures[0].endpoint
+        self.fixtures[0].stop()
+        owned = [k for k in keys if self.tier.ring.node_for(k) == victim]
+        self.assertTrue(owned, "test needs at least one key on the victim")
+        for key in owned:
+            self.assertIsNone(self.tier.get(key))
+        self.assertGreaterEqual(self.tier.shard_errors, len(owned))
+        # Survivor keys still hit; the dead shard shows as unreachable.
+        for key in keys:
+            if key not in owned:
+                self.assertIsNotNone(self.tier.get(key))
+        self.assertTrue(self.tier.stats()["shards"][victim].get("unreachable"))
+
+    def test_reshard_add_and_remove(self):
+        extra = _ShardFixture()
+        try:
+            self.tier.add_shard(extra.endpoint)
+            self.assertIn(extra.endpoint, self.tier.endpoints)
+            self.tier.put("after-join", _response())
+            self.assertIsNotNone(self.tier.get("after-join"))
+            self.tier.remove_shard(extra.endpoint)
+            self.assertNotIn(extra.endpoint, self.tier.endpoints)
+        finally:
+            extra.stop()
+
+    def test_shard_rpc_fault_site_degrades_to_miss(self):
+        # A deterministic net.shard_rpc drop makes the next RPC fail; the
+        # facade must absorb it as a miss (and planning would proceed).
+        self.tier.put("faulted-key", _response())
+        install_plan(FaultPlan.from_spec("net.shard_rpc:drop:max=1"),
+                     scope="test")
+        try:
+            self.assertIsNone(self.tier.get("faulted-key"))
+            self.assertEqual(self.tier.shard_errors, 1)
+        finally:
+            clear()
+        # Fault exhausted (max=1): the tier heals on the next lookup.
+        self.assertIsNotNone(self.tier.get("faulted-key"))
+
+
+if __name__ == "__main__":
+    unittest.main()
