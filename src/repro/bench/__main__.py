@@ -49,6 +49,11 @@ def main(argv=None) -> int:
         "--factor", type=float, default=REGRESSION_FACTOR,
         help="allowed slowdown factor vs baseline (default: %(default)s)",
     )
+    parser.add_argument(
+        "--rca-output", default="BENCH_rca.json", metavar="PATH",
+        help="where a failed --check writes the repro.obs.rca drill-down "
+             "naming the regressed slice (default: %(default)s; '' to skip)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="data-generation seed")
     parser.add_argument(
         "--wave", action="store_true",
@@ -126,6 +131,26 @@ def main(argv=None) -> int:
             print("kernel perf regressions detected:", file=sys.stderr)
             for message in failures:
                 print(f"  {message}", file=sys.stderr)
+            # Name the slice: drill the baseline-vs-candidate delta down to
+            # the attribute combination that moved it, and leave the
+            # machine report next to the bench output for CI to upload.
+            try:
+                from repro.obs.rca import analyze_bench_reports
+
+                rca = analyze_bench_reports(baseline, report)
+                print(rca.render(), file=sys.stderr)
+                rca_path = args.rca_output
+                if rca_path:
+                    import json as _json
+                    import pathlib as _pathlib
+
+                    _pathlib.Path(rca_path).write_text(
+                        _json.dumps(rca.to_dict(), indent=2)
+                    )
+                    print(f"rca drill-down written to {rca_path}",
+                          file=sys.stderr)
+            except Exception as exc:  # the gate verdict must never be masked
+                print(f"rca drill-down unavailable: {exc}", file=sys.stderr)
             return 1
         print(f"perf check passed (no kernel > {args.factor:.1f}x slower than baseline)")
     return 0

@@ -64,7 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="deadlock watchdog budget (default: "
                             "max(120, 2*jobs) seconds)")
     chaos.add_argument("--out", default=None, metavar="PATH",
-                       help="write the chaos report JSON here")
+                       help="write the chaos report JSON here (includes "
+                            "per-job records for RCA drill-downs)")
+    chaos.add_argument("--rca", action="store_true",
+                       help="after a clean run, print the repro.obs.rca "
+                            "drill-down attributing fault-armed wall-time "
+                            "tail latency vs the clean jobs")
     return parser
 
 
@@ -89,10 +94,25 @@ def main(argv: Optional[list] = None) -> int:
         print(f"chaos: FAILED\n{exc}", file=sys.stderr)
         return 1
     payload = report.to_dict()
-    print(json.dumps(payload, indent=2))
+    # stdout gets the compact summary; the --out file keeps the per-job
+    # records so it can feed ``python -m repro.obs rca`` drill-downs.
+    compact = {k: v for k, v in payload.items() if k != "records"}
+    print(json.dumps(compact, indent=2))
     if args.out is not None:
         pathlib.Path(args.out).write_text(json.dumps(payload, indent=2))
         print(f"report written to {args.out}")
+    if args.rca:
+        from repro.obs.rca import analyze, records_from_chaos, split_records
+
+        records = records_from_chaos(payload)
+        try:
+            baseline, candidate = split_records(records, "fault=clean")
+        except ValueError as exc:
+            print(f"rca: skipped ({exc})", file=sys.stderr)
+        else:
+            result = analyze(baseline, candidate, measure="wall_seconds",
+                             metric="p95")
+            print(result.render())
     return 0
 
 

@@ -83,6 +83,12 @@ class ChaosJob:
     expected: Tuple[str, ...]
 
 
+#: Version stamp on written chaos reports so downstream consumers
+#: (``repro.obs.rca``) can reject or upgrade mismatched dumps.
+CHAOS_SCHEMA = 1
+CHAOS_EMITTER = "repro.faults.chaos"
+
+
 @dataclass
 class ChaosReport:
     """Outcome of one chaos run (plain data, JSON-ready)."""
@@ -96,9 +102,15 @@ class ChaosReport:
     pool: Dict[str, object] = field(default_factory=dict)
     cache: Dict[str, object] = field(default_factory=dict)
     injector_fires: Dict[str, int] = field(default_factory=dict)
+    #: Per-job telemetry rows tagged with their schedule category, so
+    #: fault-induced tail latency can be attributed to its fault site
+    #: (``python -m repro.obs rca chaos.json --split fault=clean``).
+    records: List[Dict[str, object]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return {
+            "schema": CHAOS_SCHEMA,
+            "emitter": CHAOS_EMITTER,
             "seed": self.seed,
             "jobs": self.jobs,
             "digest": self.digest,
@@ -108,6 +120,7 @@ class ChaosReport:
             "pool": self.pool,
             "cache": self.cache,
             "injector_fires": dict(self.injector_fires),
+            "records": [dict(r) for r in self.records],
         }
 
 
@@ -368,11 +381,21 @@ def run_chaos(
         raise ChaosInvariantError(
             f"{len(violations)} invariant violation(s):\n  {preview}"
         )
+    # Per-job drill-down rows: each telemetry record joined with its
+    # schedule category (by request_id) so RCA can split fault-armed vs
+    # clean jobs and attribute tail latency to the fault site.
+    category_by_id = {job.request.request_id: job.category for job in schedule}
+    job_rows = []
+    for record in records:
+        row = record.to_dict()
+        row["category"] = category_by_id.get(record.request_id, "?")
+        job_rows.append(row)
     report = ChaosReport(
         seed=seed, jobs=jobs, digest=digest, elapsed_s=elapsed,
         statuses=statuses, categories=categories,
         pool=pool_stats, cache=cache_stats,
         injector_fires=supervisor_injector.counts(),
+        records=job_rows,
     )
     log(f"chaos: OK — {jobs} jobs terminal in {elapsed:.1f}s; "
         f"statuses={statuses} restarts={pool_stats.get('restarts')}")

@@ -154,7 +154,13 @@ def run_demo(
         if out:
             import pathlib
 
-            pathlib.Path(out).write_text(json.dumps(report, indent=2))
+            # File copy keeps the per-request rows so a gate failure can be
+            # drilled into with ``python -m repro.obs rca``; stdout stays
+            # record-free.
+            full = build_report(result, config, include_records=True)
+            full["servers"] = report["servers"]
+            full["shards"] = shard_endpoints
+            pathlib.Path(out).write_text(json.dumps(full, indent=2))
         violations = check_report(report)
         for violation in violations:
             print(f"DEMO GATE VIOLATION: {violation}", file=sys.stderr)

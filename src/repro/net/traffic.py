@@ -51,6 +51,8 @@ from repro.workloads.mixes import draw_spec, mix_names
 
 __all__ = [
     "ARRIVALS",
+    "TRAFFIC_EMITTER",
+    "TRAFFIC_SCHEMA",
     "TrafficConfig",
     "TrafficResult",
     "build_report",
@@ -58,6 +60,11 @@ __all__ = [
     "make_arrivals",
     "run_traffic",
 ]
+
+#: Version stamp on every written report so downstream consumers
+#: (``repro.obs.rca``) can reject or upgrade mismatched dumps.
+TRAFFIC_SCHEMA = 1
+TRAFFIC_EMITTER = "repro.net.traffic"
 
 
 # ------------------------------------------------------------------ arrivals
@@ -220,6 +227,18 @@ class TrafficResult:
         return max(1e-9, self.finished_at - self.started_at)
 
 
+def _spec_attributes(spec: Dict) -> Dict:
+    """Workload attributes copied onto the per-request record so traffic
+    dumps are drill-down-able (which robot / sample count / deadline arm
+    regressed, not just that p95 moved)."""
+    attrs: Dict = {}
+    for name in ("robot", "obstacles", "samples"):
+        if spec.get(name) is not None:
+            attrs[name] = spec[name]
+    attrs["deadline"] = "armed" if spec.get("deadline_s") else "none"
+    return attrs
+
+
 def _one_request(client: _HttpClient, spec: Dict, result: TrafficResult,
                  lock: threading.Lock) -> None:
     t0 = time.perf_counter()
@@ -238,6 +257,7 @@ def _one_request(client: _HttpClient, spec: Dict, result: TrafficResult,
             "status": "transport_error",
             "error": f"{type(exc).__name__}: {exc}",
         }
+    record.update(_spec_attributes(spec))
     with lock:
         result.records.append(record)
         if record["code"] == 0:
@@ -339,8 +359,14 @@ def run_traffic(config: TrafficConfig) -> TrafficResult:
 # -------------------------------------------------------------------- report
 
 
-def build_report(result: TrafficResult, config: TrafficConfig) -> Dict:
-    """Reduce raw records to the percentile report the CI gate consumes."""
+def build_report(result: TrafficResult, config: TrafficConfig,
+                 include_records: bool = False) -> Dict:
+    """Reduce raw records to the percentile report the CI gate consumes.
+
+    With ``include_records`` the per-request rows (latency, code, status,
+    plus the workload attributes from :func:`_spec_attributes`) ride along
+    so the written report can feed ``repro.obs.rca`` drill-downs.
+    """
     records = result.records
     served = [r for r in records if r["code"] in (200, 202)]
     shed = [r for r in records if r["code"] == 429]
@@ -359,7 +385,9 @@ def build_report(result: TrafficResult, config: TrafficConfig) -> Dict:
         return round(percentile(latencies, q) * 1e3, 3)
 
     duration = result.duration_s
-    return {
+    report = {
+        "schema": TRAFFIC_SCHEMA,
+        "emitter": TRAFFIC_EMITTER,
         "mode": config.mode,
         "mix": config.mix,
         "arrival": config.arrival,
@@ -387,6 +415,9 @@ def build_report(result: TrafficResult, config: TrafficConfig) -> Dict:
         "by_code": dict(sorted(by_code.items())),
         "by_status": dict(sorted(by_status.items())),
     }
+    if include_records:
+        report["records"] = [dict(r) for r in records]
+    return report
 
 
 def check_report(report: Dict, max_shed_rate: float = 1.0,
@@ -475,7 +506,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = build_report(result, config)
     print(json.dumps(report, indent=2))
     if args.out:
-        pathlib.Path(args.out).write_text(json.dumps(report, indent=2))
+        # The file copy carries the per-request rows so it can feed
+        # ``python -m repro.obs rca`` drill-downs; stdout stays compact.
+        full = build_report(result, config, include_records=True)
+        pathlib.Path(args.out).write_text(json.dumps(full, indent=2))
     if args.gate:
         violations = check_report(report, max_shed_rate=args.max_shed_rate)
         for violation in violations:

@@ -10,6 +10,10 @@ Three zero-dependency primitives, wired through every layer of the engine:
   boundaries.
 * :mod:`repro.obs.events` — structured JSONL event log with run/job
   correlation ids.
+* :mod:`repro.obs.rca` — multi-dimensional root-cause drill-down: given
+  two telemetry/bench/chaos/traffic dumps (or one dump split by a
+  predicate), rank the attribute combinations explaining a metric delta
+  (``python -m repro.obs rca``).
 
 Both the tracer and the registry have process-global instances that start
 *disabled*: instrumentation sites pay one attribute check and the planner's
@@ -42,6 +46,15 @@ from repro.obs.metrics import (
     get_registry,
     parse_prometheus,
     set_registry,
+)
+from repro.obs.rca import (
+    DimensionalRecord,
+    RcaFinding,
+    RcaResult,
+    analyze,
+    analyze_bench_reports,
+    load_dump,
+    split_records,
 )
 from repro.obs.stats import axis_summary, percentile
 from repro.obs.trace import (
@@ -187,20 +200,26 @@ class _Phase:
 
 __all__ = [
     "Counter",
+    "DimensionalRecord",
     "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "PHASES",
     "PhaseRecorder",
+    "RcaFinding",
+    "RcaResult",
     "Tracer",
     "aggregate_spans",
+    "analyze",
+    "analyze_bench_reports",
     "axis_summary",
     "bump",
     "configure",
     "get_registry",
     "get_tracer",
     "install",
+    "load_dump",
     "new_run_id",
     "observing",
     "parse_prometheus",
@@ -209,5 +228,6 @@ __all__ = [
     "restore",
     "set_registry",
     "set_tracer",
+    "split_records",
     "traced",
 ]

@@ -152,7 +152,7 @@ class PlanningService:
                 cached = self.cache.get(key, request.request_id)
                 if cached is not None:
                     responses[i] = cached
-                    self._observe_response(cached, job_id=None)
+                    self._observe_response(cached, job_id=None, request=request)
                     continue
             job = queue.submit(request, time.monotonic())
             job_index[job.job_id] = (i, key)
@@ -190,15 +190,21 @@ class PlanningService:
                 if hit is None:  # leader failed; echo its failure (miss counted)
                     hit = replace(leader, request_id=requests[i].request_id)
                 responses[i] = hit
-                self._observe_response(hit, job_id=None)
+                self._observe_response(hit, job_id=None, request=requests[i])
 
         assert all(r is not None for r in responses)
         return responses  # type: ignore[return-value]
 
-    def _observe_response(self, response: PlanResponse, job_id: Optional[int]) -> None:
+    def _observe_response(
+        self,
+        response: PlanResponse,
+        job_id: Optional[int],
+        request: Optional[PlanRequest] = None,
+    ) -> None:
         """Telemetry + event for a response that did not run through a job."""
         self.telemetry.record(
-            record_from_response(response), counter=response.counter()
+            record_from_response(response, request=request),
+            counter=response.counter(),
         )
         self.events.emit(
             "job.done",

@@ -32,11 +32,43 @@ from repro.service.request import PlanResponse
 
 __all__ = [
     "JobRecord",
+    "TELEMETRY_EMITTER",
+    "TELEMETRY_SCHEMA",
     "TelemetrySink",
     "percentile",
     "record_from_job",
     "record_from_response",
+    "request_attributes",
 ]
+
+#: Version stamp written into every dump so downstream consumers (e.g.
+#: ``repro.obs.rca``) can reject or upgrade mismatched dumps instead of
+#: mis-parsing them.  Bump when the dump shape changes incompatibly.
+TELEMETRY_SCHEMA = 1
+TELEMETRY_EMITTER = "repro.service.telemetry"
+
+
+def request_attributes(request) -> Dict[str, str]:
+    """Drill-down attributes for a :class:`~repro.service.request.PlanRequest`.
+
+    The flat string→string map every job record carries so RCA tooling can
+    slice telemetry by robot × planner mode × wave width × fault state
+    without re-deriving anything from the request hash.
+    """
+    config = request.config
+    wave_width = getattr(config, "wave_width", 1)
+    deadline_armed = bool(
+        getattr(config, "deadline_s", None) or getattr(config, "op_budget", None)
+    )
+    return {
+        "robot": request.task.robot_name,
+        "obstacles": str(request.task.environment.num_obstacles),
+        "mode": "wave" if wave_width > 1 else "scalar",
+        "wave_width": str(wave_width),
+        "kernels": str(getattr(config, "kernels", "batch")),
+        "deadline": "armed" if deadline_armed else "none",
+        "fault": str(request.fault) if request.fault else "clean",
+    }
 
 
 @dataclass
@@ -64,12 +96,16 @@ class JobRecord:
     #: Per-phase wall seconds (sample/nearest/...) for traced jobs; empty
     #: otherwise.  Feeds the summary's per-phase latency axes.
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Drill-down dimensions (robot, planner mode, wave width, fault
+    #: state, ...) from :func:`request_attributes` — the axes RCA tooling
+    #: slices on.  Empty when the request wasn't available at record time.
+    attributes: Dict[str, str] = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
         return asdict(self)
 
 
-def record_from_job(job: Job) -> JobRecord:
+def record_from_job(job: Job, request=None) -> JobRecord:
     """Telemetry row for a pool-executed job (response must be set)."""
     assert job.response is not None
     return record_from_response(
@@ -77,6 +113,7 @@ def record_from_job(job: Job) -> JobRecord:
         job_id=job.job_id,
         queue_wait_s=job.queue_wait_s,
         wall_seconds=job.wall_seconds,
+        request=request if request is not None else job.request,
     )
 
 
@@ -85,6 +122,7 @@ def record_from_response(
     job_id: int = -1,
     queue_wait_s: float = 0.0,
     wall_seconds: float = 0.0,
+    request=None,
 ) -> JobRecord:
     """Telemetry row straight from a response (cache hits never queue)."""
     categories = response.macs_by_category()
@@ -108,6 +146,7 @@ def record_from_response(
         samples=response.op_events.get("sample", 0),
         error=response.error,
         phase_seconds=dict(response.phase_seconds),
+        attributes=request_attributes(request) if request is not None else {},
     )
 
 
@@ -203,7 +242,13 @@ class TelemetrySink:
         }
 
     def dump(self, path, **summary_kwargs) -> None:
-        """Write the summary (plus records) to a JSON file."""
+        """Write the summary (plus records) to a versioned JSON file.
+
+        The ``schema`` / ``emitter`` stamps let consumers such as
+        ``repro.obs.rca`` verify they are parsing the dump shape they
+        expect and reject newer or foreign dumps outright.
+        """
         summary_kwargs.setdefault("include_records", True)
-        payload = self.summary(**summary_kwargs)
+        payload = {"schema": TELEMETRY_SCHEMA, "emitter": TELEMETRY_EMITTER}
+        payload.update(self.summary(**summary_kwargs))
         pathlib.Path(path).write_text(json.dumps(payload, indent=2))

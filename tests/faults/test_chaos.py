@@ -76,6 +76,19 @@ class TestRunChaos:
         payload = report.to_dict()
         assert payload["seed"] == 0
         assert payload["pool"]["count"] == 2
+        # Drill-down wiring: the report is schema-stamped and carries one
+        # category-tagged telemetry row per job, so repro.obs.rca can
+        # attribute fault-induced tail latency to its fault site.
+        assert payload["schema"] == 1
+        assert payload["emitter"] == "repro.faults.chaos"
+        assert len(payload["records"]) == 12
+        categories = {row["category"] for row in payload["records"]}
+        assert categories <= set(report.categories)
+        from repro.obs.rca import records_from_chaos
+
+        rows = records_from_chaos(payload)
+        assert len(rows) == 12
+        assert {r.attributes["fault"] for r in rows} <= {"clean", "armed"}
 
     def test_cli_quick_smoke(self, capsys):
         from repro.faults.__main__ import main

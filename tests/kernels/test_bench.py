@@ -55,6 +55,34 @@ class TestRegressionGate:
         assert compare_to_baseline(now, base, factor=3.0) == []
         assert compare_to_baseline(now, base, factor=2.0)
 
+    def test_failed_check_writes_rca_drilldown(self, tmp_path, monkeypatch,
+                                               capsys):
+        # A forced gate failure must produce the machine artifact naming
+        # the regressed slice (the CI drill-down wiring).
+        from repro.bench import __main__ as bench_main
+
+        base = make_report([entry(batch_s=1e-4),
+                            entry(kernel="aabb_aabb_grid", batch_s=1e-4)])
+        now = make_report([entry(batch_s=5e-4),
+                           entry(kernel="aabb_aabb_grid", batch_s=1e-4)])
+        now["mode"] = "quick"
+        now["wave"] = []
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(base))
+        monkeypatch.setattr(bench_main, "run_benchmarks", lambda **_: now)
+        rca_path = tmp_path / "BENCH_rca.json"
+        code = bench_main.main([
+            "--check", "--baseline", str(baseline_path),
+            "--output", str(tmp_path / "report.json"),
+            "--rca-output", str(rca_path),
+        ])
+        assert code == 1
+        payload = json.loads(rca_path.read_text())
+        assert payload["emitter"] == "repro.obs.rca"
+        top = payload["findings"][0]["attributes"]
+        assert top.get("kernel") == "obb_obb_grid"
+        assert "obb_obb_grid" in capsys.readouterr().err
+
 
 class TestHarness:
     @pytest.fixture(scope="class")

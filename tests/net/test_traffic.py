@@ -153,6 +153,36 @@ class TestBuildReport(unittest.TestCase):
         self.assertEqual(report["requests"], 0)
         self.assertIsNone(report["latency_ms"]["p50"])
 
+    def test_report_is_schema_stamped(self):
+        report = build_report(_result([_record(200)]),
+                              TrafficConfig(mode="closed"))
+        self.assertEqual(report["schema"], 1)
+        self.assertEqual(report["emitter"], "repro.net.traffic")
+
+    def test_include_records_carries_per_request_rows(self):
+        records = [_record(200), _record(429)]
+        config = TrafficConfig(mode="closed", mix="smoke")
+        compact = build_report(_result(records), config)
+        self.assertNotIn("records", compact)
+        full = build_report(_result(records), config, include_records=True)
+        self.assertEqual(len(full["records"]), 2)
+        self.assertEqual(full["records"][0]["code"], 200)
+
+    def test_request_records_carry_workload_attributes(self):
+        # The drill-down satellite: per-request rows must name the robot /
+        # samples / deadline the spec asked for, so RCA can slice on them.
+        from repro.net.traffic import _spec_attributes
+
+        spec = {"robot": "xarm7", "obstacles": 16, "samples": 200,
+                "seed": 3, "deadline_s": 0.05}
+        attrs = _spec_attributes(spec)
+        self.assertEqual(attrs["robot"], "xarm7")
+        self.assertEqual(attrs["obstacles"], 16)
+        self.assertEqual(attrs["samples"], 200)
+        self.assertEqual(attrs["deadline"], "armed")
+        self.assertEqual(_spec_attributes({"robot": "rozum"})["deadline"],
+                         "none")
+
 
 class TestCheckReport(unittest.TestCase):
     def _report(self, **overrides):

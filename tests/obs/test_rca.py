@@ -1,0 +1,367 @@
+"""Root-cause drill-down analytics: loaders, search core, CLI, smoke.
+
+The acceptance contract for ``repro.obs.rca``: on a fixture with a known
+planted regression slice, the analyzer ranks exactly that attribute
+combination #1, deterministically; dumps with mismatched schema/emitter
+stamps are rejected instead of mis-parsed; and the CLI round-trips the
+machine report.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.rca import (
+    DimensionalRecord,
+    analyze,
+    analyze_bench_reports,
+    load_dump,
+    rca_smoke,
+    records_from_bench,
+    records_from_chaos,
+    records_from_telemetry,
+    records_from_traffic,
+    render_smoke_fixture,
+    split_records,
+)
+
+
+def _cell(attrs, value, n, measure="latency_s"):
+    return [DimensionalRecord(dict(attrs), {measure: v})
+            for v in [value] * n]
+
+
+class TestAnalyzeCore:
+    def test_planted_slice_ranks_first_and_deterministically(self):
+        baseline, candidate = render_smoke_fixture()
+        expected = {"robot": "xarm7", "wave_width": "16", "cache_hit": "miss"}
+        results = [
+            analyze(baseline, candidate, measure="plan_seconds", metric="p95")
+            for _ in range(3)
+        ]
+        for result in results:
+            assert result.findings[0].attributes == expected
+        # Deterministic: identical machine reports across repeated runs.
+        dumps = {json.dumps(r.to_dict(), sort_keys=True) for r in results}
+        assert len(dumps) == 1
+
+    def test_additive_metric_decomposes_exactly(self):
+        baseline = _cell({"robot": "a"}, 1.0, 4) + _cell({"robot": "b"}, 1.0, 4)
+        candidate = _cell({"robot": "a"}, 2.0, 4) + _cell({"robot": "b"}, 1.0, 4)
+        result = analyze(baseline, candidate, measure="latency_s", metric="sum")
+        top = result.findings[0]
+        assert top.attributes == {"robot": "a"}
+        assert top.explained_fraction == pytest.approx(1.0)
+
+    def test_mean_metric_uses_counterfactual(self):
+        baseline = _cell({"robot": "a"}, 1.0, 5) + _cell({"robot": "b"}, 1.0, 5)
+        candidate = _cell({"robot": "a"}, 3.0, 5) + _cell({"robot": "b"}, 1.0, 5)
+        result = analyze(baseline, candidate, measure="latency_s", metric="mean")
+        top = result.findings[0]
+        assert top.attributes == {"robot": "a"}
+        assert top.explained_fraction == pytest.approx(1.0, abs=1e-6)
+
+    def test_refinement_pruned_when_ancestor_explains_it(self):
+        # The regression covers ALL of robot=a (both modes); the refined
+        # robot=a × mode=x slices add no power and must be pruned.
+        baseline = (_cell({"robot": "a", "mode": "x"}, 1.0, 4)
+                    + _cell({"robot": "a", "mode": "y"}, 1.0, 4)
+                    + _cell({"robot": "b", "mode": "x"}, 1.0, 4))
+        candidate = (_cell({"robot": "a", "mode": "x"}, 2.0, 4)
+                     + _cell({"robot": "a", "mode": "y"}, 2.0, 4)
+                     + _cell({"robot": "b", "mode": "x"}, 1.0, 4))
+        result = analyze(baseline, candidate, measure="latency_s",
+                         metric="mean", top=10)
+        assert result.findings[0].attributes == {"robot": "a"}
+        labels = [f.label() for f in result.findings]
+        assert "mode=x × robot=a" not in labels
+        assert "mode=y × robot=a" not in labels
+
+    def test_no_delta_reports_nothing(self):
+        records = _cell({"robot": "a"}, 1.0, 4)
+        result = analyze(records, list(records), measure="latency_s",
+                         metric="p95")
+        assert result.findings == []
+        assert "no material delta" in result.note
+
+    def test_missing_measure_noted(self):
+        baseline = _cell({"robot": "a"}, 1.0, 2)
+        candidate = [DimensionalRecord({"robot": "a"}, {"other": 2.0})]
+        result = analyze(baseline, candidate, measure="latency_s")
+        assert result.findings == []
+        assert result.candidate_records == 0
+
+    def test_unknown_metric_rejected(self):
+        records = _cell({"robot": "a"}, 1.0, 2)
+        with pytest.raises(ValueError):
+            analyze(records, records, measure="latency_s", metric="p33")
+
+    def test_vanished_slice_surfaces_for_improvements(self):
+        # A slice present only in the baseline: its disappearance explains
+        # a *negative* delta (candidate faster).
+        baseline = _cell({"robot": "a"}, 5.0, 3) + _cell({"robot": "b"}, 1.0, 3)
+        candidate = _cell({"robot": "b"}, 1.0, 3)
+        result = analyze(baseline, candidate, measure="latency_s", metric="sum")
+        assert result.findings[0].attributes == {"robot": "a"}
+        assert result.findings[0].support_cand == 0
+
+    def test_render_names_the_top_slice(self):
+        baseline = _cell({"robot": "a"}, 1.0, 4) + _cell({"robot": "b"}, 1.0, 4)
+        candidate = _cell({"robot": "a"}, 3.0, 4) + _cell({"robot": "b"}, 1.0, 4)
+        result = analyze(baseline, candidate, measure="latency_s", metric="sum")
+        text = result.render()
+        assert "top finding: robot=a explains" in text
+        assert "sum(latency_s)" in text
+
+
+class TestSplit:
+    def test_split_matching_side_is_baseline(self):
+        records = (_cell({"fault": "clean"}, 1.0, 3)
+                   + _cell({"fault": "armed"}, 2.0, 3))
+        baseline, candidate = split_records(records, "fault=clean")
+        assert all(r.attributes["fault"] == "clean" for r in baseline)
+        assert all(r.attributes["fault"] == "armed" for r in candidate)
+
+    def test_negated_split(self):
+        records = (_cell({"fault": "clean"}, 1.0, 3)
+                   + _cell({"fault": "armed"}, 2.0, 3))
+        baseline, candidate = split_records(records, "fault!=armed")
+        assert all(r.attributes["fault"] == "clean" for r in baseline)
+
+    def test_empty_side_rejected(self):
+        records = _cell({"fault": "clean"}, 1.0, 3)
+        with pytest.raises(ValueError):
+            split_records(records, "fault=clean")
+
+    def test_malformed_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            split_records(_cell({"a": "b"}, 1.0, 2), "nonsense")
+
+
+class TestLoaders:
+    def _telemetry_payload(self, schema=1):
+        payload = {
+            "emitter": "repro.service.telemetry",
+            "jobs": 2,
+            "records": [
+                {"status": "ok", "cache_hit": False, "plan_seconds": 0.5,
+                 "wall_seconds": 0.6, "queue_wait_s": 0.01,
+                 "attributes": {"robot": "xarm7", "wave_width": "8"}},
+                {"status": "ok", "cache_hit": True, "plan_seconds": 0.0,
+                 "wall_seconds": 0.001,
+                 "attributes": {"robot": "rozum", "wave_width": "1"}},
+            ],
+        }
+        if schema is not None:
+            payload["schema"] = schema
+        return payload
+
+    def test_telemetry_rows_carry_attributes_and_measures(self):
+        records = records_from_telemetry(self._telemetry_payload())
+        assert len(records) == 2
+        assert records[0].attributes["robot"] == "xarm7"
+        assert records[0].attributes["cache_hit"] == "miss"
+        assert records[1].attributes["cache_hit"] == "hit"
+        assert records[0].measures["plan_seconds"] == 0.5
+
+    def test_newer_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema 99"):
+            records_from_telemetry(self._telemetry_payload(schema=99))
+
+    def test_legacy_unstamped_dump_accepted(self):
+        payload = self._telemetry_payload(schema=None)
+        del payload["emitter"]
+        assert len(records_from_telemetry(payload)) == 2
+
+    def test_wrong_emitter_rejected(self):
+        payload = self._telemetry_payload()
+        payload["emitter"] = "repro.net.traffic"
+        with pytest.raises(ValueError, match="traffic"):
+            records_from_telemetry(payload)
+
+    def test_records_required(self):
+        with pytest.raises(ValueError, match="records"):
+            records_from_telemetry({"schema": 1, "jobs": 3})
+
+    def test_bench_sections_flatten_to_time_s(self):
+        payload = {
+            "schema": 1, "mode": "quick",
+            "kernels": [{"kernel": "k", "dim": 3, "size": "64",
+                         "batch_s": 0.001, "reference_s": 0.01}],
+            "end_to_end": [{"case": "c", "robot": "rozum", "obstacles": 32,
+                            "variant": "v", "batch_s": 1.0,
+                            "reference_s": 4.0}],
+            "wave": [{"case": "c", "robot": "rozum", "obstacles": 32,
+                      "variant": "v", "wave_width": 8, "wave_s": 0.5,
+                      "scalar_s": 1.0}],
+        }
+        records = records_from_bench(payload)
+        assert [r.attributes["section"] for r in records] == \
+            ["kernel", "e2e", "wave"]
+        assert [r.measures["time_s"] for r in records] == [0.001, 1.0, 0.5]
+
+    def test_traffic_rows_get_outcome_and_workload_attrs(self):
+        payload = {
+            "schema": 1, "emitter": "repro.net.traffic", "mix": "smoke",
+            "arrival": "burst", "by_code": {}, "shed_rate": 0.0,
+            "records": [
+                {"code": 200, "status": "ok", "latency_s": 0.05,
+                 "cache_hit": True, "robot": "mobile2d", "samples": 60},
+                {"code": 429, "status": None, "latency_s": 0.001},
+                {"code": 500, "status": "error", "latency_s": 0.2},
+            ],
+        }
+        records = records_from_traffic(payload)
+        assert records[0].attributes["outcome"] == "served"
+        assert records[0].attributes["robot"] == "mobile2d"
+        assert records[0].attributes["mix"] == "smoke"
+        assert records[1].attributes["outcome"] == "shed"
+        assert records[2].attributes["outcome"] == "error"
+        assert records[2].measures["error"] == 1.0
+
+    def test_chaos_rows_split_armed_vs_clean(self):
+        payload = {
+            "schema": 1, "emitter": "repro.faults.chaos",
+            "records": [
+                {"category": "healthy", "status": "ok", "cache_hit": False,
+                 "wall_seconds": 0.1, "attributes": {"robot": "mobile2d"}},
+                {"category": "hang", "status": "timeout", "cache_hit": False,
+                 "wall_seconds": 0.5, "attributes": {"robot": "mobile2d"}},
+            ],
+        }
+        records = records_from_chaos(payload)
+        assert records[0].attributes["fault"] == "clean"
+        assert records[1].attributes["fault"] == "armed"
+        baseline, candidate = split_records(records, "fault=clean")
+        assert len(baseline) == len(candidate) == 1
+
+    def test_load_dump_sniffs_each_kind(self, tmp_path):
+        dumps = {
+            "telemetry": self._telemetry_payload(),
+            "bench": {"schema": 1, "mode": "quick", "host": {},
+                      "kernels": [], "end_to_end": [], "wave": []},
+            "chaos": {"schema": 1, "emitter": "repro.faults.chaos",
+                      "digest": "x", "categories": {}, "records": []},
+            "traffic": {"schema": 1, "emitter": "repro.net.traffic",
+                        "by_code": {}, "shed_rate": 0.0, "records": []},
+        }
+        for kind, payload in dumps.items():
+            path = tmp_path / f"{kind}.json"
+            path.write_text(json.dumps(payload))
+            sniffed, _ = load_dump(path)
+            assert sniffed == kind
+
+    def test_load_dump_rejects_unidentifiable(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"foo": 1}))
+        with pytest.raises(ValueError, match="cannot identify"):
+            load_dump(path)
+
+
+class TestBenchBridge:
+    def test_bench_gate_failure_names_the_cell(self):
+        def report(slow):
+            kernels = []
+            for kernel in ("a", "b"):
+                for dim in (2, 3):
+                    t = 0.001
+                    if slow and kernel == "b" and dim == 3:
+                        t = 0.003
+                    kernels.append({"kernel": kernel, "dim": dim,
+                                    "size": "64", "batch_s": t,
+                                    "reference_s": 0.01})
+            return {"schema": 1, "kernels": kernels,
+                    "end_to_end": [], "wave": []}
+
+        result = analyze_bench_reports(report(False), report(True))
+        top = result.findings[0]
+        assert top.attributes.get("kernel") == "b"
+        assert top.attributes.get("dim") == "3"
+        assert top.explained_fraction == pytest.approx(1.0)
+
+
+class TestCliAndSmoke:
+    def test_rca_smoke_passes_and_writes_artifact(self, tmp_path):
+        out = tmp_path / "rca-report.json"
+        assert rca_smoke(out=str(out), log=lambda *_: None) == 0
+        payload = json.loads(out.read_text())
+        assert payload["passed"] is True
+        top = payload["telemetry_case"]["findings"][0]["attributes"]
+        assert top == {"robot": "xarm7", "wave_width": "16",
+                       "cache_hit": "miss"}
+
+    def test_cli_two_dump_run(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        baseline, candidate = render_smoke_fixture(per_cell=4)
+
+        def dump(records, name):
+            rows = []
+            for r in records:
+                rows.append({"status": "ok", "cache_hit": False,
+                             "plan_seconds": r.measures["plan_seconds"],
+                             "attributes": r.attributes})
+            path = tmp_path / name
+            path.write_text(json.dumps({
+                "schema": 1, "emitter": "repro.service.telemetry",
+                "jobs": len(rows), "records": rows,
+            }))
+            return str(path)
+
+        out = tmp_path / "rca.json"
+        code = main(["rca", dump(baseline, "base.json"),
+                     dump(candidate, "cand.json"),
+                     "--metric", "p95", "--top", "3", "--out", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "top finding:" in text
+        machine = json.loads(out.read_text())
+        assert machine["emitter"] == "repro.obs.rca"
+        assert machine["findings"][0]["attributes"]["robot"] == "xarm7"
+
+    def test_cli_split_mode(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        # Fault-armed jobs are slow only on mobile2d: the drill-down must
+        # name the robot, not the (whole-side, uninformative) fault attr.
+        rows = []
+        for fault, robot, latency in (
+            ("clean", "mobile2d", 0.1), ("clean", "xarm7", 0.1),
+            ("armed", "mobile2d", 0.4), ("armed", "xarm7", 0.1),
+        ):
+            for _ in range(4):
+                rows.append({"status": "ok", "cache_hit": False,
+                             "wall_seconds": latency,
+                             "attributes": {"fault": fault, "robot": robot}})
+        path = tmp_path / "dump.json"
+        path.write_text(json.dumps({
+            "schema": 1, "emitter": "repro.service.telemetry",
+            "jobs": len(rows), "records": rows,
+        }))
+        code = main(["rca", str(path), "--split", "fault=clean",
+                     "--measure", "wall_seconds", "--metric", "mean"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top finding: robot=mobile2d" in out
+
+    def test_cli_rejects_both_candidate_and_split(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        code = main(["rca", "a.json", "b.json", "--split", "x=y"])
+        assert code == 2
+
+    def test_cli_rejects_mismatched_kinds(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        t = tmp_path / "t.json"
+        t.write_text(json.dumps({
+            "schema": 1, "emitter": "repro.service.telemetry",
+            "jobs": 0, "records": [],
+        }))
+        b = tmp_path / "b.json"
+        b.write_text(json.dumps({"schema": 1, "mode": "quick", "host": {},
+                                 "kernels": [], "end_to_end": [],
+                                 "wave": []}))
+        code = main(["rca", str(t), str(b)])
+        assert code == 2
+        assert "kinds differ" in capsys.readouterr().err

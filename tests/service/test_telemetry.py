@@ -89,6 +89,17 @@ class TestSummary:
         assert len(payload["records"]) == 1
         assert payload["records"][0]["status"] == "ok"
 
+    def test_dump_is_schema_stamped(self, tmp_path):
+        # Version + emitter identity let repro.obs.rca reject or upgrade
+        # mismatched dumps instead of mis-parsing them.
+        sink = TelemetrySink()
+        sink.record(make_record())
+        path = tmp_path / "telemetry.json"
+        sink.dump(path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert payload["emitter"] == "repro.service.telemetry"
+
     def test_empty_sink_summary(self):
         summary = TelemetrySink().summary()
         assert summary["jobs"] == 0
@@ -110,3 +121,23 @@ class TestRecordFromResponse:
         assert record.neighbor_search_macs == pytest.approx(15.0)
         assert record.collision_check_macs == pytest.approx(48.0)
         assert record.total_macs == pytest.approx(87.0)
+        assert record.attributes == {}  # no request in scope
+
+    def test_request_attributes_flattened_onto_the_record(self):
+        from repro.core.moped import config_for_variant
+        from repro.service.request import PlanRequest
+        from repro.service.telemetry import request_attributes
+        from repro.workloads import random_task
+
+        task = random_task("mobile2d", 4, seed=0)
+        config = config_for_variant("full", max_samples=30, seed=0)
+        request = PlanRequest(task=task, config=config)
+        attrs = request_attributes(request)
+        assert attrs["robot"] == "mobile2d"
+        assert attrs["obstacles"] == "4"
+        assert attrs["fault"] == "clean"
+        assert attrs["mode"] in ("scalar", "wave")
+        response = PlanResponse(request_id=request.request_id, status="ok",
+                                success=True, plan_seconds=0.1)
+        record = record_from_response(response, request=request)
+        assert record.attributes == attrs
