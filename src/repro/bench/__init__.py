@@ -22,10 +22,13 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.core.collision import make_checker
 from repro.core.config import moped_config
+from repro.core.counters import OpCounter
 from repro.core.metrics import wave_occupancy
 from repro.core.robots import get_robot
 from repro.core.rrtstar import RRTStarPlanner, plan
+from repro.geometry.motion import interpolate_configs
 from repro.geometry.rotations import random_rotation_2d, random_rotation_3d
 from repro.kernels import batch, reference
 from repro.workloads.generator import random_task
@@ -354,6 +357,151 @@ def bench_wave(quick: bool = False, seed: int = 3, wave_width: int = 8) -> List[
     return records
 
 
+# ------------------------------------------------------------------- edge
+
+
+#: Whole-edge suite points: (label, robot, obstacles, checker).  Arm robots
+#: only — the acceptance gate tracks the brute-OBB cases, where the stacked
+#: edge kernels with the conservative AABB broadphase amortize best; the
+#: two-stage case is reported for transparency (its per-configuration
+#: baseline already funnels the exact SAT, so the margin is narrower).
+EDGE_SUITE = (
+    ("rozum/24obs/obb", "rozum", 24, "obb"),
+    ("xarm7/24obs/obb", "xarm7", 24, "obb"),
+    ("xarm7/24obs/two_stage", "xarm7", 24, "two_stage"),
+)
+
+#: Movements per measured pass and their wave grouping.  Fixed (independent
+#: of ``--quick``) so quick CI runs and the committed full baseline share
+#: the same (case, wave_width, edges) keys and the regression gate engages.
+EDGE_COUNT = 192
+EDGE_WAVE_WIDTH = 8
+
+
+def _edge_batch(robot, rng: np.random.Generator, count: int):
+    """Random short movements in the planner's steer/rewire edge regime.
+
+    Uniform starts over the configuration bounds, random directions,
+    lengths in [0.5, 2] steering steps, ends clipped back into bounds.
+    """
+    lo, hi = robot.config_lo, robot.config_hi
+    starts = rng.uniform(lo, hi, size=(count, robot.dof))
+    directions = rng.normal(size=(count, robot.dof))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    lengths = rng.uniform(0.5, 2.0, size=(count, 1)) * robot.step_size
+    ends = np.clip(starts + directions * lengths, lo, hi)
+    return starts, ends
+
+
+def bench_edge(quick: bool = False, seed: int = 11) -> List[Dict]:
+    """Time whole-edge validation against the per-configuration wave path.
+
+    For every suite case three implementations process the same
+    ``EDGE_COUNT`` random movements in waves of ``EDGE_WAVE_WIDTH``:
+
+    * **pr4** — the previous wave backend: one interpolation ladder per
+      edge, a single per-configuration ``config_results`` kernel pass over
+      the wave's concatenated waypoints, then the scalar early-exit replay
+      per edge;
+    * **edge** — :meth:`~repro.core.collision.CollisionChecker.
+      motion_results_batch`: the stacked whole-edge kernels behind one FK
+      batch and the conservative AABB broadphase;
+    * **scalar** — the reference backend's per-configuration walk, the
+      golden semantics (correctness only, never timed).
+
+    All three must agree on every verdict and every captured
+    :class:`OpCounter` before any time is reported.  A fourth measurement
+    replays the same waves through a warm whole-edge cache — the wavefront
+    planner's steady state for repeated rewire candidates.
+    """
+    reps = 3 if quick else 7
+    records: List[Dict] = []
+    for label, robot_name, num_obstacles, checker_name in EDGE_SUITE:
+        robot = get_robot(robot_name)
+        env = random_task(robot_name, num_obstacles, seed=seed).environment
+        resolution = robot.step_size / 4.0  # the planner's derivation rule
+        rng = np.random.default_rng(seed)
+        starts, ends = _edge_batch(robot, rng, EDGE_COUNT)
+        waves = [
+            (starts[i:i + EDGE_WAVE_WIDTH], ends[i:i + EDGE_WAVE_WIDTH])
+            for i in range(0, EDGE_COUNT, EDGE_WAVE_WIDTH)
+        ]
+        checker = make_checker(checker_name, robot, env, resolution)
+        golden = make_checker(
+            checker_name, robot, env, resolution, kernels="reference"
+        )
+
+        def run_pr4(target=checker):
+            out = []
+            for wave_starts, wave_ends in waves:
+                ladders = [
+                    interpolate_configs(s, e, resolution)
+                    for s, e in zip(wave_starts, wave_ends)
+                ]
+                verdicts, events = target.config_results(np.concatenate(ladders))
+                pos = 0
+                for ladder in ladders:
+                    span = len(ladder)
+                    captured = OpCounter()
+                    verdict = target._replay_config_results(
+                        verdicts[pos:pos + span], events[pos:pos + span], captured
+                    )
+                    out.append((verdict, captured))
+                    pos += span
+            return out
+
+        def run_edge(target=checker):
+            out = []
+            for wave_starts, wave_ends in waves:
+                out.extend(target.motion_results_batch(wave_starts, wave_ends))
+            return out
+
+        # Correctness gate first: a perf number for a diverged run is
+        # meaningless.  Verdicts and captured counters of all three
+        # implementations must match movement for movement.
+        pr4_results = run_pr4()
+        edge_results = run_edge()
+        golden_results = run_edge(golden)
+        for e, (a, b, c) in enumerate(
+            zip(pr4_results, edge_results, golden_results)
+        ):
+            if not (a[0] == b[0] == c[0]):
+                raise AssertionError(f"{label}: verdicts diverged at edge {e}")
+            if not (a[1].to_dict() == b[1].to_dict() == c[1].to_dict()):
+                raise AssertionError(f"{label}: counters diverged at edge {e}")
+
+        pr4_s = _time(run_pr4, reps)
+        edge_s = _time(run_edge, reps)
+        cached = make_checker(
+            checker_name, robot, env, resolution, edge_cache_size=4096
+        )
+        run_edge(cached)  # prime the whole-edge cache
+        cached_s = _time(lambda: run_edge(cached), reps)
+
+        records.append(
+            {
+                "case": label,
+                "robot": robot_name,
+                "obstacles": num_obstacles,
+                "checker": checker_name,
+                "wave_width": EDGE_WAVE_WIDTH,
+                "edges": EDGE_COUNT,
+                "pr4_s": pr4_s,
+                "edge_s": edge_s,
+                "cached_s": cached_s,
+                "pr4_us_per_edge": pr4_s / EDGE_COUNT * 1e6,
+                "edge_us_per_edge": edge_s / EDGE_COUNT * 1e6,
+                "cached_us_per_edge": cached_s / EDGE_COUNT * 1e6,
+                "speedup": pr4_s / edge_s if edge_s > 0 else float("inf"),
+                "cached_speedup": (
+                    pr4_s / cached_s if cached_s > 0 else float("inf")
+                ),
+                "equivalent": True,
+            }
+        )
+    return records
+
+
 # ---------------------------------------------------------------- fault gate
 
 
@@ -449,10 +597,12 @@ def run_benchmarks(
     wave: bool = False,
     wave_width: int = 8,
     faults: bool = False,
+    edge: bool = False,
 ) -> Dict:
     """Full harness: kernel sweeps plus end-to-end planner runs."""
     report = {
         "schema": SCHEMA_VERSION,
+        "emitter": "repro.bench",
         "mode": "quick" if quick else "full",
         "host": {
             "python": platform.python_version(),
@@ -462,6 +612,7 @@ def run_benchmarks(
         "kernels": bench_kernels(quick=quick, seed=seed),
         "end_to_end": [] if skip_e2e else bench_end_to_end(quick=quick),
         "wave": bench_wave(quick=quick, wave_width=wave_width) if wave else [],
+        "edge": bench_edge(quick=quick) if edge else [],
         "faults": bench_faults_overhead(quick=quick) if faults else None,
     }
     return report
@@ -520,6 +671,21 @@ def compare_to_baseline(
             failures.append(
                 f"wave {entry['case']} W={entry['wave_width']}: "
                 f"{entry['wave_s']:.4f}s vs baseline {base['wave_s']:.4f}s "
+                f"(> {factor:.1f}x)"
+            )
+
+    def edge_key(entry: Dict):
+        return (entry["case"], entry["wave_width"], entry["edges"])
+
+    edge_index = {edge_key(entry): entry for entry in baseline.get("edge", [])}
+    for entry in report.get("edge", []):
+        base = edge_index.get(edge_key(entry))
+        if base is None:
+            continue
+        if entry["edge_s"] > factor * base["edge_s"]:
+            failures.append(
+                f"edge {entry['case']} W={entry['wave_width']}: "
+                f"{entry['edge_s']:.4f}s vs baseline {base['edge_s']:.4f}s "
                 f"(> {factor:.1f}x)"
             )
     return failures

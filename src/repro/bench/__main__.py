@@ -64,6 +64,11 @@ def main(argv=None) -> int:
         help="wave width W for --wave runs (default: %(default)s)",
     )
     parser.add_argument(
+        "--edge", action="store_true",
+        help="also bench whole-edge validation against the per-configuration "
+             "wave path (asserts verdict and counter bit-equality)",
+    )
+    parser.add_argument(
         "--faults-gate", action="store_true",
         help="also bench the fault-injection hooks (disabled vs inert "
              "injector, interleaved) and exit 1 if the disabled-path "
@@ -74,6 +79,7 @@ def main(argv=None) -> int:
     report = run_benchmarks(
         quick=args.quick, skip_e2e=args.skip_e2e, seed=args.seed,
         wave=args.wave, wave_width=args.wave_width, faults=args.faults_gate,
+        edge=args.edge,
     )
     save_report(report, args.output)
 
@@ -103,6 +109,16 @@ def main(argv=None) -> int:
             f"speedup={entry['speedup_vs_scalar']:.2f}x  "
             f"occ={entry['wave_occupancy']:.2f}  "
             f"cache-hit[{rates}]  (bit-identical: {entry['equivalent']})"
+        )
+
+    for entry in report.get("edge", []):
+        print(
+            f"  edge   {entry['case']:22s} W={entry['wave_width']:<3d} "
+            f"pr4={entry['pr4_us_per_edge']:7.1f}us/edge "
+            f"edge={entry['edge_us_per_edge']:6.1f}us/edge "
+            f"cached={entry['cached_us_per_edge']:5.1f}us/edge  "
+            f"speedup={entry['speedup']:.2f}x  "
+            f"(bit-identical: {entry['equivalent']})"
         )
 
     faults = report.get("faults")

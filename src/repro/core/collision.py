@@ -23,6 +23,33 @@ configuration and ``motion_in_collision`` for a movement, which walks the
 interpolated configurations from the tree side so collisions are found with
 the fewest checks.
 
+Whole-edge validation
+---------------------
+
+A movement check is the planner's unit of work, and VAMP ("Motions in
+Microseconds") shows that validating the *entire* interpolated edge as one
+wide batched operation — instead of looping per intermediate configuration
+— is where sampling-based planners find their orders of magnitude.  The
+checkers therefore expose :meth:`CollisionChecker.motion_results_batch`:
+given a batch of edges, the full interpolation ladder of every edge is
+built in one vectorized pass (:func:`repro.geometry.motion.
+interpolate_edges`), forward kinematics runs once over all ladder rows
+(``body_frames_batch``), and the (configs x links x obstacles) SAT grids
+are evaluated in a single stacked kernel invocation whose per-edge
+early-exit statistics come from segment reductions
+(:func:`repro.kernels.batch.segment_first_hit` and friends) — preserving
+the start-side first-collision semantics and the exact per-phase
+:class:`~repro.core.counters.OpCounter` totals of the scalar reference.
+``motion_in_collision`` is the single-edge special case of the same path,
+and the wavefront planner feeds a whole wave of speculative edges through
+one ``motion_results_batch`` call.
+
+With ``edge_cache_size > 0`` results are additionally memoised per
+*edge* (keyed on both endpoint configurations): a cached edge skips
+ladder construction, FK, and the kernels entirely, replaying the stored
+verdict and counter events — bit-identical to recomputation, like the
+per-configuration cache below.
+
 Kernel backends
 ---------------
 
@@ -75,12 +102,17 @@ from repro.core.counters import OpCounter
 from repro.core.lru import LRUMap
 from repro.core.robots import RobotModel
 from repro.core.world import Environment
-from repro.geometry.motion import interpolate_configs
+from repro.geometry.motion import interpolate_configs, interpolate_edges
 from repro.kernels import KERNEL_BACKENDS, batch as kernels_batch
 from repro.kernels.tensors import BodyBatch
-from repro.obs import bump
+from repro.obs import bump, observe
 from repro.geometry.obb import OBB
 from repro.geometry.sat import aabb_intersects_obb, obb_intersects_obb
+
+#: Ladder-length histogram buckets for ``repro_cc_edge_ladder_steps``:
+#: steered planner edges sit in the single digits (resolution = step / 4),
+#: rewire-radius edges in the tens, workspace-scale probes beyond.
+LADDER_STEP_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
 
 
 class CollisionChecker:
@@ -94,6 +126,9 @@ class CollisionChecker:
             result cache; 0 (default) disables caching.
         cache_quantum: configuration quantisation step for cache keys;
             0.0 keys on exact float bytes (bit-identical planning).
+        edge_cache_size: capacity of the whole-edge result cache (keyed on
+            both endpoint configurations, quantised with the same
+            ``cache_quantum``); 0 (default) disables it.
     """
 
     #: Subclasses with a vectorized movement check set this True; others
@@ -108,6 +143,7 @@ class CollisionChecker:
         kernels: str = "batch",
         cache_size: int = 0,
         cache_quantum: float = 0.0,
+        edge_cache_size: int = 0,
     ):
         if robot.workspace_dim != environment.workspace_dim:
             raise ValueError(
@@ -124,17 +160,31 @@ class CollisionChecker:
             raise ValueError("cache_size must be >= 0")
         if cache_quantum < 0:
             raise ValueError("cache_quantum must be >= 0")
+        if edge_cache_size < 0:
+            raise ValueError("edge_cache_size must be >= 0")
         self.robot = robot
         self.environment = environment
         self.motion_resolution = motion_resolution
         self.kernels = kernels
         self._config_cache = LRUMap(cache_size) if cache_size > 0 else None
+        self._edge_cache = LRUMap(edge_cache_size) if edge_cache_size > 0 else None
         self._cache_quantum = cache_quantum
+        # ``edge.validate`` fault hook: bound once (checkers are built per
+        # plan, after any injector install) and refreshed by the planner at
+        # plan() time; None in the steady state, one is-None check per edge.
+        from repro.faults import get_injector
+
+        self._injector = get_injector()
 
     @property
     def config_cache(self) -> Optional[LRUMap]:
         """The collision-result cache (None when caching is disabled)."""
         return self._config_cache
+
+    @property
+    def edge_cache(self) -> Optional[LRUMap]:
+        """The whole-edge result cache (None when disabled)."""
+        return self._edge_cache
 
     def config_in_collision(self, config: np.ndarray, counter=None) -> bool:
         """True when the robot at ``config`` intersects any obstacle."""
@@ -146,12 +196,180 @@ class CollisionChecker:
 
         The straight C-space segment is discretised at ``motion_resolution``
         and each configuration checked from the ``start`` side, stopping at
-        the first collision.
+        the first collision.  This is the single-edge case of
+        :meth:`motion_results_batch`: whole-ladder FK + one stacked kernel
+        pass (batch backend), the edge cache when enabled, and the captured
+        events merged into ``counter`` — bit-identical to the scalar
+        per-configuration walk.
         """
         bump("repro_cc_motion_checks_total",
              help="Motion (edge) collision queries issued")
-        configs = interpolate_configs(start, end, self.motion_resolution)
-        return self._check_configs(configs, counter)
+        start = np.asarray(start, dtype=float)
+        end = np.asarray(end, dtype=float)
+        if self._edge_cache is None:
+            # Single uncached edge: the per-movement path (whole-ladder FK
+            # + one kernel pass, events recorded straight into ``counter``)
+            # is the same stacked computation without the multi-edge
+            # reduction machinery, whose fixed costs only pay off across a
+            # wave.  Totals are identical either way (integer cost
+            # weights), which the whole-edge property tests pin.
+            injector = self._injector
+            if injector is not None:
+                injector.fire("edge.validate")
+            configs = interpolate_configs(start, end, self.motion_resolution)
+            observe("repro_cc_edge_ladder_steps", len(configs) - 1,
+                    help="Interpolation ladder length per validated edge",
+                    buckets=LADDER_STEP_BUCKETS)
+            bump("repro_cc_edge_validations_total",
+                 path="edge_kernel" if self._edge_batchable() else "scalar",
+                 help="Edge validations by execution path")
+            return self._check_configs(configs, counter)
+        verdict, events = self.motion_results_batch(start[None, :], end[None, :])[0]
+        if counter is not None:
+            counter.merge(events)
+        return verdict
+
+    # ----------------------------------------------------- whole-edge results
+
+    def motion_results_batch(self, starts, ends) -> List[tuple]:
+        """Whole-edge ``(verdict, events)`` for a batch of movements.
+
+        For each edge ``e`` the returned verdict and captured
+        :class:`OpCounter` equal what the scalar reference's start-side
+        early-exit walk of ``interpolate_configs(starts[e], ends[e])``
+        decides and records.  All cache-missing edges share one ladder
+        construction, one forward-kinematics batch, and one stacked kernel
+        pass; with ``edge_cache_size > 0`` previously seen edges replay
+        their stored result and skip the kernels entirely.
+
+        The wavefront planner calls this once per wave with every
+        speculative edge; ``motion_in_collision`` routes through it with a
+        single edge.  Counter events are *captured* (not recorded into a
+        caller counter) so one computation can serve cache replays and the
+        planner's per-round sub-counters; integer cost weights make the
+        merged totals bitwise equal to direct recording.
+        """
+        starts = np.asarray(starts, dtype=float)
+        ends = np.asarray(ends, dtype=float)
+        count = len(starts)
+        results: List[tuple] = [None] * count
+        injector = self._injector
+        if injector is not None:
+            for e in range(count):
+                injector.fire("edge.validate")
+        cache = self._edge_cache
+        if cache is None:
+            computed = self._compute_motion_results(starts, ends)
+            for e, (verdict, events, steps) in enumerate(computed):
+                results[e] = (verdict, events)
+                observe("repro_cc_edge_ladder_steps", steps,
+                        help="Interpolation ladder length per validated edge",
+                        buckets=LADDER_STEP_BUCKETS)
+            if count:
+                bump("repro_cc_edge_validations_total", count,
+                     path="edge_kernel" if self._edge_batchable() else "scalar",
+                     help="Edge validations by execution path")
+            return results
+        keys: List[bytes] = [b""] * count
+        miss_idx: List[int] = []
+        evictions_before = cache.evictions
+        for e in range(count):
+            key = self._cache_key(starts[e]) + self._cache_key(ends[e])
+            keys[e] = key
+            entry = cache.get(key)
+            if entry is not None:
+                verdict, events, steps = entry
+                results[e] = (verdict, events)
+                observe("repro_cc_edge_ladder_steps", steps,
+                        help="Interpolation ladder length per validated edge",
+                        buckets=LADDER_STEP_BUCKETS)
+            else:
+                miss_idx.append(e)
+        if miss_idx:
+            computed = self._compute_motion_results(starts[miss_idx], ends[miss_idx])
+            for e, (verdict, events, steps) in zip(miss_idx, computed):
+                results[e] = (verdict, events)
+                cache.put(keys[e], (verdict, events, steps))
+                observe("repro_cc_edge_ladder_steps", steps,
+                        help="Interpolation ladder length per validated edge",
+                        buckets=LADDER_STEP_BUCKETS)
+            bump("repro_cc_edge_validations_total", len(miss_idx),
+                 path="edge_kernel" if self._edge_batchable() else "scalar",
+                 help="Edge validations by execution path")
+            bump("repro_cache_events_total", len(miss_idx), cache="edge",
+                 event="miss", help="Software cache events by cache and outcome")
+        hit_count = count - len(miss_idx)
+        if hit_count:
+            bump("repro_cc_edge_validations_total", hit_count, path="cache",
+                 help="Edge validations by execution path")
+            bump("repro_cache_events_total", hit_count, cache="edge",
+                 event="hit", help="Software cache events by cache and outcome")
+        evicted = cache.evictions - evictions_before
+        if evicted:
+            bump("repro_cache_events_total", evicted, cache="edge",
+                 event="evict", help="Software cache events by cache and outcome")
+        return results
+
+    def _edge_batchable(self) -> bool:
+        """True when movement checks run through the stacked edge kernels."""
+        return bool(
+            self.kernels == "batch"
+            and self._has_batch_kernels
+            and self.environment.num_obstacles
+        )
+
+    def _compute_motion_results(self, starts: np.ndarray, ends: np.ndarray):
+        """Uncached whole-edge results: ``(verdict, events, steps)`` rows.
+
+        One vectorized ladder construction and (on the batch backend) one
+        FK batch + one stacked kernel pass cover *all* edges; the reference
+        backend and the grid checker keep the scalar per-configuration walk
+        per edge, captured into fresh counters.
+        """
+        configs, offsets = interpolate_edges(starts, ends, self.motion_resolution)
+        steps_list = np.diff(offsets) - 1
+        if self._edge_batchable():
+            bodies = BodyBatch.from_frames(*self.robot.body_frames_batch(configs))
+            pairs = self._batch_motion_results(bodies, offsets)
+        else:
+            pairs = []
+            for e in range(len(starts)):
+                captured = OpCounter()
+                verdict = False
+                for config in configs[offsets[e]:offsets[e + 1]]:
+                    if self._config_scalar(config, captured):
+                        verdict = True
+                        break
+                pairs.append((verdict, captured))
+        return [
+            (verdict, events, int(steps_list[e]))
+            for e, (verdict, events) in enumerate(pairs)
+        ]
+
+    def _batch_motion_results(self, bodies: BodyBatch, offsets: np.ndarray):
+        """Per-edge ``(verdict, events)`` over stacked ladder body rows.
+
+        ``offsets`` bounds each edge's configuration block (body rows are
+        ``bodies_per_config`` times that).  Implemented per checker from
+        the :mod:`repro.kernels.batch` edge entry points.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _edge_replay(hits, visited, kind: str, dim: int) -> List[tuple]:
+        """Per-edge replay of segment early-exit statistics.
+
+        ``visited[e]`` SAT tests of ``kind`` are what the scalar loop
+        records for edge ``e`` before its early exit; one aggregated record
+        per edge reproduces those totals exactly (integer cost weights).
+        """
+        pairs = []
+        for hit, n in zip(hits.tolist(), visited.tolist()):
+            captured = OpCounter()
+            if n:
+                captured.record(kind, dim=dim, n=int(n))
+            pairs.append((bool(hit), captured))
+        return pairs
 
     # ----------------------------------------------------------- dispatch
 
@@ -356,6 +574,18 @@ class BruteOBBChecker(CollisionChecker):
         )
         return self._per_config_replay(mask, "sat_obb_obb", obs.dim, count)
 
+    def _batch_motion_results(self, bodies: BodyBatch, offsets: np.ndarray):
+        obs = self.environment.obstacle_tensors
+        bpc = bodies.rows // int(offsets[-1])
+        lo, hi = bodies.aabb_corners()
+        hits, visited = kernels_batch.edge_obb_obb_grid(
+            bodies.centers, bodies.half_extents, bodies.rotations, lo, hi,
+            obs.centers, obs.half_extents, obs.rotations,
+            obs.aabb_lo, obs.aabb_hi,
+            np.asarray(offsets, dtype=np.intp) * bpc,
+        )
+        return self._edge_replay(hits, visited, "sat_obb_obb", obs.dim)
+
 
 class BruteAABBChecker(CollisionChecker):
     """Exhaustive AABB-OBB checking with AABB-represented obstacles.
@@ -392,6 +622,17 @@ class BruteAABBChecker(CollisionChecker):
         )
         return self._per_config_replay(mask, "sat_aabb_obb", obs.dim, count)
 
+    def _batch_motion_results(self, bodies: BodyBatch, offsets: np.ndarray):
+        obs = self.environment.obstacle_tensors
+        bpc = bodies.rows // int(offsets[-1])
+        lo, hi = bodies.aabb_corners()
+        hits, visited = kernels_batch.edge_aabb_obb_grid(
+            obs.aabb_lo, obs.aabb_hi,
+            bodies.centers, bodies.half_extents, bodies.rotations, lo, hi,
+            np.asarray(offsets, dtype=np.intp) * bpc,
+        )
+        return self._edge_replay(hits, visited, "sat_aabb_obb", obs.dim)
+
 
 class TwoStageChecker(CollisionChecker):
     """MOPED's two-stage processing scheme (Section III-A).
@@ -422,10 +663,12 @@ class TwoStageChecker(CollisionChecker):
         kernels: str = "batch",
         cache_size: int = 0,
         cache_quantum: float = 0.0,
+        edge_cache_size: int = 0,
     ):
         super().__init__(
             robot, environment, motion_resolution, kernels=kernels,
             cache_size=cache_size, cache_quantum=cache_quantum,
+            edge_cache_size=edge_cache_size,
         )
         self.fine_stage = fine_stage
         self._rtree = environment.rtree
@@ -619,6 +862,95 @@ class TwoStageChecker(CollisionChecker):
                  help="Exact OBB-OBB checks run in the second stage")
         return verdicts, events
 
+    def _batch_motion_results(self, bodies: BodyBatch, offsets: np.ndarray):
+        """Whole-edge two-stage results from one stacked traversal pass.
+
+        Stage-1 masks and (for ``fine_stage``) the funnelled exact SAT are
+        computed exactly as in :meth:`_batch_check` over *all* edges' body
+        rows at once; :func:`repro.kernels.batch.edge_two_stage_counts`
+        then reduces each edge's contiguous row block to the scalar loop's
+        early-exit totals, so an edge's events equal what the scalar
+        reference records for that movement alone.
+        """
+        env = self.environment
+        ftree = env.flat_rtree
+        dim = env.workspace_dim
+        lo, hi = bodies.aabb_corners()
+        aabb_mask = kernels_batch.aabb_aabb_grid(lo, hi, ftree.unit_lo, ftree.unit_hi)
+        # The traversal only ever consumes the OBB mask conjoined with the
+        # AABB mask (node descent, candidate funnel), so the exact AABB-OBB
+        # SAT need only run where the cheap interval test already passed.
+        obb_mask = kernels_batch.masked_aabb_obb_grid(
+            ftree.unit_lo, ftree.unit_hi,
+            bodies.centers, bodies.half_extents, bodies.rotations,
+            aabb_mask,
+        )
+        split = ftree.num_nodes
+        n_aabb, n_obb, candidates = ftree.batch_query_counts(
+            aabb_mask[:, :split], obb_mask[:, :split],
+            aabb_mask[:, split:], obb_mask[:, split:],
+        )
+        survivors = candidates.sum(axis=1)
+        count = len(offsets) - 1
+        bpc = bodies.rows // int(offsets[-1])
+        row_offsets = np.asarray(offsets, dtype=np.intp) * bpc
+
+        if not self.fine_stage:
+            hits, dones, aabb_tot, obb_tot, sur_tot, _ = (
+                kernels_batch.edge_two_stage_counts(
+                    survivors > 0, n_aabb, n_obb, survivors, row_offsets
+                )
+            )
+            checks_arr = np.zeros(count, dtype=np.int64)
+        else:
+            stage2 = self._stage2_hits(bodies, candidates)
+            order = ftree.entry_order
+            cand_ord = candidates[:, order]
+            hits_ord = stage2[:, order]
+            hits, dones, aabb_tot, obb_tot, sur_tot, last_rows = (
+                kernels_batch.edge_two_stage_counts(
+                    hits_ord.any(axis=1), n_aabb, n_obb, survivors, row_offsets
+                )
+            )
+            # Misses run the exact SAT on every surviving candidate; hits
+            # stop inside the hitting row at the hitting candidate (its
+            # position in the traversal's static visit order).
+            checks_arr = sur_tot.astype(np.int64).copy()
+            for e in np.nonzero(hits)[0]:
+                row = int(last_rows[e])
+                first = int(np.argmax(hits_ord[row]))
+                before = int(sur_tot[e]) - int(survivors[row])
+                checks_arr[e] = before + int(
+                    np.count_nonzero(cand_ord[row, : first + 1])
+                )
+
+        pairs = []
+        dones_l = dones.tolist()
+        aabb_l = aabb_tot.tolist()
+        obb_l = obb_tot.tolist()
+        checks_l = checks_arr.tolist()
+        for e, hit in enumerate(hits.tolist()):
+            captured = OpCounter()
+            captured.record("aabb_derive", dim=dim, n=int(dones_l[e]))
+            if aabb_l[e]:
+                captured.record("sat_aabb_aabb", dim=dim, n=int(aabb_l[e]))
+            if obb_l[e]:
+                captured.record("sat_aabb_obb", dim=dim, n=int(obb_l[e]))
+            if checks_l[e]:
+                captured.record("sat_obb_obb", dim=dim, n=int(checks_l[e]))
+            pairs.append((bool(hit), captured))
+        bump("repro_cc_stage1_queries_total", int(dones.sum()),
+             help="Two-stage first-stage (R-tree AABB filter) queries")
+        total_survivors = int(sur_tot.sum())
+        if total_survivors:
+            bump("repro_cc_stage1_survivors_total", total_survivors,
+                 help="Obstacles surviving the first-stage AABB filter")
+        total_checks = int(checks_arr.sum())
+        if total_checks:
+            bump("repro_cc_stage2_checks_total", total_checks,
+                 help="Exact OBB-OBB checks run in the second stage")
+        return pairs
+
     @staticmethod
     def _record_stage1(counter, dim: int, done: int, n_aabb, n_obb, survivors) -> None:
         """Record the stage-1 work of the first ``done`` rows (the rows the
@@ -664,10 +996,12 @@ class OccupancyGridChecker(CollisionChecker):
         kernels: str = "batch",
         cache_size: int = 0,
         cache_quantum: float = 0.0,
+        edge_cache_size: int = 0,
     ):
         super().__init__(
             robot, environment, motion_resolution, kernels=kernels,
             cache_size=cache_size, cache_quantum=cache_quantum,
+            edge_cache_size=edge_cache_size,
         )
         if resolution <= 0:
             raise ValueError("resolution must be positive")

@@ -73,6 +73,11 @@ class PlannerConfig:
         neighborhood_cache: capacity of the reused-neighborhood cache inside
             the SI-MBR-Tree (leaf-scope ``leaf_siblings`` results).  Same
             ``None``/0 convention as ``collision_cache`` (auto = 1024).
+        edge_cache: capacity of the whole-edge collision-result cache —
+            keyed on both endpoint configurations, a hit replays the stored
+            verdict and counter events and skips ladder construction, FK,
+            and the SAT kernels entirely.  Same ``None``/0 convention as
+            ``collision_cache`` (auto = 4096 when ``wave_width > 1``).
         cache_quantum: configuration-space quantisation step for collision
             cache keys.  0.0 (default) keys on exact float bytes, which
             preserves bit-identical planning; > 0 trades exactness for a
@@ -119,6 +124,7 @@ class PlannerConfig:
     wave_width: int = 1
     collision_cache: Optional[int] = None
     neighborhood_cache: Optional[int] = None
+    edge_cache: Optional[int] = None
     cache_quantum: float = 0.0
     sampler: str = "numpy"
     informed: bool = False
@@ -152,6 +158,8 @@ class PlannerConfig:
             raise ValueError("collision_cache must be >= 0 (or None for auto)")
         if self.neighborhood_cache is not None and self.neighborhood_cache < 0:
             raise ValueError("neighborhood_cache must be >= 0 (or None for auto)")
+        if self.edge_cache is not None and self.edge_cache < 0:
+            raise ValueError("edge_cache must be >= 0 (or None for auto)")
         if self.cache_quantum < 0:
             raise ValueError("cache_quantum must be >= 0")
         if self.kernels not in ("batch", "reference"):
@@ -190,6 +198,12 @@ class PlannerConfig:
         if self.neighborhood_cache is not None:
             return self.neighborhood_cache
         return 1024 if self.wave_width > 1 else 0
+
+    def resolved_edge_cache(self) -> int:
+        """Whole-edge cache capacity after the auto rule (0 = disabled)."""
+        if self.edge_cache is not None:
+            return self.edge_cache
+        return 4096 if self.wave_width > 1 else 0
 
     def neighbor_radius(self, n: int, dim: int, step: float) -> float:
         """Shrinking RRT\\* neighborhood radius at tree size ``n``.

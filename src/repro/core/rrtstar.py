@@ -48,7 +48,6 @@ from repro.core.rng import LFSRSampler, NumpySampler
 from repro.core.robots import RobotModel
 from repro.core.tree import ExpTree
 from repro.core.world import PlanningTask
-from repro.geometry.motion import interpolate_configs
 
 # Operation kinds executed on each hardware unit, used to split a round's
 # counter diff into per-unit loads for the pipeline timing model.
@@ -113,6 +112,10 @@ class RRTStarPlanner:
         if cache_size:
             checker_kwargs["cache_size"] = cache_size
             checker_kwargs["cache_quantum"] = config.cache_quantum
+        edge_cache_size = config.resolved_edge_cache()
+        if edge_cache_size:
+            checker_kwargs["edge_cache_size"] = edge_cache_size
+            checker_kwargs.setdefault("cache_quantum", config.cache_quantum)
         self.checker = make_checker(
             config.checker, robot, task.environment, resolution, **checker_kwargs
         )
@@ -156,6 +159,10 @@ class RRTStarPlanner:
         # state, so the hot loops pay one is-None check per round.
         from repro.faults import get_injector
         self._injector = get_injector()
+        # The checker bound its injector at construction; refresh it so an
+        # injector installed after planner construction still sees the
+        # ``edge.validate`` site.
+        self.checker._injector = self._injector
 
         # Observability front end: with tracing/metrics off this binds the
         # dormant globals and every obs.phase() below is one attribute check.
@@ -246,15 +253,16 @@ class RRTStarPlanner:
         Stage 1 (speculative, batched): against a snapshot of the tree, the
         wave's nearest-neighbor lookups run as one distance-matrix einsum,
         each sample's speculative ``x_new`` is steered, and every
-        speculative edge's waypoints go through the collision kernels in a
-        single :meth:`~repro.core.collision.CollisionChecker.config_results`
+        speculative edge is validated whole — one ladder construction, one
+        FK batch, one stacked kernel pass — through a single
+        :meth:`~repro.core.collision.CollisionChecker.motion_results_batch`
         call.  Each sample only sees the tree prefix the scalar planner at
         ``speculation_depth = W`` would see (pending rounds are blinded).
 
         Stage 2 (commit, in sample order): each sample replays the scalar
         round — nearest + missing-neighbors repair, steer, collision,
         extend — into its own sub-counter.  When the committed nearest
-        matches the speculation, the collision verdict and its counter
+        matches the speculation, the edge's verdict and captured counter
         events are replayed from the batched stage; otherwise (an intra-wave
         conflict repaired the nearest) the edge is re-checked scalar-wise,
         exactly like a speculation miss in the hardware pipeline.  Because
@@ -265,7 +273,6 @@ class RRTStarPlanner:
         width_cfg = config.wave_width
         pending = state.pending
         linear = getattr(self.strategy, "linear_scan", False)
-        resolution = self.checker.motion_resolution
         injector = self._injector
         check_budget = state.deadline is not None or state.op_budget is not None
         start = 0
@@ -298,14 +305,14 @@ class RRTStarPlanner:
             base_key = [0] * width
             spec_key = [0] * width
             spec_new: List[Optional[np.ndarray]] = [None] * width
-            #: Per-sample (verdicts, events) slice for the commit replay.
+            #: Per-sample whole-edge (verdict, events) for the commit replay.
             spec_results: List[Optional[tuple]] = [None] * width
             with obs.tracer.span("wave", width=width, nodes=n0):
                 diffs = points[None, :, :] - xs[:, None, :]
                 d_sq = np.einsum("wnd,wnd->wn", diffs, diffs)
-                seg_cfgs = []
-                seg_bounds = []
-                seg_pos = 0
+                seg_starts = []
+                seg_ends = []
+                seg_js = []
                 pre_key = [0] * width
                 pre_dist = [0.0] * width
                 for j in range(width):
@@ -339,20 +346,19 @@ class RRTStarPlanner:
                     if dist > 1e-12:
                         x_new = self._steer(points[k], xs[j], dist)
                         spec_new[j] = x_new
-                        cfgs = interpolate_configs(points[k], x_new, resolution)
-                        seg_bounds.append((j, seg_pos, seg_pos + len(cfgs)))
-                        seg_pos += len(cfgs)
-                        seg_cfgs.append(cfgs)
+                        seg_starts.append(points[k])
+                        seg_ends.append(x_new)
+                        seg_js.append(j)
                 batch1: dict = {}
-                if seg_cfgs:
-                    wave_verdicts, wave_events = self.checker.config_results(
-                        np.concatenate(seg_cfgs, axis=0)
+                if seg_js:
+                    edge_results = self.checker.motion_results_batch(
+                        np.stack(seg_starts), np.stack(seg_ends)
                     )
-                    for j, lo_, hi_ in seg_bounds:
-                        batch1[j] = (wave_verdicts[lo_:hi_], wave_events[lo_:hi_])
+                    for j, res in zip(seg_js, edge_results):
+                        batch1[j] = res
                 self._simulate_commit(
                     xs, width, n0, pre_key, pre_dist, points,
-                    spec_key, spec_new, spec_results, batch1, resolution,
+                    spec_key, spec_new, spec_results, batch1,
                 )
 
             # ---------------- stage 2: in-order commit with repair
@@ -403,10 +409,7 @@ class RRTStarPlanner:
                     )
                     with obs.phase("collision", sub):
                         if used_spec:
-                            verdicts_j, events_j = spec_results[j]
-                            blocked = self._replay_motion(
-                                verdicts_j, events_j, sub
-                            )
+                            blocked = self._replay_motion(spec_results[j], sub)
                         else:
                             blocked = self.checker.motion_in_collision(
                                 nearest_point, x_new, counter=sub
@@ -442,7 +445,7 @@ class RRTStarPlanner:
             start += width
 
     def _simulate_commit(self, xs, width, n0, pre_key, pre_dist, points,
-                         spec_key, spec_new, spec_results, batch1, resolution):
+                         spec_key, spec_new, spec_results, batch1):
         """Fold intra-wave accepts into the speculation (two sim passes).
 
         The pre-pass speculation only sees the tree snapshot, so a sample
@@ -452,8 +455,9 @@ class RRTStarPlanner:
 
         * Pass A predicts each sample's acceptance from the batch-1
           verdicts; samples whose predicted nearest moves to an intra-wave
-          accept get their edge re-steered and collision-checked in one
-          second batched call.
+          accept get their edge re-steered and validated whole in one
+          second :meth:`~repro.core.collision.CollisionChecker.
+          motion_results_batch` call.
         * Pass B re-walks the chain with both verdict sets and fixes the
           final per-sample speculation (``spec_key``/``spec_new``/
           ``spec_results``), predicting intra-wave node ids from the
@@ -500,25 +504,23 @@ class RRTStarPlanner:
                 # Moved intra-wave: re-steer; assume rejected this pass.
                 if dist > 1e-12:
                     x2 = self._steer(pt, xs[j], dist)
-                    resteer.append((j, x2, interpolate_configs(pt, x2, resolution)))
+                    resteer.append((j, pt, x2))
                 continue
             res = batch1.get(j)
-            if res is not None and not any(res[0]):
+            if res is not None and not res[0]:
                 accepts.append((col_of[j], spec_new[j]))
         batch2: dict = {}
         bcol_of: dict = {}
         sq_b = None
         if resteer:
-            verd, ev = self.checker.config_results(
-                np.concatenate([cfgs for _, _, cfgs in resteer], axis=0)
+            edge_results = self.checker.motion_results_batch(
+                np.stack([pt for _, pt, _ in resteer]),
+                np.stack([x2 for _, _, x2 in resteer]),
             )
-            pos = 0
-            for i, (j, x2, cfgs) in enumerate(resteer):
-                nseg = len(cfgs)
-                batch2[j] = (x2, verd[pos:pos + nseg], ev[pos:pos + nseg])
-                pos += nseg
+            for i, ((j, _, x2), res) in enumerate(zip(resteer, edge_results)):
+                batch2[j] = (x2, res)
                 bcol_of[j] = i
-            bmat = np.stack([x2 for _, x2, _ in resteer])
+            bmat = np.stack([x2 for _, _, x2 in resteer])
             d_b = bmat[None, :, :] - xs[:, None, :]
             sq_b = np.einsum("wmd,wmd->wm", d_b, d_b).tolist()
 
@@ -553,21 +555,23 @@ class RRTStarPlanner:
                 results = None
                 in_b, col = True, bcol_of.get(j)
                 if entry is not None and np.array_equal(entry[0], x2):
-                    results = (entry[1], entry[2])
+                    results = entry[1]
             spec_results[j] = results
-            if results is not None and not any(results[0]):
+            if results is not None and not results[0]:
                 accepts.append((in_b, col, spec_new[j]))
 
-    def _replay_motion(self, verdicts, events, counter) -> bool:
-        """Commit a speculatively checked edge from its stored results.
+    def _replay_motion(self, result, counter) -> bool:
+        """Commit a speculatively validated edge from its stored result.
 
         Mirrors :meth:`~repro.core.collision.CollisionChecker.
-        motion_in_collision`: one motion-query metric, then the scalar
-        early-exit scan over the per-waypoint verdict/event pairs.
+        motion_in_collision`: one motion-query metric, then the whole-edge
+        verdict with its captured counter events merged in.
         """
         bump("repro_cc_motion_checks_total",
              help="Motion (edge) collision queries issued")
-        return self.checker._replay_config_results(verdicts, events, counter)
+        verdict, events = result
+        counter.merge(events)
+        return verdict
 
     def _after_accept(self, tree, node_id, x_new, iteration, state) -> None:
         """Goal bookkeeping for an accepted sample (shared by both loops)."""
@@ -592,6 +596,8 @@ class RRTStarPlanner:
         stats = {}
         if self.checker.config_cache is not None:
             stats["collision"] = self.checker.config_cache.stats()
+        if self.checker.edge_cache is not None:
+            stats["edge"] = self.checker.edge_cache.stats()
         index = getattr(self.strategy, "tree", None)
         cache = getattr(index, "neighborhood_cache", None)
         if cache is not None:

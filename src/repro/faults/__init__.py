@@ -74,6 +74,7 @@ SITES = (
     "pool.recv",         # supervisor: after reading a result off a pipe
     "planner.round",     # planner: top of each scalar iteration / wave
     "planner.collision", # planner: inside the collision-checker wrapper
+    "edge.validate",     # checker: per whole-edge motion validation
     "net.accept",        # front end: per accepted connection (drop/slow/error)
     "net.shard_rpc",     # shard client: before each cache-tier round trip
     "net.respond",       # front end: before writing an HTTP response

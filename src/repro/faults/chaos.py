@@ -279,6 +279,7 @@ def run_chaos(
         fault_plan = FaultPlan.from_spec(
             "worker.recv:slow@0.15:delay=0.005;"
             "planner.round:slow@0.001:delay=0.002;"
+            "edge.validate:slow@0.0005:delay=0.001;"
             "pool.recv:slow@0.05:delay=0.001",
             seed=max(1, seed),
         )

@@ -11,7 +11,10 @@ choose-parent / rewire candidate), and the steering step bounds segment
 lengths, so the same waypoint counts recur constantly.  The interpolation
 parameters for a given step count are therefore computed once and cached
 (:func:`unit_fractions`); the arrays are marked read-only so a cached row
-can never be corrupted by a caller.
+can never be corrupted by a caller.  Step counts beyond
+:data:`UNIT_FRACTION_CACHE_MAX_STEPS` bypass the cache entirely: ladders
+that long come from one-off workspace-scale probes, and letting them into
+the LRU would thrash out the small recurring planner entries.
 """
 
 from __future__ import annotations
@@ -20,6 +23,12 @@ import math
 from functools import lru_cache
 
 import numpy as np
+
+#: Largest step count whose fraction ladder is memoised.  Steered planner
+#: edges sit far below this (a few waypoints at ``step / 4`` resolution);
+#: anything larger is an unbounded ad-hoc query whose ladder is computed
+#: fresh so it can never evict the hot entries.
+UNIT_FRACTION_CACHE_MAX_STEPS = 4096
 
 
 def motion_steps(start: np.ndarray, end: np.ndarray, resolution: float) -> int:
@@ -37,14 +46,30 @@ def motion_steps(start: np.ndarray, end: np.ndarray, resolution: float) -> int:
 
 
 @lru_cache(maxsize=512)
-def unit_fractions(steps: int) -> np.ndarray:
-    """Cached ``linspace(0, 1, steps + 1)`` for a movement of ``steps`` steps.
-
-    Returned arrays are shared across calls and frozen read-only.
-    """
+def _cached_unit_fractions(steps: int) -> np.ndarray:
     fractions = np.linspace(0.0, 1.0, steps + 1)
     fractions.flags.writeable = False
     return fractions
+
+
+def unit_fractions(steps: int) -> np.ndarray:
+    """``linspace(0, 1, steps + 1)`` for a movement of ``steps`` steps.
+
+    Step counts up to :data:`UNIT_FRACTION_CACHE_MAX_STEPS` share cached
+    arrays across calls; longer ladders are computed fresh.  Either way the
+    returned array is frozen read-only and its values are exactly what an
+    uncached ``np.linspace`` call produces.
+    """
+    if steps <= UNIT_FRACTION_CACHE_MAX_STEPS:
+        return _cached_unit_fractions(steps)
+    fractions = np.linspace(0.0, 1.0, steps + 1)
+    fractions.flags.writeable = False
+    return fractions
+
+
+def unit_fractions_cache_info():
+    """``functools.lru_cache`` statistics of the fraction-ladder cache."""
+    return _cached_unit_fractions.cache_info()
 
 
 def interpolate_configs(start: np.ndarray, end: np.ndarray, resolution: float) -> np.ndarray:
@@ -61,3 +86,30 @@ def interpolate_configs(start: np.ndarray, end: np.ndarray, resolution: float) -
     steps = motion_steps(start, end, resolution)
     fractions = unit_fractions(steps)
     return start[None, :] + fractions[:, None] * (end - start)[None, :]
+
+
+def interpolate_edges(starts: np.ndarray, ends: np.ndarray, resolution: float):
+    """Concatenated interpolation ladders for a whole batch of movements.
+
+    Returns ``(configs, offsets)`` where ``configs[offsets[e]:offsets[e+1]]``
+    is edge ``e``'s ladder and equals ``interpolate_configs(starts[e],
+    ends[e], resolution)`` bit-for-bit.  Step counts use the exact
+    :func:`motion_steps` arithmetic per edge (so ulp behaviour matches the
+    scalar path); the row construction itself is one vectorized
+    multiply-add over the stacked fractions — no per-row Python.
+    """
+    starts = np.asarray(starts, dtype=float)
+    ends = np.asarray(ends, dtype=float)
+    if starts.shape != ends.shape or starts.ndim != 2:
+        raise ValueError("starts and ends must be matching (edges, dof) arrays")
+    edges = len(starts)
+    counts = [motion_steps(starts[e], ends[e], resolution) + 1 for e in range(edges)]
+    offsets = np.zeros(edges + 1, dtype=np.intp)
+    if not edges:
+        return np.empty((0, starts.shape[1])), offsets
+    np.cumsum(counts, out=offsets[1:])
+    fractions = np.concatenate([unit_fractions(c - 1) for c in counts])
+    configs = np.repeat(starts, counts, axis=0) + fractions[:, None] * np.repeat(
+        ends - starts, counts, axis=0
+    )
+    return configs, offsets

@@ -30,10 +30,16 @@ __all__ = [
     "aabb_aabb_grid",
     "aabb_obb_grid",
     "aabb_obb_pairs",
+    "edge_aabb_obb_grid",
+    "edge_obb_obb_grid",
+    "edge_two_stage_counts",
+    "masked_aabb_obb_grid",
     "obb_obb_grid",
     "obb_obb_pairs",
     "nearest_index",
     "radius_mask",
+    "segment_first_hit",
+    "segment_prefix_totals",
 ]
 
 
@@ -260,6 +266,139 @@ def aabb_obb_pairs(box_lo, box_hi, b_c, b_h, b_r) -> np.ndarray:
     if center.shape[-1] == 3:
         return _sat_aabb_obb_3d(center, half, b_c, b_h, b_r)
     return _sat_aabb_obb_2d(center, half, b_c, b_h, b_r)
+
+
+# ------------------------------------------------------ edge-ladder segments
+#
+# Whole-edge validation evaluates the SAT grids for every interpolated
+# waypoint of *several* movements in one stacked pass, then reduces each
+# movement's contiguous segment of the flat mask to the scalar loop's
+# early-exit statistics.  The reductions below are shared by every checker
+# variant; the ``edge_*`` wrappers fuse grid + reduction for the brute
+# checkers, and :func:`edge_two_stage_counts` is the two-stage funnel's
+# per-edge traversal reduction.
+
+
+def segment_first_hit(flat, offsets):
+    """Per-segment early-exit scan statistics over a flat boolean mask.
+
+    ``offsets`` (length ``E + 1``) bounds ``E`` contiguous segments of
+    ``flat``.  For each segment this returns whether it contains any hit
+    and how many entries a scalar left-to-right scan visits: through the
+    first ``True``, or the whole segment when clear — the per-segment
+    equivalent of the checkers' aggregate ``argmax`` replay, computed for
+    all segments with one ``flatnonzero`` + ``searchsorted`` pass.
+
+    Returns ``(hits, visited)``: boolean ``(E,)`` and int64 ``(E,)``.
+    """
+    flat = np.asarray(flat).ravel()
+    offsets = np.asarray(offsets, dtype=np.intp)
+    seg_len = (offsets[1:] - offsets[:-1]).astype(np.int64)
+    hit_positions = np.flatnonzero(flat)
+    if hit_positions.size == 0:
+        return np.zeros(len(seg_len), dtype=bool), seg_len
+    cuts = np.searchsorted(hit_positions, offsets)
+    hits = cuts[1:] > cuts[:-1]
+    first = hit_positions[np.minimum(cuts[:-1], hit_positions.size - 1)]
+    visited = np.where(hits, first - offsets[:-1] + 1, seg_len)
+    return hits, visited.astype(np.int64)
+
+
+def segment_prefix_totals(values, starts, lengths):
+    """Sums of ``values[starts[e] : starts[e] + lengths[e]]`` per segment.
+
+    One global cumulative sum, so the cost is independent of the number of
+    segments.  ``values`` must be integer-valued (traversal counts); the
+    result is exact int64.
+    """
+    values = np.asarray(values)
+    cum = np.zeros(len(values) + 1, dtype=np.int64)
+    np.cumsum(values, out=cum[1:])
+    starts = np.asarray(starts, dtype=np.intp)
+    lengths = np.asarray(lengths, dtype=np.intp)
+    return cum[starts + lengths] - cum[starts]
+
+
+def edge_obb_obb_grid(a_c, a_h, a_r, a_lo, a_hi,
+                      b_c, b_h, b_r, b_lo, b_hi, row_offsets):
+    """Whole-edge brute OBB-OBB SAT: broadphased grid + per-edge reduction.
+
+    ``a_*`` hold the body boxes of every waypoint of every edge (row
+    blocks bounded by ``row_offsets``, in body-row units) with their
+    derived world AABBs; ``b_*`` the obstacle set and its AABBs.  The
+    cheap interval test prunes the grid first — an enclosing-AABB miss
+    proves OBB separation, so running the exact SAT only on the surviving
+    pairs reproduces the full grid's booleans bit-for-bit at a fraction
+    of the arithmetic.  Returns :func:`segment_first_hit` over the scalar
+    (waypoint, body, obstacle) iteration order, with ``visited`` counting
+    SAT tests.
+    """
+    mask = aabb_aabb_grid(a_lo, a_hi, b_lo, b_hi)
+    rows, cols = np.nonzero(mask)
+    if rows.size:
+        mask[rows, cols] = obb_obb_pairs(
+            a_c[rows], a_h[rows], a_r[rows], b_c[cols], b_h[cols], b_r[cols]
+        )
+    flat_offsets = np.asarray(row_offsets, dtype=np.intp) * mask.shape[1]
+    return segment_first_hit(mask, flat_offsets)
+
+
+def edge_aabb_obb_grid(box_lo, box_hi, b_c, b_h, b_r, b_lo, b_hi, row_offsets):
+    """Whole-edge brute AABB-OBB SAT: broadphased grid + per-edge reduction.
+
+    ``b_*`` are the body boxes (edge row blocks bounded by
+    ``row_offsets``) with their derived world AABBs; ``box_lo/hi`` the
+    obstacle AABBs.  Same broadphase-then-exact contract as
+    :func:`edge_obb_obb_grid` — a body whose AABB misses the obstacle box
+    cannot intersect it, so the exact SAT runs only on surviving pairs.
+    """
+    mask = aabb_aabb_grid(b_lo, b_hi, box_lo, box_hi)
+    rows, cols = np.nonzero(mask)
+    if rows.size:
+        mask[rows, cols] = aabb_obb_pairs(
+            box_lo[cols], box_hi[cols], b_c[rows], b_h[rows], b_r[rows]
+        )
+    flat_offsets = np.asarray(row_offsets, dtype=np.intp) * mask.shape[1]
+    return segment_first_hit(mask, flat_offsets)
+
+
+def masked_aabb_obb_grid(box_lo, box_hi, b_c, b_h, b_r, prefilter):
+    """AABB-OBB SAT grid evaluated only where ``prefilter`` is True.
+
+    ``prefilter`` is an ``(R, M)`` boolean matrix (OBB rows x box
+    columns); pairs outside it come back False.  Exact wherever the
+    caller only consumes the result conjoined with ``prefilter`` — the
+    two-stage funnel's short-circuit, where the AABB-AABB stage guards
+    the AABB-OBB stage.
+    """
+    out = np.zeros(prefilter.shape, dtype=bool)
+    rows, cols = np.nonzero(prefilter)
+    if rows.size:
+        out[rows, cols] = aabb_obb_pairs(
+            box_lo[cols], box_hi[cols], b_c[rows], b_h[rows], b_r[rows]
+        )
+    return out
+
+
+def edge_two_stage_counts(row_hit, n_aabb, n_obb, survivors, row_offsets):
+    """Per-edge two-stage traversal totals with the scalar early exit.
+
+    Inputs are per-body-row statistics of the stacked R-tree traversal
+    (hit flag, stage-1 AABB-AABB and AABB-OBB test counts, surviving
+    candidates); ``row_offsets`` bounds each edge's contiguous row block.
+    Returns ``(hits, dones, aabb_tot, obb_tot, sur_tot, last_rows)``:
+    per-edge hit verdicts, the number of body rows the scalar loop
+    processes (through the first hitting row), the stage-1 totals over
+    those rows, and the index of the last processed row (the hitting row
+    when ``hits[e]``).
+    """
+    hits, dones = segment_first_hit(row_hit, row_offsets)
+    starts = np.asarray(row_offsets[:-1], dtype=np.intp)
+    aabb_tot = segment_prefix_totals(n_aabb, starts, dones)
+    obb_tot = segment_prefix_totals(n_obb, starts, dones)
+    sur_tot = segment_prefix_totals(survivors, starts, dones)
+    last_rows = starts + dones - 1
+    return hits, dones, aabb_tot, obb_tot, sur_tot, last_rows
 
 
 # ------------------------------------------------------- distance reductions

@@ -44,6 +44,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     bump,
     get_registry,
+    observe,
     parse_prometheus,
     set_registry,
 )
@@ -221,6 +222,7 @@ __all__ = [
     "install",
     "load_dump",
     "new_run_id",
+    "observe",
     "observing",
     "parse_prometheus",
     "percentile",

@@ -335,3 +335,22 @@ def bump(name: str, amount: float = 1.0, help: str = "", **labels) -> None:
     registry = _REGISTRY
     if registry.enabled:
         registry.counter(name, help).inc(amount, **labels)
+
+
+def observe(
+    name: str,
+    value: float,
+    help: str = "",
+    buckets: Iterable[float] = DEFAULT_BUCKETS,
+    **labels,
+) -> None:
+    """One-line histogram observation against the global registry.
+
+    The histogram's buckets are fixed by its first registration; later
+    calls reuse the existing metric, so passing the same ``buckets`` at
+    every site keeps the declaration self-contained.  Like :func:`bump`,
+    a disabled registry costs one attribute check.
+    """
+    registry = _REGISTRY
+    if registry.enabled:
+        registry.histogram(name, help, buckets).observe(value, **labels)

@@ -85,6 +85,7 @@ EMITTERS = {
     "repro.service.telemetry": "telemetry",
     "repro.net.traffic": "traffic",
     "repro.faults.chaos": "chaos",
+    "repro.bench": "bench",
 }
 
 #: Default measure per dump kind when the caller asks for ``auto``.
@@ -222,6 +223,18 @@ def records_from_bench(payload: Dict) -> List[DimensionalRecord]:
             "time_s": float(row["wave_s"]),
             "wave_s": float(row["wave_s"]),
             "scalar_s": float(row["scalar_s"]),
+        }))
+    for row in payload.get("edge", []):
+        attrs = {"section": "edge", "case": str(row["case"]),
+                 "robot": str(row["robot"]),
+                 "obstacles": str(row["obstacles"]),
+                 "checker": str(row["checker"]),
+                 "wave_width": str(row["wave_width"])}
+        out.append(DimensionalRecord(attrs, {
+            "time_s": float(row["edge_s"]),
+            "edge_s": float(row["edge_s"]),
+            "pr4_s": float(row["pr4_s"]),
+            "cached_s": float(row["cached_s"]),
         }))
     return out
 

@@ -143,8 +143,25 @@ def build_report(
         lookups = entry["hit"] + entry["miss"]
         entry["hit_rate"] = (entry["hit"] / lookups) if lookups else 0.0
 
+    # Whole-edge validation: motion queries, which execution path served
+    # them (edge_kernel / scalar / cache), and the mean interpolation-
+    # ladder length from the per-edge histogram.
+    edge_paths = dict(sorted(_label_map(
+        metrics.get("repro_cc_edge_validations_total", []), "path"
+    ).items()))
+    ladder_sum = sum(v for _, v in metrics.get("repro_cc_edge_ladder_steps_sum", []))
+    ladder_count = sum(v for _, v in metrics.get("repro_cc_edge_ladder_steps_count", []))
+    motion_checks = sum(v for _, v in metrics.get("repro_cc_motion_checks_total", []))
+    edge_validation: Dict[str, object] = {
+        "motion_checks": motion_checks,
+        "by_path": edge_paths,
+        "ladder_steps_mean": (ladder_sum / ladder_count) if ladder_count else 0.0,
+        "ladders_observed": ladder_count,
+    }
+
     report: Dict[str, object] = {
         "phases": phases,
+        "edge_validation": edge_validation,
         "phase_time_s": total_time,
         "phase_macs": total_macs,
         "other_spans": dict(
@@ -252,6 +269,17 @@ def render_report(report: Dict) -> str:
         blocks.append(
             "software caches\n"
             + _format_table(["cache", "hits", "misses", "evicts", "hit_%"], rows)
+        )
+
+    edge = report.get("edge_validation") or {}
+    if edge.get("motion_checks") or edge.get("by_path"):
+        paths = edge.get("by_path") or {}
+        rows = [["motion checks", int(edge.get("motion_checks", 0))]]
+        rows += [[f"path: {name}", int(value)] for name, value in paths.items()]
+        if edge.get("ladders_observed"):
+            rows.append(["mean ladder steps", edge["ladder_steps_mean"]])
+        blocks.append(
+            "edge validation\n" + _format_table(["measure", "value"], rows)
         )
 
     faults = report.get("service_faults") or {}

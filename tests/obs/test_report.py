@@ -168,6 +168,14 @@ class TestCacheSection:
         finally:
             obs.restore(previous)
         report = report_from_files(metrics=str(path))
-        collision = report["caches"]["collision"]
-        assert collision["hit"] + collision["miss"] > 0
-        assert 0.0 <= collision["hit_rate"] <= 1.0
+        # The wavefront planner validates edges whole, so its cache traffic
+        # lands on the whole-edge cache (the per-configuration cache still
+        # serves the config_results entry point).
+        edge = report["caches"]["edge"]
+        assert edge["hit"] + edge["miss"] > 0
+        assert 0.0 <= edge["hit_rate"] <= 1.0
+        validation = report["edge_validation"]
+        assert validation["motion_checks"] > 0
+        assert validation["by_path"].get("edge_kernel", 0) > 0
+        assert validation["ladders_observed"] > 0
+        assert validation["ladder_steps_mean"] > 1.0
