@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.collision import make_checker
 from repro.core.config import moped_config
+from repro.core.connect import RRTConnectPlanner
 from repro.core.counters import OpCounter
 from repro.core.metrics import wave_occupancy
 from repro.core.robots import get_robot
@@ -502,6 +503,203 @@ def bench_edge(quick: bool = False, seed: int = 11) -> List[Dict]:
     return records
 
 
+# ---------------------------------------------------------------- connect
+
+
+#: Connect suite points: (label, robot, obstacles).  Arm robots — the
+#: regime where bidirectional greedy connect collapses the iteration count
+#: hardest relative to wave RRT* (the PR 4/8 feasibility baseline).
+CONNECT_SUITE = (
+    ("rozum/24obs", "rozum", 24),
+    ("xarm7/24obs", "xarm7", 24),
+)
+
+#: Sampling budget of every connect-bench run.  Fixed (independent of
+#: ``--quick``) so quick CI runs and the committed full baseline share the
+#: same (case, wave_width, max_samples) keys and the regression gate
+#: engages.
+CONNECT_SAMPLES = 600
+CONNECT_WAVE_WIDTH = 8
+
+
+def bench_connect(
+    quick: bool = False, seed: int = 3, wave_width: int = CONNECT_WAVE_WIDTH
+) -> List[Dict]:
+    """Time bidirectional RRT-Connect against wave RRT* on feasibility.
+
+    Both planners answer the same question — *find any collision-free
+    path* — from identical tasks and seeds: the baseline is the wavefront
+    RRT* loop at the same wave width with ``stop_on_goal`` (the PR 4/8
+    first-feasible configuration), the candidate is the connect planner's
+    batched alternating-trees loop.
+
+    Correctness gates first: the connect run must be bit-identical across
+    wave widths (W=1 vs W=``wave_width``: paths, costs, counters, rounds)
+    and across repeats at the same width, and both planners must actually
+    find a path.  Timings interleave the two planners across repetitions
+    and report medians.
+    """
+    suite = CONNECT_SUITE[:1] if quick else CONNECT_SUITE
+    reps = 3 if quick else 5
+    records: List[Dict] = []
+    for label, robot_name, num_obstacles in suite:
+        task = random_task(robot_name, num_obstacles, seed=seed)
+        robot = get_robot(robot_name)
+
+        def run_connect(width: int):
+            config = moped_config(
+                "v4", max_samples=CONNECT_SAMPLES, seed=5,
+                mode="connect", wave_width=width,
+            )
+            planner = RRTConnectPlanner(robot, task, config)
+            t0 = time.perf_counter()
+            result = planner.plan()
+            return time.perf_counter() - t0, result, planner
+
+        def run_rrtstar():
+            config = moped_config(
+                "v4", max_samples=CONNECT_SAMPLES, seed=5,
+                wave_width=wave_width, stop_on_goal=True,
+            )
+            planner = RRTStarPlanner(robot, task, config)
+            t0 = time.perf_counter()
+            result = planner.plan()
+            return time.perf_counter() - t0, result, planner
+
+        # Correctness gates: wave-width invariance, repeat determinism,
+        # and feasibility on both sides.  A perf number for a diverged or
+        # failed run is meaningless.
+        _, scalar_result, _ = run_connect(1)
+        _, wave_result, _ = run_connect(wave_width)
+        reason = _plans_equal(wave_result, scalar_result)
+        if reason is not None:
+            raise AssertionError(
+                f"{label}: connect W={wave_width} diverged from W=1: {reason}"
+            )
+        _, repeat_result, _ = run_connect(wave_width)
+        reason = _plans_equal(repeat_result, wave_result)
+        if reason is not None:
+            raise AssertionError(
+                f"{label}: connect W={wave_width} is not reproducible "
+                f"across repeats: {reason}"
+            )
+        if not wave_result.success:
+            raise AssertionError(f"{label}: connect found no path")
+
+        times: Dict[str, List[float]] = {"connect": [], "rrtstar": []}
+        star_result = None
+        connect_planner = None
+        for _ in range(reps):
+            dt, _, connect_planner = run_connect(wave_width)
+            times["connect"].append(dt)
+            dt, star_result, _ = run_rrtstar()
+            times["rrtstar"].append(dt)
+        if not star_result.success:
+            raise AssertionError(f"{label}: wave RRT* baseline found no path")
+        connect_s = statistics.median(times["connect"])
+        rrtstar_s = statistics.median(times["rrtstar"])
+        records.append(
+            {
+                "case": label,
+                "robot": robot_name,
+                "obstacles": num_obstacles,
+                "wave_width": wave_width,
+                "max_samples": CONNECT_SAMPLES,
+                "connect_s": connect_s,
+                "rrtstar_s": rrtstar_s,
+                "speedup": rrtstar_s / connect_s if connect_s > 0 else float("inf"),
+                "connect_path_cost": wave_result.path_cost,
+                "rrtstar_path_cost": star_result.path_cost,
+                "connect_iterations": wave_result.iterations,
+                "rrtstar_iterations": star_result.iterations,
+                "connect_nodes": wave_result.num_nodes,
+                "cache": connect_planner.cache_stats(),
+                "equivalent": True,
+            }
+        )
+    return records
+
+
+# --------------------------------------------------------------- portfolio
+
+
+#: The two-planner race of the portfolio smoke: the feasibility specialist
+#: against the optimizing wavefront loop.
+PORTFOLIO_RACE = ("connect", "wave")
+
+
+def bench_portfolio(quick: bool = False, seed: int = 3, workers: int = 2) -> Dict:
+    """Portfolio racing smoke: race two planners, audit the accounting.
+
+    Runs a small batch of portfolio requests through a real service (a
+    worker pool when ``workers > 0``, the sequential inline race
+    otherwise) and asserts the race invariants on every response: a winner
+    exists and is feasible (``status="ok"``), every member ended in a
+    terminal status, and the ``cancelled`` count in the race summary
+    matches the per-member statuses.  Timing is reported for transparency
+    only — the CI gate is the invariants, not the wall clock.
+    """
+    from repro.service.request import TERMINAL_STATUSES
+    from repro.service.runner import PlanningService, build_requests
+
+    jobs = 2 if quick else 4
+    robot_name, obstacles = "rozum", 16
+    with PlanningService(num_workers=workers) as service:
+        requests = build_requests(
+            robot=robot_name, obstacles=obstacles, jobs=jobs, seed=seed,
+            samples=400, portfolio=PORTFOLIO_RACE,
+        )
+        t0 = time.perf_counter()
+        responses = service.run_batch(requests)
+        elapsed = time.perf_counter() - t0
+
+    wins: Dict[str, int] = {}
+    races: List[Dict] = []
+    for response in responses:
+        race = response.race
+        if not race or race.get("winner") is None:
+            raise AssertionError(
+                f"portfolio race {response.request_id} produced no winner"
+            )
+        if response.status != "ok" or not response.success:
+            raise AssertionError(
+                f"portfolio race {response.request_id} winner is not a "
+                f"feasible ok response (status={response.status!r})"
+            )
+        statuses = race["statuses"]
+        for name, status in statuses.items():
+            if status not in TERMINAL_STATUSES:
+                raise AssertionError(
+                    f"portfolio member {name} of {response.request_id} "
+                    f"ended non-terminal: {status!r}"
+                )
+        counted = sum(1 for status in statuses.values() if status == "cancelled")
+        if race["cancelled"] != counted:
+            raise AssertionError(
+                f"portfolio race {response.request_id}: summary counts "
+                f"{race['cancelled']} cancelled members, statuses show {counted}"
+            )
+        wins[race["winner"]] = wins.get(race["winner"], 0) + 1
+        races.append(
+            {
+                "request_id": response.request_id,
+                "winner": race["winner"],
+                "statuses": dict(statuses),
+                "cancelled": race["cancelled"],
+            }
+        )
+    return {
+        "case": f"{robot_name}/{obstacles}obs",
+        "planners": list(PORTFOLIO_RACE),
+        "jobs": jobs,
+        "workers": workers,
+        "elapsed_s": elapsed,
+        "wins": wins,
+        "races": races,
+        "equivalent": True,
+    }
+
+
 # ---------------------------------------------------------------- fault gate
 
 
@@ -598,6 +796,8 @@ def run_benchmarks(
     wave_width: int = 8,
     faults: bool = False,
     edge: bool = False,
+    connect: bool = False,
+    portfolio: bool = False,
 ) -> Dict:
     """Full harness: kernel sweeps plus end-to-end planner runs."""
     report = {
@@ -613,6 +813,8 @@ def run_benchmarks(
         "end_to_end": [] if skip_e2e else bench_end_to_end(quick=quick),
         "wave": bench_wave(quick=quick, wave_width=wave_width) if wave else [],
         "edge": bench_edge(quick=quick) if edge else [],
+        "connect": bench_connect(quick=quick) if connect else [],
+        "portfolio": bench_portfolio(quick=quick) if portfolio else None,
         "faults": bench_faults_overhead(quick=quick) if faults else None,
     }
     return report
@@ -687,5 +889,22 @@ def compare_to_baseline(
                 f"edge {entry['case']} W={entry['wave_width']}: "
                 f"{entry['edge_s']:.4f}s vs baseline {base['edge_s']:.4f}s "
                 f"(> {factor:.1f}x)"
+            )
+
+    def connect_key(entry: Dict):
+        return (entry["case"], entry["wave_width"], entry["max_samples"])
+
+    connect_index = {
+        connect_key(entry): entry for entry in baseline.get("connect", [])
+    }
+    for entry in report.get("connect", []):
+        base = connect_index.get(connect_key(entry))
+        if base is None:
+            continue
+        if entry["connect_s"] > factor * base["connect_s"]:
+            failures.append(
+                f"connect {entry['case']} W={entry['wave_width']}: "
+                f"{entry['connect_s']:.4f}s vs baseline "
+                f"{base['connect_s']:.4f}s (> {factor:.1f}x)"
             )
     return failures

@@ -69,6 +69,18 @@ def main(argv=None) -> int:
              "wave path (asserts verdict and counter bit-equality)",
     )
     parser.add_argument(
+        "--connect", action="store_true",
+        help="also bench bidirectional RRT-Connect against wave RRT* on "
+             "feasibility queries (asserts connect bit-reproducibility "
+             "across wave widths and repeats)",
+    )
+    parser.add_argument(
+        "--portfolio", action="store_true",
+        help="also run the portfolio racing smoke (race two planners "
+             "through a real pool, assert winner + cancelled-loser "
+             "accounting)",
+    )
+    parser.add_argument(
         "--faults-gate", action="store_true",
         help="also bench the fault-injection hooks (disabled vs inert "
              "injector, interleaved) and exit 1 if the disabled-path "
@@ -79,7 +91,7 @@ def main(argv=None) -> int:
     report = run_benchmarks(
         quick=args.quick, skip_e2e=args.skip_e2e, seed=args.seed,
         wave=args.wave, wave_width=args.wave_width, faults=args.faults_gate,
-        edge=args.edge,
+        edge=args.edge, connect=args.connect, portfolio=args.portfolio,
     )
     save_report(report, args.output)
 
@@ -119,6 +131,29 @@ def main(argv=None) -> int:
             f"cached={entry['cached_us_per_edge']:5.1f}us/edge  "
             f"speedup={entry['speedup']:.2f}x  "
             f"(bit-identical: {entry['equivalent']})"
+        )
+
+    for entry in report.get("connect", []):
+        print(
+            f"  connect {entry['case']:21s} W={entry['wave_width']:<3d} "
+            f"rrtstar={entry['rrtstar_s']:.3f}s "
+            f"connect={entry['connect_s']:.3f}s  "
+            f"speedup={entry['speedup']:.2f}x  "
+            f"iters={entry['connect_iterations']}/{entry['rrtstar_iterations']}  "
+            f"(bit-reproducible: {entry['equivalent']})"
+        )
+
+    portfolio = report.get("portfolio")
+    if portfolio:
+        wins = " ".join(
+            f"{name}={count}" for name, count in sorted(portfolio["wins"].items())
+        )
+        print(
+            f"  portfolio {portfolio['case']:19s} "
+            f"race={'+'.join(portfolio['planners'])} "
+            f"jobs={portfolio['jobs']} workers={portfolio['workers']}  "
+            f"wins[{wins}]  {portfolio['elapsed_s']:.2f}s  "
+            f"(losers terminal: {portfolio['equivalent']})"
         )
 
     faults = report.get("faults")

@@ -25,10 +25,9 @@ import argparse
 import sys
 from typing import Optional
 
-from repro.core.config import PlannerConfig
 from repro.core.moped import VARIANTS, config_for_variant
+from repro.core.planners import make_planner
 from repro.core.robots import ROBOT_FACTORIES, get_robot
-from repro.core.rrtstar import RRTStarPlanner
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "round through batched kernels; bit-identical to "
                              "the scalar loop at speculation_depth=W "
                              "(default: %(default)s = scalar loop)")
+    parser.add_argument("--mode", default="rrtstar",
+                        choices=("rrtstar", "connect"),
+                        help="planning algorithm: optimizing RRT* (default) "
+                             "or bidirectional RRT-Connect (feasibility "
+                             "only, first path wins)")
     parser.add_argument("--deadline", type=float, default=None, metavar="S",
                         help="anytime-planning wall deadline in seconds; an "
                              "expired deadline returns the best-so-far result "
@@ -77,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="submit the --jobs batch N times (cache demo)")
     batch.add_argument("--inject", default=None, metavar="KIND[:INDEX]",
                        help="fault-inject one batch job: hang|crash|error")
+    batch.add_argument("--portfolio", default=None, metavar="NAMES",
+                       help="race each batch job across a comma-separated "
+                            "planner portfolio (connect,rrtstar,wave,"
+                            "informed or 'auto'); first feasible answer "
+                            "wins, losers are cancelled")
     obs_group = parser.add_argument_group("observability (repro.obs)")
     obs_group.add_argument("--trace", default=None, metavar="PATH",
                            help="record phase spans; write a Chrome trace_event "
@@ -133,6 +142,11 @@ def run_batch(args) -> int:
         inject=args.inject,
         trace=observing,
         deadline_s=args.deadline,
+        mode=args.mode,
+        portfolio=(
+            tuple(name.strip() for name in args.portfolio.split(",") if name.strip())
+            if args.portfolio else None
+        ),
     )
     pool_config = None
     if args.workers > 0:
@@ -147,6 +161,10 @@ def run_batch(args) -> int:
     for response in responses:
         cost = "-" if response.path_cost is None else f"{response.path_cost:.2f}"
         tag = " cache" if response.cache_hit else ""
+        if response.race:
+            tag += (f" race[{'+'.join(response.race['planners'])}] "
+                    f"winner={response.race['winner']} "
+                    f"cancelled={response.race['cancelled']}")
         print(f"{response.request_id}: {response.status} "
               f"success={response.success} cost={cost}{tag}")
     print(json.dumps(summary, indent=2))
@@ -186,8 +204,9 @@ def main(argv: Optional[list] = None) -> int:
         kernels=args.kernels,
         wave_width=args.wave,
         deadline_s=args.deadline,
+        mode=args.mode,
     )
-    planner = RRTStarPlanner(robot, task, config)
+    planner = make_planner(robot, task, config)
     result = planner.plan()
     if observing:
         export_observability(args)

@@ -31,6 +31,8 @@ from repro.core.smoothing import shortcut_smooth
 from repro.core.trajectory import Trajectory, TrajectorySegment, time_parameterize
 from repro.core.metrics import PlanResult, RoundRecord, path_length
 from repro.core.moped import MopedEngine, config_for_variant, VARIANTS
+from repro.core.planners import make_planner
+from repro.core.portfolio import PLANNERS, PortfolioStats, task_signature
 from repro.core.robots import RobotModel, all_robots, get_robot, ROBOT_FACTORIES
 from repro.core.rrtstar import RRTStarPlanner, plan
 from repro.core.tree import ExpTree
@@ -58,9 +60,11 @@ __all__ = [
     "shortcut_smooth",
     "MopedEngine",
     "OpCounter",
+    "PLANNERS",
     "PlanResult",
     "PlannerConfig",
     "PlanningTask",
+    "PortfolioStats",
     "ROBOT_FACTORIES",
     "RRTStarPlanner",
     "RobotModel",
@@ -71,7 +75,9 @@ __all__ = [
     "config_for_variant",
     "get_robot",
     "mac_cost",
+    "make_planner",
     "moped_config",
     "path_length",
     "plan",
+    "task_signature",
 ]

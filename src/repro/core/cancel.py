@@ -1,0 +1,44 @@
+"""Process-global cooperative-cancellation hook for planner runs.
+
+Portfolio racing (:mod:`repro.core.portfolio`) cancels the losing planners
+of a race as soon as a winner is known.  The supervisor flips a bit in a
+shared-memory flag; the worker process hosting a loser installs a predicate
+here before calling the planner, and the planner polls it through the same
+per-round budget check that serves ``deadline_s`` / ``op_budget`` (PR 5).
+A cancelled run therefore degrades exactly like a deadline expiry — it
+stops sampling, returns the best-so-far result with ``status="degraded"``
+and ``degraded_reason="cancelled"`` — and the worker maps that onto the
+terminal ``"cancelled"`` response status.
+
+The hook is deliberately minimal: one predicate per process, installed and
+removed around each planner invocation.  When no predicate is installed the
+planner skips the check entirely (zero overhead for non-race runs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+_PREDICATE: Optional[Callable[[], bool]] = None
+
+
+def install(predicate: Optional[Callable[[], bool]]) -> Optional[Callable[[], bool]]:
+    """Install ``predicate`` as the process cancel check; returns the old one.
+
+    Pass ``None`` to clear.  The predicate must be cheap (it is polled once
+    per planner round) and must return True once the run should stop.
+    """
+    global _PREDICATE
+    previous = _PREDICATE
+    _PREDICATE = predicate
+    return previous
+
+
+def active() -> Optional[Callable[[], bool]]:
+    """The currently installed predicate, or ``None``."""
+    return _PREDICATE
+
+
+def cancelled() -> bool:
+    """True when a predicate is installed and it fires."""
+    return _PREDICATE is not None and bool(_PREDICATE())

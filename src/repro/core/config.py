@@ -22,6 +22,14 @@ class PlannerConfig:
     """All knobs of the planning loop.
 
     Attributes:
+        mode: planning algorithm — ``"rrtstar"`` (the default single-tree
+            optimizing planner) or ``"connect"`` (bidirectional RRT-Connect:
+            two trees rooted at start and goal, alternating extend + greedy
+            connect, stops at the first bridge).  Connect is a feasibility
+            planner: ``rewire``, ``goal_bias``, ``stop_on_goal`` and
+            ``informed`` do not apply (``informed=True`` is rejected), and
+            every other knob — checker, kernels, neighbor strategy, caches,
+            ``wave_width``, deadline/op budgets — behaves identically.
         max_samples: sampling budget (the paper evaluates at 5 000).
         goal_bias: probability of sampling the goal configuration.
         step_size: steering step; ``None`` uses the robot's default.
@@ -104,6 +112,7 @@ class PlannerConfig:
             a fixed seed.  ``None`` disables.
     """
 
+    mode: str = "rrtstar"
     max_samples: int = 1000
     goal_bias: float = 0.05
     step_size: Optional[float] = None
@@ -134,6 +143,16 @@ class PlannerConfig:
     op_budget: Optional[float] = None
 
     def __post_init__(self) -> None:
+        if self.mode not in ("rrtstar", "connect"):
+            raise ValueError(
+                f"mode must be 'rrtstar' or 'connect', got {self.mode!r}"
+            )
+        if self.mode == "connect" and self.informed:
+            raise ValueError(
+                "mode='connect' is incompatible with informed sampling "
+                "(connect stops at the first feasible path; there is no "
+                "solution cost to focus the sampler on)"
+            )
         if self.max_samples < 1:
             raise ValueError("max_samples must be >= 1")
         if not 0.0 <= self.goal_bias < 1.0:

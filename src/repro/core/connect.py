@@ -6,16 +6,54 @@ planner tries to connect them after every extension.  MOPED's algorithmic
 optimisations (two-stage collision checking, SI-MBR-Tree search, O(1)
 insertion) apply per tree unchanged, which is the paper's claim that its
 techniques transfer across the whole RRT family.  This implementation
-reuses the same collision checkers and neighbor strategies as the RRT\\*
-loop, so ablations compose.
+shares the full PR 3-8 machinery with the RRT\\* loop — batch collision
+kernels, collision/neighborhood/edge caches, whole-edge
+:meth:`~repro.core.collision.CollisionChecker.motion_results_batch`
+validation, the PR 5 deadline / op-budget anytime plumbing, and
+cooperative cancellation for portfolio racing — so ablations compose and
+``PlannerConfig.mode = "connect"`` is a drop-in backend everywhere a
+planner runs.
 
 RRT-Connect is a feasibility planner: it returns the first path that joins
 the trees (no cost refinement), typically after far fewer samples than
-RRT\\* needs for a first solution.
+RRT\\* needs for a first solution.  ``goal_bias``, ``rewire``,
+``stop_on_goal`` and ``informed`` do not apply.
+
+Two mechanics matter for throughput:
+
+* **Greedy whole-segment connect.**  After each accepted extension the
+  other tree extends greedily toward the new node.  The full segment is
+  first validated as ONE whole edge (single ladder + FK batch + stacked
+  kernel pass, PR 8); only when that long edge is blocked does the loop
+  fall back to advancing chunk by chunk (``_CHUNK_STEPS`` steering steps
+  per chunk, each chunk again a whole edge), keeping the free prefix.
+  Compared to the classic one-steering-step-at-a-time loop this collapses
+  up to hundreds of collision calls into a handful of batched ones and
+  inserts far fewer tree nodes.
+
+* **Wavefront speculation** (``wave_width = W > 1``).  Each wave draws
+  ``W`` samples at once, speculates every sample's nearest neighbor from a
+  snapshot distance matrix of its (alternating) active tree, steers the
+  speculative extension edges and validates them in one
+  ``motion_results_batch`` call, then speculates the whole-segment connect
+  edge of each predicted accept against the *other* tree's snapshot in a
+  second batch.  Commits then run in sample order with exact scalar
+  semantics: when the committed edge equals the speculated one its stored
+  verdict and counter events are replayed; any mismatch (an intra-wave
+  accept moved the nearest) falls back to the scalar check.  Paths, costs
+  and operation counters are therefore **bit-identical across wave
+  widths** — W only changes what is precomputed, never what is decided.
+
+Deadline / op-budget expiry (and race cancellation via
+:mod:`repro.core.cancel`) is polled at every round *and* inside the greedy
+connect chunk loop, so even a long connect is promptly interruptible; a
+degraded run returns the collision-free prefix of the start tree that ends
+closest to the goal, exactly like the RRT\\* anytime path.
 """
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -29,11 +67,18 @@ from repro.core.rng import LFSRSampler, NumpySampler
 from repro.core.robots import RobotModel
 from repro.core.tree import ExpTree
 from repro.core.world import PlanningTask
-from repro.core.rrtstar import _CC_KINDS, _MAINT_KINDS, _NS_KINDS
+from repro.core.rrtstar import _CC_KINDS, _MAINT_KINDS, _NS_KINDS, _RunState
+from repro.obs import PhaseRecorder, bump
+
+#: Steering steps per greedy-connect chunk.  A blocked whole-segment
+#: connect advances in chunks of this many steps, each validated as one
+#: whole edge; larger values mean fewer batched calls but a coarser stop
+#: point before the obstacle.
+_CHUNK_STEPS = 8
 
 
 class RRTConnectPlanner:
-    """Bidirectional RRT with greedy connect extensions."""
+    """Bidirectional RRT with greedy whole-segment connect extensions."""
 
     def __init__(self, robot: RobotModel, task: PlanningTask, config: PlannerConfig):
         if task.start.shape != (robot.dof,) or task.goal.shape != (robot.dof,):
@@ -44,10 +89,19 @@ class RRTConnectPlanner:
         self.task = task
         self.config = config
         self.step = config.resolved_step(robot.step_size)
+        self.chunk = _CHUNK_STEPS * self.step
         resolution = config.resolved_motion_resolution(robot.step_size)
-        checker_kwargs = {}
+        checker_kwargs = {"kernels": config.kernels}
         if config.checker == "two_stage":
             checker_kwargs["fine_stage"] = config.fine_stage
+        cache_size = config.resolved_collision_cache()
+        if cache_size:
+            checker_kwargs["cache_size"] = cache_size
+            checker_kwargs["cache_quantum"] = config.cache_quantum
+        edge_cache_size = config.resolved_edge_cache()
+        if edge_cache_size:
+            checker_kwargs["edge_cache_size"] = edge_cache_size
+            checker_kwargs.setdefault("cache_quantum", config.cache_quantum)
         self.checker = make_checker(
             config.checker, robot, task.environment, resolution, **checker_kwargs
         )
@@ -61,6 +115,7 @@ class RRTConnectPlanner:
                 capacity=config.simbr_capacity,
                 kd_rebuild_every=config.kd_rebuild_every,
                 approx_scope=config.approx_scope,
+                neighborhood_cache=config.resolved_neighborhood_cache(),
             )
 
         self.strategies = (new_strategy(), new_strategy())
@@ -73,103 +128,472 @@ class RRTConnectPlanner:
 
     def plan(self) -> PlanResult:
         """Grow both trees until they connect or the budget runs out."""
-        config, dim = self.config, self.robot.dof
+        config = self.config
         counter = OpCounter()
         trees = (ExpTree(self.task.start), ExpTree(self.task.goal))
         self.trees = trees
-        self.strategies[0].insert(0, self.task.start, counter=counter)
-        self.strategies[1].insert(0, self.task.goal, counter=counter)
-        rounds: List[RoundRecord] = []
-        bridge: Optional[Tuple[int, int]] = None  # (node in tree a, node in tree b)
-        active = 0  # which tree extends toward the sample this round
+        self.strategies[0].insert(trees[0].root, self.task.start, counter=counter)
+        self.strategies[1].insert(trees[1].root, self.task.goal, counter=counter)
 
-        for iteration in range(config.max_samples):
-            snapshot = counter.snapshot()
-            x_rand = self.sampler.sample(counter=counter)
-            new_a = self._extend(active, x_rand, counter)
-            accepted = new_a is not None
-            if accepted:
-                target = trees[active].point(new_a)
-                new_b = self._connect(1 - active, target, counter)
-                if new_b is not None:
-                    other_point = trees[1 - active].point(new_b)
-                    if float(np.linalg.norm(other_point - target)) <= 1e-9:
-                        bridge = (new_a, new_b) if active == 0 else (new_b, new_a)
-            rounds.append(self._round_record(counter.diff(snapshot), accepted))
-            if bridge is not None:
-                break
-            active = 1 - active
+        state = _RunState()
+        if config.op_budget is not None:
+            state.op_budget = config.op_budget
+        if config.deadline_s is not None:
+            state.deadline = time.monotonic() + config.deadline_s
+        from repro.core import cancel as _cancel
+        state.cancel = _cancel.active()
 
-        if bridge is None:
-            return PlanResult(
-                success=False,
-                path=[],
-                path_cost=float("inf"),
-                num_nodes=len(trees[0]) + len(trees[1]),
-                iterations=len(rounds),
-                counter=counter,
-                rounds=rounds,
-            )
-        forward = trees[0].path_to(bridge[0])
-        backward = trees[1].path_to(bridge[1])
-        path = forward + backward[::-1][1:]  # bridge point appears once
-        return PlanResult(
-            success=True,
-            path=path,
-            path_cost=path_length(path),
-            num_nodes=len(trees[0]) + len(trees[1]),
-            iterations=len(rounds),
-            counter=counter,
-            rounds=rounds,
-            goal_node=bridge[0],
-            first_solution_iteration=len(rounds) - 1,
+        from repro.faults import get_injector
+        self._injector = get_injector()
+        self.checker._injector = self._injector
+
+        obs = PhaseRecorder()
+        plan_started = obs.tracer.now()
+        plan_span = obs.tracer.span(
+            "plan",
+            robot=self.robot.name,
+            dof=self.robot.dof,
+            checker=config.checker,
+            strategy=config.neighbor_strategy,
+            max_samples=config.max_samples,
+            wave_width=config.wave_width,
+            mode="connect",
         )
+        with plan_span:
+            if config.wave_width > 1:
+                bridge = self._run_wave(counter, obs, state)
+            else:
+                bridge = self._run_scalar(counter, obs, state)
+
+        result = self._result(bridge, counter, state)
+        if obs.registry.enabled:
+            self._record_run_metrics(obs, result, counter,
+                                     obs.tracer.now() - plan_started)
+        return result
+
+    # --------------------------------------------------------------- run loops
+
+    def _expired(self, state, macs_fn) -> bool:
+        """Budget / cancellation poll shared by both loops and the greedy
+        connect; mirrors ``_RunState.budget_expired`` but takes the current
+        MAC total as a callable so wave commits can include their
+        sub-counter."""
+        if state.cancel is not None and state.cancel():
+            state.degraded_reason = "cancelled"
+            return True
+        if state.deadline is not None and time.monotonic() >= state.deadline:
+            state.degraded_reason = "deadline"
+            return True
+        if state.op_budget is not None and macs_fn() >= state.op_budget:
+            state.degraded_reason = "op_budget"
+            return True
+        return False
+
+    def _run_scalar(self, counter, obs, state) -> Optional[Tuple[int, int]]:
+        """One sample per round: the reference sequential loop."""
+        config = self.config
+        trees = self.trees
+        injector = self._injector
+        check_budget = (state.deadline is not None or state.op_budget is not None
+                        or state.cancel is not None)
+        macs_fn = counter.total_macs
+        for iteration in range(config.max_samples):
+            if check_budget and self._expired(state, macs_fn):
+                break
+            if injector is not None:
+                injector.fire("planner.round", detail=f"iteration {iteration}")
+            snapshot = counter.snapshot()
+            with obs.phase("sample", counter):
+                x_rand = self.sampler.sample(counter=counter)
+            active = iteration % 2
+            new_id = self._extend_tree(active, x_rand, counter, obs)
+            accepted = new_id is not None
+            bridge = None
+            if accepted:
+                target = trees[active].point(new_id)
+                other, reached = self._connect(
+                    1 - active, target, counter, obs, state,
+                    check_budget, macs_fn,
+                )
+                if reached:
+                    bridge = (new_id, other) if active == 0 else (other, new_id)
+            state.rounds.append(
+                self._round_record(counter.diff(snapshot), accepted)
+            )
+            if bridge is not None:
+                return bridge
+        return None
+
+    def _run_wave(self, counter, obs, state) -> Optional[Tuple[int, int]]:
+        """Wavefront loop: W samples per wave through batched kernels.
+
+        Stage 1 (speculative, batched): per sample, the nearest node of its
+        alternating active tree comes from a snapshot distance-matrix
+        einsum; the speculative extension edges are steered and validated
+        whole in one ``motion_results_batch`` call, and for every predicted
+        accept the whole-segment connect edge toward the other tree's
+        snapshot-nearest node is validated in a second batch.
+
+        Stage 2 (commit, in sample order): each sample replays the exact
+        scalar round into its own sub-counter — real strategy nearest,
+        steer, then either a replay of the speculated edge result (when the
+        committed edge bitwise equals the speculation) or a scalar
+        re-check.  Merging the integer-weighted sub-counters reproduces the
+        scalar totals bit-for-bit, so plans and counters are identical at
+        every W.
+        """
+        config = self.config
+        trees = self.trees
+        injector = self._injector
+        width_cfg = config.wave_width
+        check_budget = (state.deadline is not None or state.op_budget is not None
+                        or state.cancel is not None)
+        start = 0
+        while start < config.max_samples:
+            if injector is not None:
+                injector.fire("planner.round", detail=f"wave at {start}")
+            width = min(width_cfg, config.max_samples - start)
+            subs = [OpCounter() for _ in range(width)]
+            xs = np.empty((width, self.robot.dof), dtype=float)
+            for j in range(width):
+                with obs.phase("sample", subs[j]):
+                    xs[j] = self.sampler.sample(counter=subs[j])
+
+            # ---------------- stage 1: speculative batched evaluation
+            spec = self._speculate(xs, width, start, obs)
+
+            # ---------------- stage 2: in-order commit
+            for j in range(width):
+                sub = subs[j]
+                macs_fn = lambda: counter.total_macs() + sub.total_macs()
+                if check_budget and self._expired(state, macs_fn):
+                    counter.merge(sub)
+                    return None
+                active = (start + j) % 2
+                new_id = self._commit_extend(active, xs[j], sub, obs, spec, j)
+                accepted = new_id is not None
+                bridge = None
+                if accepted:
+                    target = trees[active].point(new_id)
+                    other, reached = self._connect(
+                        1 - active, target, sub, obs, state,
+                        check_budget, macs_fn,
+                        spec=spec, spec_j=j,
+                    )
+                    if reached:
+                        bridge = (new_id, other) if active == 0 else (other, new_id)
+                state.rounds.append(
+                    self._round_record(sub, accepted, wave_width=width)
+                )
+                counter.merge(sub)
+                if bridge is not None:
+                    return bridge
+                if state.degraded_reason is not None:
+                    return None
+            start += width
+        return None
+
+    def _speculate(self, xs, width, start, obs):
+        """Stage-1 speculation: snapshot nearest + batched edge validation.
+
+        Returns a dict with per-sample speculative extension edges
+        (``ext_key``/``ext_new``/``ext_res``) and whole-segment connect
+        edges (``con_key``/``con_end``/``con_res``).  Everything here is a
+        pure prediction — commits verify bitwise equality before replaying
+        any stored result.
+        """
+        trees = self.trees
+        points = (trees[0].points_view(), trees[1].points_view())
+        ext_key = [None] * width
+        ext_new: List[Optional[np.ndarray]] = [None] * width
+        ext_res: List[Optional[tuple]] = [None] * width
+        con_key = [None] * width
+        con_end: List[Optional[np.ndarray]] = [None] * width
+        con_res: List[Optional[tuple]] = [None] * width
+        with obs.tracer.span("wave", width=width,
+                             nodes=len(trees[0]) + len(trees[1])):
+            # One distance matrix per tree (both are needed: extensions hit
+            # the alternating active tree, connects hit the other one).
+            d_sq = []
+            for side in (0, 1):
+                diffs = points[side][None, :, :] - xs[:, None, :]
+                d_sq.append(np.einsum("wnd,wnd->wn", diffs, diffs))
+            seg_starts, seg_ends, seg_js = [], [], []
+            for j in range(width):
+                active = (start + j) % 2
+                k = int(np.argmin(d_sq[active][j]))
+                dist = float(np.linalg.norm(points[active][k] - xs[j]))
+                if dist <= 1e-12:
+                    continue
+                x_new = self._steer(points[active][k], xs[j], dist)
+                ext_key[j] = k
+                ext_new[j] = x_new
+                seg_starts.append(points[active][k])
+                seg_ends.append(x_new)
+                seg_js.append(j)
+            if seg_js:
+                for j, res in zip(seg_js, self.checker.motion_results_batch(
+                        np.stack(seg_starts), np.stack(seg_ends))):
+                    ext_res[j] = res
+            # Speculative whole-segment connects for the predicted accepts.
+            seg_starts, seg_ends, seg_js = [], [], []
+            for j in range(width):
+                res = ext_res[j]
+                if res is None or res[0]:
+                    continue
+                other = 1 - (start + j) % 2
+                x_new = ext_new[j]
+                d = points[other] - x_new[None, :]
+                k = int(np.argmin(np.einsum("nd,nd->n", d, d)))
+                near = points[other][k]
+                if float(np.linalg.norm(near - x_new)) <= 1e-9:
+                    continue
+                con_key[j] = k
+                con_end[j] = x_new
+                seg_starts.append(near)
+                seg_ends.append(x_new)
+                seg_js.append(j)
+            if seg_js:
+                for j, res in zip(seg_js, self.checker.motion_results_batch(
+                        np.stack(seg_starts), np.stack(seg_ends))):
+                    con_res[j] = res
+        return {
+            "ext_key": ext_key, "ext_new": ext_new, "ext_res": ext_res,
+            "con_key": con_key, "con_end": con_end, "con_res": con_res,
+        }
 
     # -------------------------------------------------------------- internals
 
-    def _extend(self, side: int, target: np.ndarray, counter) -> Optional[int]:
-        """One bounded step of tree ``side`` toward ``target``.
+    def _extend_tree(self, side: int, target, counter, obs) -> Optional[int]:
+        """One bounded step of tree ``side`` toward ``target`` (scalar).
 
         Returns the new node id, or None when the step is blocked or the
         target coincides with the nearest node.
         """
-        tree = self.trees_ref(side)
         strategy = self.strategies[side]
-        found = strategy.nearest(target, counter=counter)
+        injector = self._injector
+        with obs.phase("nearest", counter):
+            found = strategy.nearest(target, counter=counter)
         nearest_key, nearest_point, dist = found
         if dist <= 1e-12:
             return None
-        counter.record("steer", dim=self.robot.dof)
-        if dist <= self.step:
-            x_new = target.copy()
-        else:
-            x_new = nearest_point + (self.step / dist) * (target - nearest_point)
-        if self.checker.motion_in_collision(nearest_point, x_new, counter=counter):
+        with obs.phase("steer", counter):
+            counter.record("steer", dim=self.robot.dof)
+            x_new = self._steer(nearest_point, target, dist)
+        if injector is not None:
+            injector.fire("planner.collision")
+        with obs.phase("collision", counter):
+            blocked = self.checker.motion_in_collision(
+                nearest_point, x_new, counter=counter
+            )
+        if blocked:
             return None
-        edge = float(np.linalg.norm(x_new - nearest_point))
-        node_id = tree.add(x_new, nearest_key, edge)
-        strategy.insert(node_id, x_new, nearest_key=nearest_key, counter=counter)
-        return node_id
+        return self._add(side, x_new, nearest_key, nearest_point, counter)
 
-    def _connect(self, side: int, target: np.ndarray, counter) -> Optional[int]:
+    def _commit_extend(self, side: int, target, counter, obs, spec, j) -> Optional[int]:
+        """Commit-time extension: scalar semantics + speculation replay."""
+        strategy = self.strategies[side]
+        injector = self._injector
+        with obs.phase("nearest", counter):
+            found = strategy.nearest(target, counter=counter)
+        nearest_key, nearest_point, dist = found
+        if dist <= 1e-12:
+            return None
+        with obs.phase("steer", counter):
+            counter.record("steer", dim=self.robot.dof)
+            x_new = self._steer(nearest_point, target, dist)
+        if injector is not None:
+            injector.fire("planner.collision")
+        used_spec = (
+            spec["ext_res"][j] is not None
+            and nearest_key == spec["ext_key"][j]
+            and np.array_equal(x_new, spec["ext_new"][j])
+        )
+        with obs.phase("collision", counter):
+            if used_spec:
+                blocked = self._replay_motion(spec["ext_res"][j], counter)
+            else:
+                blocked = self.checker.motion_in_collision(
+                    nearest_point, x_new, counter=counter
+                )
+        if blocked:
+            return None
+        return self._add(side, x_new, nearest_key, nearest_point, counter)
+
+    def _connect(self, side: int, target, counter, obs, state,
+                 check_budget, macs_fn, spec=None, spec_j=None):
         """Greedily extend tree ``side`` toward ``target`` until blocked.
 
-        Returns the last node added (which equals ``target`` on success),
-        or None when not even one step succeeded.
+        Returns ``(node, reached)``: the tree node closest to the advance
+        front (the bridge node when ``reached``), or ``(None, False)`` when
+        not a single step succeeded.  The whole segment is validated first
+        as one edge; only a blocked segment falls back to chunk-wise
+        advance.  Budgets and race cancellation are polled per chunk so a
+        long greedy connect cannot overshoot a deadline.
         """
+        strategy = self.strategies[side]
+        tree = self.trees[side]
+        injector = self._injector
+        with obs.phase("nearest", counter):
+            found = strategy.nearest(target, counter=counter)
+        nearest_key, nearest_point, dist = found
+        if dist <= 1e-9:
+            # The trees already touch: the nearest node IS the bridge.
+            return nearest_key, True
+        if injector is not None:
+            injector.fire("connect.extend", detail=f"segment {dist:.3f}")
+        # Whole-segment attempt: one ladder, one FK batch, one kernel pass.
+        used_spec = (
+            spec is not None
+            and spec["con_res"][spec_j] is not None
+            and nearest_key == spec["con_key"][spec_j]
+            and np.array_equal(target, spec["con_end"][spec_j])
+        )
+        with obs.phase("collision", counter):
+            if used_spec:
+                blocked = self._replay_motion(spec["con_res"][spec_j], counter)
+            else:
+                blocked = self.checker.motion_in_collision(
+                    nearest_point, target, counter=counter
+                )
+        if not blocked:
+            node = self._add(side, target.copy(), nearest_key, nearest_point, counter)
+            return node, True
+        if dist <= self.chunk:
+            # The blocked segment is at most one chunk long: nothing to
+            # salvage at chunk granularity.
+            return None, False
+        # Chunk-wise advance along the free prefix of the blocked segment.
+        cur_key, cur_point = nearest_key, nearest_point
         last = None
         while True:
-            node_id = self._extend(side, target, counter)
-            if node_id is None:
-                return last
-            last = node_id
-            if float(np.linalg.norm(self.trees_ref(side).point(node_id) - target)) <= 1e-9:
-                return node_id
+            if check_budget and self._expired(state, macs_fn):
+                return last, False
+            remaining = float(np.linalg.norm(target - cur_point))
+            if remaining <= 1e-9:
+                return cur_key, True
+            if injector is not None:
+                injector.fire("connect.extend", detail=f"chunk {remaining:.3f}")
+            if remaining <= self.chunk:
+                nxt = target.copy()
+            else:
+                nxt = cur_point + (self.chunk / remaining) * (target - cur_point)
+            with obs.phase("collision", counter):
+                blocked = self.checker.motion_in_collision(
+                    cur_point, nxt, counter=counter
+                )
+            if blocked:
+                return last, False
+            node = self._add(side, nxt, cur_key, cur_point, counter)
+            last = node
+            cur_key, cur_point = node, nxt
 
-    def trees_ref(self, side: int) -> ExpTree:
-        return self.trees[side]
+    def _add(self, side: int, x_new, parent_key, parent_point, counter) -> int:
+        edge = float(np.linalg.norm(x_new - parent_point))
+        node_id = self.trees[side].add(x_new, parent_key, edge)
+        self.strategies[side].insert(
+            node_id, x_new, nearest_key=parent_key, counter=counter
+        )
+        return node_id
 
-    def _round_record(self, diff: OpCounter, accepted: bool) -> RoundRecord:
+    def _steer(self, origin: np.ndarray, target: np.ndarray, dist: float) -> np.ndarray:
+        """Move from ``origin`` toward ``target`` by at most one step."""
+        if dist <= self.step:
+            return target.copy()
+        return origin + (self.step / dist) * (target - origin)
+
+    def _replay_motion(self, result, counter) -> bool:
+        """Commit a speculatively validated edge from its stored result."""
+        bump("repro_cc_motion_checks_total",
+             help="Motion (edge) collision queries issued")
+        verdict, events = result
+        counter.merge(events)
+        return verdict
+
+    # ---------------------------------------------------------------- results
+
+    def _result(self, bridge, counter, state) -> PlanResult:
+        trees = self.trees
+        rounds = state.rounds
+        num_nodes = len(trees[0]) + len(trees[1])
+        if bridge is not None:
+            forward = trees[0].path_to(bridge[0])
+            backward = trees[1].path_to(bridge[1])
+            if (backward and forward
+                    and float(np.linalg.norm(forward[-1] - backward[-1])) <= 1e-9):
+                backward = backward[:-1]  # the bridge point appears once
+            path = forward + backward[::-1]
+            return PlanResult(
+                success=True,
+                path=path,
+                path_cost=path_length(path),
+                num_nodes=num_nodes,
+                iterations=len(rounds),
+                counter=counter,
+                rounds=rounds,
+                goal_node=bridge[0],
+                first_solution_iteration=len(rounds) - 1,
+                best_goal_distance=0.0,
+            )
+        status = "complete" if state.degraded_reason is None else "degraded"
+        path: List[np.ndarray] = []
+        goal_distance = None
+        if state.degraded_reason is not None and len(trees[0]) > 0:
+            # Anytime best-so-far: every start-tree edge was collision
+            # checked at insertion, so the path to ANY node is a valid
+            # collision-free prefix; return the one ending closest to the
+            # goal (cost-to-come plus straight-line remainder).
+            points = trees[0].points_view()
+            remainder = np.linalg.norm(points - self.task.goal[None, :], axis=1)
+            score = trees[0].costs_view() + remainder
+            best_node = int(np.argmin(score))
+            path = trees[0].path_to(best_node)
+            goal_distance = float(remainder[best_node])
+        return PlanResult(
+            success=False,
+            path=path,
+            path_cost=float("inf"),
+            num_nodes=num_nodes,
+            iterations=len(rounds),
+            counter=counter,
+            rounds=rounds,
+            status=status,
+            degraded_reason=state.degraded_reason,
+            best_goal_distance=goal_distance,
+        )
+
+    def cache_stats(self) -> dict:
+        """Hit/miss statistics of the software caches (empty when disabled)."""
+        stats = {}
+        if self.checker.config_cache is not None:
+            stats["collision"] = self.checker.config_cache.stats()
+        if self.checker.edge_cache is not None:
+            stats["edge"] = self.checker.edge_cache.stats()
+        for side, strategy in enumerate(self.strategies):
+            index = getattr(strategy, "tree", None)
+            cache = getattr(index, "neighborhood_cache", None)
+            if cache is not None:
+                stats[f"neighborhood{side}"] = cache.stats()
+        return stats
+
+    def _record_run_metrics(self, obs, result, counter, elapsed_s: float) -> None:
+        registry = obs.registry
+        registry.counter("repro_plans_total", "Completed planning runs").inc(
+            outcome="success" if result.success else "failure"
+        )
+        registry.counter("repro_plan_rounds_total", "Sampling rounds executed").inc(
+            result.iterations
+        )
+        registry.histogram(
+            "repro_plan_seconds", "End-to-end planner wall time"
+        ).observe(elapsed_s)
+        for category, macs in counter.macs_by_category().items():
+            registry.counter(
+                "repro_macs_total", "MAC-equivalents by cost-model category"
+            ).inc(macs, category=category)
+
+    def _round_record(self, diff: OpCounter, accepted: bool,
+                      wave_width: int = 1) -> RoundRecord:
         loads = {"ns": 0.0, "cc": 0.0, "maint": 0.0, "other": 0.0}
         for kind, macs in diff.macs.items():
             if kind in _NS_KINDS:
@@ -187,4 +611,5 @@ class RRTConnectPlanner:
             other_macs=loads["other"],
             accepted=accepted,
             events=dict(diff.events),
+            wave_width=wave_width,
         )

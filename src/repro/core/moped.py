@@ -83,10 +83,15 @@ class MopedEngine:
         return self.plan_task(task)
 
     def plan_task(self, task: PlanningTask) -> PlanResult:
-        """Plan a pre-built :class:`~repro.core.world.PlanningTask`."""
+        """Plan a pre-built :class:`~repro.core.world.PlanningTask`.
+
+        Routes through :func:`~repro.core.planners.make_planner`, so
+        ``config.mode`` selects the algorithm (RRT* or RRT-Connect).
+        """
+        from repro.core.planners import make_planner
         from repro.obs import get_tracer
 
-        planner = RRTStarPlanner(self.robot, task, self.config)
+        planner = make_planner(self.robot, task, self.config)
         with get_tracer().span(
             "engine.plan", variant=self.variant, robot=self.robot.name,
             task_id=task.task_id,

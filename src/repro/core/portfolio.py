@@ -1,0 +1,204 @@
+"""Planner portfolio racing: entries, task signatures, and win statistics.
+
+OMPL 2.0 popularised racing a *portfolio* of planners on the same problem
+and taking the first feasible answer; pRRTC showed bidirectional
+RRT-Connect usually wins that race on feasibility queries while RRT\\*
+variants win when solution cost matters.  This module defines the shared
+vocabulary:
+
+* :data:`PLANNERS` — the named portfolio entries.  Each maps a base
+  :class:`~repro.core.config.PlannerConfig` to the member's config (same
+  task, same seed, same budgets — only the algorithmic knobs change), so a
+  race is a controlled experiment: K planners, identical inputs.
+* :func:`task_signature` — the scenario bucket used for win-rate learning
+  (``robot/NNobs``): coarse enough to accumulate counts, fine enough that
+  "which planner wins" is stable within a bucket.
+* :class:`PortfolioStats` — persisted win counters per (signature,
+  planner).  ``best()`` is the *learned default*: ``portfolio=("auto",)``
+  resolves to the historically best planner for the task's signature.
+
+The racing itself lives in the service layer
+(:mod:`repro.service.runner`): members fan out across the worker pool as
+ordinary jobs carrying a shared ``race_token``; the first feasible ``ok``
+response wins and the supervisor flips the token's bit in a shared-memory
+flag so every loser degrades out through the
+:mod:`repro.core.cancel` -> deadline path with a terminal ``"cancelled"``
+status.  Wins are counted both here (persistable, drives ``"auto"``) and
+in the metrics registry as ``repro_portfolio_wins_total{planner,robot}``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import replace
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.config import PlannerConfig
+
+#: Wall deadline armed on every race member whose base config has none:
+#: the race budget that guarantees losers (and a winnerless race) terminate.
+DEFAULT_RACE_DEADLINE_S = 30.0
+
+#: Wave width given to members that benefit from batching when the base
+#: config is scalar.
+_RACE_WAVE_WIDTH = 8
+
+
+def _connect(base: PlannerConfig) -> PlannerConfig:
+    return replace(
+        base, mode="connect", informed=False, speculation_depth=0,
+        wave_width=base.wave_width if base.wave_width > 1 else _RACE_WAVE_WIDTH,
+    )
+
+
+def _rrtstar(base: PlannerConfig) -> PlannerConfig:
+    return replace(
+        base, mode="rrtstar", wave_width=1, speculation_depth=0,
+        informed=False, stop_on_goal=True,
+    )
+
+
+def _wave(base: PlannerConfig) -> PlannerConfig:
+    return replace(
+        base, mode="rrtstar", informed=False, speculation_depth=0,
+        wave_width=base.wave_width if base.wave_width > 1 else _RACE_WAVE_WIDTH,
+        stop_on_goal=True,
+    )
+
+
+def _informed(base: PlannerConfig) -> PlannerConfig:
+    # The cost-refining entry: runs its full budget (no stop_on_goal) and
+    # focuses sampling once a first solution exists.  It loses every
+    # first-feasible race on purpose — it is the best-cost-within-deadline
+    # candidate when the race policy falls back to cost.
+    return replace(
+        base, mode="rrtstar", wave_width=1, speculation_depth=0,
+        informed=True, stop_on_goal=False,
+    )
+
+
+#: Named portfolio entries: name -> base-config transformer.
+PLANNERS: Dict[str, Callable[[PlannerConfig], PlannerConfig]] = {
+    "connect": _connect,
+    "rrtstar": _rrtstar,
+    "wave": _wave,
+    "informed": _informed,
+}
+
+#: The sentinel entry resolved through :class:`PortfolioStats`.
+AUTO = "auto"
+
+#: Race composition used when a caller asks for ``("auto",)`` with no
+#: history, and the fallback pick for unseen signatures.
+DEFAULT_PLANNER = "connect"
+
+
+def member_config(name: str, base: PlannerConfig) -> PlannerConfig:
+    """The config planner ``name`` races with, derived from ``base``.
+
+    Every member keeps the base seed/budgets/checker knobs; a member whose
+    base has no wall deadline gets :data:`DEFAULT_RACE_DEADLINE_S` so the
+    race always terminates.
+    """
+    try:
+        transform = PLANNERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown portfolio planner {name!r}; available: {sorted(PLANNERS)}"
+        ) from None
+    config = transform(base)
+    if config.deadline_s is None:
+        config = replace(config, deadline_s=DEFAULT_RACE_DEADLINE_S)
+    return config
+
+
+def task_signature(task) -> str:
+    """Scenario bucket for win-rate learning: ``robot/NNobs``."""
+    return f"{task.robot_name}/{task.environment.num_obstacles}obs"
+
+
+class PortfolioStats:
+    """Per-signature win counters with optional JSON persistence.
+
+    The file format is versioned and append-free (rewritten whole on each
+    :meth:`save`), so concurrent readers always see a consistent snapshot::
+
+        {"schema": 1, "wins": {"rozum/24obs": {"connect": 17, "wave": 3}}}
+    """
+
+    SCHEMA = 1
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.wins: Dict[str, Dict[str, int]] = {}
+        if path is not None and pathlib.Path(path).exists():
+            self.load(path)
+
+    def record(self, signature: str, planner: str) -> None:
+        """Count one race win; persists immediately when a path is set."""
+        table = self.wins.setdefault(signature, {})
+        table[planner] = table.get(planner, 0) + 1
+        if self.path is not None:
+            self.save(self.path)
+
+    def best(self, signature: str, default: str = DEFAULT_PLANNER) -> str:
+        """The historically winningest planner for ``signature``.
+
+        Deterministic: highest win count, ties broken by planner name, and
+        ``default`` for unseen signatures.
+        """
+        table = self.wins.get(signature)
+        if not table:
+            return default
+        return min(table.items(), key=lambda kv: (-kv[1], kv[0]))[0]
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": self.SCHEMA,
+            "wins": {sig: dict(table) for sig, table in sorted(self.wins.items())},
+        }
+
+    def save(self, path: Optional[str] = None) -> None:
+        target = path if path is not None else self.path
+        if target is None:
+            raise ValueError("no path to save portfolio stats to")
+        pathlib.Path(target).write_text(json.dumps(self.to_dict(), indent=2))
+
+    def load(self, path: str) -> None:
+        data = json.loads(pathlib.Path(path).read_text())
+        if data.get("schema") != self.SCHEMA:
+            raise ValueError(
+                f"unsupported portfolio stats schema {data.get('schema')!r}"
+            )
+        self.wins = {
+            str(sig): {str(name): int(count) for name, count in table.items()}
+            for sig, table in data.get("wins", {}).items()
+        }
+
+
+def resolve(
+    names: Sequence[str],
+    signature: str = "",
+    stats: Optional[PortfolioStats] = None,
+) -> Tuple[str, ...]:
+    """Expand ``"auto"`` entries and dedupe, preserving order.
+
+    ``("auto",)`` becomes the learned best planner for ``signature`` (or
+    :data:`DEFAULT_PLANNER` with no history); unknown names raise
+    ``KeyError``.
+    """
+    out = []
+    for name in names:
+        if name == AUTO:
+            name = stats.best(signature) if stats is not None else DEFAULT_PLANNER
+        if name not in PLANNERS:
+            raise KeyError(
+                f"unknown portfolio planner {name!r}; available: "
+                f"{sorted(PLANNERS)} (or {AUTO!r})"
+            )
+        if name not in out:
+            out.append(name)
+    if not out:
+        raise ValueError("portfolio resolved to no planners")
+    return tuple(out)

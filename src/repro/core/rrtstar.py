@@ -62,6 +62,7 @@ class _RunState:
     __slots__ = (
         "goal_nodes", "first_solution", "rounds", "cost_history",
         "best_known", "pending", "deadline", "op_budget", "degraded_reason",
+        "cancel",
     )
 
     def __init__(self):
@@ -79,9 +80,15 @@ class _RunState:
         self.deadline: Optional[float] = None
         self.op_budget: Optional[float] = None
         self.degraded_reason: Optional[str] = None
+        # Cooperative cancellation (portfolio racing): a zero-arg predicate
+        # polled alongside the budgets.  None = no race in flight.
+        self.cancel = None
 
     def budget_expired(self, counter) -> bool:
         """Check budgets; records the degradation reason on expiry."""
+        if self.cancel is not None and self.cancel():
+            self.degraded_reason = "cancelled"
+            return True
         if self.deadline is not None and time.monotonic() >= self.deadline:
             self.degraded_reason = "deadline"
             return True
@@ -154,6 +161,8 @@ class RRTStarPlanner:
             state.op_budget = config.op_budget
         if config.deadline_s is not None:
             state.deadline = time.monotonic() + config.deadline_s
+        from repro.core import cancel as _cancel
+        state.cancel = _cancel.active()
         self._neighborhood_macs = 0.0
         # Fault-injection front end (repro.faults): None in the steady
         # state, so the hot loops pay one is-None check per round.
@@ -199,7 +208,8 @@ class RRTStarPlanner:
         config, task, dim = self.config, self.task, self.robot.dof
         pending = state.pending
         injector = self._injector
-        check_budget = state.deadline is not None or state.op_budget is not None
+        check_budget = (state.deadline is not None or state.op_budget is not None
+                        or state.cancel is not None)
         for iteration in range(config.max_samples):
             if check_budget and state.budget_expired(counter):
                 break
@@ -274,7 +284,8 @@ class RRTStarPlanner:
         pending = state.pending
         linear = getattr(self.strategy, "linear_scan", False)
         injector = self._injector
-        check_budget = state.deadline is not None or state.op_budget is not None
+        check_budget = (state.deadline is not None or state.op_budget is not None
+                        or state.cancel is not None)
         start = 0
         while start < config.max_samples:
             if check_budget and state.budget_expired(counter):

@@ -75,6 +75,7 @@ SITES = (
     "planner.round",     # planner: top of each scalar iteration / wave
     "planner.collision", # planner: inside the collision-checker wrapper
     "edge.validate",     # checker: per whole-edge motion validation
+    "connect.extend",    # RRT-Connect: per greedy-connect segment/chunk
     "net.accept",        # front end: per accepted connection (drop/slow/error)
     "net.shard_rpc",     # shard client: before each cache-tier round trip
     "net.respond",       # front end: before writing an HTTP response

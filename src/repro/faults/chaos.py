@@ -60,6 +60,13 @@ CATEGORIES: Tuple[Tuple[str, float, Tuple[str, ...]], ...] = (
     ("crash_after_send", 0.05, ("ok",)),     # dies after delivering the result
     ("malformed", 0.05, ("invalid",)),       # NaN start config, bypasses __init__
     ("degraded", 0.08, ("degraded",)),       # tiny deadline -> best-so-far
+    ("connect", 0.05, ("ok",)),              # bidirectional RRT-Connect mode
+    # Connect-mode jobs under injector faults at the greedy-connect site
+    # plus a wall deadline: the invariant is *termination* — the chunked
+    # connect loop polls the budget, so a perturbed (slowed) extend run
+    # ends "ok" if it bridged in time and "degraded" (deadline) if not,
+    # never hung.
+    ("connect_faulted", 0.05, ("ok", "degraded")),
 )
 
 #: Wall budget for jobs whose *outcome* is a supervisor-side timeout.
@@ -68,6 +75,9 @@ _REAP_TIMEOUT_S = 0.4
 #: deadline always expires long before the budget would complete.
 _DEGRADED_SAMPLES = 50_000
 _DEGRADED_DEADLINE_S = 0.05
+#: Wall deadline on the faulted-connect jobs: generous enough that clean
+#: runs bridge in time, tight enough that a slowed one degrades promptly.
+_CONNECT_DEADLINE_S = 0.25
 
 
 class ChaosInvariantError(AssertionError):
@@ -210,6 +220,16 @@ def build_schedule(
                 "full", max_samples=_DEGRADED_SAMPLES, seed=task_seed,
                 goal_bias=0.1, deadline_s=_DEGRADED_DEADLINE_S,
             )
+        elif category == "connect":
+            config = config_for_variant(
+                "full", max_samples=samples, seed=task_seed,
+                goal_bias=0.1, mode="connect",
+            )
+        elif category == "connect_faulted":
+            config = config_for_variant(
+                "full", max_samples=_DEGRADED_SAMPLES, seed=task_seed,
+                goal_bias=0.1, mode="connect", deadline_s=_CONNECT_DEADLINE_S,
+            )
         if category == "malformed":
             request = _bypass_request(
                 _malformed_task(task), config=config, request_id=request_id
@@ -242,6 +262,7 @@ def schedule_digest(schedule: Sequence[ChaosJob]) -> str:
             "seed": request.config.seed,
             "max_samples": request.config.max_samples,
             "deadline_s": request.config.deadline_s,
+            "mode": request.config.mode,
             "start": [repr(x) for x in np.asarray(request.task.start).tolist()],
         })
     canonical = json.dumps(rows, sort_keys=True, separators=(",", ":"))
@@ -280,6 +301,7 @@ def run_chaos(
             "worker.recv:slow@0.15:delay=0.005;"
             "planner.round:slow@0.001:delay=0.002;"
             "edge.validate:slow@0.0005:delay=0.001;"
+            "connect.extend:slow@0.01:delay=0.002;"
             "pool.recv:slow@0.05:delay=0.001",
             seed=max(1, seed),
         )
@@ -377,6 +399,20 @@ def run_chaos(
             _check(len(response.path) >= 1,
                    f"{response.request_id}: degraded without a best-so-far path",
                    violations)
+        if job.category == "connect_faulted" and response.status == "degraded":
+            _check(response.degraded_reason == "deadline",
+                   f"{response.request_id}: faulted connect degraded for "
+                   f"{response.degraded_reason!r}, not the deadline", violations)
+    # 5. Connect-mode jobs carry the mode dimension in their telemetry rows
+    # (the RCA drill-down attribute the planner mode lands on).
+    record_by_id = {r.request_id: r for r in records}
+    for job in schedule:
+        if job.category in ("connect", "connect_faulted"):
+            record = record_by_id.get(job.request.request_id)
+            _check(record is not None
+                   and record.attributes.get("mode") == "connect",
+                   f"{job.request.request_id}: telemetry row missing "
+                   "mode=connect attribute", violations)
     if violations:
         preview = "\n  ".join(violations[:20])
         raise ChaosInvariantError(

@@ -54,11 +54,15 @@ WIRE_VERSION = 1
 #: are successes (degraded is a *served* best-so-far result, not an
 #: error); ``invalid`` is the caller's fault; ``timeout`` maps to the
 #: gateway-timeout family; the crash/poison/error family is a 500.
+#: ``cancelled`` (a portfolio race member stopped because another planner
+#: already won) is 503: the service declined to finish this job, the
+#: caller holds the winner's answer under the parent request id.
 HTTP_STATUS_FOR: Dict[str, int] = {
     "ok": 200,
     "degraded": 200,
     "invalid": 400,
     "timeout": 504,
+    "cancelled": 503,
     "crash": 500,
     "error": 500,
     "poison": 500,
@@ -86,6 +90,8 @@ def request_to_wire(request: PlanRequest) -> Dict:
     }
     if request.timeout_s is not None:
         out["timeout_s"] = request.timeout_s
+    if request.portfolio is not None:
+        out["portfolio"] = list(request.portfolio)
     return out
 
 
@@ -94,16 +100,18 @@ def spec_to_request(spec: Dict, request_id: str = "") -> PlanRequest:
 
     Recognised keys (all optional except ``seed`` defaults to 0):
     ``robot``, ``obstacles``, ``seed``, ``variant``, ``samples``,
-    ``goal_bias``, ``lanes``, ``smooth``, ``timeout_s``, ``deadline_s``.
-    Unknown keys are rejected so a typo degrades to a 400, not to a
-    silently-different workload.
+    ``goal_bias``, ``lanes``, ``smooth``, ``timeout_s``, ``deadline_s``,
+    ``mode`` (``"rrtstar"``/``"connect"``) and ``portfolio`` (a list of
+    planner names, or ``["auto"]``, racing the request).  Unknown keys are
+    rejected so a typo degrades to a 400, not to a silently-different
+    workload.
     """
     from repro.core.moped import config_for_variant
     from repro.workloads import random_task
 
     known = {
         "robot", "obstacles", "seed", "variant", "samples", "goal_bias",
-        "lanes", "smooth", "timeout_s", "deadline_s",
+        "lanes", "smooth", "timeout_s", "deadline_s", "mode", "portfolio",
     }
     unknown = set(spec) - known
     if unknown:
@@ -121,8 +129,12 @@ def spec_to_request(spec: Dict, request_id: str = "") -> PlanRequest:
         seed=seed,
         goal_bias=float(spec.get("goal_bias", 0.1)),
         deadline_s=spec.get("deadline_s"),
+        mode=str(spec.get("mode", "rrtstar")),
     )
     timeout_s = spec.get("timeout_s")
+    portfolio = spec.get("portfolio")
+    if portfolio is not None and not isinstance(portfolio, (list, tuple)):
+        raise InvalidRequest("'portfolio' must be a list of planner names")
     return PlanRequest(
         task=task,
         config=config,
@@ -130,6 +142,7 @@ def spec_to_request(spec: Dict, request_id: str = "") -> PlanRequest:
         smooth=bool(spec.get("smooth", False)),
         timeout_s=float(timeout_s) if timeout_s is not None else None,
         request_id=request_id,
+        portfolio=tuple(str(name) for name in portfolio) if portfolio else None,
     )
 
 
@@ -160,6 +173,9 @@ def request_from_wire(data: Dict, request_id: str = "") -> PlanRequest:
         task = task_from_dict(data["task"])
         config = PlannerConfig(**data.get("config", {}))
         timeout_s = data.get("timeout_s")
+        portfolio = data.get("portfolio")
+        if portfolio is not None and not isinstance(portfolio, (list, tuple)):
+            raise InvalidRequest("'portfolio' must be a list of planner names")
         return PlanRequest(
             task=task,
             config=config,
@@ -167,6 +183,7 @@ def request_from_wire(data: Dict, request_id: str = "") -> PlanRequest:
             smooth=bool(data.get("smooth", False)),
             timeout_s=float(timeout_s) if timeout_s is not None else None,
             request_id=request_id,
+            portfolio=tuple(str(name) for name in portfolio) if portfolio else None,
         )
     except InvalidRequest:
         raise

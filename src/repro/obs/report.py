@@ -175,6 +175,22 @@ def build_report(
         "service_faults": dict(sorted(_label_map(
             metrics.get("repro_service_faults_total", []), "event"
         ).items())),
+        # Portfolio race outcomes: wins per (planner, robot) from
+        # ``repro_portfolio_wins_total`` — the series the learned
+        # ``portfolio=("auto",)`` default is trained on.
+        "portfolio_wins": sorted(
+            (
+                {
+                    "planner": labels.get("planner", "?"),
+                    "robot": labels.get("robot", "?"),
+                    "wins": value,
+                }
+                for labels, value in metrics.get(
+                    "repro_portfolio_wins_total", []
+                )
+            ),
+            key=lambda row: (-row["wins"], row["planner"], row["robot"]),
+        ),
     }
 
     if events is not None:
@@ -280,6 +296,17 @@ def render_report(report: Dict) -> str:
             rows.append(["mean ladder steps", edge["ladder_steps_mean"]])
         blocks.append(
             "edge validation\n" + _format_table(["measure", "value"], rows)
+        )
+
+    portfolio = report.get("portfolio_wins") or []
+    if portfolio:
+        rows = [
+            [row["planner"], row["robot"], int(row["wins"])]
+            for row in portfolio
+        ]
+        blocks.append(
+            "portfolio race wins\n"
+            + _format_table(["planner", "robot", "wins"], rows)
         )
 
     faults = report.get("service_faults") or {}

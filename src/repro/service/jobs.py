@@ -100,3 +100,19 @@ class JobQueue:
         if not self._heap:
             return None
         return max(0.0, self._heap[0][0] - now)
+
+    def purge(self, predicate) -> List[Job]:
+        """Remove and return every queued job whose request matches.
+
+        Used by portfolio racing to pull a cancelled race's still-pending
+        members out of the queue so they settle as ``"cancelled"`` instead
+        of dispatching.  Order of the returned jobs follows queue order.
+        """
+        matched = [entry for entry in self._heap if predicate(entry[2].request)]
+        if matched:
+            kept = [entry for entry in self._heap
+                    if not predicate(entry[2].request)]
+            heapq.heapify(kept)
+            self._heap = kept
+            self._pending -= len(matched)
+        return [job for _, _, job in sorted(matched, key=lambda e: e[1])]

@@ -134,6 +134,13 @@ class WorkerPool:
     def __init__(self, config: Optional[PoolConfig] = None) -> None:
         self.config = config if config is not None else PoolConfig()
         self._ctx = multiprocessing.get_context(self.config.start_method)
+        #: Shared race-cancellation bitmask (bit ``token % 64`` per active
+        #: race).  Single writer (the supervisor), many readers (workers
+        #: poll it through the planner budget check), so no lock is needed.
+        self.cancel_flags = self._ctx.Value("Q", 0, lock=False)
+        self._race_seq = 0
+        self._cancelled_races: set = set()
+        self._on_settle = None
         self._slots: List[_Slot] = [
             self._spawn(i) for i in range(self.config.num_workers)
         ]
@@ -168,7 +175,8 @@ class WorkerPool:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=worker_main,
-            args=(worker_id, child_conn, self.config.fault_plan),
+            args=(worker_id, child_conn, self.config.fault_plan,
+                  self.cancel_flags),
             daemon=True,
             name=f"repro-service-worker-{worker_id}",
         )
@@ -214,6 +222,31 @@ class WorkerPool:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # ---------------------------------------------------------------- races
+
+    def new_race_token(self) -> int:
+        """Fresh token for one portfolio race (bit ``token % 64``).
+
+        Tokens are never reused within a batch; with 64 bits, collisions
+        require 64 concurrently *active* races, far beyond any batch the
+        service runs.
+        """
+        self._race_seq += 1
+        return self._race_seq
+
+    def cancel_race(self, token: int) -> None:
+        """Cancel every member of race ``token``: flip the shared bit (in-
+        flight members degrade out at their next budget poll) and mark the
+        race so still-queued members settle as ``"cancelled"`` without
+        dispatching."""
+        self.cancel_flags.value |= 1 << (token % 64)
+        self._cancelled_races.add(token)
+
+    def clear_race(self, token: int) -> None:
+        """Retire a finished race's token so its bit can be reused."""
+        self.cancel_flags.value &= ~(1 << (token % 64))
+        self._cancelled_races.discard(token)
 
     # ------------------------------------------------------------- dispatch
 
@@ -317,6 +350,11 @@ class WorkerPool:
         job.state = DONE if response.status in ("ok", "degraded") else FAILED
         job.finished_at = now
         done.append(job)
+        if self._on_settle is not None:
+            # Settlement hook (portfolio racing): the service watches for
+            # race winners here and calls cancel_race() while the batch is
+            # still running.
+            self._on_settle(job)
         start = self._span_starts.pop(job.job_id, None)
         if start is not None:
             tracer = get_tracer()
@@ -330,18 +368,42 @@ class WorkerPool:
                     attempts=job.attempts,
                 )
 
-    def run(self, queue: JobQueue) -> List[Job]:
+    def run(self, queue: JobQueue, on_settle=None) -> List[Job]:
         """Drive every job in ``queue`` to a terminal state.
 
         Returns the finished jobs in completion order; each carries a
         :class:`PlanResponse` (structured failure included).
+        ``on_settle(job)`` is invoked synchronously as each job reaches a
+        terminal state — the hook portfolio racing uses to cancel losers
+        the moment a winner settles.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
         done: List[Job] = []
         injector = get_injector()
+        self._on_settle = on_settle
+        try:
+            return self._run_loop(queue, done, injector)
+        finally:
+            self._on_settle = None
+
+    def _run_loop(self, queue: JobQueue, done: List[Job], injector) -> List[Job]:
         while len(queue) or any(slot.job is not None for slot in self._slots):
             now = time.monotonic()
+            # 0. Settle still-queued members of cancelled races without
+            # dispatching them (their siblings' race already has a winner).
+            if self._cancelled_races:
+                cancelled = self._cancelled_races
+                for job in queue.purge(
+                    lambda request: request.race_token in cancelled
+                ):
+                    job.attempts = max(job.attempts, 1)
+                    self._settle(
+                        queue, job,
+                        failure_response(job.request, "cancelled",
+                                         "portfolio race already won"),
+                        done, now,
+                    )
             # 1. Feed idle workers (unless the circuit breaker is open:
             # jobs then stay queued — delayed, never dropped or failed).
             if self.breaker.allow(now):

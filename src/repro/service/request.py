@@ -18,7 +18,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import PlannerConfig
 from repro.core.counters import OpCounter
@@ -27,9 +27,11 @@ from repro.errors import InvalidRequest
 
 #: Terminal job statuses a response can carry.  ``"degraded"`` is the
 #: anytime-planning outcome (deadline/op budget expired, best-so-far result
-#: attached); ``"invalid"`` is a rejected malformed request; ``"poison"``
+#: attached); ``"cancelled"`` is a portfolio-race loser stopped after a
+#: sibling won; ``"invalid"`` is a rejected malformed request; ``"poison"``
 #: is a dead-lettered job that crashed too many workers.
-STATUSES = ("ok", "degraded", "error", "timeout", "crash", "poison", "invalid")
+STATUSES = ("ok", "degraded", "cancelled", "error", "timeout", "crash",
+            "poison", "invalid")
 
 #: Statuses that mean "the job is settled and will not be retried".  Every
 #: submitted job must end in one of these (the chaos harness asserts it).
@@ -88,6 +90,18 @@ class PlanRequest:
             ``metric_deltas``).  Traced requests always execute (they bypass
             the cache): an observability run wants fresh measurements, not a
             replayed result.
+        portfolio: race these named planners (see
+            :data:`repro.core.portfolio.PLANNERS`, plus ``"auto"`` for the
+            learned default) on this task and answer with the winner.  The
+            service expands the request into one member job per entry —
+            each a copy of this request with the entry's config — and the
+            first feasible ``ok`` response wins; losers are cancelled into
+            terminal ``"cancelled"`` / ``"degraded"`` states.  Portfolio
+            requests bypass the cache (the race *is* the measurement).
+        planner: portfolio-member label (set by the service on expanded
+            member requests; callers leave it None).
+        race_token: shared cancellation token of the member's race (set by
+            the service; callers leave it None).
     """
 
     task: PlanningTask
@@ -98,12 +112,28 @@ class PlanRequest:
     request_id: str = ""
     fault: Optional[str] = None
     trace: bool = False
+    portfolio: Optional[Tuple[str, ...]] = None
+    planner: Optional[str] = None
+    race_token: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.lanes < 1:
             raise ValueError("lanes must be >= 1")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
+        if self.portfolio is not None:
+            entries = tuple(self.portfolio)
+            if not entries:
+                raise ValueError("portfolio must name at least one planner")
+            from repro.core.portfolio import AUTO, PLANNERS
+
+            for name in entries:
+                if name != AUTO and name not in PLANNERS:
+                    raise ValueError(
+                        f"unknown portfolio planner {name!r}; available: "
+                        f"{sorted(PLANNERS)} (or {AUTO!r})"
+                    )
+            object.__setattr__(self, "portfolio", entries)
         self.validate()
 
     def validate(self) -> None:
@@ -148,16 +178,20 @@ class PlanRequest:
         the plan cache may answer one with the other's result.  The id and
         timeout are excluded (labels / scheduling, not work); the fault
         hook is excluded too because faulted requests never touch the
-        cache.
+        cache.  Portfolio requests never touch the cache either (pool
+        completion order makes the winner non-deterministic), but the
+        entries still contribute to the digest for any caller hashing
+        requests generically.
         """
-        return _digest(
-            {
-                "task": task_fingerprint(self.task),
-                "config": config_fingerprint(self.config),
-                "lanes": self.lanes,
-                "smooth": self.smooth,
-            }
-        )
+        payload = {
+            "task": task_fingerprint(self.task),
+            "config": config_fingerprint(self.config),
+            "lanes": self.lanes,
+            "smooth": self.smooth,
+        }
+        if self.portfolio is not None:
+            payload["portfolio"] = list(self.portfolio)
+        return _digest(payload)
 
 
 @dataclass
@@ -193,6 +227,12 @@ class PlanResponse:
     cache_hit: bool = False
     worker_id: Optional[int] = None
     attempts: int = 1
+    #: Portfolio fields: which planner produced this response (the member
+    #: label, or the winner's label on a race's answer) and the race
+    #: summary a portfolio request's answer carries (``planners`` raced,
+    #: ``winner``, per-member ``statuses``, loser accounting).
+    planner: Optional[str] = None
+    race: Dict = field(default_factory=dict)
     #: Observability payloads (populated only for traced requests): the
     #: worker-side span buffer, the worker registry snapshot, and the
     #: per-phase wall-time aggregate the telemetry axes consume.
@@ -238,6 +278,8 @@ class PlanResponse:
             "worker_id": self.worker_id,
             "attempts": self.attempts,
             "phase_seconds": dict(self.phase_seconds),
+            "planner": self.planner,
+            "race": dict(self.race),
         }
         if include_path:
             out["path"] = [list(p) for p in self.path]
@@ -265,6 +307,8 @@ class PlanResponse:
             worker_id=data.get("worker_id"),
             attempts=int(data.get("attempts", 1)),
             phase_seconds=dict(data.get("phase_seconds", {})),
+            planner=data.get("planner"),
+            race=dict(data.get("race", {})),
         )
 
 

@@ -30,13 +30,14 @@ import time
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core import portfolio as portfolio_mod
 from repro.core.moped import config_for_variant
 from repro.core.world import PlanningTask
-from repro.obs import EventLog, get_registry, get_tracer
+from repro.obs import EventLog, bump, get_registry, get_tracer
 from repro.service.cache import PlanCache
 from repro.service.jobs import DONE, FAILED, Job, JobQueue
 from repro.service.pool import PoolConfig, WorkerPool
-from repro.service.request import PlanRequest, PlanResponse
+from repro.service.request import PlanRequest, PlanResponse, failure_response
 from repro.service.telemetry import (
     TelemetrySink,
     record_from_job,
@@ -55,6 +56,8 @@ class PlanningService:
         pool_config: Optional[PoolConfig] = None,
         telemetry: Optional[TelemetrySink] = None,
         cache: Optional[PlanCache] = None,
+        portfolio_stats: Optional[portfolio_mod.PortfolioStats] = None,
+        portfolio_stats_path: Optional[str] = None,
     ) -> None:
         if pool_config is not None:
             num_workers = pool_config.num_workers
@@ -75,6 +78,13 @@ class PlanningService:
         #: instance's ``run_id`` so traces, telemetry records, and events
         #: from one run correlate.
         self.events = EventLog()
+        #: Learned portfolio win-rate table driving ``portfolio=("auto",)``.
+        #: Pass an instance to share across services, or a path to persist.
+        self.portfolio_stats = (
+            portfolio_stats
+            if portfolio_stats is not None
+            else portfolio_mod.PortfolioStats(path=portfolio_stats_path)
+        )
         self._pool: Optional[WorkerPool] = None
         self._pending: List[PlanRequest] = []
 
@@ -140,8 +150,17 @@ class PlanningService:
         job_index: Dict[int, Tuple[int, Optional[str]]] = {}
         leaders: Dict[str, int] = {}
         followers: Dict[str, List[int]] = {}
+        races: Dict[int, Dict] = {}  # request index -> race bookkeeping
+        race_jobs: Dict[int, int] = {}  # member job_id -> request index
 
         for i, request in enumerate(requests):
+            if request.portfolio:
+                # Portfolio race: expand into K member jobs sharing a race
+                # token.  Races bypass the cache both ways — each race is a
+                # fresh controlled experiment, and the parent response is a
+                # synthesis, not a single planner's cacheable answer.
+                self._start_race(i, request, queue, races, race_jobs)
+                continue
             # Faulted and traced requests always execute (chaos hooks and
             # observability runs both want a real execution, not a replay).
             key = None if (request.fault or request.trace) else request.cache_key()
@@ -159,9 +178,35 @@ class PlanningService:
             if key is not None:
                 leaders[key] = job.job_id
 
-        jobs = self._run_inline(queue) if self.inline else self._ensure_pool().run(queue)
+        if self.inline:
+            jobs = self._run_inline(queue)
+        else:
+            pool = self._ensure_pool()
+            on_settle = None
+            if races:
+                def on_settle(job: Job) -> None:
+                    # First feasible member wins; flip the shared bit so the
+                    # losers degrade out through the cancel -> deadline path.
+                    idx = race_jobs.get(job.job_id)
+                    if idx is None:
+                        return
+                    race = races[idx]
+                    race["jobs"][job.job_id] = job
+                    response = job.response
+                    if (race["winner_job"] is None and response is not None
+                            and response.status == "ok" and response.success):
+                        race["winner_job"] = job.job_id
+                        pool.cancel_race(race["token"])
+            try:
+                jobs = pool.run(queue, on_settle=on_settle)
+            finally:
+                for race in races.values():
+                    pool.clear_race(race["token"])
 
         for job in jobs:
+            if job.job_id in race_jobs:
+                races[race_jobs[job.job_id]]["jobs"][job.job_id] = job
+                continue
             i, key = job_index[job.job_id]
             response = job.response
             assert response is not None
@@ -181,6 +226,9 @@ class PlanningService:
             if key is not None and response.status == "ok":
                 self.cache.put(key, replace(response))
 
+        for i, race in races.items():
+            responses[i] = self._finalise_race(race)
+
         for key, indices in followers.items():
             leader_i = job_index[leaders[key]][0]
             leader = responses[leader_i]
@@ -194,6 +242,165 @@ class PlanningService:
 
         assert all(r is not None for r in responses)
         return responses  # type: ignore[return-value]
+
+    # ------------------------------------------------------------- racing
+
+    def _start_race(
+        self,
+        i: int,
+        request: PlanRequest,
+        queue: JobQueue,
+        races: Dict[int, Dict],
+        race_jobs: Dict[int, int],
+    ) -> None:
+        """Expand one portfolio request into member jobs sharing a token.
+
+        Each member is an ordinary job carrying ``planner=name``, the
+        member's derived config (:func:`repro.core.portfolio.member_config`)
+        and the shared ``race_token`` that the supervisor's cancel bit and
+        the worker's cancel predicate meet on.  ``"auto"`` entries resolve
+        through :attr:`portfolio_stats` here, so the learned default is
+        whatever the stats file said at submit time.
+        """
+        signature = portfolio_mod.task_signature(request.task)
+        names = portfolio_mod.resolve(
+            request.portfolio, signature, self.portfolio_stats
+        )
+        # Inline mode has no shared bitmask; the token only needs to be a
+        # unique race key, and the request index already is one.
+        token = i if self.inline else self._ensure_pool().new_race_token()
+        members: List[Tuple[str, int]] = []
+        for name in names:
+            member = replace(
+                request,
+                request_id=f"{request.request_id}#{name}",
+                planner=name,
+                portfolio=None,
+                race_token=token,
+                config=portfolio_mod.member_config(name, request.config),
+            )
+            job = queue.submit(member, time.monotonic())
+            race_jobs[job.job_id] = i
+            members.append((name, job.job_id))
+        races[i] = {
+            "token": token,
+            "signature": signature,
+            "names": names,
+            "members": members,
+            "request": request,
+            "winner_job": None,
+            "jobs": {},
+        }
+        self.events.emit(
+            "race.start",
+            request_id=request.request_id,
+            planners=list(names),
+            signature=signature,
+            token=token,
+        )
+
+    def _finalise_race(self, race: Dict) -> PlanResponse:
+        """Pick the race winner, account for the losers, learn from the win.
+
+        Winner policy: the first-feasible member recorded at settle time;
+        otherwise (no ``ok`` arrived while racing — e.g. inline mode, or
+        every member degraded) the cheapest feasible response, then the
+        first member that answered at all, in member order.  The parent
+        response is the winner's response re-labelled with the parent
+        request id plus a ``race`` summary; every member is observed as its
+        own job so telemetry/RCA see the losers' terminal statuses too.
+        """
+        request: PlanRequest = race["request"]
+        members = [(name, race["jobs"].get(job_id))
+                   for name, job_id in race["members"]]
+
+        winner_name: Optional[str] = None
+        winner_job: Optional[Job] = None
+        if race["winner_job"] is not None:
+            winner_job = race["jobs"][race["winner_job"]]
+            winner_name = next(
+                name for name, job_id in race["members"]
+                if job_id == race["winner_job"]
+            )
+        else:
+            answered = [(n, j) for n, j in members
+                        if j is not None and j.response is not None]
+            feasible = [(n, j) for n, j in answered if j.response.success]
+            best = [(n, j) for n, j in feasible if j.response.status == "ok"]
+            candidates = best or feasible
+            if candidates:
+                winner_name, winner_job = min(
+                    candidates, key=lambda nj: nj[1].response.path_cost
+                )
+            elif answered:
+                winner_name, winner_job = answered[0]
+
+        statuses: Dict[str, str] = {}
+        cancelled = 0
+        for name, job in members:
+            if job is None or job.response is None:
+                statuses[name] = "lost"
+                continue
+            response = job.response
+            statuses[name] = response.status
+            if response.status == "cancelled":
+                cancelled += 1
+            self._absorb_job_obs(job.job_id, response)
+            self.telemetry.record(
+                record_from_job(job), counter=response.counter()
+            )
+            self.events.emit(
+                "job.done",
+                job_id=job.job_id,
+                request_id=response.request_id,
+                status=response.status,
+                cache_hit=False,
+                worker_id=response.worker_id,
+                attempts=job.attempts,
+                plan_seconds=response.plan_seconds,
+            )
+
+        summary = {
+            "planners": list(race["names"]),
+            "winner": winner_name,
+            "statuses": statuses,
+            "cancelled": cancelled,
+            "signature": race["signature"],
+        }
+        if winner_job is not None:
+            parent = replace(
+                winner_job.response,
+                request_id=request.request_id,
+                planner=winner_name,
+                race=summary,
+            )
+        else:
+            parent = failure_response(
+                request, "error", "portfolio race produced no responses"
+            )
+            parent.race = summary
+
+        won = (winner_job is not None
+               and winner_job.response.status == "ok"
+               and winner_job.response.success)
+        if won:
+            bump(
+                "repro_portfolio_wins_total",
+                help="Portfolio race wins by planner.",
+                planner=winner_name,
+                robot=request.task.robot_name,
+            )
+            self.portfolio_stats.record(race["signature"], winner_name)
+        self.events.emit(
+            "race.done",
+            request_id=request.request_id,
+            winner=winner_name,
+            won=won,
+            planners=list(race["names"]),
+            statuses=statuses,
+            cancelled=cancelled,
+        )
+        return parent
 
     def _observe_response(
         self,
@@ -234,14 +441,33 @@ class PlanningService:
                 registry.merge_dict(response.metric_deltas)
 
     def _run_inline(self, queue: JobQueue) -> List[Job]:
-        """Sequential in-process execution (no pool, no timeouts)."""
+        """Sequential in-process execution (no pool, no timeouts).
+
+        Portfolio races degenerate gracefully here: members run in member
+        order and the first feasible win marks the race token, so later
+        members of the same race settle ``"cancelled"`` without executing —
+        sequential first-feasible, the one-worker limit of the race.
+        """
         from repro.errors import InvalidRequest
 
+        won_races: set = set()
         done: List[Job] = []
         while True:
             job = queue.pop_ready(time.monotonic())
             if job is None:
                 break
+            token = job.request.race_token
+            if token is not None and token in won_races:
+                job.attempts = 1
+                job.response = failure_response(
+                    job.request, "cancelled", "portfolio race already won"
+                )
+                job.response.planner = job.request.planner
+                job.response.attempts = 1
+                job.state = FAILED
+                job.finished_at = time.monotonic()
+                done.append(job)
+                continue
             job.attempts = 1
             job.dispatched_at = time.monotonic()
             try:
@@ -262,6 +488,9 @@ class PlanningService:
             job.state = DONE if job.response.status in ("ok", "degraded") else FAILED
             job.finished_at = time.monotonic()
             done.append(job)
+            if (token is not None and job.response.status == "ok"
+                    and job.response.success):
+                won_races.add(token)
         return done
 
     # ----------------------------------------------------------- telemetry
@@ -297,6 +526,8 @@ def build_requests(
     tasks: Optional[Sequence[PlanningTask]] = None,
     trace: bool = False,
     deadline_s: Optional[float] = None,
+    mode: str = "rrtstar",
+    portfolio: Optional[Sequence[str]] = None,
 ) -> List[PlanRequest]:
     """Seeded request batch for the CLIs and tests.
 
@@ -311,6 +542,10 @@ def build_requests(
     for the observability layer (workers ship spans/metrics back).
     ``deadline_s`` arms anytime planning on every request's config (expired
     budgets return ``status="degraded"`` best-so-far results).
+    ``mode="connect"`` plans every request with the bidirectional
+    RRT-Connect planner; ``portfolio=("connect", "wave")`` turns every
+    request into a planner race instead (``mode`` is then the base config
+    the members derive from).
     """
     if jobs < 1 and tasks is None:
         raise ValueError("jobs must be >= 1")
@@ -329,7 +564,7 @@ def build_requests(
     for i, (task, task_seed) in enumerate(source):
         config = config_for_variant(
             variant, max_samples=samples, seed=task_seed, goal_bias=goal_bias,
-            deadline_s=deadline_s,
+            deadline_s=deadline_s, mode=mode,
         )
         base.append(
             PlanRequest(
@@ -340,6 +575,7 @@ def build_requests(
                 timeout_s=timeout_s,
                 request_id=f"job-{i:03d}",
                 trace=trace,
+                portfolio=tuple(portfolio) if portfolio else None,
             )
         )
     requests: List[PlanRequest] = []

@@ -60,15 +60,24 @@ def request_attributes(request) -> Dict[str, str]:
     deadline_armed = bool(
         getattr(config, "deadline_s", None) or getattr(config, "op_budget", None)
     )
-    return {
+    if getattr(config, "mode", "rrtstar") == "connect":
+        mode = "connect"
+    else:
+        mode = "wave" if wave_width > 1 else "scalar"
+    attributes = {
         "robot": request.task.robot_name,
         "obstacles": str(request.task.environment.num_obstacles),
-        "mode": "wave" if wave_width > 1 else "scalar",
+        "mode": mode,
         "wave_width": str(wave_width),
         "kernels": str(getattr(config, "kernels", "batch")),
         "deadline": "armed" if deadline_armed else "none",
         "fault": str(request.fault) if request.fault else "clean",
     }
+    planner = getattr(request, "planner", None)
+    if planner:
+        # Portfolio race members: which entry this job raced as.
+        attributes["planner"] = str(planner)
+    return attributes
 
 
 @dataclass

@@ -29,6 +29,12 @@ CRASH_EXIT_CODE = 87
 #: realistic per-job timeout.
 _HANG_SECONDS = 3600.0
 
+#: Shared-memory race-cancellation bitmask (a ``multiprocessing.Value``
+#: of 64 bits, one per active race token modulo 64).  ``worker_main``
+#: installs the pool's flag here at start-up; inline execution leaves it
+#: None and the service cancels inline races without it.
+_RACE_CANCEL = None
+
 
 def apply_fault(fault: Optional[str]) -> None:
     """Honour a request's chaos hook (see :class:`PlanRequest.fault`)."""
@@ -61,13 +67,21 @@ def response_from_result(
 
     A planner run that expired its deadline/op budget ships as
     ``status="degraded"`` (carrying the best-so-far path and the remaining
-    goal distance); only a complete run is ``"ok"`` — the distinction is
+    goal distance); a run stopped by race cancellation
+    (``degraded_reason == "cancelled"``) ships as the terminal
+    ``"cancelled"``; only a complete run is ``"ok"`` — the distinction is
     load-bearing because the plan cache stores nothing but ``"ok"``.
     """
     brief = result.brief()
+    if result.status == "complete":
+        status = "ok"
+    elif result.degraded_reason == "cancelled":
+        status = "cancelled"
+    else:
+        status = "degraded"
     return PlanResponse(
         request_id=request.request_id,
-        status="ok" if result.status == "complete" else "degraded",
+        status=status,
         success=brief["success"],
         path_cost=brief["path_cost"],
         num_nodes=brief["num_nodes"],
@@ -79,6 +93,7 @@ def response_from_result(
         plan_seconds=plan_seconds,
         degraded_reason=result.degraded_reason,
         best_goal_distance=result.best_goal_distance,
+        planner=request.planner,
     )
 
 
@@ -96,8 +111,9 @@ def execute_request(request: PlanRequest) -> PlanResponse:
     absorbs them tagged with the job id (:mod:`repro.service.runner`).
     """
     from repro import obs
+    from repro.core import cancel as _cancel
+    from repro.core.planners import make_planner
     from repro.core.robots import get_robot
-    from repro.core.rrtstar import RRTStarPlanner
     from repro.faults import get_injector
 
     apply_fault(request.fault)
@@ -106,6 +122,15 @@ def execute_request(request: PlanRequest) -> PlanResponse:
     if injector is not None:
         injector.fire("worker.plan", detail=request.request_id)
     robot = get_robot(request.task.robot_name)
+
+    # Race members poll the pool's shared cancel flag through the planner's
+    # budget check; non-race requests keep the zero-overhead no-predicate
+    # path.  The predicate is installed per job and always removed.
+    previous_cancel = None
+    race_armed = request.race_token is not None and _RACE_CANCEL is not None
+    if race_armed:
+        flag, bit = _RACE_CANCEL, request.race_token % 64
+        previous_cancel = _cancel.install(lambda: bool((flag.value >> bit) & 1))
 
     observing = bool(request.trace)
     if observing:
@@ -117,14 +142,14 @@ def execute_request(request: PlanRequest) -> PlanResponse:
         with obs.get_tracer().span(
             "job", request_id=request.request_id, lanes=request.lanes
         ):
-            if request.lanes > 1:
+            if request.lanes > 1 and request.config.mode == "rrtstar":
                 from repro.core.batch import BatchRRTStarPlanner
 
                 planner = BatchRRTStarPlanner(
                     robot, request.task, request.config, batch_size=request.lanes
                 )
             else:
-                planner = RRTStarPlanner(robot, request.task, request.config)
+                planner = make_planner(robot, request.task, request.config)
             result = planner.plan()
 
             if request.smooth and result.success:
@@ -144,6 +169,8 @@ def execute_request(request: PlanRequest) -> PlanResponse:
     finally:
         if observing:
             obs.restore(previous)
+        if race_armed:
+            _cancel.install(previous_cancel)
 
     response = response_from_result(request, result, elapsed)
     if observing:
@@ -182,7 +209,8 @@ def _send_with_faults(conn, job_id: int, response: PlanResponse, kind: Optional[
         os._exit(CRASH_EXIT_CODE)
 
 
-def worker_main(worker_id: int, conn, fault_plan: Optional[FaultPlan] = None) -> None:
+def worker_main(worker_id: int, conn, fault_plan: Optional[FaultPlan] = None,
+                cancel_flags=None) -> None:
     """Child-process loop: serve jobs over the private duplex pipe.
 
     Runs until the ``None`` sentinel arrives or the supervisor end of the
@@ -190,7 +218,13 @@ def worker_main(worker_id: int, conn, fault_plan: Optional[FaultPlan] = None) ->
     itself identifies the worker to the supervisor.  When the pool carries
     a :class:`~repro.faults.FaultPlan`, an injector scoped to this worker
     is installed process-globally so planner-loop sites fire here too.
+    ``cancel_flags`` is the pool's shared race-cancellation bitmask;
+    installing it process-globally lets :func:`execute_request` arm the
+    per-job cancel predicate for portfolio race members.
     """
+    global _RACE_CANCEL
+    if cancel_flags is not None:
+        _RACE_CANCEL = cancel_flags
     injector = install_plan(fault_plan, scope=f"worker{worker_id}")
     while True:
         try:
