@@ -30,7 +30,10 @@ in the metrics registry as ``repro_portfolio_wins_total{planner,robot}``.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
+import warnings
 from dataclasses import replace
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
@@ -121,8 +124,10 @@ def task_signature(task) -> str:
 class PortfolioStats:
     """Per-signature win counters with optional JSON persistence.
 
-    The file format is versioned and append-free (rewritten whole on each
-    :meth:`save`), so concurrent readers always see a consistent snapshot::
+    The file format is versioned and append-free: each :meth:`save`
+    rewrites the whole snapshot atomically (same-directory temp file,
+    fsync, ``os.replace``), so readers — and a process restarting after
+    a crash — always see a consistent snapshot::
 
         {"schema": 1, "wins": {"rozum/24obs": {"connect": 17, "wave": 3}}}
     """
@@ -160,13 +165,64 @@ class PortfolioStats:
         }
 
     def save(self, path: Optional[str] = None) -> None:
+        """Atomically rewrite the stats file (write temp + fsync + rename).
+
+        A crash — even a kill -9 mid-write — leaves either the old file
+        or the new one, never a truncated hybrid: the bytes are fsynced
+        into a same-directory temp file and swapped in with
+        ``os.replace``, which POSIX guarantees is atomic.
+        """
         target = path if path is not None else self.path
         if target is None:
             raise ValueError("no path to save portfolio stats to")
-        pathlib.Path(target).write_text(json.dumps(self.to_dict(), indent=2))
+        target_path = pathlib.Path(target)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=target_path.name + ".", suffix=".tmp",
+            dir=str(target_path.parent) or ".",
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(self.to_dict(), indent=2))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     def load(self, path: str) -> None:
-        data = json.loads(pathlib.Path(path).read_text())
+        """Load a snapshot; a corrupt/truncated file resets to empty.
+
+        Damage (unparseable JSON, or a non-object payload) is survivable
+        — the table is *learned* state, so losing it costs a few races of
+        re-learning, not correctness — and is reported with a warning
+        instead of refusing to start.  A well-formed file with an
+        *unsupported schema* still raises ``ValueError``: that is a
+        version skew the operator must resolve, not damage to absorb.
+        """
+        try:
+            data = json.loads(pathlib.Path(path).read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            warnings.warn(
+                f"portfolio stats file {path!r} is corrupt or truncated; "
+                f"resetting to empty (win rates will be re-learned)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.wins = {}
+            return
+        if not isinstance(data, dict):
+            warnings.warn(
+                f"portfolio stats file {path!r} does not hold an object; "
+                f"resetting to empty (win rates will be re-learned)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.wins = {}
+            return
         if data.get("schema") != self.SCHEMA:
             raise ValueError(
                 f"unsupported portfolio stats schema {data.get('schema')!r}"

@@ -79,6 +79,8 @@ SITES = (
     "net.accept",        # front end: per accepted connection (drop/slow/error)
     "net.shard_rpc",     # shard client: before each cache-tier round trip
     "net.respond",       # front end: before writing an HTTP response
+    "journal.append",    # job journal: per WAL record (crash/drop/corrupt)
+    "shard.replicate",   # sharded cache: per replica (non-primary) write
 )
 
 _EXIT_CODE = 87          # matches service.worker.CRASH_EXIT_CODE

@@ -48,6 +48,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 disables edge shedding on breaker state)")
     serve.add_argument("--breaker-cooldown", type=float, default=2.0)
     serve.add_argument("--virtual-nodes", type=int, default=64)
+    serve.add_argument("--replication", type=int, default=1,
+                       help="copies of each entry on the shard tier "
+                            "(>1 arms read failover + backfill)")
+    serve.add_argument("--journal-dir", default=None, metavar="DIR",
+                       help="write-ahead job journal directory; arms "
+                            "crash recovery on restart")
+    serve.add_argument("--drain-deadline", type=float, default=10.0,
+                       help="seconds a SIGTERM drain waits for inflight "
+                            "jobs before shutting down anyway")
     serve.add_argument("--metrics", action="store_true",
                        help="enable the obs metrics registry so GET "
                             "/metrics exports live counters")
@@ -77,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--concurrency", type=int, default=16)
     demo.add_argument("--max-queue-depth", type=int, default=32)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--rolling", action="store_true",
+                      help="restart every server one at a time under "
+                           "live traffic (journals + replication on); "
+                           "the gate still requires zero errors")
+    demo.add_argument("--journal-dir", default=None, metavar="DIR",
+                      help="journal root for --rolling (default: tempdir)")
     demo.add_argument("--out", default=None,
                       help="write the JSON report here too")
     demo.add_argument("--quiet", action="store_true")
@@ -109,6 +124,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             breaker_threshold=args.breaker_threshold,
             breaker_cooldown_s=args.breaker_cooldown,
             virtual_nodes=args.virtual_nodes,
+            replication=args.replication,
+            journal_dir=args.journal_dir,
+            drain_deadline_s=args.drain_deadline,
             fault_spec=args.fault_plan,
             fault_seed=args.fault_seed,
         ))
@@ -136,6 +154,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             out=args.out,
             quiet=args.quiet,
+            rolling=args.rolling,
+            journal_dir=args.journal_dir,
         )
 
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -19,8 +19,11 @@ ephemeral ports and no config files.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import sys
+import tempfile
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -81,6 +84,26 @@ def _wait_healthy(url: str, timeout_s: float = _START_TIMEOUT_S) -> Dict:
     raise RuntimeError(f"{url} never became healthy: {last_error}")
 
 
+def _wait_ready(url: str, timeout_s: float = _START_TIMEOUT_S) -> Dict:
+    """Poll the *readiness* probe: 200 only after recovery has replayed.
+
+    ``HTTPError`` (the 503 while starting/draining) is a ``URLError``
+    subclass, so the retry loop covers both not-yet-listening and
+    alive-but-not-ready.
+    """
+    deadline = time.monotonic() + timeout_s
+    last_error: Optional[str] = None
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(url + "/healthz?ready=1",
+                                        timeout=2.0) as resp:
+                return json.loads(resp.read())
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            last_error = str(exc)
+            time.sleep(0.1)
+    raise RuntimeError(f"{url} never became ready: {last_error}")
+
+
 def run_demo(
     rps: float = 200.0,
     duration_s: float = 10.0,
@@ -94,8 +117,22 @@ def run_demo(
     seed: int = 0,
     out: Optional[str] = None,
     quiet: bool = False,
+    rolling: bool = False,
+    journal_dir: Optional[str] = None,
 ) -> int:
-    """Stand the tier up, drive it, report, and tear it down (exit code)."""
+    """Stand the tier up, drive it, report, and tear it down (exit code).
+
+    With ``rolling`` the demo additionally restarts each front end, one
+    at a time, *while the load is running*: SIGTERM (graceful drain —
+    admissions 503, inflight runs to terminal), wait for exit, respawn
+    on the same port with the same journal directory, wait for the
+    readiness probe, move to the next server.  Traffic runs with
+    unavailable-retry on, so the gate stays "zero errors": every
+    accepted request is served even though every server process was
+    replaced mid-run.  Rolling mode arms journals (a temp directory per
+    server unless ``journal_dir`` is given) and replication 2 on the
+    shard tier, so the restart exercises the full durability stack.
+    """
     from repro.net.traffic import (
         TrafficConfig,
         build_report,
@@ -105,8 +142,30 @@ def run_demo(
 
     if shards < 1 or servers < 1:
         raise ValueError("demo needs at least one shard and one server")
+    if rolling and servers < 2:
+        raise ValueError("rolling restart needs at least 2 servers "
+                         "(someone must keep serving)")
+    journal_root: Optional[str] = journal_dir
+    if rolling and journal_root is None:
+        journal_root = tempfile.mkdtemp(prefix="repro-demo-journal-")
+    replication = min(2, shards) if rolling else 1
     children: List[_Child] = []
     say = (lambda *a: None) if quiet else (lambda *a: print(*a, flush=True))
+
+    def serve_args(index: int, port: str) -> List[str]:
+        args = [
+            "serve", "--port", port,
+            "--workers", str(workers),
+            "--max-queue-depth", str(max_queue_depth),
+            "--shards", ",".join(shard_endpoints),
+        ]
+        if journal_root:
+            args += ["--journal-dir",
+                     os.path.join(journal_root, f"server-{index}")]
+        if replication > 1:
+            args += ["--replication", str(replication)]
+        return args
+
     try:
         shard_endpoints: List[str] = []
         for _ in range(shards):
@@ -116,22 +175,20 @@ def run_demo(
         say(f"demo: {shards} cache shard(s) up: {', '.join(shard_endpoints)}")
 
         urls: List[str] = []
-        for _ in range(servers):
-            child = _Child("FRONTEND", [
-                "serve", "--port", "0",
-                "--workers", str(workers),
-                "--max-queue-depth", str(max_queue_depth),
-                "--shards", ",".join(shard_endpoints),
-            ])
+        fronts: List[_Child] = []
+        for index in range(servers):
+            child = _Child("FRONTEND", serve_args(index, "0"))
             children.append(child)
+            fronts.append(child)
             urls.append("http://" + child.await_announce())
         for url in urls:
-            _wait_healthy(url)
-        say(f"demo: {servers} front end(s) healthy: {', '.join(urls)} "
+            _wait_ready(url)
+        say(f"demo: {servers} front end(s) ready: {', '.join(urls)} "
             f"({workers} workers each)")
 
         say(f"demo: driving closed-loop {arrival} traffic at {rps:g} rps "
-            f"for {duration_s:g}s (mix={mix}) ...")
+            f"for {duration_s:g}s (mix={mix}"
+            + (", rolling restarts" if rolling else "") + ") ...")
         config = TrafficConfig(
             urls=tuple(urls),
             mode="closed",
@@ -141,9 +198,50 @@ def run_demo(
             arrival=arrival,
             mix=mix,
             seed=seed,
+            retry_unavailable=rolling,
         )
-        result = run_traffic(config)
+        restarts: List[Dict] = []
+        if rolling:
+            holder: Dict[str, object] = {}
+
+            def _drive() -> None:
+                holder["result"] = run_traffic(config)
+
+            driver = threading.Thread(target=_drive, daemon=True)
+            driver.start()
+            time.sleep(min(1.0, duration_s / 4))  # let load establish
+            for index in range(servers):
+                old = fronts[index]
+                endpoint = old.endpoint
+                port = endpoint.rpartition(":")[2]
+                say(f"demo: rolling — draining {urls[index]} ...")
+                t0 = time.monotonic()
+                old.proc.terminate()  # SIGTERM: graceful drain
+                old.proc.wait(timeout=_START_TIMEOUT_S)
+                fresh = _Child("FRONTEND", serve_args(index, port))
+                children.append(fresh)
+                fronts[index] = fresh
+                fresh.await_announce()
+                ready = _wait_ready(urls[index])
+                restarts.append({
+                    "url": urls[index],
+                    "downtime_s": round(time.monotonic() - t0, 3),
+                    "recovery": ready.get("recovery"),
+                })
+                say(f"demo: rolling — {urls[index]} back "
+                    f"({restarts[-1]['downtime_s']}s, recovery="
+                    f"{json.dumps(ready.get('recovery'))})")
+            driver.join()
+            result = holder["result"]
+        else:
+            result = run_traffic(config)
         report = build_report(result, config)
+        if rolling:
+            report["rolling"] = {
+                "restarts": restarts,
+                "retried": result.retried,
+                "journal_dir": journal_root,
+            }
 
         # Fold the tier's server-side view into the report: per-server
         # health (cache stats include the shared shard tier) after load.
@@ -160,6 +258,8 @@ def run_demo(
             full = build_report(result, config, include_records=True)
             full["servers"] = report["servers"]
             full["shards"] = shard_endpoints
+            if rolling:
+                full["rolling"] = report["rolling"]
             pathlib.Path(out).write_text(json.dumps(full, indent=2))
         violations = check_report(report)
         for violation in violations:

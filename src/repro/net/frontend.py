@@ -97,6 +97,12 @@ class FrontEndConfig:
         breaker_threshold / breaker_cooldown_s: circuit-breaker wiring
             (non-zero threshold arms edge shedding on an open breaker).
         virtual_nodes: hash-ring vnodes per shard.
+        replication: copies of each entry on the shard tier (>1 arms
+            read failover + anti-entropy backfill).
+        journal_dir: directory for the write-ahead job journal; ``None``
+            disables durability (no WAL, no crash recovery).
+        drain_deadline_s: seconds a SIGTERM drain waits for inflight
+            jobs to reach terminal status before shutting down anyway.
     """
 
     host: str = "127.0.0.1"
@@ -112,6 +118,9 @@ class FrontEndConfig:
     breaker_threshold: int = 5
     breaker_cooldown_s: float = 2.0
     virtual_nodes: int = 64
+    replication: int = 1
+    journal_dir: Optional[str] = None
+    drain_deadline_s: float = 10.0
     fault_spec: Optional[str] = None
     fault_seed: int = 1
 
@@ -124,6 +133,10 @@ class FrontEndConfig:
             raise ValueError("max_batch must be >= 1")
         if self.retry_after_s <= 0:
             raise ValueError("retry_after_s must be positive")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.drain_deadline_s <= 0:
+            raise ValueError("drain_deadline_s must be positive")
 
 
 class _Engine(threading.Thread):
@@ -134,10 +147,15 @@ class _Engine(threading.Thread):
     to the terminal :class:`PlanResponse`.
     """
 
-    def __init__(self, service: PlanningService, max_batch: int) -> None:
+    def __init__(self, service: PlanningService, max_batch: int,
+                 prepare=None) -> None:
         super().__init__(name="repro-net-engine", daemon=True)
         self.service = service
         self.max_batch = max_batch
+        #: Optional callable run on the engine thread before the first
+        #: batch — crash recovery replays here, so recovered jobs execute
+        #: under the same single-owner discipline as live traffic.
+        self.prepare = prepare
         self.intake: "queue.Queue[Optional[tuple]]" = queue.Queue()
         #: Jobs inside the currently-running batch (engine-thread writes,
         #: handler-thread reads; int writes are atomic under the GIL).
@@ -161,6 +179,8 @@ class _Engine(threading.Thread):
         self.intake.put(None)
 
     def run(self) -> None:
+        if self.prepare is not None:
+            self.prepare()
         while True:
             try:
                 item = self.intake.get(timeout=0.1)
@@ -206,7 +226,8 @@ class PlanFrontEnd:
             from repro.net.shard import ShardedPlanCache
 
             cache = ShardedPlanCache(list(cfg.shards),
-                                     virtual_nodes=cfg.virtual_nodes)
+                                     virtual_nodes=cfg.virtual_nodes,
+                                     replication=cfg.replication)
         pool_config = None
         if cfg.workers > 0:
             pool_config = PoolConfig(
@@ -215,21 +236,56 @@ class PlanFrontEnd:
                 breaker_threshold=cfg.breaker_threshold,
                 breaker_cooldown_s=cfg.breaker_cooldown_s,
             )
+        journal = None
+        if cfg.journal_dir:
+            from repro.service.journal import JobJournal
+
+            journal = JobJournal(cfg.journal_dir)
         self.service = PlanningService(
             num_workers=cfg.workers,
             cache_capacity=cfg.cache_capacity,
             pool_config=pool_config,
             cache=cache,
+            journal=journal,
         )
-        self.engine = _Engine(self.service, cfg.max_batch)
+        self.engine = _Engine(self.service, cfg.max_batch,
+                              prepare=self._recover)
         self._ids = itertools.count(1)
         #: Async-mode results: id -> Future, bounded FIFO eviction.
         self._results: "OrderedDict[str, object]" = OrderedDict()
         self._results_cap = 4096
         self.inflight = 0
-        self.shed = {"queue": 0, "inflight": 0, "breaker": 0}
+        self.shed = {"queue": 0, "inflight": 0, "breaker": 0, "draining": 0}
         self.started_at = time.monotonic()
         self._server: Optional[asyncio.AbstractServer] = None
+        #: Readiness gate: set once journal recovery has replayed (or there
+        #: is no journal).  ``/healthz?ready=1`` answers 503 until then.
+        self.ready = threading.Event()
+        if journal is None:
+            # Nothing to recover: ready immediately, even in unit tests
+            # that never start the engine thread.
+            self.ready.set()
+        #: SIGTERM drain state: True stops admissions (503 + Retry-After)
+        #: while inflight work runs to terminal status.
+        self.draining = False
+        #: Recovery summary from the engine's prepare step (None before).
+        self.recovery: Optional[Dict] = None
+
+    def _recover(self) -> None:
+        """Engine prepare step: replay the journal, then open readiness."""
+        try:
+            result = self.service.recover()
+            # Responses are live objects, not JSON — /healthz reports the
+            # counts, telemetry already observed the responses themselves.
+            result.pop("responses", None)
+            self.recovery = result
+        except Exception as exc:  # recovery must never wedge the engine
+            self.recovery = {
+                "enabled": True,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        finally:
+            self.ready.set()
 
     # ------------------------------------------------------------ lifecycle
 
@@ -257,6 +313,32 @@ class PlanFrontEnd:
             self._server = None
         self.engine.stop()
         self.engine.join(timeout=5.0)
+
+    async def drain_and_stop(self) -> bool:
+        """Graceful shutdown: stop admissions, drain, mark clean.
+
+        The SIGTERM path.  New ``POST /plan`` requests answer 503 with a
+        ``Retry-After`` the moment ``draining`` flips; inflight jobs get
+        up to ``drain_deadline_s`` to reach terminal status.  Only a
+        fully-drained shutdown writes the journal's clean-shutdown marker
+        — an expired deadline leaves the journal "dirty" so the next
+        start replays whatever was cut off.  Returns True when the drain
+        completed in time.
+        """
+        self.draining = True
+        deadline = time.monotonic() + self.config.drain_deadline_s
+        while time.monotonic() < deadline:
+            if self.engine.depth() == 0 and self.inflight == 0:
+                break
+            await asyncio.sleep(0.05)
+        drained = self.engine.depth() == 0 and self.inflight == 0
+        await self.stop()
+        journal = getattr(self.service, "journal", None)
+        if journal is not None:
+            if drained:
+                journal.mark_clean_shutdown()
+            journal.close()
+        return drained
 
     # ------------------------------------------------------------ admission
 
@@ -377,7 +459,7 @@ class PlanFrontEnd:
             elif path.startswith("/result/") and method == "GET":
                 result = self._handle_result(path[len("/result/"):])
             elif path == "/healthz" and method == "GET":
-                result = 200, self._health(), {}
+                result = self._handle_health(parts.query)
             elif path == "/metrics" and method == "GET":
                 return await self._handle_metrics()
             elif path in ("/plan", "/healthz", "/metrics") \
@@ -403,6 +485,20 @@ class PlanFrontEnd:
     async def _handle_plan(self, query: str, body: bytes):
         if body == b"__too_large__":
             return 413, error_body("invalid", "request body too large"), {}
+        if self.draining:
+            # Graceful drain: refuse new work outright (503, not 429 —
+            # this server is going away, not merely busy) but keep
+            # serving what was already admitted.
+            self.shed["draining"] += 1
+            bump("repro_net_shed_total",
+                 help="Requests shed by admission control", reason="draining")
+            retry_s = max(1, math.ceil(self.config.retry_after_s))
+            return (
+                503,
+                {"error": "draining", "shed": True, "reason": "draining",
+                 "retry_after_s": retry_s},
+                {"Retry-After": str(retry_s)},
+            )
         shed = self._shed_reason()
         if shed is not None:
             reason, retry_after = shed
@@ -452,11 +548,34 @@ class PlanFrontEnd:
                                    result_id), {}
         return http_status_for(response.status), response_to_wire(response), {}
 
+    def _handle_health(self, query: str):
+        """Liveness always answers 200; ``?ready=1`` is the gate probe.
+
+        Readiness is 503 while journal recovery has not finished *or*
+        the server is draining — in both states the process is alive but
+        must not receive new traffic (rolling-restart orchestrators and
+        load balancers key off exactly this split).
+        """
+        probe = parse_qs(query).get("ready", ["0"])[0] \
+            not in ("0", "", "false", "no")
+        # Gate first, body second: the ready flag is set *after* the
+        # recovery summary is published, so a body built after a passing
+        # gate check is guaranteed to carry it (building the body first
+        # can snapshot a pre-recovery state and then pass the gate).
+        if probe and (self.draining or not self.ready.is_set()):
+            body = self._health()
+            body["status"] = "draining" if self.draining else "starting"
+            return 503, body, {"Retry-After": "1"}
+        return 200, self._health(), {}
+
     def _health(self) -> Dict:
         breaker = self.service.breaker
         return {
             "status": "ok",
             "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "ready": self.ready.is_set() and not self.draining,
+            "draining": self.draining,
+            "recovery": self.recovery,
             "queue_depth": self.engine.depth(),
             "max_queue_depth": self.config.max_queue_depth,
             "inflight": self.inflight,
@@ -478,7 +597,14 @@ class PlanFrontEnd:
 
 
 def run_server(config: FrontEndConfig, announce: bool = True) -> None:
-    """Blocking entry point: serve one front end until interrupted."""
+    """Blocking entry point: serve one front end until interrupted.
+
+    SIGTERM triggers the graceful drain (:meth:`PlanFrontEnd.
+    drain_and_stop`): admissions stop with 503 + Retry-After, inflight
+    work runs to terminal status within the drain deadline, and a clean
+    drain stamps the journal's clean-shutdown marker.  SIGINT/KILL skip
+    all of that — which is exactly what the recovery path is for.
+    """
     if config.fault_spec:
         from repro.faults import FaultPlan, install_plan
 
@@ -488,11 +614,36 @@ def run_server(config: FrontEndConfig, announce: bool = True) -> None:
     front = PlanFrontEnd(config)
 
     async def _main() -> None:
+        import signal
+
         await front.start()
+        term = asyncio.Event()
+        try:
+            asyncio.get_running_loop().add_signal_handler(
+                signal.SIGTERM, term.set
+            )
+        except (NotImplementedError, RuntimeError):
+            pass  # non-main thread or platform without signal support
         if announce:  # parseable line so orchestrators can learn the port
             print(f"FRONTEND {front.config.host}:{front.config.port}",
                   flush=True)
-        await front.serve_forever()
+        serve = asyncio.ensure_future(front.serve_forever())
+        waiter = asyncio.ensure_future(term.wait())
+        await asyncio.wait({serve, waiter},
+                           return_when=asyncio.FIRST_COMPLETED)
+        if term.is_set():
+            # Drain fully *inside* the running loop — asyncio.run would
+            # cancel a half-finished drain task on teardown otherwise.
+            drained = await front.drain_and_stop()
+            if announce:
+                print(f"DRAINED {'clean' if drained else 'deadline'}",
+                      flush=True)
+        waiter.cancel()
+        serve.cancel()
+        try:
+            await serve
+        except (asyncio.CancelledError, Exception):
+            pass
 
     try:
         asyncio.run(_main())

@@ -104,6 +104,30 @@ class HashRing:
             index = 0
         return self._owners[index]
 
+    def nodes_for(self, key: str, count: int = 1) -> List[str]:
+        """``key``'s owner plus its ``count - 1`` distinct ring successors.
+
+        The replication set: walking clockwise from the key's hash and
+        collecting distinct owners gives every key the same successor
+        list on every process (same SHA-256 ring), so writers and
+        readers agree on where the replicas live without coordination.
+        ``count`` is clamped to the number of nodes on the ring.
+        """
+        if not self._ring:
+            raise ValueError("hash ring is empty")
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        count = min(count, len(self._nodes))
+        index = bisect.bisect(self._ring, _hash(key))
+        owners: List[str] = []
+        for step in range(len(self._ring)):
+            owner = self._owners[(index + step) % len(self._ring)]
+            if owner not in owners:
+                owners.append(owner)
+                if len(owners) == count:
+                    break
+        return owners
+
     def distribution(self, keys: Sequence[str]) -> Dict[str, int]:
         """Keys-per-node histogram for ``keys`` (uniformity diagnostics)."""
         out: Dict[str, int] = {node: 0 for node in self._nodes}

@@ -27,6 +27,7 @@ from __future__ import annotations
 import asyncio
 import json
 import socket
+import time
 from typing import Dict, List, Optional
 
 from repro.faults import get_injector
@@ -86,6 +87,15 @@ class CacheShardServer:
             self.cache.put(str(message["key"]),
                            response_from_wire(message["response"]))
             return {"ok": True}
+        if op == "keys":
+            # Anti-entropy enumeration: no hit/miss accounting.
+            return {"ok": True, "keys": self.cache.keys()}
+        if op == "peek":
+            # Raw read for backfill: no relabel, no LRU reorder.
+            entry = self.cache.peek(str(message["key"]))
+            if entry is None:
+                return {"ok": True, "hit": False}
+            return {"ok": True, "hit": True, "response": response_to_wire(entry)}
         if op == "stats":
             stats = self.cache.stats()
             stats["requests"] = self.requests
@@ -230,23 +240,51 @@ class ShardClient:
 class ShardedPlanCache:
     """Consistent-hash sharded cache tier with the :class:`PlanCache` API.
 
+    With ``replication > 1`` every entry is written to the key's owner
+    *and* its ring successors, and reads fail over down the same replica
+    chain — a dead primary degrades to a replica-served hit instead of a
+    miss, and the response is tagged ``via_replica`` so telemetry can
+    split the two.  Endpoints that error are down-marked and skipped for
+    ``retry_down_s`` (one failed connect per probe window instead of one
+    per lookup); when a probe finds a down shard alive again, the tier
+    backfills it from its replica peers (anti-entropy) before trusting it
+    with reads.
+
     Args:
         endpoints: shard endpoints (``"host:port"`` strings).
         virtual_nodes: hash-ring vnodes per shard.
         timeout_s: per-RPC socket timeout.
+        replication: copies of each entry (clamped to the shard count).
+        retry_down_s: seconds before a down-marked shard is re-probed.
+            The default 0 probes on every access (a failed shard still
+            heals on the very next lookup); raise it when connect
+            *timeouts* — rather than fast refusals — are the failure
+            mode and per-lookup probing would stall the caller.
     """
 
     def __init__(self, endpoints: List[str], virtual_nodes: int = 64,
-                 timeout_s: float = 2.0) -> None:
+                 timeout_s: float = 2.0, replication: int = 1,
+                 retry_down_s: float = 0.0) -> None:
         if not endpoints:
             raise ValueError("sharded cache needs at least one endpoint")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
         self.ring = HashRing(endpoints, virtual_nodes=virtual_nodes)
+        self.replication = replication
+        self.retry_down_s = retry_down_s
+        self._timeout_s = timeout_s
         self._clients: Dict[str, ShardClient] = {
             endpoint: ShardClient(endpoint, timeout_s) for endpoint in endpoints
         }
+        #: endpoint -> monotonic time it was marked down.  Down shards are
+        #: skipped until ``retry_down_s`` elapses, then probed once.
+        self._down: Dict[str, float] = {}
         self.hits = 0
         self.misses = 0
         self.shard_errors = 0
+        self.failovers = 0
+        self.replica_hits = 0
+        self.backfilled = 0
 
     # ------------------------------------------------------------- topology
 
@@ -263,10 +301,42 @@ class ShardedPlanCache:
         """Leave a shard (its keys fall to ring neighbours as misses)."""
         self.ring.remove_node(endpoint)
         self._clients.pop(endpoint).close()
+        self._down.pop(endpoint, None)
 
     def close(self) -> None:
         for client in self._clients.values():
             client.close()
+
+    # -------------------------------------------------------- replica health
+
+    def replicas_for(self, key: str) -> List[str]:
+        """The key's replica chain: primary first, then ring successors."""
+        return self.ring.nodes_for(key, self.replication)
+
+    def _skip_down(self, endpoint: str) -> bool:
+        """True when ``endpoint`` is down-marked and not yet due a probe."""
+        marked = self._down.get(endpoint)
+        if marked is None:
+            return False
+        return (time.monotonic() - marked) < self.retry_down_s
+
+    def _mark_down(self, endpoint: str, op: str) -> None:
+        self.shard_errors += 1
+        self._down[endpoint] = time.monotonic()
+        bump("repro_net_shard_errors_total",
+             help="Shard RPCs that failed (timeouts, resets, faults)",
+             endpoint=endpoint, op=op)
+
+    def _mark_up(self, endpoint: str) -> None:
+        """A previously-down shard answered: clear the mark, backfill it.
+
+        The backfill runs *before* the shard serves its next read — a
+        rejoining shard has an empty (or stale) cache and would otherwise
+        turn every key it owns into a miss until organic traffic refills
+        it.
+        """
+        if self._down.pop(endpoint, None) is not None and self.replication > 1:
+            self.backfill(endpoint)
 
     # ---------------------------------------------------------- cache facade
 
@@ -274,41 +344,147 @@ class ShardedPlanCache:
         return self._clients[self.ring.node_for(key)]
 
     def get(self, key: str, request_id: str = "") -> Optional[PlanResponse]:
-        """Tier lookup; shard trouble counts as a miss, never an error."""
-        client = self._client_for(key)
-        try:
-            reply = client.call({"op": "get", "key": key,
-                                 "request_id": request_id})
-        except (OSError, ValueError) as exc:
+        """Tier lookup with read failover down the replica chain.
+
+        Tries the primary first, then each ring successor holding a
+        replica; shard trouble down-marks the endpoint and moves on.  A
+        replica-served hit is tagged ``via_replica`` and read-repaired
+        back to the primary (best-effort).  Only when every replica is
+        unreachable or empty does the lookup degrade to a miss — the tier
+        stays an accelerator, never a dependency.
+        """
+        replicas = self.replicas_for(key)
+        for rank, endpoint in enumerate(replicas):
+            if self._skip_down(endpoint):
+                # Down-marking skips the connect attempt, not the
+                # accounting: this lookup still failed to reach a shard.
+                self.shard_errors += 1
+                bump("repro_net_shard_errors_total",
+                     help="Shard RPCs that failed (timeouts, resets, faults)",
+                     endpoint=endpoint, op="get")
+                continue
+            probing = endpoint in self._down
+            try:
+                reply = self._clients[endpoint].call(
+                    {"op": "get", "key": key, "request_id": request_id}
+                )
+            except (OSError, ValueError):
+                self._mark_down(endpoint, op="get")
+                continue
+            # First successful reply decides the lookup: an alive shard
+            # answering "no hit" is a genuine miss, not a reason to scan
+            # the rest of the chain.
+            if probing:
+                self._mark_up(endpoint)
+            if rank > 0:
+                # Primary was down or erroring: this read failed over.
+                self.failovers += 1
+                bump("repro_shard_failovers_total",
+                     help="Reads served by a replica after primary failure")
+            if not reply.get("hit"):
+                break
+            self.hits += 1
+            bump("repro_cache_events_total", cache="plan_shard", event="hit")
+            # The shard already relabelled the entry for ``request_id`` and
+            # marked it as a hit (PlanCache.get does), so decode verbatim.
+            response = response_from_wire(reply["response"])
+            if rank > 0:
+                self.replica_hits += 1
+                response.via_replica = True
+                # Read repair: push the entry back to the primary so the
+                # next lookup is served first-hop again.
+                self._put_one(replicas[0], key, reply["response"],
+                              op="read_repair")
+            return response
+        self.misses += 1
+        bump("repro_cache_events_total", cache="plan_shard", event="miss")
+        return None
+
+    def _put_one(self, endpoint: str, key: str, wire: Dict, op: str) -> bool:
+        """Best-effort put of an already-encoded entry to one shard."""
+        if self._skip_down(endpoint):
             self.shard_errors += 1
-            self.misses += 1
             bump("repro_net_shard_errors_total",
                  help="Shard RPCs that failed (timeouts, resets, faults)",
-                 endpoint=client.endpoint, op="get")
-            bump("repro_cache_events_total", cache="plan_shard", event="miss")
-            del exc
-            return None
-        if not reply.get("hit"):
-            self.misses += 1
-            bump("repro_cache_events_total", cache="plan_shard", event="miss")
-            return None
-        self.hits += 1
-        bump("repro_cache_events_total", cache="plan_shard", event="hit")
-        # The shard already relabelled the entry for ``request_id`` and
-        # marked it as a hit (PlanCache.get does), so decode verbatim.
-        return response_from_wire(reply["response"])
+                 endpoint=endpoint, op=op)
+            return False
+        probing = endpoint in self._down
+        try:
+            self._clients[endpoint].call(
+                {"op": "put", "key": key, "response": wire}
+            )
+        except (OSError, ValueError):
+            self._mark_down(endpoint, op=op)
+            return False
+        if probing:
+            self._mark_up(endpoint)
+        return True
 
     def put(self, key: str, response: PlanResponse) -> None:
-        """Insert into the owning shard (best-effort: errors are counted)."""
-        client = self._client_for(key)
+        """Insert into the owning shard and its replicas (best-effort)."""
+        wire = response_to_wire(response)
+        injector = get_injector()
+        for rank, endpoint in enumerate(self.replicas_for(key)):
+            if rank > 0 and injector is not None:
+                # ``shard.replicate``: chaos hook for lost replica writes —
+                # the replication analogue of a dropped WAL record.  Any
+                # returned kind loses this replica copy (the primary write
+                # already happened, so the entry survives degraded).
+                if injector.fire("shard.replicate", detail=endpoint) is not None:
+                    self.shard_errors += 1
+                    bump("repro_net_shard_errors_total",
+                         help="Shard RPCs that failed (timeouts, resets, faults)",
+                         endpoint=endpoint, op="replicate")
+                    continue
+            self._put_one(endpoint, key, wire,
+                          op="put" if rank == 0 else "replicate")
+
+    def backfill(self, endpoint: str) -> int:
+        """Anti-entropy: refill ``endpoint`` from its replica peers.
+
+        Walks every *other* live shard's key list, and for each key whose
+        replica chain includes ``endpoint`` but which ``endpoint`` does
+        not hold, peeks the entry from the peer and puts it to the
+        rejoining shard.  Peek (not get) so the repair traffic does not
+        skew hit-rate counters or LRU order on the donor.  Returns the
+        number of entries copied.
+        """
+        if endpoint not in self._clients:
+            raise ValueError(f"unknown shard {endpoint!r}")
+        copied = 0
+        target = self._clients[endpoint]
         try:
-            client.call({"op": "put", "key": key,
-                         "response": response_to_wire(response)})
+            have = set(target.call({"op": "keys"}).get("keys", []))
         except (OSError, ValueError):
-            self.shard_errors += 1
-            bump("repro_net_shard_errors_total",
-                 help="Shard RPCs that failed (timeouts, resets, faults)",
-                 endpoint=client.endpoint, op="put")
+            self._mark_down(endpoint, op="backfill")
+            return 0
+        for peer in self.ring.nodes:
+            if peer == endpoint or self._skip_down(peer):
+                continue
+            client = self._clients[peer]
+            try:
+                peer_keys = client.call({"op": "keys"}).get("keys", [])
+            except (OSError, ValueError):
+                self._mark_down(peer, op="backfill")
+                continue
+            for key in peer_keys:
+                if key in have or endpoint not in self.replicas_for(key):
+                    continue
+                try:
+                    reply = client.call({"op": "peek", "key": key})
+                except (OSError, ValueError):
+                    self._mark_down(peer, op="backfill")
+                    break
+                if not reply.get("hit"):
+                    continue
+                if self._put_one(endpoint, key, reply["response"],
+                                 op="backfill"):
+                    have.add(key)
+                    copied += 1
+                else:
+                    return copied  # target died mid-backfill
+        self.backfilled += copied
+        return copied
 
     def clear(self) -> None:
         for client in self._clients.values():
@@ -348,5 +524,10 @@ class ShardedPlanCache:
             "evictions": evictions,
             "sharded": True,
             "shard_errors": self.shard_errors,
+            "replication": self.replication,
+            "failovers": self.failovers,
+            "replica_hits": self.replica_hits,
+            "backfilled": self.backfilled,
+            "down": sorted(self._down),
             "shards": shards,
         }

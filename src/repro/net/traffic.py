@@ -199,6 +199,13 @@ class TrafficConfig:
     timeout_s: float = 30.0
     max_outstanding: int = 256     # open-loop safety valve
     seed_base: int = 0             # offset into every entry's seed pool
+    #: Retry 503 (draining) and transport-dead responses on the next URL
+    #: in the rotation.  This is the rolling-restart client contract: a
+    #: server that is going away tells you so, and the tier has siblings
+    #: — so follow the redirect instead of recording an error.
+    retry_unavailable: bool = False
+    retry_attempts: int = 4        # total tries per request when retrying
+    retry_backoff_s: float = 0.1   # sleep between tries
 
     def __post_init__(self) -> None:
         if self.mode not in ("closed", "open"):
@@ -221,6 +228,9 @@ class TrafficResult:
     started_at: float = 0.0
     finished_at: float = 0.0
     transport_errors: int = 0
+    #: Requests that needed at least one unavailable-retry (503/dead
+    #: server) before settling — the rolling-restart disruption measure.
+    retried: int = 0
 
     @property
     def duration_s(self) -> float:
@@ -239,29 +249,51 @@ def _spec_attributes(spec: Dict) -> Dict:
     return attrs
 
 
-def _one_request(client: _HttpClient, spec: Dict, result: TrafficResult,
-                 lock: threading.Lock) -> None:
+def _one_request(clients: "List[_HttpClient]", spec: Dict,
+                 result: TrafficResult, lock: threading.Lock,
+                 config: Optional[TrafficConfig] = None) -> None:
+    """Issue one request, optionally retrying unavailable servers.
+
+    ``clients`` is the worker's URL rotation; without retry only the
+    first client is used.  With ``config.retry_unavailable`` a 503
+    (draining server) or a dead connection moves to the next client in
+    the rotation, so a rolling restart shows up as latency, not errors.
+    One record is appended either way — the request's final outcome.
+    """
+    retry = config is not None and config.retry_unavailable
+    max_attempts = config.retry_attempts if retry else 1
     t0 = time.perf_counter()
-    try:
-        code, body = client.request("POST", "/plan", {"spec": spec})
-        record = {
-            "latency_s": time.perf_counter() - t0,
-            "code": code,
-            "status": body.get("status"),
-            "cache_hit": bool(body.get("cache_hit", False)),
-        }
-    except (OSError, http.client.HTTPException) as exc:
-        record = {
-            "latency_s": time.perf_counter() - t0,
-            "code": 0,
-            "status": "transport_error",
-            "error": f"{type(exc).__name__}: {exc}",
-        }
+    attempt = 0
+    while True:
+        client = clients[attempt % len(clients)]
+        attempt += 1
+        try:
+            code, body = client.request("POST", "/plan", {"spec": spec})
+            record = {
+                "latency_s": time.perf_counter() - t0,
+                "code": code,
+                "status": body.get("status"),
+                "cache_hit": bool(body.get("cache_hit", False)),
+            }
+        except (OSError, http.client.HTTPException) as exc:
+            record = {
+                "latency_s": time.perf_counter() - t0,
+                "code": 0,
+                "status": "transport_error",
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        if retry and record["code"] in (0, 503) and attempt < max_attempts:
+            time.sleep(config.retry_backoff_s)
+            continue
+        break
+    record["attempt"] = attempt
     record.update(_spec_attributes(spec))
     with lock:
         result.records.append(record)
         if record["code"] == 0:
             result.transport_errors += 1
+        if attempt > 1:
+            result.retried += 1
 
 
 def run_traffic(config: TrafficConfig) -> TrafficResult:
@@ -286,8 +318,12 @@ def run_traffic(config: TrafficConfig) -> TrafficResult:
             pacer = _Pacer(gap_fn, start)
 
         def worker(index: int) -> None:
-            client = _HttpClient(config.urls[index % len(config.urls)],
-                                 config.timeout_s)
+            # The worker's URL rotation starts at its own offset so load
+            # spreads evenly; the tail of the rotation is only touched by
+            # unavailable-retries.
+            n = len(config.urls)
+            clients = [_HttpClient(config.urls[(index + k) % n],
+                                   config.timeout_s) for k in range(n)]
             draw = _spec_stream(index)
             try:
                 while True:
@@ -301,9 +337,10 @@ def run_traffic(config: TrafficConfig) -> TrafficResult:
                         delay = slot - time.monotonic()
                         if delay > 0:
                             time.sleep(delay)
-                    _one_request(client, draw(), result, lock)
+                    _one_request(clients, draw(), result, lock, config)
             finally:
-                client.close()
+                for client in clients:
+                    client.close()
 
         threads = [threading.Thread(target=worker, args=(i,), daemon=True)
                    for i in range(config.concurrency)]
@@ -322,12 +359,15 @@ def run_traffic(config: TrafficConfig) -> TrafficResult:
         draw = _spec_stream(0)
         fired: List[threading.Thread] = []
 
-        def shoot(spec: Dict, url: str) -> None:
-            client = _HttpClient(url, config.timeout_s)
+        def shoot(spec: Dict, start_index: int) -> None:
+            n = len(config.urls)
+            clients = [_HttpClient(config.urls[(start_index + k) % n],
+                                   config.timeout_s) for k in range(n)]
             try:
-                _one_request(client, spec, result, lock)
+                _one_request(clients, spec, result, lock, config)
             finally:
-                client.close()
+                for client in clients:
+                    client.close()
                 outstanding.release()
 
         i = 0
@@ -343,7 +383,7 @@ def run_traffic(config: TrafficConfig) -> TrafficResult:
                 break  # saturated past the deadline
             t = threading.Thread(
                 target=shoot,
-                args=(draw(), config.urls[i % len(config.urls)]),
+                args=(draw(), i),
                 daemon=True,
             )
             t.start()
@@ -401,6 +441,7 @@ def build_report(result: TrafficResult, config: TrafficConfig,
         "shed": len(shed),
         "errors": len(errors),
         "transport_errors": result.transport_errors,
+        "retried": result.retried,
         "shed_rate": round(len(shed) / len(records), 4) if records else 0.0,
         "error_rate": round(len(errors) / len(records), 4) if records else 0.0,
         "cache_hits": sum(1 for r in served if r.get("cache_hit")),
@@ -476,6 +517,9 @@ def build_parser():
     parser.add_argument("--timeout", type=float, default=30.0)
     parser.add_argument("--seed-base", type=int, default=0,
                         help="offset into every mix entry's seed pool")
+    parser.add_argument("--retry-unavailable", action="store_true",
+                        help="retry 503/dead-server responses on the next "
+                             "URL (rolling-restart client contract)")
     parser.add_argument("--out", default=None,
                         help="write the JSON report here too")
     parser.add_argument("--gate", action="store_true",
@@ -501,6 +545,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         timeout_s=args.timeout,
         seed_base=args.seed_base,
+        retry_unavailable=args.retry_unavailable,
     )
     result = run_traffic(config)
     report = build_report(result, config)

@@ -191,6 +191,21 @@ def build_report(
             ),
             key=lambda row: (-row["wins"], row["planner"], row["robot"]),
         ),
+        # Durability: write-ahead journal traffic by record kind, what
+        # crash recovery did with the admits it found, and how often the
+        # replicated shard tier served a read from a replica after the
+        # primary died.
+        "durability": {
+            "journal_records": dict(sorted(_label_map(
+                metrics.get("repro_journal_records_total", []), "kind"
+            ).items())),
+            "recovery": dict(sorted(_label_map(
+                metrics.get("repro_recovery_replayed_total", []), "outcome"
+            ).items())),
+            "shard_failovers": sum(
+                v for _, v in metrics.get("repro_shard_failovers_total", [])
+            ),
+        },
     }
 
     if events is not None:
@@ -307,6 +322,25 @@ def render_report(report: Dict) -> str:
         blocks.append(
             "portfolio race wins\n"
             + _format_table(["planner", "robot", "wins"], rows)
+        )
+
+    durability = report.get("durability") or {}
+    journal_records = durability.get("journal_records") or {}
+    recovery = durability.get("recovery") or {}
+    failovers = durability.get("shard_failovers", 0)
+    if journal_records or recovery or failovers:
+        rows = [
+            [f"journal: {kind}", int(value)]
+            for kind, value in journal_records.items()
+        ]
+        rows += [
+            [f"recovery: {outcome}", int(value)]
+            for outcome, value in recovery.items()
+        ]
+        if failovers:
+            rows.append(["shard failovers", int(failovers)])
+        blocks.append(
+            "durability\n" + _format_table(["measure", "count"], rows)
         )
 
     faults = report.get("service_faults") or {}

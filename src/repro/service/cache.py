@@ -90,6 +90,23 @@ class PlanCache:
             "evictions": self.evictions,
         }
 
+    def keys(self) -> list:
+        """Current cache keys, LRU-oldest first (anti-entropy enumeration).
+
+        Used by the sharded tier's backfill: a rejoining shard asks its
+        ring successor for the keys it should own.  No accounting — this
+        is introspection, not a lookup.
+        """
+        return list(self._store)
+
+    def peek(self, key: str) -> Optional[PlanResponse]:
+        """Raw entry for ``key`` with no hit/miss accounting or relabel.
+
+        Backfill reads must not skew the hit-rate counters or reorder the
+        LRU chain, so this bypasses :meth:`get` entirely.
+        """
+        return self._store.get(key)
+
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
         self._store.clear()

@@ -102,6 +102,12 @@ class PlanRequest:
             member requests; callers leave it None).
         race_token: shared cancellation token of the member's race (set by
             the service; callers leave it None).
+        recovered: this request was rebuilt from the job journal by
+            crash recovery (set by :meth:`PlanningService.recover`;
+            callers leave it False).  Recovered requests are not
+            re-admitted to the journal — their original admit record is
+            the one being settled — and telemetry tags them so RCA can
+            attribute post-recovery latency.
     """
 
     task: PlanningTask
@@ -115,6 +121,7 @@ class PlanRequest:
     portfolio: Optional[Tuple[str, ...]] = None
     planner: Optional[str] = None
     race_token: Optional[int] = None
+    recovered: bool = False
 
     def __post_init__(self) -> None:
         if self.lanes < 1:
@@ -227,6 +234,9 @@ class PlanResponse:
     cache_hit: bool = False
     worker_id: Optional[int] = None
     attempts: int = 1
+    #: Served by a non-primary replica of the sharded cache tier after a
+    #: read failover (set by :class:`repro.net.shard.ShardedPlanCache`).
+    via_replica: bool = False
     #: Portfolio fields: which planner produced this response (the member
     #: label, or the winner's label on a race's answer) and the race
     #: summary a portfolio request's answer carries (``planners`` raced,
@@ -277,6 +287,7 @@ class PlanResponse:
             "cache_hit": self.cache_hit,
             "worker_id": self.worker_id,
             "attempts": self.attempts,
+            "via_replica": self.via_replica,
             "phase_seconds": dict(self.phase_seconds),
             "planner": self.planner,
             "race": dict(self.race),
@@ -306,6 +317,7 @@ class PlanResponse:
             cache_hit=bool(data.get("cache_hit", False)),
             worker_id=data.get("worker_id"),
             attempts=int(data.get("attempts", 1)),
+            via_replica=bool(data.get("via_replica", False)),
             phase_seconds=dict(data.get("phase_seconds", {})),
             planner=data.get("planner"),
             race=dict(data.get("race", {})),

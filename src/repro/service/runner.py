@@ -36,6 +36,7 @@ from repro.core.world import PlanningTask
 from repro.obs import EventLog, bump, get_registry, get_tracer
 from repro.service.cache import PlanCache
 from repro.service.jobs import DONE, FAILED, Job, JobQueue
+from repro.service.journal import JobJournal
 from repro.service.pool import PoolConfig, WorkerPool
 from repro.service.request import PlanRequest, PlanResponse, failure_response
 from repro.service.telemetry import (
@@ -58,6 +59,7 @@ class PlanningService:
         cache: Optional[PlanCache] = None,
         portfolio_stats: Optional[portfolio_mod.PortfolioStats] = None,
         portfolio_stats_path: Optional[str] = None,
+        journal: Optional[JobJournal] = None,
     ) -> None:
         if pool_config is not None:
             num_workers = pool_config.num_workers
@@ -85,6 +87,11 @@ class PlanningService:
             if portfolio_stats is not None
             else portfolio_mod.PortfolioStats(path=portfolio_stats_path)
         )
+        #: Durable write-ahead job journal (:mod:`repro.service.journal`).
+        #: ``None`` (the default) costs each hook one ``is not None`` check;
+        #: with a journal, every admission, dispatch, and terminal status is
+        #: logged so :meth:`recover` can replay work a crash lost.
+        self.journal = journal
         self._pool: Optional[WorkerPool] = None
         self._pending: List[PlanRequest] = []
 
@@ -110,6 +117,8 @@ class PlanningService:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        if self.journal is not None:
+            self.journal.sync()
 
     def __enter__(self) -> "PlanningService":
         return self
@@ -128,6 +137,97 @@ class PlanningService:
         """Run everything :meth:`submit` queued since the last drain."""
         pending, self._pending = self._pending, []
         return self.run_batch(pending)
+
+    def recover(self) -> Dict:
+        """Replay the journal after a crash: settle every admitted job.
+
+        Scans the journal (truncating a torn tail), then for every admit
+        record with no terminal status since the last clean shutdown:
+
+        * **quarantined** hashes (too many interrupted dispatches across
+          restarts — the job keeps killing the process) are dead-lettered
+          with a terminal ``"poison"`` instead of replayed;
+        * admit payloads that no longer parse are settled ``"invalid"``;
+        * everything else is rebuilt from its wire payload, marked
+          ``recovered=True``, and re-run through :meth:`run_batch` —
+          idempotently: duplicates coalesce by request hash, and a job
+          whose result already reached the cache tier (its ``done`` record
+          was the one torn off) is answered from the cache without
+          re-planning.
+
+        Degraded and cancelled results are terminal statuses, so they are
+        never resurrected.  Returns the recovery summary (counts plus the
+        replayed responses).
+        """
+        if self.journal is None:
+            return {"enabled": False, "replayed": 0, "quarantined": 0,
+                    "invalid": 0}
+        from repro.errors import InvalidRequest
+        from repro.net.wire import request_from_wire
+
+        state = self.journal.recover_state()
+        self.journal.start_epoch(
+            pending=len(state.pending),
+            quarantined=len(state.quarantined),
+            torn=state.torn,
+        )
+        for record in state.quarantined:
+            rid = str(record.get("request_id", ""))
+            self.journal.record_done(rid, "poison")
+            self._observe_response(
+                PlanResponse(
+                    request_id=rid, status="poison",
+                    error="quarantined by recovery: job repeatedly "
+                          "interrupted the process mid-dispatch",
+                ),
+                job_id=None,
+            )
+            bump("repro_recovery_replayed_total",
+                 help="Journal admits settled by crash recovery",
+                 outcome="quarantined")
+        requests: List[PlanRequest] = []
+        invalid = 0
+        for record in state.pending:
+            rid = str(record.get("request_id", ""))
+            try:
+                request = request_from_wire(
+                    record.get("request") or {}, request_id=rid
+                )
+            except InvalidRequest as exc:
+                invalid += 1
+                self.journal.record_done(rid, "invalid")
+                self._observe_response(
+                    PlanResponse(request_id=rid, status="invalid",
+                                 error=f"unreplayable admit record: {exc}"),
+                    job_id=None,
+                )
+                bump("repro_recovery_replayed_total",
+                     help="Journal admits settled by crash recovery",
+                     outcome="invalid")
+                continue
+            requests.append(replace(request, recovered=True))
+            bump("repro_recovery_replayed_total",
+                 help="Journal admits settled by crash recovery",
+                 outcome="replayed")
+        responses = self.run_batch(requests) if requests else []
+        self.journal.sync()
+        self.events.emit(
+            "recovery.done",
+            replayed=len(requests),
+            quarantined=len(state.quarantined),
+            invalid=invalid,
+            torn=state.torn,
+            records=state.records,
+        )
+        return {
+            "enabled": True,
+            "replayed": len(requests),
+            "quarantined": len(state.quarantined),
+            "invalid": invalid,
+            "torn": state.torn,
+            "records": state.records,
+            "responses": responses,
+        }
 
     def run_batch(self, requests: Sequence[PlanRequest]) -> List[PlanResponse]:
         """Plan a batch; one response per request, original order."""
@@ -153,12 +253,20 @@ class PlanningService:
         races: Dict[int, Dict] = {}  # request index -> race bookkeeping
         race_jobs: Dict[int, int] = {}  # member job_id -> request index
 
+        journal = self.journal
         for i, request in enumerate(requests):
+            if journal is not None and not getattr(request, "recovered", False):
+                # Write-ahead: admission is durable before any work starts.
+                # Recovered requests are already in the journal — their
+                # original admit record is the one being settled.
+                journal.record_admit(request)
             if request.portfolio:
                 # Portfolio race: expand into K member jobs sharing a race
                 # token.  Races bypass the cache both ways — each race is a
                 # fresh controlled experiment, and the parent response is a
                 # synthesis, not a single planner's cacheable answer.
+                if journal is not None:
+                    journal.record_dispatch(request.request_id)
                 self._start_race(i, request, queue, races, race_jobs)
                 continue
             # Faulted and traced requests always execute (chaos hooks and
@@ -173,6 +281,8 @@ class PlanningService:
                     responses[i] = cached
                     self._observe_response(cached, job_id=None, request=request)
                     continue
+            if journal is not None:
+                journal.record_dispatch(request.request_id)
             job = queue.submit(request, time.monotonic())
             job_index[job.job_id] = (i, key)
             if key is not None:
@@ -239,6 +349,16 @@ class PlanningService:
                     hit = replace(leader, request_id=requests[i].request_id)
                 responses[i] = hit
                 self._observe_response(hit, job_id=None, request=requests[i])
+
+        if journal is not None:
+            # Terminal records for the whole batch, then one sync: in
+            # fsync="batch" mode at most one batch of terminal statuses is
+            # at risk, and a lost ``done`` only means a redundant (and
+            # idempotent, cache-served) replay after the next crash.
+            for request, response in zip(requests, responses):
+                assert response is not None
+                journal.record_done(request.request_id, response.status)
+            journal.sync()
 
         assert all(r is not None for r in responses)
         return responses  # type: ignore[return-value]

@@ -72,6 +72,11 @@ def request_attributes(request) -> Dict[str, str]:
         "kernels": str(getattr(config, "kernels", "batch")),
         "deadline": "armed" if deadline_armed else "none",
         "fault": str(request.fault) if request.fault else "clean",
+        # Crash-recovery provenance: jobs replayed from the journal carry
+        # recovered=1 so RCA can attribute post-recovery tail latency.
+        # getattr, not attribute access: the chaos harness builds hostile
+        # requests via object.__new__ that predate the field.
+        "recovered": "1" if getattr(request, "recovered", False) else "0",
     }
     planner = getattr(request, "planner", None)
     if planner:
@@ -135,6 +140,11 @@ def record_from_response(
 ) -> JobRecord:
     """Telemetry row straight from a response (cache hits never queue)."""
     categories = response.macs_by_category()
+    attributes = request_attributes(request) if request is not None else {}
+    if getattr(response, "via_replica", False):
+        # Served by a cache-shard replica after a read failover: tagged so
+        # RCA can split replica-served hits from primary hits.
+        attributes["replica_read"] = "1"
     return JobRecord(
         job_id=job_id,
         request_id=response.request_id,
@@ -155,7 +165,7 @@ def record_from_response(
         samples=response.op_events.get("sample", 0),
         error=response.error,
         phase_seconds=dict(response.phase_seconds),
-        attributes=request_attributes(request) if request is not None else {},
+        attributes=attributes,
     )
 
 

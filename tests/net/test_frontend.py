@@ -10,12 +10,14 @@ The overload tests pin the acceptance criterion: saturation surfaces as
 import asyncio
 import http.client
 import json
+import tempfile
 import threading
 import time
 import unittest
 
 from repro.net.frontend import FrontEndConfig, PlanFrontEnd
 from repro.service.breaker import OPEN
+from repro.service.journal import scan_journal
 
 SPEC_BODY = {"spec": {"robot": "mobile2d", "obstacles": 4, "seed": 3,
                       "samples": 60}}
@@ -208,6 +210,73 @@ class TestAdmissionControl(unittest.TestCase):
         code, payload, _ = self._handle(front, body=b"__too_large__")
         self.assertEqual(code, 413)
         self.assertEqual(payload["status"], "invalid")
+
+
+class TestReadinessAndDrain(unittest.TestCase):
+    """Liveness vs readiness split, and the SIGTERM drain path."""
+
+    def test_liveness_always_200_readiness_gates_on_drain(self):
+        front = PlanFrontEnd(FrontEndConfig(workers=0))  # no journal: ready
+        code, body, _ = front._handle_health("")
+        self.assertEqual(code, 200)
+        self.assertTrue(body["ready"])
+        self.assertEqual(front._handle_health("ready=1")[0], 200)
+        front.draining = True
+        code, body, headers = front._handle_health("ready=1")
+        self.assertEqual(code, 503)
+        self.assertEqual(body["status"], "draining")
+        self.assertIn("Retry-After", headers)
+        # Liveness keeps answering 200: the process is alive, just
+        # refusing new traffic — restart orchestrators key off the split.
+        self.assertEqual(front._handle_health("")[0], 200)
+
+    def test_not_ready_until_journal_recovery_completes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            front = PlanFrontEnd(FrontEndConfig(workers=0, journal_dir=tmp))
+            try:
+                self.assertFalse(front.ready.is_set())
+                code, body, _ = front._handle_health("ready=1")
+                self.assertEqual(code, 503)
+                self.assertEqual(body["status"], "starting")
+                front._recover()  # the engine's prepare step, run inline
+                self.assertTrue(front.ready.is_set())
+                code, body, _ = front._handle_health("ready=1")
+                self.assertEqual(code, 200)
+                self.assertTrue(body["recovery"]["enabled"])
+            finally:
+                front.service.close()
+                front.service.journal.close()
+
+    def test_draining_plan_requests_are_503_with_retry_after(self):
+        front = PlanFrontEnd(FrontEndConfig(workers=0))
+        front.draining = True
+        code, payload, headers = asyncio.run(front._handle_plan("", b"{}"))
+        self.assertEqual(code, 503)
+        self.assertTrue(payload["shed"])
+        self.assertEqual(payload["reason"], "draining")
+        self.assertIn("Retry-After", headers)
+        self.assertEqual(front.shed["draining"], 1)
+
+    def test_drain_and_stop_marks_clean_shutdown(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            fx = _FrontEndFixture(journal_dir=tmp, drain_deadline_s=10.0)
+            try:
+                self.assertTrue(fx.front.ready.wait(timeout=10.0),
+                                "recovery never opened readiness")
+                code, body, _ = fx.request("POST", "/plan", SPEC_BODY)
+                self.assertEqual(code, 200)
+                future = asyncio.run_coroutine_threadsafe(
+                    fx.front.drain_and_stop(), fx.loop
+                )
+                self.assertTrue(future.result(timeout=15.0),
+                                "drain missed its deadline while idle")
+            finally:
+                fx.stop()
+            records, torn = scan_journal(tmp)
+            kinds = [r["kind"] for r in records]
+            self.assertFalse(torn)
+            self.assertIn("admit", kinds)
+            self.assertEqual(kinds[-1], "clean_shutdown")
 
 
 class TestOverloadEndToEnd(unittest.TestCase):

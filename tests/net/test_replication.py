@@ -1,0 +1,164 @@
+"""Replicated shard tier: R-way writes, read failover, anti-entropy.
+
+The load-bearing properties: with ``replication=2`` a dead primary
+degrades to a *replica-served hit* (tagged ``via_replica``) instead of a
+miss, a rejoining shard is backfilled with the entries it owns, and the
+``shard.replicate`` fault site degrades a replica write to a counted
+error — never an exception on the planning path.
+"""
+
+import unittest
+
+from repro.faults import FaultPlan, clear, install_plan
+from repro.net.hashring import HashRing
+from repro.net.shard import ShardedPlanCache
+
+from tests.net.test_shard import _response, _ShardFixture
+
+
+class TestNodesFor(unittest.TestCase):
+    def test_first_node_matches_node_for(self):
+        ring = HashRing(["a:1", "b:1", "c:1"])
+        for key in ("k1", "k2", "k3", "plan-key"):
+            self.assertEqual(ring.nodes_for(key, 1), [ring.node_for(key)])
+
+    def test_returns_distinct_successors(self):
+        ring = HashRing(["a:1", "b:1", "c:1"])
+        owners = ring.nodes_for("some-key", 2)
+        self.assertEqual(len(owners), 2)
+        self.assertEqual(len(set(owners)), 2)
+
+    def test_count_clamped_to_ring_size(self):
+        ring = HashRing(["a:1", "b:1"])
+        self.assertEqual(len(ring.nodes_for("k", 5)), 2)
+
+    def test_empty_ring_and_bad_count_raise(self):
+        ring = HashRing(["a:1"])
+        ring.remove_node("a:1")
+        with self.assertRaises(ValueError):
+            ring.nodes_for("k", 1)
+        with self.assertRaises(ValueError):
+            HashRing(["a:1"]).nodes_for("k", 0)
+
+
+class TestReplicatedTier(unittest.TestCase):
+    def setUp(self):
+        self.fixtures = [_ShardFixture(), _ShardFixture()]
+        self.tier = ShardedPlanCache(
+            [f.endpoint for f in self.fixtures], replication=2
+        )
+
+    def tearDown(self):
+        self.tier.close()
+        for fixture in self.fixtures:
+            fixture.stop()
+        clear()
+
+    def test_replication_validated(self):
+        with self.assertRaises(ValueError):
+            ShardedPlanCache(["a:1"], replication=0)
+
+    def test_put_writes_every_replica(self):
+        self.tier.put("repl-key", _response())
+        for fixture in self.fixtures:
+            self.assertIn("repl-key", fixture.server.cache.keys())
+
+    def test_dead_primary_fails_over_to_replica_hit(self):
+        keys = [f"fo-{i}" for i in range(20)]
+        for key in keys:
+            self.tier.put(key, _response())
+        victim = self.fixtures[0].endpoint
+        owned = [k for k in keys if self.tier.replicas_for(k)[0] == victim]
+        self.assertTrue(owned, "test needs a key whose primary dies")
+        self.fixtures[0].stop()
+        for key in owned:
+            hit = self.tier.get(key, request_id=f"r-{key}")
+            self.assertIsNotNone(hit, f"{key} lost despite a live replica")
+            self.assertTrue(hit.cache_hit)
+            self.assertTrue(hit.via_replica)
+        self.assertEqual(self.tier.failovers, len(owned))
+        self.assertEqual(self.tier.replica_hits, len(owned))
+        # Keys whose primary survived are served normally, untagged.
+        for key in keys:
+            if key not in owned:
+                hit = self.tier.get(key)
+                self.assertIsNotNone(hit)
+                self.assertFalse(hit.via_replica)
+
+    def test_alive_but_empty_primary_is_a_miss_not_a_failover(self):
+        # The first successful reply decides: an alive primary that
+        # simply lacks the key answers the lookup (miss) — the tier must
+        # not go fishing in replicas behind a healthy owner's back.
+        self.assertIsNone(self.tier.get("never-stored"))
+        self.assertEqual(self.tier.failovers, 0)
+        self.assertEqual(self.tier.misses, 1)
+
+    def test_backfill_restores_owned_keys_after_rejoin(self):
+        keys = [f"bf-{i}" for i in range(20)]
+        for key in keys:
+            self.tier.put(key, _response())
+        # Simulate a shard that lost its state (restarted empty).
+        rejoined = self.fixtures[1].endpoint
+        self.fixtures[1].server.cache.clear()
+        copied = self.tier.backfill(rejoined)
+        # Both shards replicate everything at R=2 over 2 nodes.
+        self.assertEqual(copied, len(keys))
+        self.assertEqual(
+            sorted(self.fixtures[1].server.cache.keys()), sorted(keys)
+        )
+        self.assertEqual(self.tier.backfilled, copied)
+
+    def test_backfill_rejects_unknown_endpoint(self):
+        with self.assertRaises(ValueError):
+            self.tier.backfill("127.0.0.1:1")
+
+    def test_probe_after_down_mark_triggers_backfill(self):
+        # Down-mark the second shard (dead socket), repopulate via the
+        # survivor, restart the "dead" one empty: the first successful
+        # probe must mark it up and anti-entropy must backfill it.
+        tier = ShardedPlanCache(
+            [f.endpoint for f in self.fixtures], replication=2,
+            retry_down_s=60.0,
+        )
+        try:
+            tier.put("pre-key", _response())
+            victim_fixture = self.fixtures[1]
+            victim = victim_fixture.endpoint
+            victim_fixture.server.cache.clear()
+            tier._mark_down(victim, op="test")
+            self.assertIn(victim, tier.stats()["down"])
+            tier._down[victim] = 0.0  # probe window elapsed
+            tier.put("post-key", _response())  # probe succeeds -> up
+            self.assertNotIn(victim, tier.stats()["down"])
+            self.assertIn("pre-key", victim_fixture.server.cache.keys())
+        finally:
+            tier.close()
+
+    def test_replicate_fault_site_degrades_to_counted_error(self):
+        install_plan(FaultPlan.from_spec("shard.replicate:drop:max=1"),
+                     scope="test")
+        try:
+            self.tier.put("half-replicated", _response())
+        finally:
+            clear()
+        self.assertEqual(self.tier.shard_errors, 1)
+        # The primary write landed; only the replica copy was lost.
+        primary = self.tier.replicas_for("half-replicated")[0]
+        holders = [
+            f.endpoint for f in self.fixtures
+            if "half-replicated" in f.server.cache.keys()
+        ]
+        self.assertEqual(holders, [primary])
+        # And the entry is still servable (from its primary).
+        self.assertIsNotNone(self.tier.get("half-replicated"))
+
+    def test_stats_expose_replication_counters(self):
+        stats = self.tier.stats()
+        for key in ("replication", "failovers", "replica_hits",
+                    "backfilled", "down"):
+            self.assertIn(key, stats)
+        self.assertEqual(stats["replication"], 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,272 @@
+"""Write-ahead job journal: CRC framing, tears, repair, replay folding.
+
+The durability contract under test: trusted history ends at the first
+torn record, a repaired journal accepts new appends on trusted ground,
+and :func:`replay_state` resurrects exactly the admitted-but-unsettled
+jobs — never settled ones, and never a quarantined crash-looper.
+"""
+
+import json
+import pathlib
+import tempfile
+import unittest
+
+from repro.faults import FaultPlan, clear, install_plan
+from repro.net.wire import request_from_wire
+from repro.service.journal import (
+    JobJournal,
+    TERMINAL_KINDS,
+    replay_state,
+    scan_journal,
+)
+
+SPEC = {"robot": "mobile2d", "obstacles": 4, "seed": 5, "samples": 40}
+
+
+def _request(request_id="jr-1", seed=5):
+    return request_from_wire(
+        {"spec": dict(SPEC, seed=seed)}, request_id=request_id
+    )
+
+
+class _JournalCase(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.directory = pathlib.Path(self._tmp.name)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+        clear()
+
+    def journal(self, **kwargs) -> JobJournal:
+        kwargs.setdefault("fsync", "off")
+        return JobJournal(self.directory, **kwargs)
+
+
+class TestAppendScan(_JournalCase):
+    def test_round_trip_preserves_order_and_kinds(self):
+        with self.journal() as journal:
+            journal.start_epoch()
+            journal.record_admit(_request())
+            journal.record_dispatch("jr-1")
+            journal.record_done("jr-1", "ok")
+        records, torn = scan_journal(self.directory)
+        self.assertFalse(torn)
+        self.assertEqual(
+            [r["kind"] for r in records],
+            ["startup", "admit", "dispatch", "done"],
+        )
+        admit = records[1]
+        self.assertEqual(admit["request_id"], "jr-1")
+        self.assertIn("rhash", admit)
+        self.assertIn("request", admit)
+
+    def test_cancelled_status_uses_cancel_kind(self):
+        with self.journal() as journal:
+            journal.record_done("jr-1", "cancelled")
+        records, _ = scan_journal(self.directory)
+        self.assertEqual(records[0]["kind"], "cancel")
+        self.assertIn("cancel", TERMINAL_KINDS)
+
+    def test_every_line_is_crc_stamped(self):
+        with self.journal() as journal:
+            journal.record_dispatch("jr-1")
+        for path in self.directory.glob("segment-*.jsonl"):
+            for line in path.read_text().splitlines():
+                self.assertIn("crc", json.loads(line))
+
+    def test_segment_rotation(self):
+        with self.journal(segment_bytes=128) as journal:
+            for i in range(20):
+                journal.record_dispatch(f"jr-{i}")
+        segments = sorted(self.directory.glob("segment-*.jsonl"))
+        self.assertGreater(len(segments), 1)
+        records, torn = scan_journal(self.directory)
+        self.assertFalse(torn)
+        self.assertEqual(len(records), 20)
+
+    def test_fsync_mode_validated(self):
+        with self.assertRaises(ValueError):
+            self.journal(fsync="sometimes")
+
+    def test_scan_missing_directory_is_empty(self):
+        records, torn = scan_journal(self.directory / "nope")
+        self.assertEqual(records, [])
+        self.assertFalse(torn)
+
+
+class TestTornHistory(_JournalCase):
+    def _write_then_tear(self, tail_bytes=b'{"half": '):
+        with self.journal() as journal:
+            journal.record_admit(_request())
+            journal.record_done("jr-1", "ok")
+            journal.record_dispatch("jr-after")
+            path = journal.segment_path
+        with open(path, "r+") as fh:
+            lines = fh.read().splitlines(keepends=True)
+            fh.seek(0)
+            fh.truncate()
+            fh.writelines(lines[:-1])
+            fh.write(tail_bytes.decode())
+        return path
+
+    def test_scan_stops_at_torn_tail(self):
+        self._write_then_tear()
+        records, torn = scan_journal(self.directory)
+        self.assertTrue(torn)
+        self.assertEqual([r["kind"] for r in records], ["admit", "done"])
+
+    def test_bad_crc_counts_as_torn(self):
+        with self.journal() as journal:
+            journal.record_dispatch("jr-1")
+            path = journal.segment_path
+        text = path.read_text()
+        path.write_text(text.replace("jr-1", "jr-X"))  # payload != crc
+        records, torn = scan_journal(self.directory)
+        self.assertTrue(torn)
+        self.assertEqual(records, [])
+
+    def test_tear_in_early_segment_discards_later_segments(self):
+        with self.journal(segment_bytes=1) as journal:  # 1 record/segment
+            journal.record_dispatch("jr-1")
+            journal.record_dispatch("jr-2")
+            journal.record_dispatch("jr-3")
+        segments = sorted(self.directory.glob("segment-*.jsonl"))
+        self.assertGreaterEqual(len(segments), 3)
+        segments[0].write_text("garbage\n")
+        records, torn = scan_journal(self.directory)
+        self.assertTrue(torn)
+        self.assertEqual(records, [])
+
+    def test_repair_truncates_and_new_appends_are_trusted(self):
+        self._write_then_tear()
+        journal = self.journal()
+        self.assertTrue(journal.repair())
+        records, torn = scan_journal(self.directory)
+        self.assertFalse(torn)
+        self.assertEqual(len(records), 2)
+        # Post-repair appends extend trusted history instead of hiding
+        # behind the (previously) torn bytes.
+        journal.record_dispatch("jr-new")
+        journal.close()
+        records, torn = scan_journal(self.directory)
+        self.assertFalse(torn)
+        self.assertEqual(records[-1]["request_id"], "jr-new")
+
+    def test_repair_unlinks_segments_past_the_tear(self):
+        with self.journal(segment_bytes=1) as journal:
+            journal.record_dispatch("jr-1")
+            journal.record_dispatch("jr-2")
+        segments = sorted(self.directory.glob("segment-*.jsonl"))
+        segments[0].write_text("garbage\n")
+        self.assertTrue(self.journal().repair())
+        remaining = sorted(self.directory.glob("segment-*.jsonl"))
+        self.assertEqual(remaining, [segments[0]])
+        self.assertEqual(segments[0].read_text(), "")
+
+    def test_repair_on_clean_journal_is_a_noop(self):
+        with self.journal() as journal:
+            journal.record_dispatch("jr-1")
+        self.assertFalse(self.journal().repair())
+
+    def test_recover_state_repairs_as_a_side_effect(self):
+        self._write_then_tear()
+        journal = self.journal()
+        state = journal.recover_state()
+        self.assertTrue(state.torn)
+        _, torn = scan_journal(self.directory)
+        self.assertFalse(torn)
+
+
+class TestReplayFolding(_JournalCase):
+    def _fold(self, **kwargs):
+        records, torn = scan_journal(self.directory)
+        return replay_state(records, torn=torn, **kwargs)
+
+    def test_admit_without_terminal_is_pending(self):
+        with self.journal() as journal:
+            journal.record_admit(_request("jr-1", seed=1))
+            journal.record_admit(_request("jr-2", seed=2))
+            journal.record_dispatch("jr-1")
+            journal.record_done("jr-1", "ok")
+        state = self._fold()
+        self.assertEqual(
+            [r["request_id"] for r in state.pending], ["jr-2"]
+        )
+
+    def test_degraded_and_cancelled_are_terminal(self):
+        # Settled is settled: neither a degraded nor a cancelled job may
+        # be resurrected by recovery.
+        with self.journal() as journal:
+            journal.record_admit(_request("jr-1", seed=1))
+            journal.record_done("jr-1", "degraded")
+            journal.record_admit(_request("jr-2", seed=2))
+            journal.record_done("jr-2", "cancelled")
+        state = self._fold()
+        self.assertEqual(state.pending, [])
+
+    def test_clean_shutdown_replays_nothing(self):
+        with self.journal() as journal:
+            journal.record_admit(_request())
+            journal.record_dispatch("jr-1")
+            journal.record_done("jr-1", "ok")
+            journal.mark_clean_shutdown()
+        state = self._fold()
+        self.assertTrue(state.clean)
+        self.assertEqual(state.pending, [])
+        self.assertEqual(state.quarantined, [])
+
+    def test_interrupted_dispatches_quarantine_across_epochs(self):
+        request = _request()
+        with self.journal() as journal:
+            journal.start_epoch()         # epoch 1: dispatch, crash
+            journal.record_admit(request)
+            journal.record_dispatch("jr-1")
+            journal.start_epoch()         # epoch 2: replay dispatch, crash
+            journal.record_dispatch("jr-1")
+            journal.start_epoch()         # epoch 3: recovery judges
+        state = self._fold(quarantine_threshold=2)
+        self.assertEqual(state.pending, [])
+        self.assertEqual(
+            [r["request_id"] for r in state.quarantined], ["jr-1"]
+        )
+        self.assertEqual(
+            state.interrupted[request.cache_key()], 2
+        )
+
+    def test_one_interruption_stays_below_threshold(self):
+        with self.journal() as journal:
+            journal.start_epoch()
+            journal.record_admit(_request())
+            journal.record_dispatch("jr-1")
+            journal.start_epoch()
+        state = self._fold(quarantine_threshold=2)
+        self.assertEqual(
+            [r["request_id"] for r in state.pending], ["jr-1"]
+        )
+        self.assertEqual(state.quarantined, [])
+
+
+class TestAppendFaultSite(_JournalCase):
+    def test_drop_loses_the_record_silently(self):
+        install_plan(FaultPlan.from_spec("journal.append:drop:max=1"),
+                     scope="test")
+        with self.journal() as journal:
+            journal.record_dispatch("jr-lost")
+            journal.record_dispatch("jr-kept")
+        records, torn = scan_journal(self.directory)
+        self.assertFalse(torn)
+        self.assertEqual([r["request_id"] for r in records], ["jr-kept"])
+
+    def test_corrupt_writes_a_torn_half_line(self):
+        install_plan(FaultPlan.from_spec("journal.append:corrupt:max=1"),
+                     scope="test")
+        with self.journal() as journal:
+            journal.record_dispatch("jr-torn")
+        records, torn = scan_journal(self.directory)
+        self.assertTrue(torn)
+        self.assertEqual(records, [])
+
+
+if __name__ == "__main__":
+    unittest.main()

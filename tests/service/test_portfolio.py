@@ -114,6 +114,37 @@ class TestPortfolioModule:
         with pytest.raises(ValueError, match="schema"):
             portfolio.PortfolioStats(path=str(path))
 
+    def test_save_is_atomic_no_temp_litter(self, tmp_path):
+        # save() goes through a same-directory temp file + os.replace, so
+        # the target is either the old snapshot or the new one — and on
+        # success nothing else is left behind.
+        path = tmp_path / "wins.json"
+        stats = portfolio.PortfolioStats(path=str(path))
+        for _ in range(5):
+            stats.record("rozum/16obs", "connect")
+        assert [p.name for p in tmp_path.iterdir()] == ["wins.json"]
+        data = json.loads(path.read_text())
+        assert data["wins"]["rozum/16obs"]["connect"] == 5
+
+    def test_corrupt_stats_file_resets_with_warning(self, tmp_path):
+        # Learned state: a truncated/corrupt snapshot (e.g. pre-atomic
+        # crash damage) must warn and reset, never refuse to start.
+        path = tmp_path / "wins.json"
+        path.write_text('{"schema": 1, "wins": {"rozu')  # torn mid-write
+        with pytest.warns(RuntimeWarning, match="corrupt or truncated"):
+            stats = portfolio.PortfolioStats(path=str(path))
+        assert stats.wins == {}
+        # The instance is fully usable (and overwrites the damage).
+        stats.record("s", "connect")
+        assert portfolio.PortfolioStats(path=str(path)).best("s") == "connect"
+
+    def test_non_object_stats_file_resets_with_warning(self, tmp_path):
+        path = tmp_path / "wins.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.warns(RuntimeWarning, match="does not hold an object"):
+            stats = portfolio.PortfolioStats(path=str(path))
+        assert stats.wins == {}
+
 
 class TestInlineRace:
     def test_single_member_race_is_deterministic(self):
